@@ -1,0 +1,91 @@
+// Ablation: does DCN's mechanism depend on the classifier architecture?
+//
+// The paper evaluates one CNN per dataset. Here the same protocol (train,
+// CW-L2 attack, detector on logits, m=50 corrector) runs over three MNIST
+// architectures: the CNN, a plain MLP, and a batch-normalized LeakyReLU MLP.
+// The defense's premise — adversarial logits have low-confidence maxima —
+// is architecture-independent, so the detector and corrector numbers should
+// hold across all three.
+#include <cstdio>
+
+#include "attacks/cw_l2.hpp"
+#include "common.hpp"
+#include "data/synth_mnist.hpp"
+
+namespace {
+
+using namespace dcn;
+
+struct ArchResult {
+  std::string name;
+  double clean = 0.0;
+  std::string dnn_fooled, detected, dcn_fooled;
+};
+
+ArchResult run_arch(const std::string& name,
+                    const std::function<nn::Sequential(Rng&)>& make) {
+  ArchResult out{name, 0.0, "", "", ""};
+  Rng data_rng(42);
+  data::SynthMnist gen;
+  const data::Dataset train_set = gen.generate(1500, data_rng);
+  const data::Dataset test_set = gen.generate(300, data_rng);
+  Rng init(1234);
+  nn::Sequential model = make(init);
+  models::fit(model, train_set);
+  out.clean = nn::evaluate(model, test_set);
+
+  attacks::CwL2 light(bench::light_cw_config());
+  core::Detector detector(10);
+  const data::Dataset pool = train_set.take(300);
+  core::train_detector(detector, model, light, test_set.take(12), &pool);
+  core::Corrector corrector(model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(model, detector, corrector);
+
+  eval::SuccessRate fooled, detected, dcn_fooled;
+  std::size_t used = 0;
+  for (std::size_t i = 12; i < test_set.size() && used < 6; ++i) {
+    const Tensor x = test_set.example(i);
+    const std::size_t truth = test_set.labels[i];
+    if (model.classify(x) != truth) continue;
+    ++used;
+    for (std::size_t t = 0; t < 10; t += 3) {
+      if (t == truth) continue;
+      const auto r = light.run_targeted(model, x, t);
+      fooled.record(r.success);
+      if (!r.success) continue;
+      detected.record(
+          detector.is_adversarial(model.logits(r.adversarial)));
+      dcn_fooled.record(dcn.classify(r.adversarial) != truth);
+    }
+  }
+  out.dnn_fooled = fooled.percent();
+  out.detected = detected.percent();
+  out.dcn_fooled = dcn_fooled.percent();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: DCN across architectures (MNIST, CW-L2) ===\n");
+  std::printf("premise under test: the low-confidence-max logit signature is "
+              "architecture-independent\n\n");
+  eval::Table table("architecture ablation");
+  table.set_header({"architecture", "clean acc", "CW fools model",
+                    "detected", "fools DCN"});
+  for (const auto& r :
+       {run_arch("convnet (paper-style)",
+                 [](Rng& rng) { return models::mnist_convnet(rng); }),
+        run_arch("plain MLP 784-128-64-10",
+                 [](Rng& rng) { return models::mnist_mlp(rng); }),
+        run_arch("batchnorm LeakyReLU MLP",
+                 [](Rng& rng) { return models::mnist_mlp_bn(rng); })}) {
+    table.add_row({r.name, eval::percent(r.clean), r.dnn_fooled, r.detected,
+                   r.dcn_fooled});
+  }
+  table.print();
+  std::printf("\nexpected shape: every architecture is fooled ~100%%, every "
+              "detector catches ~100%%, DCN success stays low — the defense "
+              "rides on the logit geometry, not the architecture.\n");
+  return 0;
+}

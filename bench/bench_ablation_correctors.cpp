@@ -1,0 +1,114 @@
+// Ablation for the paper's Sec. 6 "Other correctors" discussion: compare the
+// paper's majority-vote corrector against three alternatives on the same
+// pool of adversarial + benign inputs.
+//
+//   vote (m=50)    — the paper's corrector
+//   soft-vote      — mean softmax over the same 50 samples
+//   squeeze        — classify the feature-squeezed input (2-3 model calls)
+//   runner-up      — second-highest logit (zero extra model calls)
+//
+// The L0 column is the interesting one: the paper observes its corrector is
+// weakest there and asks for better correctors.
+#include <cstdio>
+
+#include "attacks/cw_l0.hpp"
+#include "attacks/cw_l2.hpp"
+#include "attacks/cw_linf.hpp"
+#include "common.hpp"
+#include "core/correctors_alt.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== Ablation: corrector designs (paper Sec. 6 future work) "
+              "===\n\n");
+  const bench::DomainParams params = bench::mnist_params();
+  auto wb = bench::make_workbench(true, 1500, 300);
+
+  // Adversarial pools per metric + a benign pool.
+  attacks::CwL2 cw2(bench::light_cw_config());
+  attacks::CwL0 cw0({.kappa = 0.0F,
+                     .initial_c = 1e-1F,
+                     .max_iterations = 60,
+                     .learning_rate = 5e-2F,
+                     .max_rounds = 14,
+                     .freeze_fraction = 0.25F});
+  attacks::CwLinf cwi({.kappa = 0.0F,
+                       .initial_c = 5.0F,
+                       .initial_tau = 0.4F,
+                       .tau_decay = 0.75F,
+                       .min_tau = 1.0F / 128.0F,
+                       .max_iterations = 80,
+                       .learning_rate = 1e-2F});
+  struct Case {
+    Tensor input;
+    std::size_t truth;
+  };
+  std::vector<Case> benign, pool_l0, pool_l2, pool_linf;
+  const auto sources = bench::correct_indices(wb, 8, 0);
+  eval::Timer prep;
+  for (std::size_t src : sources) {
+    const Tensor x = wb.test_set.example(src);
+    const std::size_t truth = wb.test_set.labels[src];
+    benign.push_back({x, truth});
+    for (std::size_t t = 0; t < 10; t += 4) {
+      if (t == truth) continue;
+      if (auto r = cw2.run_targeted(wb.model, x, t); r.success) {
+        pool_l2.push_back({r.adversarial, truth});
+      }
+      if (auto r = cw0.run_targeted(wb.model, x, t); r.success) {
+        pool_l0.push_back({r.adversarial, truth});
+      }
+      if (auto r = cwi.run_targeted(wb.model, x, t); r.success) {
+        pool_linf.push_back({r.adversarial, truth});
+      }
+    }
+  }
+  std::printf("[setup] pools: benign=%zu L0=%zu L2=%zu Linf=%zu (%.1fs)\n\n",
+              benign.size(), pool_l0.size(), pool_l2.size(), pool_linf.size(),
+              prep.seconds());
+
+  core::Corrector vote(wb.model, {.radius = params.region_radius,
+                                  .samples = params.dcn_samples});
+  core::SoftVoteCorrector soft(wb.model, {.radius = params.region_radius,
+                                          .samples = params.dcn_samples,
+                                          .seed = 4242,
+                                          .clip_to_box = true});
+  core::SqueezeCorrector squeeze(wb.model);
+  core::RunnerUpCorrector runner_up(wb.model);
+
+  eval::Table table("corrector ablation: fraction of right labels (MNIST)");
+  table.set_header({"corrector", "benign", "CW-L0", "CW-L2", "CW-Linf",
+                    "time/input"});
+  auto run = [&](const std::string& name,
+                 const std::function<std::size_t(const Tensor&)>& correct) {
+    auto rate = [&](const std::vector<Case>& cases) {
+      eval::SuccessRate sr;
+      for (const Case& c : cases) sr.record(correct(c.input) == c.truth);
+      return sr.percent();
+    };
+    eval::Timer t;
+    const std::string b = rate(benign);
+    const std::string l0 = rate(pool_l0);
+    const std::string l2 = rate(pool_l2);
+    const std::string li = rate(pool_linf);
+    const std::size_t n =
+        benign.size() + pool_l0.size() + pool_l2.size() + pool_linf.size();
+    table.add_row({name, b, l0, l2, li,
+                   eval::fixed(t.seconds() / static_cast<double>(n) * 1e3,
+                               1) +
+                       "ms"});
+  };
+  run("vote m=50 (paper)",
+      [&](const Tensor& x) { return vote.correct(x); });
+  run("soft-vote m=50", [&](const Tensor& x) { return soft.correct(x); });
+  run("feature-squeeze", [&](const Tensor& x) { return squeeze.correct(x); });
+  run("runner-up logit",
+      [&](const Tensor& x) { return runner_up.correct(x); });
+  table.print();
+  std::printf(
+      "\nreading: soft-vote matches/beats the hard vote at identical cost; "
+      "runner-up is free and surprisingly strong on minimal-distortion CW "
+      "but collapses on benign traffic (it must only run behind a "
+      "detector).\n");
+  return 0;
+}

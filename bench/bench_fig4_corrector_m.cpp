@@ -1,0 +1,67 @@
+// Figure 4 reproduction: corrector accuracy and running time as a function
+// of the sample count m.
+//
+// Paper's finding (the justification for DCN's m = 50 vs RC's m = 1000):
+// accuracy is essentially flat in m while running time grows linearly, so a
+// small m buys a ~20x speedup for free.
+#include <cstdio>
+
+#include "attacks/cw_l2.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== Fig. 4: corrector accuracy & running time vs m ===\n");
+  std::printf("paper shape: accuracy flat in m; time proportional to m\n\n");
+
+  const bench::DomainParams params = bench::mnist_params();
+  auto wb = bench::make_workbench(true, 1500, 300);
+
+  // Evaluation set: CW-L2 adversarial examples plus benign examples — the
+  // corrector must recover the former and keep the latter.
+  attacks::CwL2 cw(bench::light_cw_config());
+  const auto sources = bench::correct_indices(wb, 10, 0);
+  struct Case {
+    Tensor input;
+    std::size_t truth;
+  };
+  std::vector<Case> cases;
+  eval::Timer prep;
+  for (std::size_t src : sources) {
+    const Tensor x = wb.test_set.example(src);
+    const std::size_t truth = wb.test_set.labels[src];
+    cases.push_back({x, truth});
+    for (std::size_t t = 0; t < 10; t += 4) {
+      if (t == truth) continue;
+      const auto r = cw.run_targeted(wb.model, x, t);
+      if (r.success) cases.push_back({r.adversarial, truth});
+    }
+  }
+  std::printf("[setup] %zu evaluation cases (benign + adversarial) (%.1fs)\n\n",
+              cases.size(), prep.seconds());
+
+  eval::Table table("Fig. 4: corrector accuracy and time vs m (MNIST, r=0.3)");
+  table.set_header({"m", "accuracy", "total time", "time/case"});
+  for (std::size_t m : {10U, 25U, 50U, 100U, 250U, 500U, 1000U}) {
+    core::Corrector corrector(
+        wb.model,
+        {.radius = params.region_radius, .samples = m, .seed = 4242});
+    eval::Timer t;
+    std::size_t correct = 0;
+    for (const Case& c : cases) {
+      if (corrector.correct(c.input) == c.truth) ++correct;
+    }
+    const double secs = t.seconds();
+    table.add_row({std::to_string(m),
+                   eval::percent(static_cast<double>(correct) /
+                                 static_cast<double>(cases.size())),
+                   eval::fixed(secs, 2) + "s",
+                   eval::fixed(secs / static_cast<double>(cases.size()) * 1e3,
+                               1) +
+                       "ms"});
+  }
+  table.print();
+  std::printf("\nconclusion check: m=50 should match m=1000 accuracy at ~5%% "
+              "of the cost (the paper's parameter improvement).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// google-benchmark microbenchmarks for the per-call costs underlying
+// Tables 3 and 6: one DNN forward pass, the detector MLP, the DCN corrector
+// (m=50), full RC (m=1000), and one CW-L2 gradient iteration. These are the
+// unit prices from which the tables' totals compose.
+#include <benchmark/benchmark.h>
+
+#include "attacks/gradient.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace dcn;
+
+struct Env {
+  models::Workbench wb;
+  core::Detector detector;
+  core::Corrector corrector;
+  defenses::RegionClassifier rc;
+  Tensor example;
+  Tensor logits;
+
+  Env()
+      : wb(bench::make_workbench(true, 1000, 50)),
+        detector(bench::make_detector(wb, 6, 200)),
+        corrector(wb.model, {.radius = 0.3F, .samples = 50}),
+        rc(wb.model,
+           {.radius = 0.3F, .samples = 1000, .seed = 99, .clip_to_box = true}),
+        example(wb.test_set.example(0)),
+        logits(wb.model.logits(example)) {}
+
+  static Env& instance() {
+    static Env* e = new Env;
+    return *e;
+  }
+};
+
+void BM_DnnForward(benchmark::State& state) {
+  Env& e = Env::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.wb.model.classify(e.example));
+  }
+}
+BENCHMARK(BM_DnnForward);
+
+void BM_DnnForwardBackward(benchmark::State& state) {
+  Env& e = Env::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        attacks::loss_input_gradient(e.wb.model, e.example, 0));
+  }
+}
+BENCHMARK(BM_DnnForwardBackward);
+
+void BM_DetectorVerdict(benchmark::State& state) {
+  Env& e = Env::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.detector.is_adversarial(e.logits));
+  }
+}
+BENCHMARK(BM_DetectorVerdict);
+
+void BM_DcnBenignPath(benchmark::State& state) {
+  Env& e = Env::instance();
+  core::Dcn dcn(e.wb.model, e.detector, e.corrector);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dcn.classify(e.example));
+  }
+}
+BENCHMARK(BM_DcnBenignPath);
+
+void BM_CorrectorM50(benchmark::State& state) {
+  Env& e = Env::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.corrector.correct(e.example));
+  }
+}
+BENCHMARK(BM_CorrectorM50);
+
+void BM_RegionClassifierM1000(benchmark::State& state) {
+  Env& e = Env::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.rc.classify(e.example));
+  }
+}
+BENCHMARK(BM_RegionClassifierM1000);
+
+void BM_LogitJacobian(benchmark::State& state) {
+  Env& e = Env::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks::logit_jacobian(e.wb.model, e.example));
+  }
+}
+BENCHMARK(BM_LogitJacobian);
+
+}  // namespace
+
+BENCHMARK_MAIN();

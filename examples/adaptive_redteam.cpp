@@ -1,0 +1,112 @@
+// Red-team walkthrough of the paper's Sec. 6: how an adaptive adversary who
+// KNOWS the DCN is deployed defeats it, and what that costs.
+//
+// Three escalation levels against the same protected model:
+//   level 0: plain CW-L2 (the paper's evaluation threat model),
+//   level 1: high-confidence CW-L2 (kappa > 0, more distortion),
+//   level 2: detector-aware adaptive CW (differentiates through the
+//            detector via core::Detector::margin_with_gradient).
+#include <cstdio>
+
+#include "attacks/adaptive_cw.hpp"
+#include "attacks/cw_l2.hpp"
+#include "core/dcn.hpp"
+#include "core/detector_training.hpp"
+#include "data/synth_mnist.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== adaptive red team vs DCN ===\n\n");
+
+  data::SynthMnist generator;
+  Rng data_rng(42);
+  const data::Dataset train_set = generator.generate(1200, data_rng);
+  const data::Dataset test_set = generator.generate(200, data_rng);
+  Rng init_rng(7);
+  nn::Sequential model = models::mnist_convnet(init_rng);
+  models::fit(model, train_set);
+
+  core::Detector detector(10);
+  attacks::CwL2 light({.kappa = 0.0F,
+                       .initial_c = 1e-1F,
+                       .binary_search_steps = 3,
+                       .max_iterations = 80,
+                       .learning_rate = 5e-2F,
+                       .abort_early = true});
+  const data::Dataset benign_pool = train_set.take(300);
+  core::train_detector(detector, model, light, test_set.take(10),
+                       &benign_pool);
+  core::Corrector corrector(model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(model, detector, corrector);
+  std::printf("blue team: model (%.1f%% clean) + DCN armed.\n\n",
+              nn::evaluate(model, test_set) * 100.0);
+
+  // Victims: correctly-classified examples outside the detector slice.
+  std::vector<std::size_t> victims;
+  for (std::size_t i = 10; i < test_set.size() && victims.size() < 5; ++i) {
+    if (model.classify(test_set.example(i)) == test_set.labels[i]) {
+      victims.push_back(i);
+    }
+  }
+
+  attacks::CwL2 level0(attacks::CwL2Config{});
+  attacks::CwL2 level1({.kappa = 5.0F,
+                        .initial_c = 1e-1F,
+                        .binary_search_steps = 4,
+                        .max_iterations = 150,
+                        .learning_rate = 5e-2F,
+                        .abort_early = true});
+  attacks::AdaptiveCw level2(
+      [&](const Tensor& z, Tensor& g) {
+        return detector.margin_with_gradient(z, g);
+      },
+      {.kappa = 3.0F,  // see AdaptiveCwConfig: kappa > 0 avoids the
+                        // boundary stand-off with the detector hinge
+       .kappa_det = 0.0F,
+       .lambda = 1.0F,
+       .initial_c = 1e-1F,
+       .binary_search_steps = 4,
+       .max_iterations = 200,
+       .learning_rate = 5e-2F});
+
+  eval::Table table("escalation ladder (5 victims x 3 targets each)");
+  table.set_header({"level", "attack", "fools DNN", "evades detector",
+                    "fools DCN", "mean L2"});
+  auto run_level = [&](const std::string& level, const std::string& name,
+                       attacks::Attack& attack) {
+    eval::SuccessRate dnn_rate, evaded, dcn_rate;
+    eval::Mean l2;
+    for (std::size_t v : victims) {
+      const Tensor x = test_set.example(v);
+      const std::size_t truth = test_set.labels[v];
+      for (std::size_t t = 0; t < 10; t += 4) {
+        if (t == truth) continue;
+        const auto r = attack.run_targeted(model, x, t);
+        dnn_rate.record(r.success);
+        if (!r.success) continue;
+        l2.record(r.l2);
+        evaded.record(
+            !detector.is_adversarial(model.logits(r.adversarial)));
+        dcn_rate.record(dcn.classify(r.adversarial) != truth);
+      }
+    }
+    table.add_row({level, name, dnn_rate.percent(), evaded.percent(),
+                   dcn_rate.percent(), eval::fixed(l2.value(), 2)});
+  };
+  run_level("0", "CW-L2 (kappa=0)", level0);
+  run_level("1", "CW-L2 (kappa=5)", level1);
+  run_level("2", "adaptive CW (detector-aware)", level2);
+  table.print();
+
+  std::printf(
+      "\nlessons: (1) the paper's detector stops the oblivious attacker "
+      "cold; (2) confidence alone (kappa) already evades a detector trained "
+      "on kappa=0 logits; (3) the fully adaptive attack wins outright at "
+      "~2x distortion — the fundamental limit of detection-based defenses "
+      "that Carlini & Wagner's bypass paper (ref [14]) documents.\n");
+  return 0;
+}

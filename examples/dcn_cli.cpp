@@ -1,0 +1,242 @@
+// dcn_cli — command-line front end to the library, the "ops" entry point a
+// downstream user scripts against. Subcommands:
+//
+//   generate  --dataset mnist|cifar --count N --out FILE [--seed S]
+//   train     --data FILE --out WEIGHTS [--epochs E] [--arch mnist|cifar]
+//   eval      --data FILE --weights WEIGHTS [--arch mnist|cifar]
+//   attack    --data FILE --weights WEIGHTS --attack fgsm|igsm|pgd|deepfool|
+//             jsma|lbfgs|cw-l0|cw-l2|cw-linf [--count N] [--arch ...]
+//   protect   --data FILE --weights WEIGHTS [--attack-count N] [--arch ...]
+//             (trains a DCN detector, then re-evaluates the attack grid)
+//
+// Example session:
+//   dcn_cli generate --dataset mnist --count 1500 --out train.ds
+//   dcn_cli generate --dataset mnist --count 200 --out test.ds --seed 43
+//   dcn_cli train --data train.ds --out model.w
+//   dcn_cli eval --data test.ds --weights model.w
+//   dcn_cli attack --data test.ds --weights model.w --attack cw-l2
+//   dcn_cli protect --data test.ds --weights model.w
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "attacks/cw_l0.hpp"
+#include "attacks/cw_l2.hpp"
+#include "attacks/cw_linf.hpp"
+#include "attacks/deepfool.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/igsm.hpp"
+#include "attacks/jsma.hpp"
+#include "attacks/lbfgs_attack.hpp"
+#include "attacks/pgd.hpp"
+#include "attacks/untargeted.hpp"
+#include "core/dcn.hpp"
+#include "core/detector_training.hpp"
+#include "data/io.hpp"
+#include "data/synth_cifar.hpp"
+#include "data/synth_mnist.hpp"
+#include "eval/metrics.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+using namespace dcn;
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_flags(int argc, char** argv, int start) {
+  Args args;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      throw std::runtime_error(std::string("expected flag, got ") + argv[i]);
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string get(const Args& args, const std::string& key,
+                const std::string& fallback = "") {
+  auto it = args.find(key);
+  if (it != args.end()) return it->second;
+  if (fallback.empty()) {
+    throw std::runtime_error("missing required flag --" + key);
+  }
+  return fallback;
+}
+
+nn::Sequential make_arch(const std::string& arch, Rng& rng) {
+  if (arch == "mnist") return models::mnist_convnet(rng);
+  if (arch == "cifar") return models::cifar_convnet(rng);
+  throw std::runtime_error("unknown --arch " + arch);
+}
+
+std::unique_ptr<attacks::Attack> make_attack(const std::string& name) {
+  if (name == "fgsm") return std::make_unique<attacks::Fgsm>();
+  if (name == "igsm") return std::make_unique<attacks::Igsm>();
+  if (name == "pgd") return std::make_unique<attacks::Pgd>();
+  if (name == "deepfool") return std::make_unique<attacks::DeepFool>();
+  if (name == "jsma") return std::make_unique<attacks::Jsma>();
+  if (name == "lbfgs") return std::make_unique<attacks::LbfgsAttack>();
+  if (name == "cw-l0") return std::make_unique<attacks::CwL0>();
+  if (name == "cw-l2") return std::make_unique<attacks::CwL2>();
+  if (name == "cw-linf") return std::make_unique<attacks::CwLinf>();
+  throw std::runtime_error("unknown --attack " + name);
+}
+
+int cmd_generate(const Args& args) {
+  const std::string dataset = get(args, "dataset");
+  const std::size_t count = std::stoul(get(args, "count"));
+  const std::uint64_t seed = std::stoull(get(args, "seed", "42"));
+  Rng rng(seed);
+  data::Dataset d;
+  if (dataset == "mnist") {
+    d = data::SynthMnist().generate(count, rng);
+  } else if (dataset == "cifar") {
+    d = data::SynthCifar().generate(count, rng);
+  } else {
+    throw std::runtime_error("unknown --dataset " + dataset);
+  }
+  data::save_dataset_file(d, get(args, "out"));
+  std::printf("wrote %zu %s examples (seed %llu) to %s\n", d.size(),
+              dataset.c_str(), static_cast<unsigned long long>(seed),
+              get(args, "out").c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const data::Dataset train = data::load_dataset_file(get(args, "data"));
+  const std::string arch = get(args, "arch", "mnist");
+  Rng rng(std::stoull(get(args, "seed", "1234")));
+  nn::Sequential model = make_arch(arch, rng);
+  models::TrainRecipe recipe;
+  recipe.epochs = std::stoul(get(args, "epochs", "8"));
+  const auto stats = models::fit(model, train, recipe);
+  nn::save_weights_file(model, get(args, "out"));
+  std::printf("trained %s arch on %zu examples: final train accuracy %.1f%%;"
+              " weights -> %s\n",
+              arch.c_str(), train.size(), stats.final_accuracy * 100.0,
+              get(args, "out").c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const data::Dataset test = data::load_dataset_file(get(args, "data"));
+  Rng rng(0);
+  nn::Sequential model = make_arch(get(args, "arch", "mnist"), rng);
+  nn::load_weights_file(model, get(args, "weights"));
+  std::printf("accuracy on %zu examples: %.2f%%\n", test.size(),
+              nn::evaluate(model, test) * 100.0);
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  const data::Dataset test = data::load_dataset_file(get(args, "data"));
+  Rng rng(0);
+  nn::Sequential model = make_arch(get(args, "arch", "mnist"), rng);
+  nn::load_weights_file(model, get(args, "weights"));
+  auto attack = make_attack(get(args, "attack"));
+  const std::size_t count = std::stoul(get(args, "count", "5"));
+  const std::size_t k = test.num_classes();
+
+  eval::SuccessRate sr;
+  eval::Mean l0, l2, linf;
+  std::size_t attacked = 0;
+  for (std::size_t i = 0; i < test.size() && attacked < count; ++i) {
+    const Tensor x = test.example(i);
+    const std::size_t truth = test.labels[i];
+    if (model.classify(x) != truth) continue;
+    ++attacked;
+    const auto r = attacks::untargeted_best_of(*attack, model, x, truth, k,
+                                               attacks::Norm::kL2);
+    sr.record(r.success);
+    if (r.success) {
+      l0.record(r.l0);
+      l2.record(r.l2);
+      linf.record(r.linf);
+    }
+  }
+  std::printf("%s untargeted on %zu examples: success %s, mean L0 %.0f, "
+              "L2 %.3f, Linf %.3f\n",
+              attack->name().c_str(), attacked, sr.percent().c_str(),
+              l0.value(), l2.value(), linf.value());
+  return 0;
+}
+
+int cmd_protect(const Args& args) {
+  const data::Dataset test = data::load_dataset_file(get(args, "data"));
+  Rng rng(0);
+  nn::Sequential model = make_arch(get(args, "arch", "mnist"), rng);
+  nn::load_weights_file(model, get(args, "weights"));
+
+  const std::size_t sources = std::stoul(get(args, "attack-count", "10"));
+  attacks::CwL2 light({.kappa = 0.0F,
+                       .initial_c = 1e-1F,
+                       .binary_search_steps = 3,
+                       .max_iterations = 80,
+                       .learning_rate = 5e-2F,
+                       .abort_early = true});
+  core::Detector detector(test.num_classes());
+  const auto [train_slice, eval_slice] = test.split(sources);
+  const data::Dataset pool = eval_slice.take(
+      std::min<std::size_t>(eval_slice.size(), 200));
+  core::train_detector(detector, model, light, train_slice, &pool);
+  core::Corrector corrector(
+      model, {.radius = std::stof(get(args, "radius", "0.3")),
+              .samples = 50});
+  core::Dcn dcn(model, detector, corrector);
+
+  // Re-attack held-out examples and compare DNN vs DCN.
+  eval::SuccessRate dnn_rate, dcn_rate;
+  std::size_t attacked = 0;
+  attacks::CwL2 cw;
+  for (std::size_t i = 0; i < eval_slice.size() && attacked < 5; ++i) {
+    const Tensor x = eval_slice.example(i);
+    const std::size_t truth = eval_slice.labels[i];
+    if (model.classify(x) != truth) continue;
+    ++attacked;
+    const auto r = attacks::untargeted_best_of(cw, model, x, truth,
+                                               test.num_classes(),
+                                               attacks::Norm::kL2);
+    dnn_rate.record(r.success);
+    if (r.success) dcn_rate.record(dcn.classify(r.adversarial) != truth);
+  }
+  std::printf("CW-L2 untargeted success: raw DNN %s -> with DCN %s "
+              "(%zu victims)\n",
+              dnn_rate.percent().c_str(), dcn_rate.percent().c_str(),
+              attacked);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: dcn_cli <generate|train|eval|attack|protect> [--flag value]\n"
+      "see the header comment of examples/dcn_cli.cpp for a full session.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_flags(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "train") return cmd_train(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "protect") return cmd_protect(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,121 @@
+// Side-by-side comparison of every defense in the library on the same
+// attack batch: Standard DNN, defensive distillation, feature squeezing
+// (detection only), Region-based Classification, and DCN.
+//
+// This is the "which defense should I deploy?" walkthrough: it prints, for
+// one batch of CW-L2 adversarial examples, what each defense reports.
+#include <cstdio>
+
+#include "attacks/cw_l2.hpp"
+#include "core/dcn.hpp"
+#include "core/detector_training.hpp"
+#include "data/synth_mnist.hpp"
+#include "defenses/distillation.hpp"
+#include "defenses/feature_squeeze.hpp"
+#include "defenses/region_classifier.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "eval/timer.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== defense comparison on one CW-L2 attack batch ===\n\n");
+
+  data::SynthMnist generator;
+  Rng data_rng(42);
+  const data::Dataset train_set = generator.generate(1200, data_rng);
+  const data::Dataset test_set = generator.generate(200, data_rng);
+  Rng init_rng(7);
+  nn::Sequential model = models::mnist_convnet(init_rng);
+  models::fit(model, train_set);
+
+  // Assemble the contenders.
+  Rng distill_rng(555);
+  defenses::DistilledModel distilled(
+      train_set, [](Rng& r) { return models::mnist_convnet(r); }, distill_rng);
+  defenses::FeatureSqueezeDetector squeezer(model);
+  defenses::RegionClassifier rc(model, {.radius = 0.3F, .samples = 1000});
+  core::Detector detector(10);
+  attacks::CwL2 light({.kappa = 0.0F,
+                       .initial_c = 1e-1F,
+                       .binary_search_steps = 3,
+                       .max_iterations = 80,
+                       .learning_rate = 5e-2F,
+                       .abort_early = true});
+  const data::Dataset benign_pool = train_set.take(300);
+  core::train_detector(detector, model, light, test_set.take(10),
+                       &benign_pool);
+  core::Corrector corrector(model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(model, detector, corrector);
+  std::printf("all defenses trained.\n\n");
+
+  // One attack batch.
+  attacks::CwL2 cw;
+  struct Adv {
+    Tensor input;
+    std::size_t truth;
+  };
+  std::vector<Adv> batch;
+  for (std::size_t i = 10; i < test_set.size() && batch.size() < 12; ++i) {
+    if (model.classify(test_set.example(i)) != test_set.labels[i]) continue;
+    const std::size_t truth = test_set.labels[i];
+    const auto r =
+        cw.run_targeted(model, test_set.example(i), (truth + 3) % 10);
+    if (r.success) batch.push_back({r.adversarial, truth});
+  }
+  std::printf("attack batch: %zu adversarial examples that all fool the raw "
+              "DNN.\n\n",
+              batch.size());
+
+  eval::Table table("defense outcomes on the batch");
+  table.set_header({"defense", "type", "right label / detected",
+                    "time/example"});
+  auto classify_row = [&](const std::string& name,
+                          const std::function<std::size_t(const Tensor&)>&
+                              cls) {
+    eval::Timer t;
+    std::size_t right = 0;
+    for (const Adv& a : batch) {
+      if (cls(a.input) == a.truth) ++right;
+    }
+    table.add_row({name, "classifier",
+                   std::to_string(right) + "/" + std::to_string(batch.size()),
+                   eval::fixed(t.seconds() /
+                                   static_cast<double>(batch.size()) * 1e3,
+                               1) +
+                       "ms"});
+  };
+  classify_row("Standard DNN",
+               [&](const Tensor& x) { return model.classify(x); });
+  classify_row("Distillation",
+               [&](const Tensor& x) { return distilled.classify(x); });
+  classify_row("RC (m=1000)", [&](const Tensor& x) { return rc.classify(x); });
+  classify_row("DCN", [&](const Tensor& x) { return dcn.classify(x); });
+
+  // Feature squeezing only detects; it cannot recover the label.
+  {
+    eval::Timer t;
+    std::size_t flagged = 0;
+    for (const Adv& a : batch) {
+      if (squeezer.is_adversarial(a.input)) ++flagged;
+    }
+    table.add_row({"Feature squeezing", "detector only",
+                   std::to_string(flagged) + "/" +
+                       std::to_string(batch.size()) + " detected",
+                   eval::fixed(t.seconds() /
+                                   static_cast<double>(batch.size()) * 1e3,
+                               1) +
+                       "ms"});
+  }
+  table.print();
+  std::printf(
+      "\ntakeaway: this batch was crafted white-box against the Standard "
+      "DNN, so it fools that model completely. Distillation dodges it only "
+      "because the examples don't transfer — attacked white-box it also "
+      "falls 100%% (Tables 4/5). RC and DCN both recover the labels; RC "
+      "pays ~1000 model calls on EVERY input, DCN pays a detector call on "
+      "benign traffic and m=50 votes only when flagged.\n");
+  return 0;
+}

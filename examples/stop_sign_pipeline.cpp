@@ -1,0 +1,99 @@
+// The paper's motivating scenario (Sec. 1): a self-driving pipeline where an
+// attacker perturbs a road-sign image so the classifier reads a STOP sign as
+// a YIELD sign. We stage it on the synthetic CIFAR-like domain: class 6
+// (square) plays "STOP", class 9 (triangle) plays "YIELD", and a stream of
+// camera frames — some adversarially tampered — flows through either the raw
+// DNN or the DCN-protected stack.
+#include <cstdio>
+#include <string>
+
+#include "attacks/cw_l2.hpp"
+#include "core/dcn.hpp"
+#include "core/detector_training.hpp"
+#include "data/synth_cifar.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace {
+
+constexpr std::size_t kStop = 6;   // square sign
+constexpr std::size_t kYield = 9;  // triangle sign
+
+const char* sign_name(std::size_t cls) {
+  if (cls == kStop) return "STOP ";
+  if (cls == kYield) return "YIELD";
+  return "other";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcn;
+  std::printf("=== stop-sign pipeline: evasion attack on a sign classifier "
+              "===\n\n");
+
+  // Train the "perception stack" on the synthetic sign domain.
+  data::SynthCifar generator;
+  Rng data_rng(42);
+  const data::Dataset train_set = generator.generate(1200, data_rng);
+  const data::Dataset test_set = generator.generate(300, data_rng);
+  Rng init_rng(7);
+  nn::Sequential model = models::cifar_convnet(init_rng);
+  models::fit(model, train_set);
+  std::printf("perception model trained: %.1f%% clean accuracy\n",
+              nn::evaluate(model, test_set) * 100.0);
+
+  // Protect it with DCN (r = 0.02 per the paper's CIFAR setting).
+  core::Detector detector(10);
+  attacks::CwL2 light({.kappa = 0.0F,
+                       .initial_c = 1e-1F,
+                       .binary_search_steps = 3,
+                       .max_iterations = 80,
+                       .learning_rate = 5e-2F,
+                       .abort_early = true});
+  const data::Dataset benign_pool = train_set.take(300);
+  core::train_detector(detector, model, light, test_set.take(10),
+                       &benign_pool);
+  // The paper adopts r = 0.02 for CIFAR-10; on our synthetic sign domain
+  // the radius ablation (bench_ablation_radius) shows r = 0.05 recovers
+  // substantially more adversarial frames at no benign cost.
+  core::Corrector corrector(model, {.radius = 0.05F, .samples = 50});
+  core::Dcn dcn(model, detector, corrector);
+  std::printf("DCN armed (detector + corrector, m=50, r=0.05)\n\n");
+
+  // Camera stream: STOP signs, some of them adversarially turned into YIELD.
+  attacks::CwL2 cw;
+  std::printf("%-8s%-12s%-18s%-18s%s\n", "frame", "ground", "tampered?",
+              "raw DNN sees", "DCN-protected sees");
+  std::size_t frame = 0;
+  std::size_t dnn_wrong = 0, dcn_wrong = 0, total = 0;
+  for (std::size_t i = 0; i < test_set.size() && frame < 8; ++i) {
+    if (test_set.labels[i] != kStop) continue;
+    if (model.classify(test_set.example(i)) != kStop) continue;
+    const Tensor clean = test_set.example(i);
+    const bool tampered = frame % 2 == 1;  // attacker hits alternate frames
+    Tensor input = clean;
+    if (tampered) {
+      const auto r = cw.run_targeted(model, clean, kYield);
+      if (r.success) input = r.adversarial;
+    }
+    const std::size_t dnn_label = model.classify(input);
+    const std::size_t dcn_label = dcn.classify(input);
+    ++total;
+    if (dnn_label != kStop) ++dnn_wrong;
+    if (dcn_label != kStop) ++dcn_wrong;
+    std::printf("%-8zu%-12s%-18s%-18s%s\n", frame, sign_name(kStop),
+                tampered ? "CW-L2 -> YIELD" : "no", sign_name(dnn_label),
+                sign_name(dcn_label));
+    ++frame;
+  }
+  std::printf("\nraw DNN misread %zu/%zu frames; DCN misread %zu/%zu.\n",
+              dnn_wrong, total, dcn_wrong, total);
+  if (dcn_wrong < dnn_wrong) {
+    std::printf("the car with the raw DNN runs the stop sign; the "
+                "DCN-protected car (mostly) stops.\n");
+  } else {
+    std::printf("unexpected: DCN did not improve on the raw DNN here.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+#include "attacks/adaptive_cw.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "attacks/cw_l2.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dcn::attacks {
+
+namespace {
+
+float safe_atanh(float v) {
+  constexpr float kBound = 0.999999F;
+  v = std::clamp(v, -kBound, kBound);
+  return 0.5F * std::log((1.0F + v) / (1.0F - v));
+}
+
+}  // namespace
+
+AttackResult AdaptiveCw::run_targeted(nn::Sequential& model, const Tensor& x,
+                                      std::size_t target) {
+  const std::size_t d = x.size();
+  Tensor w0(x.shape());
+  for (std::size_t i = 0; i < d; ++i) w0[i] = safe_atanh(2.0F * x[i]);
+
+  float c = config_.initial_c;
+  float c_low = 0.0F;
+  float c_high = std::numeric_limits<float>::infinity();
+
+  Tensor best_adv = x;
+  double best_l2 = std::numeric_limits<double>::infinity();
+  bool any_success = false;
+  std::size_t total_iterations = 0;
+
+  for (std::size_t bs = 0; bs < config_.binary_search_steps; ++bs) {
+    Tensor w = w0;
+    nn::AdamVector adam(d, {.learning_rate = config_.learning_rate});
+    bool success_this_c = false;
+
+    for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+      ++total_iterations;
+      Tensor adv(x.shape());
+      for (std::size_t i = 0; i < d; ++i) adv[i] = 0.5F * std::tanh(w[i]);
+
+      std::vector<std::size_t> dims{1};
+      for (std::size_t dd : adv.shape().dims()) dims.push_back(dd);
+      Tensor logits_b =
+          model.forward(adv.reshape(Shape(dims)), /*train=*/true);
+      const Tensor logits = logits_b.row(0);
+      std::size_t best_other = 0;
+      const double margin =
+          CwL2::objective_margin(logits, target, &best_other);
+
+      // Detector margin and its gradient with respect to the logits. This
+      // must happen before the model's backward pass below, because a
+      // detector implemented on our nn stack runs its own forward/backward
+      // without touching the classifier's caches.
+      Tensor det_grad;
+      const double det_margin = detector_(logits, det_grad);
+
+      // Success is judged at the deployment condition: misclassified at all
+      // (margin < 0) AND the detector evaded by kappa_det.
+      const bool misclassified = margin < 1e-12;
+      const bool det_ok =
+          det_margin < -static_cast<double>(config_.kappa_det) + 1e-12;
+      if (misclassified && det_ok) {
+        success_this_c = true;
+        const double l2 = (adv - x).l2_norm();
+        if (l2 < best_l2) {
+          best_l2 = l2;
+          best_adv = adv;
+          any_success = true;
+        }
+      }
+
+      // Staggered objective. Optimizing both hinges simultaneously stalls:
+      // the detector fires hardest on near-tied logits, i.e. exactly the
+      // region the classifier hinge must traverse, and the two gradients
+      // cancel at the boundary. So: first drive the classifier margin deep
+      // (below -kappa, confidence the detector also likes), and only then
+      // engage the detector hinge to finish the evasion.
+      const bool cls_deep = margin < -static_cast<double>(config_.kappa);
+      Tensor seed(logits_b.shape());
+      if (!cls_deep) {
+        seed(0, best_other) += c;
+        seed(0, target) -= c;
+      } else if (!det_ok) {
+        for (std::size_t j = 0; j < logits.size(); ++j) {
+          seed(0, j) += c * config_.lambda * det_grad[j];
+        }
+      }
+
+      Tensor grad_adv = (adv - x) * 2.0F;
+      grad_adv += model.backward(seed).reshape(x.shape());
+      Tensor grad_w(x.shape());
+      for (std::size_t i = 0; i < d; ++i) {
+        grad_w[i] = grad_adv[i] * 0.5F * (1.0F - 4.0F * adv[i] * adv[i]);
+      }
+      adam.step(w, grad_w);
+    }
+
+    if (success_this_c) {
+      c_high = c;
+      c = 0.5F * (c_low + c_high);
+    } else {
+      c_low = c;
+      c = std::isinf(c_high) ? c * 10.0F : 0.5F * (c_low + c_high);
+    }
+  }
+
+  Tensor final_adv = any_success ? best_adv : x;
+  return finalize_result(model, x, std::move(final_adv), target,
+                         /*targeted=*/true, total_iterations);
+}
+
+}  // namespace dcn::attacks

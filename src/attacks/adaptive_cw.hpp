@@ -1,0 +1,59 @@
+// Adaptive CW-L2 attack against a detector-gated defense (paper Sec. 6,
+// "Adaptive CW attack against our DCN"): the loss combines the classifier
+// objective with a second term that pushes the *detector's* verdict toward
+// benign, differentiating through detector(logits(x')).
+//
+//   minimize ||x'-x||^2 + c * [ f_cls(Z(x')) + lambda * f_det(Z(x')) ]
+//   f_det = max( detector_margin , -kappa_det )
+//
+// The detector enters through a callback returning its margin
+// (positive = adversarial) and the margin's gradient with respect to the
+// classifier logits — exactly what core::Detector::margin_with_gradient
+// provides. Keeping it a callback means the attack layer stays independent
+// of the defense layer.
+#pragma once
+
+#include <functional>
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+/// Margin (positive = flagged adversarial) and d(margin)/d(logits).
+using DetectorGradFn =
+    std::function<double(const Tensor& logits, Tensor& grad_logits)>;
+
+struct AdaptiveCwConfig {
+  // Classifier confidence margin. IMPORTANT: keep this > 0 for the adaptive
+  // attack. With kappa = 0 the classifier hinge switches off exactly on the
+  // decision boundary — which is where near-tied logits make the detector
+  // fire hardest — and the optimization stalls in a Pareto stand-off
+  // (cls margin ~ +1, detector evaded, no progress). A positive kappa keeps
+  // pushing the iterate deep into the target region, where confident logits
+  // also look benign to the detector.
+  float kappa = 3.0F;
+  float kappa_det = 0.0F;      // detector evasion margin
+  float lambda = 1.0F;         // weight of the detector term
+  float initial_c = 1e-1F;
+  std::size_t binary_search_steps = 4;
+  std::size_t max_iterations = 150;
+  float learning_rate = 5e-2F;
+};
+
+class AdaptiveCw final : public Attack {
+ public:
+  AdaptiveCw(DetectorGradFn detector, AdaptiveCwConfig config = {})
+      : detector_(std::move(detector)), config_(config) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  [[nodiscard]] std::string name() const override { return "Adaptive-CW"; }
+  [[nodiscard]] const AdaptiveCwConfig& config() const { return config_; }
+
+ private:
+  DetectorGradFn detector_;
+  AdaptiveCwConfig config_;
+};
+
+}  // namespace dcn::attacks

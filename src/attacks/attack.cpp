@@ -1,0 +1,22 @@
+#include "attacks/attack.hpp"
+
+#include "eval/metrics.hpp"
+
+namespace dcn::attacks {
+
+AttackResult finalize_result(nn::Sequential& model, const Tensor& original,
+                             Tensor adversarial, std::size_t goal_label,
+                             bool targeted, std::size_t iterations) {
+  AttackResult r;
+  r.predicted = model.classify(adversarial);
+  r.success = targeted ? (r.predicted == goal_label)
+                       : (r.predicted != goal_label);
+  r.l0 = static_cast<double>(eval::l0_distance(original, adversarial));
+  r.l2 = eval::l2_distance(original, adversarial);
+  r.linf = eval::linf_distance(original, adversarial);
+  r.iterations = iterations;
+  r.adversarial = std::move(adversarial);
+  return r;
+}
+
+}  // namespace dcn::attacks

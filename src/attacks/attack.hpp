@@ -1,0 +1,48 @@
+// Common attack interface.
+//
+// All attacks operate on a single example in the [-0.5, 0.5] input box and
+// produce an AttackResult whose distances are measured against the original.
+// Targeted attacks are the primitive (as in the paper); untargeted variants
+// are built with the strategy from Sec. 2.2 (best-of-9) in untargeted.hpp,
+// except for natively-untargeted attacks (FGSM, DeepFool) which expose their
+// own entry points.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::attacks {
+
+struct AttackResult {
+  Tensor adversarial;            // crafted input (== original on failure)
+  bool success = false;          // model predicts the attack's goal label
+  std::size_t predicted = 0;     // model's label on `adversarial`
+  double l0 = 0.0;               // changed-element count vs the original
+  double l2 = 0.0;               // Euclidean distortion
+  double linf = 0.0;             // max per-element distortion
+  std::size_t iterations = 0;    // attack-specific work counter
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  /// Craft x' near `x` such that model classifies x' as `target`.
+  virtual AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                                    std::size_t target) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  Attack() = default;
+  Attack(const Attack&) = delete;
+  Attack& operator=(const Attack&) = delete;
+};
+
+/// Fill in predicted label, success flag, and distances for a crafted input.
+AttackResult finalize_result(nn::Sequential& model, const Tensor& original,
+                             Tensor adversarial, std::size_t goal_label,
+                             bool targeted, std::size_t iterations);
+
+}  // namespace dcn::attacks

@@ -1,0 +1,36 @@
+// Carlini & Wagner L0 attack: iteratively run the (masked) L2 attack, then
+// freeze the pixels whose contribution g_i * |delta_i| to the objective is
+// smallest, until the L2 attack can no longer succeed on the shrinking
+// modifiable set. The result changes few pixels, possibly by a lot — the
+// "spots on images" the paper discusses when explaining why L0 adversarial
+// examples are the hardest for the corrector.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+struct CwL0Config {
+  float kappa = 0.0F;
+  float initial_c = 1e-1F;
+  std::size_t max_iterations = 100;   // Adam steps per inner L2 solve
+  float learning_rate = 5e-2F;
+  std::size_t max_rounds = 24;        // mask-shrinking rounds
+  float freeze_fraction = 0.10F;      // fraction of active pixels frozen/round
+};
+
+class CwL0 final : public Attack {
+ public:
+  explicit CwL0(CwL0Config config = {}) : config_(config) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  [[nodiscard]] std::string name() const override { return "CW-L0"; }
+  [[nodiscard]] const CwL0Config& config() const { return config_; }
+
+ private:
+  CwL0Config config_;
+};
+
+}  // namespace dcn::attacks

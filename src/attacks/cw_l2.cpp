@@ -1,0 +1,132 @@
+#include "attacks/cw_l2.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+
+namespace dcn::attacks {
+
+namespace {
+
+// atanh clamped away from the box edge so w stays finite.
+float safe_atanh(float v) {
+  constexpr float kBound = 0.999999F;
+  v = std::clamp(v, -kBound, kBound);
+  return 0.5F * std::log((1.0F + v) / (1.0F - v));
+}
+
+}  // namespace
+
+double CwL2::objective_margin(const Tensor& logits, std::size_t target,
+                              std::size_t* best_other) {
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (i == target) continue;
+    if (logits[i] > best) {
+      best = logits[i];
+      best_idx = i;
+    }
+  }
+  if (best_other != nullptr) *best_other = best_idx;
+  return best - logits[target];
+}
+
+AttackResult CwL2::run_targeted(nn::Sequential& model, const Tensor& x,
+                                std::size_t target) {
+  const std::size_t d = x.size();
+  // w such that 0.5 * tanh(w) == x (up to the edge clamp).
+  Tensor w0(x.shape());
+  for (std::size_t i = 0; i < d; ++i) w0[i] = safe_atanh(2.0F * x[i]);
+
+  float c = config_.initial_c;
+  float c_low = 0.0F;
+  float c_high = std::numeric_limits<float>::infinity();
+
+  Tensor best_adv = x;
+  double best_l2 = std::numeric_limits<double>::infinity();
+  bool any_success = false;
+  std::size_t total_iterations = 0;
+
+  for (std::size_t bs = 0; bs < config_.binary_search_steps; ++bs) {
+    Tensor w = w0;
+    nn::AdamVector adam(d, {.learning_rate = config_.learning_rate});
+    bool success_this_c = false;
+    double prev_loss = std::numeric_limits<double>::infinity();
+    const std::size_t check_every = std::max<std::size_t>(
+        std::size_t{1}, config_.max_iterations / 10);
+
+    for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+      ++total_iterations;
+      // x' = 0.5 tanh(w)
+      Tensor adv(x.shape());
+      for (std::size_t i = 0; i < d; ++i) {
+        adv[i] = 0.5F * std::tanh(w[i]);
+      }
+
+      // One training-mode forward pass: gives both the logits and the cached
+      // activations a backward pass needs.
+      const Tensor batch = adv.reshape([&] {
+        std::vector<std::size_t> dims{1};
+        for (std::size_t dd : adv.shape().dims()) dims.push_back(dd);
+        return Shape(dims);
+      }());
+      Tensor logits_b = model.forward(batch, /*train=*/true);
+      const Tensor logits = logits_b.row(0);
+      std::size_t best_other = 0;
+      const double margin = objective_margin(logits, target, &best_other);
+
+      const double l2 = (adv - x).l2_norm();
+      if (margin < -static_cast<double>(config_.kappa) + 1e-12) {
+        // Adversarial at the requested confidence; keep the smallest one.
+        success_this_c = true;
+        if (l2 < best_l2) {
+          best_l2 = l2;
+          best_adv = adv;
+          any_success = true;
+        }
+      }
+
+      // Gradient of ||x'-x||^2 w.r.t. x'.
+      Tensor grad_adv = (adv - x) * 2.0F;
+      // Gradient of c * f(x') where f is active only above the -kappa floor;
+      // reuse the cached forward pass for the backward.
+      if (margin > -static_cast<double>(config_.kappa)) {
+        Tensor seed(logits_b.shape());
+        seed(0, best_other) = c;
+        seed(0, target) = -c;
+        grad_adv += model.backward(seed).reshape(x.shape());
+      }
+      // Chain through x' = 0.5 tanh(w): dx'/dw = 0.5 (1 - 4 x'^2).
+      Tensor grad_w(x.shape());
+      for (std::size_t i = 0; i < d; ++i) {
+        grad_w[i] = grad_adv[i] * 0.5F * (1.0F - 4.0F * adv[i] * adv[i]);
+      }
+      adam.step(w, grad_w);
+
+      if (config_.abort_early && (it + 1) % check_every == 0) {
+        const double loss =
+            l2 * l2 + c * std::max(margin + config_.kappa, 0.0);
+        if (loss > prev_loss * 0.9999) break;
+        prev_loss = loss;
+      }
+    }
+
+    // Binary search over c.
+    if (success_this_c) {
+      c_high = c;
+      c = 0.5F * (c_low + c_high);
+    } else {
+      c_low = c;
+      c = std::isinf(c_high) ? c * 10.0F : 0.5F * (c_low + c_high);
+    }
+  }
+
+  Tensor final_adv = any_success ? best_adv : x;
+  return finalize_result(model, x, std::move(final_adv), target,
+                         /*targeted=*/true, total_iterations);
+}
+
+}  // namespace dcn::attacks

@@ -1,0 +1,44 @@
+// Carlini & Wagner L2 attack (S&P 2017), ported from the algorithm in the
+// paper: tanh-space change of variables, Adam inner optimizer, binary search
+// over the tradeoff constant c, and the confidence margin kappa.
+//
+//   x' = 0.5 * tanh(w)                       (valid box is [-0.5, 0.5])
+//   minimize ||x' - x||^2 + c * f(x')
+//   f(x') = max( max_{i != t} Z(x')_i - Z(x')_t , -kappa )
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dcn::attacks {
+
+struct CwL2Config {
+  float kappa = 0.0F;               // confidence margin
+  float initial_c = 1e-2F;          // first tradeoff constant
+  std::size_t binary_search_steps = 6;
+  std::size_t max_iterations = 200; // Adam steps per c
+  float learning_rate = 5e-2F;
+  bool abort_early = true;          // stop a c-run when loss plateaus
+};
+
+class CwL2 final : public Attack {
+ public:
+  explicit CwL2(CwL2Config config = {}) : config_(config) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  [[nodiscard]] std::string name() const override { return "CW-L2"; }
+  [[nodiscard]] const CwL2Config& config() const { return config_; }
+
+  /// The CW objective margin f(x') >= -kappa and its logit-space weights;
+  /// shared with the L0 attack (which needs f's input gradient) and the
+  /// adaptive attack.
+  static double objective_margin(const Tensor& logits, std::size_t target,
+                                 std::size_t* best_other = nullptr);
+
+ private:
+  CwL2Config config_;
+};
+
+}  // namespace dcn::attacks

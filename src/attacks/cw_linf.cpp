@@ -1,0 +1,87 @@
+#include "attacks/cw_linf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "attacks/cw_l2.hpp"
+#include "data/transforms.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dcn::attacks {
+
+AttackResult CwLinf::run_targeted(nn::Sequential& model, const Tensor& x,
+                                  std::size_t target) {
+  const std::size_t d = x.size();
+  float tau = config_.initial_tau;
+  const float c = config_.initial_c;
+
+  Tensor best = x;
+  bool any_success = false;
+  std::size_t total_iterations = 0;
+  Tensor adv = x;  // warm-start across tau rounds
+
+  while (tau >= config_.min_tau) {
+    nn::AdamVector adam(d, {.learning_rate = config_.learning_rate});
+    bool success_this_tau = false;
+    Tensor best_this_tau = x;
+    double best_excess = std::numeric_limits<double>::infinity();
+
+    for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+      ++total_iterations;
+      std::vector<std::size_t> dims{1};
+      for (std::size_t dd : adv.shape().dims()) dims.push_back(dd);
+      Tensor logits_b =
+          model.forward(adv.reshape(Shape(dims)), /*train=*/true);
+      const Tensor logits = logits_b.row(0);
+      std::size_t best_other = 0;
+      const double margin =
+          CwL2::objective_margin(logits, target, &best_other);
+
+      if (margin < -static_cast<double>(config_.kappa) + 1e-12) {
+        // Track how far this solution exceeds tau; accept only if within.
+        double excess = 0.0;
+        for (std::size_t i = 0; i < d; ++i) {
+          excess = std::max(
+              excess, std::abs(static_cast<double>(adv[i]) - x[i]) - tau);
+        }
+        if (excess <= 1e-6) {
+          success_this_tau = true;
+          if (excess < best_excess) {
+            best_excess = excess;
+            best_this_tau = adv;
+          }
+        }
+      }
+
+      // Gradient: hinge penalty on every pixel past tau, plus c * f when the
+      // margin is still active.
+      Tensor grad(x.shape());
+      for (std::size_t i = 0; i < d; ++i) {
+        const float delta = adv[i] - x[i];
+        if (delta > tau) grad[i] += 1.0F;
+        if (delta < -tau) grad[i] -= 1.0F;
+      }
+      if (margin > -static_cast<double>(config_.kappa)) {
+        Tensor seed(logits_b.shape());
+        seed(0, best_other) = c;
+        seed(0, target) = -c;
+        grad += model.backward(seed).reshape(x.shape());
+      }
+      adam.step(adv, grad);
+      adv.clamp(data::kPixelMin, data::kPixelMax);
+    }
+
+    if (!success_this_tau) break;
+    best = best_this_tau;
+    any_success = true;
+    adv = best_this_tau;  // warm start the next, tighter round
+    tau *= config_.tau_decay;
+  }
+
+  Tensor final_adv = any_success ? best : x;
+  return finalize_result(model, x, std::move(final_adv), target,
+                         /*targeted=*/true, total_iterations);
+}
+
+}  // namespace dcn::attacks

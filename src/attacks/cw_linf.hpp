@@ -1,0 +1,35 @@
+// Carlini & Wagner L-inf attack: minimize c*f(x+delta) plus a hinge penalty
+// sum_i max(|delta_i| - tau, 0), shrinking tau while the attack keeps
+// succeeding. The hinge (rather than max |delta_i| itself) gives a useful
+// gradient on every violating pixel.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+struct CwLinfConfig {
+  float kappa = 0.0F;
+  float initial_c = 5.0F;
+  float initial_tau = 0.4F;      // starting threshold in the [-0.5,0.5] box
+  float tau_decay = 0.8F;        // tau *= decay after each success
+  float min_tau = 1.0F / 256.0F; // stop shrinking below one 8-bit level
+  std::size_t max_iterations = 120;  // gradient steps per tau
+  float learning_rate = 1e-2F;
+};
+
+class CwLinf final : public Attack {
+ public:
+  explicit CwLinf(CwLinfConfig config = {}) : config_(config) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  [[nodiscard]] std::string name() const override { return "CW-Linf"; }
+  [[nodiscard]] const CwLinfConfig& config() const { return config_; }
+
+ private:
+  CwLinfConfig config_;
+};
+
+}  // namespace dcn::attacks

@@ -1,0 +1,94 @@
+#include "attacks/deepfool.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+
+namespace dcn::attacks {
+
+namespace {
+
+// One DeepFool projection step. When `restrict_to` is set, only that class's
+// boundary is considered (targeted variant); otherwise the nearest boundary
+// over all classes wins. Returns false when no step could be taken.
+bool deepfool_step(Tensor& adv, std::size_t current,
+                   const DeepFoolConfig& cfg, std::size_t k,
+                   const Tensor& jac, const Tensor& logits,
+                   std::size_t restrict_to, bool restricted) {
+  const std::size_t d = adv.size();
+  double best_dist = std::numeric_limits<double>::infinity();
+  Tensor best_w;
+  double best_f = 0.0;
+  for (std::size_t cls = 0; cls < k; ++cls) {
+    if (cls == current) continue;
+    if (restricted && cls != restrict_to) continue;
+    // w_k = grad Z_k - grad Z_current ; f_k = Z_k - Z_current
+    Tensor w(Shape{d});
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      const float v = jac(cls, i) - jac(current, i);
+      w[i] = v;
+      norm2 += static_cast<double>(v) * v;
+    }
+    if (norm2 < 1e-20) continue;
+    const double f = static_cast<double>(logits[cls]) - logits[current];
+    const double dist = std::abs(f) / std::sqrt(norm2);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_w = std::move(w);
+      best_f = f;
+    }
+  }
+  if (best_w.size() != d) return false;
+  const double norm2 = best_w.l2_norm() * best_w.l2_norm();
+  const double scale = (std::abs(best_f) + 1e-6) / norm2;
+  for (std::size_t i = 0; i < d; ++i) {
+    adv[i] += static_cast<float>((1.0 + cfg.overshoot) * scale * best_w[i]);
+  }
+  adv.clamp(data::kPixelMin, data::kPixelMax);
+  return true;
+}
+
+}  // namespace
+
+AttackResult DeepFool::run_untargeted(nn::Sequential& model, const Tensor& x,
+                                      std::size_t true_label) {
+  Tensor adv = x;
+  std::size_t iterations = 0;
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    ++iterations;
+    Tensor logits;
+    const Tensor jac = logit_jacobian(model, adv, &logits);
+    const std::size_t current = logits.argmax();
+    if (current != true_label) break;
+    if (!deepfool_step(adv, current, config_, logits.size(), jac,
+                       logits, 0, /*restricted=*/false)) {
+      break;
+    }
+  }
+  return finalize_result(model, x, std::move(adv), true_label,
+                         /*targeted=*/false, iterations);
+}
+
+AttackResult DeepFool::run_targeted(nn::Sequential& model, const Tensor& x,
+                                    std::size_t target) {
+  Tensor adv = x;
+  std::size_t iterations = 0;
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    ++iterations;
+    Tensor logits;
+    const Tensor jac = logit_jacobian(model, adv, &logits);
+    const std::size_t current = logits.argmax();
+    if (current == target) break;
+    if (!deepfool_step(adv, current, config_, logits.size(), jac,
+                       logits, target, /*restricted=*/true)) {
+      break;
+    }
+  }
+  return finalize_result(model, x, std::move(adv), target, /*targeted=*/true,
+                         iterations);
+}
+
+}  // namespace dcn::attacks

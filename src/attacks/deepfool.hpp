@@ -1,0 +1,33 @@
+// DeepFool (Moosavi-Dezfooli et al., CVPR 2016): untargeted L2 attack that
+// repeatedly projects onto the linearized nearest decision boundary.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+struct DeepFoolConfig {
+  std::size_t max_iterations = 40;
+  float overshoot = 0.02F;  // push slightly past the boundary
+};
+
+class DeepFool final : public Attack {
+ public:
+  explicit DeepFool(DeepFoolConfig config = {}) : config_(config) {}
+
+  /// DeepFool is natively untargeted; the targeted entry point repeats the
+  /// projection restricted to the requested class's boundary.
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  AttackResult run_untargeted(nn::Sequential& model, const Tensor& x,
+                              std::size_t true_label);
+
+  [[nodiscard]] std::string name() const override { return "DeepFool"; }
+  [[nodiscard]] const DeepFoolConfig& config() const { return config_; }
+
+ private:
+  DeepFoolConfig config_;
+};
+
+}  // namespace dcn::attacks

@@ -1,0 +1,39 @@
+#include "attacks/fgsm.hpp"
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+
+namespace dcn::attacks {
+
+namespace {
+
+Tensor signed_step(const Tensor& x, const Tensor& grad, float step) {
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float s = grad[i] > 0.0F ? 1.0F : (grad[i] < 0.0F ? -1.0F : 0.0F);
+    out[i] += step * s;
+  }
+  return data::clip_to_box(std::move(out));
+}
+
+}  // namespace
+
+AttackResult Fgsm::run_targeted(nn::Sequential& model, const Tensor& x,
+                                std::size_t target) {
+  const Tensor grad = loss_input_gradient(model, x, target);
+  // Descend the target-class loss: move toward classifying as `target`.
+  Tensor adv = signed_step(x, grad, -config_.epsilon);
+  return finalize_result(model, x, std::move(adv), target, /*targeted=*/true,
+                         /*iterations=*/1);
+}
+
+AttackResult Fgsm::run_untargeted(nn::Sequential& model, const Tensor& x,
+                                  std::size_t true_label) {
+  const Tensor grad = loss_input_gradient(model, x, true_label);
+  // Ascend the true-class loss: move away from the correct label.
+  Tensor adv = signed_step(x, grad, config_.epsilon);
+  return finalize_result(model, x, std::move(adv), true_label,
+                         /*targeted=*/false, /*iterations=*/1);
+}
+
+}  // namespace dcn::attacks

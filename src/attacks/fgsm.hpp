@@ -1,0 +1,31 @@
+// Fast Gradient Sign Method (Goodfellow et al. 2015). L-inf attack.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+struct FgsmConfig {
+  float epsilon = 0.1F;  // step size in the [-0.5, 0.5] box
+};
+
+class Fgsm final : public Attack {
+ public:
+  explicit Fgsm(FgsmConfig config = {}) : config_(config) {}
+
+  /// Targeted: one step against the gradient of CE(x, target).
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  /// Untargeted: one step along the gradient of CE(x, true_label).
+  AttackResult run_untargeted(nn::Sequential& model, const Tensor& x,
+                              std::size_t true_label);
+
+  [[nodiscard]] std::string name() const override { return "FGSM"; }
+  [[nodiscard]] const FgsmConfig& config() const { return config_; }
+
+ private:
+  FgsmConfig config_;
+};
+
+}  // namespace dcn::attacks

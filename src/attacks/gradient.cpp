@@ -1,0 +1,68 @@
+#include "attacks/gradient.hpp"
+
+#include <stdexcept>
+
+#include "eval/metrics.hpp"
+#include "nn/loss.hpp"
+
+namespace dcn::attacks {
+
+namespace {
+
+Tensor unsqueeze(const Tensor& example) {
+  std::vector<std::size_t> dims;
+  dims.push_back(1);
+  for (std::size_t d : example.shape().dims()) dims.push_back(d);
+  return example.reshape(Shape(dims));
+}
+
+}  // namespace
+
+Tensor loss_input_gradient(nn::Sequential& model, const Tensor& x,
+                           std::size_t label, double* loss_out,
+                           Tensor* logits_out) {
+  const Tensor batch = unsqueeze(x);
+  Tensor logits = model.forward(batch, /*train=*/true);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, {label});
+  if (loss_out != nullptr) *loss_out = loss.value;
+  if (logits_out != nullptr) *logits_out = logits.row(0);
+  Tensor grad = model.backward(loss.grad);
+  return grad.reshape(x.shape());
+}
+
+Tensor weighted_logit_gradient(nn::Sequential& model, const Tensor& x,
+                               const Tensor& logit_weights,
+                               Tensor* logits_out) {
+  const Tensor batch = unsqueeze(x);
+  Tensor logits = model.forward(batch, /*train=*/true);
+  if (logits.rank() != 2 || logits.dim(1) != logit_weights.size()) {
+    throw std::invalid_argument(
+        "weighted_logit_gradient: weights size does not match logits");
+  }
+  if (logits_out != nullptr) *logits_out = logits.row(0);
+  Tensor seed(logits.shape());
+  for (std::size_t j = 0; j < logit_weights.size(); ++j) {
+    seed(0, j) = logit_weights[j];
+  }
+  Tensor grad = model.backward(seed);
+  return grad.reshape(x.shape());
+}
+
+Tensor logit_jacobian(nn::Sequential& model, const Tensor& x,
+                      Tensor* logits_out) {
+  const Tensor batch = unsqueeze(x);
+  Tensor logits = model.forward(batch, /*train=*/true);
+  const std::size_t k = logits.dim(1);
+  const std::size_t d = x.size();
+  if (logits_out != nullptr) *logits_out = logits.row(0);
+  Tensor jac(Shape{k, d});
+  for (std::size_t c = 0; c < k; ++c) {
+    Tensor seed(logits.shape());
+    seed(0, c) = 1.0F;
+    const Tensor grad = model.backward(seed);
+    for (std::size_t i = 0; i < d; ++i) jac(c, i) = grad[i];
+  }
+  return jac;
+}
+
+}  // namespace dcn::attacks

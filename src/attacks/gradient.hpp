@@ -1,0 +1,34 @@
+// Input-gradient utilities: the bridge between the nn library's backward
+// pass and the gradient-based attacks.
+//
+// Note on stochastic layers: these helpers run the model's training-mode
+// forward pass (which caches activations for backward). Models under attack
+// must therefore be deterministic at training time (no dropout), which holds
+// for every model in src/models.
+#pragma once
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::attacks {
+
+/// Gradient of the softmax cross-entropy loss CE(model(x), label) with
+/// respect to x (single example, no batch axis). Optionally reports the loss
+/// and the logits of the forward pass.
+Tensor loss_input_gradient(nn::Sequential& model, const Tensor& x,
+                           std::size_t label, double* loss_out = nullptr,
+                           Tensor* logits_out = nullptr);
+
+/// Gradient of a linear combination of logits, d(w . Z(x))/dx. This is the
+/// building block for the CW objective f(x) and for DeepFool's boundary
+/// linearization. Optionally reports the logits.
+Tensor weighted_logit_gradient(nn::Sequential& model, const Tensor& x,
+                               const Tensor& logit_weights,
+                               Tensor* logits_out = nullptr);
+
+/// Full Jacobian dZ/dx as a [k, d] matrix (k = classes, d = input size):
+/// one forward pass and k backward passes. Optionally reports the logits.
+Tensor logit_jacobian(nn::Sequential& model, const Tensor& x,
+                      Tensor* logits_out = nullptr);
+
+}  // namespace dcn::attacks

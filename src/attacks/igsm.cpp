@@ -1,0 +1,45 @@
+#include "attacks/igsm.hpp"
+
+#include <algorithm>
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+
+namespace dcn::attacks {
+
+AttackResult Igsm::run_impl(nn::Sequential& model, const Tensor& x,
+                            std::size_t label, bool targeted) {
+  Tensor adv = x;
+  std::size_t iterations = 0;
+  const float direction = targeted ? -1.0F : 1.0F;
+  for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+    ++iterations;
+    const Tensor grad = loss_input_gradient(model, adv, label);
+    for (std::size_t i = 0; i < adv.size(); ++i) {
+      const float s = grad[i] > 0.0F ? 1.0F : (grad[i] < 0.0F ? -1.0F : 0.0F);
+      float v = adv[i] + direction * config_.step_size * s;
+      // Clip to the epsilon ball around the original, then the pixel box.
+      v = std::clamp(v, x[i] - config_.epsilon, x[i] + config_.epsilon);
+      adv[i] = std::clamp(v, data::kPixelMin, data::kPixelMax);
+    }
+    if (config_.stop_at_success) {
+      const std::size_t pred = model.classify(adv);
+      const bool done = targeted ? (pred == label) : (pred != label);
+      if (done) break;
+    }
+  }
+  return finalize_result(model, x, std::move(adv), label, targeted,
+                         iterations);
+}
+
+AttackResult Igsm::run_targeted(nn::Sequential& model, const Tensor& x,
+                                std::size_t target) {
+  return run_impl(model, x, target, /*targeted=*/true);
+}
+
+AttackResult Igsm::run_untargeted(nn::Sequential& model, const Tensor& x,
+                                  std::size_t true_label) {
+  return run_impl(model, x, true_label, /*targeted=*/false);
+}
+
+}  // namespace dcn::attacks

@@ -1,0 +1,37 @@
+// Iterative Gradient Sign Method / Basic Iterative Method (Kurakin et al.
+// 2017): FGSM taken in small steps with per-step clipping to the epsilon
+// ball and the valid pixel box.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+struct IgsmConfig {
+  float epsilon = 0.1F;       // total L-inf budget
+  float step_size = 0.01F;    // per-iteration step
+  std::size_t max_iterations = 30;
+  bool stop_at_success = true;
+};
+
+class Igsm final : public Attack {
+ public:
+  explicit Igsm(IgsmConfig config = {}) : config_(config) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  AttackResult run_untargeted(nn::Sequential& model, const Tensor& x,
+                              std::size_t true_label);
+
+  [[nodiscard]] std::string name() const override { return "IGSM"; }
+  [[nodiscard]] const IgsmConfig& config() const { return config_; }
+
+ private:
+  AttackResult run_impl(nn::Sequential& model, const Tensor& x,
+                        std::size_t label, bool targeted);
+
+  IgsmConfig config_;
+};
+
+}  // namespace dcn::attacks

@@ -1,0 +1,91 @@
+#include "attacks/jsma.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+
+namespace dcn::attacks {
+
+AttackResult Jsma::run_targeted(nn::Sequential& model, const Tensor& x,
+                                std::size_t target) {
+  const std::size_t d = x.size();
+  const float saturate = config_.increase ? data::kPixelMax : data::kPixelMin;
+  const std::size_t max_pixels = std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<float>(d) * config_.gamma));
+  // Each step saturates a pair of pixels.
+  const std::size_t max_steps = max_pixels / 2;
+
+  Tensor adv = x;
+  std::vector<std::uint8_t> used(d, 0);
+  std::size_t iterations = 0;
+
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    ++iterations;
+    if (model.classify(adv) == target) break;
+
+    const Tensor jac = logit_jacobian(model, adv);  // [k, d]
+    const std::size_t k = jac.dim(0);
+
+    // alpha_i = dZ_t/dx_i ; beta_i = sum_{j != t} dZ_j/dx_i
+    std::vector<float> alpha(d), beta(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      float a = jac(target, i);
+      float total = 0.0F;
+      for (std::size_t j = 0; j < k; ++j) total += jac(j, i);
+      alpha[i] = a;
+      beta[i] = total - a;
+    }
+
+    // Candidate pool: unused, unsaturated pixels with the largest |alpha|.
+    std::vector<std::size_t> pool;
+    pool.reserve(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      if (used[i] != 0) continue;
+      if (config_.increase && adv[i] >= data::kPixelMax - 1e-6F) continue;
+      if (!config_.increase && adv[i] <= data::kPixelMin + 1e-6F) continue;
+      pool.push_back(i);
+    }
+    if (pool.size() < 2) break;
+    const std::size_t pool_size = std::min(config_.candidate_pool,
+                                           pool.size());
+    std::partial_sort(pool.begin(), pool.begin() + pool_size, pool.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return std::abs(alpha[a]) > std::abs(alpha[b]);
+                      });
+    pool.resize(pool_size);
+
+    // Saliency pair search: maximize -alpha*beta with alpha > 0, beta < 0
+    // for the increase direction (signs flip for decrease).
+    const float dir = config_.increase ? 1.0F : -1.0F;
+    float best_score = 0.0F;
+    std::size_t best_p = d, best_q = d;
+    for (std::size_t pi = 0; pi < pool.size(); ++pi) {
+      for (std::size_t qi = pi + 1; qi < pool.size(); ++qi) {
+        const std::size_t p = pool[pi], q = pool[qi];
+        const float a = dir * (alpha[p] + alpha[q]);
+        const float b = dir * (beta[p] + beta[q]);
+        if (a > 0.0F && b < 0.0F) {
+          const float score = -a * b;
+          if (score > best_score) {
+            best_score = score;
+            best_p = p;
+            best_q = q;
+          }
+        }
+      }
+    }
+    if (best_p == d) break;  // no admissible pair left
+
+    adv[best_p] = saturate;
+    adv[best_q] = saturate;
+    used[best_p] = 1;
+    used[best_q] = 1;
+  }
+
+  return finalize_result(model, x, std::move(adv), target, /*targeted=*/true,
+                         iterations);
+}
+
+}  // namespace dcn::attacks

@@ -1,0 +1,33 @@
+// Jacobian-based Saliency Map Attack (Papernot et al., EuroS&P 2016).
+//
+// Greedy L0 attack: each step computes the logit Jacobian, scores pixel
+// pairs with the saliency map, and saturates the winning pair toward the
+// chosen extreme until the model outputs the target class or the distortion
+// budget is exhausted.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+struct JsmaConfig {
+  float gamma = 0.12F;       // max fraction of pixels modified
+  bool increase = true;      // saturate pixels to +max (else to -max / min)
+  std::size_t candidate_pool = 96;  // top-|dZt/dx| pixels searched pairwise
+};
+
+class Jsma final : public Attack {
+ public:
+  explicit Jsma(JsmaConfig config = {}) : config_(config) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  [[nodiscard]] std::string name() const override { return "JSMA"; }
+  [[nodiscard]] const JsmaConfig& config() const { return config_; }
+
+ private:
+  JsmaConfig config_;
+};
+
+}  // namespace dcn::attacks

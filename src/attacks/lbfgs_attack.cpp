@@ -1,0 +1,148 @@
+#include "attacks/lbfgs_attack.hpp"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+#include "eval/metrics.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcn::attacks {
+
+namespace {
+
+struct Objective {
+  nn::Sequential* model;
+  const Tensor* original;
+  std::size_t target;
+  float c;
+
+  // Loss and gradient at z (already inside the box).
+  double eval(const Tensor& z, Tensor* grad_out) const {
+    double ce = 0.0;
+    Tensor grad = loss_input_gradient(*model, z, target, &ce);
+    const Tensor diff = z - *original;
+    const double dist2 = diff.l2_norm() * diff.l2_norm();
+    if (grad_out != nullptr) {
+      *grad_out = grad + diff * (2.0F * c);
+    }
+    return static_cast<double>(c) * dist2 + ce;
+  }
+};
+
+// Projected L-BFGS with two-loop recursion. Returns the final iterate and
+// reports iterations used.
+Tensor lbfgs_minimize(const Objective& obj, Tensor z,
+                      const LbfgsAttackConfig& cfg, std::size_t* iters) {
+  std::deque<Tensor> s_hist, y_hist;  // position / gradient differences
+  Tensor grad;
+  double loss = obj.eval(z, &grad);
+
+  for (std::size_t it = 0; it < cfg.max_iterations; ++it) {
+    if (iters != nullptr) ++*iters;
+    if (grad.l2_norm() < cfg.gradient_tolerance) break;
+
+    // Two-loop recursion to get the search direction -H * grad.
+    Tensor q = grad;
+    std::vector<double> alpha(s_hist.size(), 0.0);
+    for (std::size_t i = s_hist.size(); i-- > 0;) {
+      const double ys = ops::dot(y_hist[i], s_hist[i]);
+      if (std::abs(ys) < 1e-12) continue;
+      alpha[i] = ops::dot(s_hist[i], q) / ys;
+      q = ops::axpy(q, static_cast<float>(-alpha[i]), y_hist[i]);
+    }
+    double gamma = 1.0;
+    if (!s_hist.empty()) {
+      const double yy = ops::dot(y_hist.back(), y_hist.back());
+      const double ys = ops::dot(y_hist.back(), s_hist.back());
+      if (yy > 1e-12) gamma = ys / yy;
+    }
+    Tensor direction = q * static_cast<float>(gamma);
+    for (std::size_t i = 0; i < s_hist.size(); ++i) {
+      const double ys = ops::dot(y_hist[i], s_hist[i]);
+      if (std::abs(ys) < 1e-12) continue;
+      const double beta = ops::dot(y_hist[i], direction) / ys;
+      direction =
+          ops::axpy(direction, static_cast<float>(alpha[i] - beta), s_hist[i]);
+    }
+    direction *= -1.0F;
+
+    // Backtracking line search with projection onto the box.
+    double step = 1.0;
+    const double slope = ops::dot(grad, direction);
+    Tensor z_new;
+    double loss_new = loss;
+    bool improved = false;
+    for (int ls = 0; ls < 12; ++ls) {
+      z_new = data::clip_to_box(ops::axpy(z, static_cast<float>(step),
+                                          direction));
+      loss_new = obj.eval(z_new, nullptr);
+      if (loss_new <= loss + 1e-4 * step * slope || loss_new < loss) {
+        improved = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!improved) break;
+
+    Tensor grad_new;
+    loss_new = obj.eval(z_new, &grad_new);
+    // Curvature pairs for the next iteration.
+    Tensor s = z_new - z;
+    Tensor y = grad_new - grad;
+    if (ops::dot(y, s) > 1e-10) {
+      s_hist.push_back(std::move(s));
+      y_hist.push_back(std::move(y));
+      if (s_hist.size() > cfg.history) {
+        s_hist.pop_front();
+        y_hist.pop_front();
+      }
+    }
+    z = std::move(z_new);
+    grad = std::move(grad_new);
+    loss = loss_new;
+  }
+  return z;
+}
+
+}  // namespace
+
+AttackResult LbfgsAttack::run_targeted(nn::Sequential& model, const Tensor& x,
+                                       std::size_t target) {
+  std::size_t iterations = 0;
+  float c = config_.initial_c;
+  float c_low = 0.0F;
+  float c_high = std::numeric_limits<float>::infinity();
+  Tensor best = x;
+  double best_l2 = std::numeric_limits<double>::infinity();
+  bool any_success = false;
+
+  for (std::size_t step = 0; step < config_.c_search_steps; ++step) {
+    const Objective obj{&model, &x, target, c};
+    Tensor adv = lbfgs_minimize(obj, x, config_, &iterations);
+    const bool success = model.classify(adv) == target;
+    if (success) {
+      const double l2 = eval::l2_distance(adv, x);
+      if (l2 < best_l2) {
+        best_l2 = l2;
+        best = adv;
+        any_success = true;
+      }
+      // Heavier distance weight still succeeded: push c up to shrink delta.
+      c_low = c;
+      c = std::isinf(c_high) ? c * 10.0F : 0.5F * (c_low + c_high);
+    } else {
+      // Too much distance pressure; relax.
+      c_high = c;
+      c = 0.5F * (c_low + c_high);
+    }
+  }
+
+  Tensor final_adv = any_success ? best : x;
+  return finalize_result(model, x, std::move(final_adv), target,
+                         /*targeted=*/true, iterations);
+}
+
+}  // namespace dcn::attacks

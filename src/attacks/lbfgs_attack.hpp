@@ -1,0 +1,37 @@
+// Box-constrained L-BFGS attack (Szegedy et al. 2014): the original
+// adversarial-example algorithm. Minimizes
+//
+//   c * ||x' - x||^2 + CE(model(x'), target)     subject to x' in the box
+//
+// with a projected L-BFGS (two-loop recursion, backtracking line search,
+// projection onto the box), line-searching over c to find the smallest
+// distortion that still flips the label.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+struct LbfgsAttackConfig {
+  float initial_c = 1e-2F;
+  std::size_t c_search_steps = 5;   // geometric/bisection search over c
+  std::size_t max_iterations = 60;  // L-BFGS iterations per c
+  std::size_t history = 8;          // L-BFGS memory (pairs kept)
+  float gradient_tolerance = 1e-6F;
+};
+
+class LbfgsAttack final : public Attack {
+ public:
+  explicit LbfgsAttack(LbfgsAttackConfig config = {}) : config_(config) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  [[nodiscard]] std::string name() const override { return "L-BFGS"; }
+  [[nodiscard]] const LbfgsAttackConfig& config() const { return config_; }
+
+ private:
+  LbfgsAttackConfig config_;
+};
+
+}  // namespace dcn::attacks

@@ -1,0 +1,42 @@
+#include "attacks/noise.hpp"
+
+#include <algorithm>
+
+#include "data/transforms.hpp"
+
+namespace dcn::attacks {
+
+AttackResult NoiseAttack::run_impl(nn::Sequential& model, const Tensor& x,
+                                   std::size_t label, bool targeted) {
+  Tensor candidate(x.shape());
+  std::size_t iterations = 0;
+  for (std::size_t trial = 0; trial < config_.trials; ++trial) {
+    ++iterations;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const float noise = static_cast<float>(
+          rng_.uniform(-config_.epsilon, config_.epsilon));
+      candidate[i] =
+          std::clamp(x[i] + noise, data::kPixelMin, data::kPixelMax);
+    }
+    const std::size_t pred = model.classify(candidate);
+    const bool hit = targeted ? (pred == label) : (pred != label);
+    if (hit) {
+      return finalize_result(model, x, candidate, label, targeted,
+                             iterations);
+    }
+  }
+  return finalize_result(model, x, x, label, targeted, iterations);
+}
+
+AttackResult NoiseAttack::run_targeted(nn::Sequential& model, const Tensor& x,
+                                       std::size_t target) {
+  return run_impl(model, x, target, /*targeted=*/true);
+}
+
+AttackResult NoiseAttack::run_untargeted(nn::Sequential& model,
+                                         const Tensor& x,
+                                         std::size_t true_label) {
+  return run_impl(model, x, true_label, /*targeted=*/false);
+}
+
+}  // namespace dcn::attacks

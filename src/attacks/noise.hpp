@@ -1,0 +1,43 @@
+// Random-noise "attack" baseline: perturb with i.i.d. uniform noise of a
+// given L-inf budget and keep the first misclassified draw. Its near-zero
+// success rate at perturbation sizes where FGSM succeeds demonstrates that
+// adversarial examples are a gradient phenomenon, not a noise-sensitivity
+// one — the standard sanity baseline for any attack evaluation.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "tensor/random.hpp"
+
+namespace dcn::attacks {
+
+struct NoiseAttackConfig {
+  float epsilon = 0.1F;       // L-inf noise magnitude
+  std::size_t trials = 50;    // independent draws
+  std::uint64_t seed = 2929;
+};
+
+class NoiseAttack final : public Attack {
+ public:
+  explicit NoiseAttack(NoiseAttackConfig config = {})
+      : config_(config), rng_(config.seed) {}
+
+  /// Targeted variant: succeed only if a draw lands in the target class.
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  /// Untargeted variant: any label flip counts.
+  AttackResult run_untargeted(nn::Sequential& model, const Tensor& x,
+                              std::size_t true_label);
+
+  [[nodiscard]] std::string name() const override { return "Noise"; }
+  [[nodiscard]] const NoiseAttackConfig& config() const { return config_; }
+
+ private:
+  AttackResult run_impl(nn::Sequential& model, const Tensor& x,
+                        std::size_t label, bool targeted);
+
+  NoiseAttackConfig config_;
+  Rng rng_;
+};
+
+}  // namespace dcn::attacks

@@ -1,0 +1,69 @@
+#include "attacks/pgd.hpp"
+
+#include <algorithm>
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+#include "eval/metrics.hpp"
+
+namespace dcn::attacks {
+
+AttackResult Pgd::run_impl(nn::Sequential& model, const Tensor& x,
+                           std::size_t label, bool targeted) {
+  const float direction = targeted ? -1.0F : 1.0F;
+  Tensor best = x;
+  bool any_success = false;
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+
+  for (std::size_t restart = 0; restart < config_.restarts; ++restart) {
+    // Random start inside the epsilon ball (first restart starts at x, the
+    // IGSM behaviour, so PGD strictly dominates it).
+    Tensor adv = x;
+    if (restart > 0) {
+      for (std::size_t i = 0; i < adv.size(); ++i) {
+        adv[i] += static_cast<float>(
+            rng_.uniform(-config_.epsilon, config_.epsilon));
+        adv[i] = std::clamp(adv[i], data::kPixelMin, data::kPixelMax);
+      }
+    }
+    for (std::size_t it = 0; it < config_.max_iterations; ++it) {
+      ++iterations;
+      const Tensor grad = loss_input_gradient(model, adv, label);
+      for (std::size_t i = 0; i < adv.size(); ++i) {
+        const float s =
+            grad[i] > 0.0F ? 1.0F : (grad[i] < 0.0F ? -1.0F : 0.0F);
+        float v = adv[i] + direction * config_.step_size * s;
+        v = std::clamp(v, x[i] - config_.epsilon, x[i] + config_.epsilon);
+        adv[i] = std::clamp(v, data::kPixelMin, data::kPixelMax);
+      }
+      const std::size_t pred = model.classify(adv);
+      const bool done = targeted ? (pred == label) : (pred != label);
+      if (done) {
+        const double dist = eval::linf_distance(adv, x);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = adv;
+          any_success = true;
+        }
+        break;
+      }
+    }
+  }
+
+  Tensor final_adv = any_success ? best : x;
+  return finalize_result(model, x, std::move(final_adv), label, targeted,
+                         iterations);
+}
+
+AttackResult Pgd::run_targeted(nn::Sequential& model, const Tensor& x,
+                               std::size_t target) {
+  return run_impl(model, x, target, /*targeted=*/true);
+}
+
+AttackResult Pgd::run_untargeted(nn::Sequential& model, const Tensor& x,
+                                 std::size_t true_label) {
+  return run_impl(model, x, true_label, /*targeted=*/false);
+}
+
+}  // namespace dcn::attacks

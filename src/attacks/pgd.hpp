@@ -1,0 +1,41 @@
+// Projected Gradient Descent with random starts (Madry et al.) — IGSM plus
+// random initialization inside the epsilon ball and multiple restarts. The
+// strongest first-order L-inf attack; included as the natural upgrade path
+// from IGSM for evaluating DCN against stronger oblivious adversaries.
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "tensor/random.hpp"
+
+namespace dcn::attacks {
+
+struct PgdConfig {
+  float epsilon = 0.1F;
+  float step_size = 0.01F;
+  std::size_t max_iterations = 40;
+  std::size_t restarts = 3;
+  std::uint64_t seed = 1717;
+};
+
+class Pgd final : public Attack {
+ public:
+  explicit Pgd(PgdConfig config = {}) : config_(config), rng_(config.seed) {}
+
+  AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
+                            std::size_t target) override;
+
+  AttackResult run_untargeted(nn::Sequential& model, const Tensor& x,
+                              std::size_t true_label);
+
+  [[nodiscard]] std::string name() const override { return "PGD"; }
+  [[nodiscard]] const PgdConfig& config() const { return config_; }
+
+ private:
+  AttackResult run_impl(nn::Sequential& model, const Tensor& x,
+                        std::size_t label, bool targeted);
+
+  PgdConfig config_;
+  Rng rng_;
+};
+
+}  // namespace dcn::attacks

@@ -1,0 +1,62 @@
+#include "attacks/untargeted.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dcn::attacks {
+
+double distortion(const AttackResult& result, Norm norm) {
+  switch (norm) {
+    case Norm::kL0:
+      return result.l0;
+    case Norm::kL2:
+      return result.l2;
+    case Norm::kLinf:
+      return result.linf;
+  }
+  throw std::logic_error("distortion: bad norm");
+}
+
+AttackResult untargeted_best_of(Attack& attack, nn::Sequential& model,
+                                const Tensor& x, std::size_t true_label,
+                                std::size_t num_classes, Norm norm) {
+  AttackResult best;
+  best.adversarial = x;
+  best.success = false;
+  best.predicted = true_label;
+  double best_distortion = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  for (std::size_t t = 0; t < num_classes; ++t) {
+    if (t == true_label) continue;
+    AttackResult r = attack.run_targeted(model, x, t);
+    iterations += r.iterations;
+    if (!r.success) continue;
+    const double dist = distortion(r, norm);
+    if (dist < best_distortion) {
+      best_distortion = dist;
+      best = std::move(r);
+    }
+  }
+  best.iterations = iterations;
+  // Success semantics flip to untargeted: any wrong label counts.
+  best.success = best.predicted != true_label;
+  return best;
+}
+
+std::vector<AttackResult> all_targets(Attack& attack, nn::Sequential& model,
+                                      const Tensor& x, std::size_t true_label,
+                                      std::size_t num_classes) {
+  std::vector<AttackResult> results(num_classes);
+  for (std::size_t t = 0; t < num_classes; ++t) {
+    if (t == true_label) {
+      results[t].adversarial = x;
+      results[t].success = false;
+      results[t].predicted = true_label;
+      continue;
+    }
+    results[t] = attack.run_targeted(model, x, t);
+  }
+  return results;
+}
+
+}  // namespace dcn::attacks

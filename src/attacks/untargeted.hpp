@@ -1,0 +1,31 @@
+// The paper's untargeted strategy (Sec. 2.2): run the targeted attack against
+// every wrong class and keep the successful example with the lowest
+// distortion under the attack's own metric.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace dcn::attacks {
+
+enum class Norm { kL0, kL2, kLinf };
+
+/// Distortion of a result under the chosen norm.
+double distortion(const AttackResult& result, Norm norm);
+
+/// Best-of-(k-1) untargeted attack built from a targeted attack. `true_label`
+/// is the example's correct class; `num_classes` the problem size. The
+/// returned result's `success` means the model no longer predicts
+/// `true_label`.
+AttackResult untargeted_best_of(Attack& attack, nn::Sequential& model,
+                                const Tensor& x, std::size_t true_label,
+                                std::size_t num_classes, Norm norm);
+
+/// Run the targeted attack against all wrong classes, returning all results
+/// (index == target class; the true class's slot holds a failed placeholder).
+/// This is the paper's detector-training protocol ("9 adversarial examples
+/// per benign example").
+std::vector<AttackResult> all_targets(Attack& attack, nn::Sequential& model,
+                                      const Tensor& x, std::size_t true_label,
+                                      std::size_t num_classes);
+
+}  // namespace dcn::attacks

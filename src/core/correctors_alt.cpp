@@ -1,0 +1,81 @@
+#include "core/correctors_alt.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "data/transforms.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcn::core {
+
+SoftVoteCorrector::SoftVoteCorrector(nn::Sequential& model,
+                                     SoftVoteConfig config)
+    : model_(&model), config_(config), rng_(config.seed) {}
+
+Tensor SoftVoteCorrector::mean_distribution(const Tensor& x) {
+  Tensor sample(x.shape());
+  Tensor mean;
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      float v = x[i] + static_cast<float>(rng_.uniform(-config_.radius,
+                                                       config_.radius));
+      if (config_.clip_to_box) {
+        v = std::clamp(v, data::kPixelMin, data::kPixelMax);
+      }
+      sample[i] = v;
+    }
+    const Tensor p = model_->probabilities(sample);
+    if (mean.size() != p.size()) {
+      mean = p;
+    } else {
+      mean += p;
+    }
+  }
+  mean /= static_cast<float>(config_.samples);
+  return mean;
+}
+
+std::size_t SoftVoteCorrector::correct(const Tensor& x) {
+  return mean_distribution(x).argmax();
+}
+
+SqueezeCorrector::SqueezeCorrector(nn::Sequential& model,
+                                   SqueezeCorrectorConfig config)
+    : model_(&model), config_(config) {}
+
+std::size_t SqueezeCorrector::correct(const Tensor& x) {
+  // Vote among the squeezer variants; ties resolve toward the stronger
+  // (bit-depth) squeezer's opinion, which comes first.
+  std::map<std::size_t, int> votes;
+  const std::size_t bit_label =
+      model_->classify(data::reduce_bit_depth(x, config_.bit_depth));
+  ++votes[bit_label];
+  if (x.rank() == 3) {
+    ++votes[model_->classify(data::median_smooth(x, config_.median_window))];
+    ++votes[model_->classify(data::median_smooth(
+        data::reduce_bit_depth(x, config_.bit_depth),
+        config_.median_window))];
+  }
+  std::size_t best = bit_label;
+  int best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best = label;
+    }
+  }
+  return best;
+}
+
+std::size_t RunnerUpCorrector::correct(const Tensor& x) {
+  const Tensor logits = model_->logits(x);
+  const std::size_t top = logits.argmax();
+  std::size_t runner = top == 0 ? 1 : 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (i == top) continue;
+    if (logits[i] > logits[runner]) runner = i;
+  }
+  return runner;
+}
+
+}  // namespace dcn::core

@@ -1,0 +1,83 @@
+// Alternative correctors (paper Sec. 6, "Other correctors": "An accurate
+// corrector is of great importance... especially for L0 adversarial
+// examples").
+//
+// Three drop-in alternatives to the majority-vote Corrector, all satisfying
+// the same contract (recover the label of a detected adversarial example):
+//
+//  - SoftVoteCorrector: average the *softmax distributions* over the
+//    hypercube samples instead of counting argmax votes. Uses the same m
+//    model calls but keeps per-sample confidence information, which matters
+//    when the vote is nearly tied.
+//  - SqueezeCorrector: classify a feature-squeezed (bit-depth-reduced and
+//    median-smoothed) version of the input — the natural corrector implied
+//    by Xu et al.'s squeezers, at 2 model calls instead of m.
+//  - RunnerUpCorrector: return the class with the second-highest logit —
+//    zero extra model calls. Fig. 1's own observation is that the true
+//    class sits right behind the adversarial winner, so this is the
+//    cheapest possible corrector and a strong baseline for the ablation.
+#pragma once
+
+#include "nn/sequential.hpp"
+#include "tensor/random.hpp"
+
+namespace dcn::core {
+
+struct SoftVoteConfig {
+  float radius = 0.3F;
+  std::size_t samples = 50;
+  std::uint64_t seed = 4242;
+  bool clip_to_box = true;
+};
+
+class SoftVoteCorrector {
+ public:
+  SoftVoteCorrector(nn::Sequential& model, SoftVoteConfig config = {});
+
+  /// Label of the mean softmax over hypercube samples.
+  std::size_t correct(const Tensor& x);
+
+  /// The averaged distribution itself (diagnostics / tests).
+  Tensor mean_distribution(const Tensor& x);
+
+  [[nodiscard]] const SoftVoteConfig& config() const { return config_; }
+
+ private:
+  nn::Sequential* model_;
+  SoftVoteConfig config_;
+  Rng rng_;
+};
+
+struct SqueezeCorrectorConfig {
+  unsigned bit_depth = 4;
+  std::size_t median_window = 3;  // applied only to [C, H, W] inputs
+};
+
+class SqueezeCorrector {
+ public:
+  SqueezeCorrector(nn::Sequential& model, SqueezeCorrectorConfig config = {});
+
+  /// Label of the squeezed input (majority over the squeezer variants).
+  std::size_t correct(const Tensor& x);
+
+  [[nodiscard]] const SqueezeCorrectorConfig& config() const {
+    return config_;
+  }
+
+ private:
+  nn::Sequential* model_;
+  SqueezeCorrectorConfig config_;
+};
+
+class RunnerUpCorrector {
+ public:
+  explicit RunnerUpCorrector(nn::Sequential& model) : model_(&model) {}
+
+  /// The class with the second-highest logit.
+  std::size_t correct(const Tensor& x);
+
+ private:
+  nn::Sequential* model_;
+};
+
+}  // namespace dcn::core

@@ -1,0 +1,24 @@
+#include "core/dcn.hpp"
+
+namespace dcn::core {
+
+Dcn::Dcn(nn::Sequential& model, Detector& detector, Corrector& corrector)
+    : model_(&model), detector_(&detector), corrector_(&corrector) {}
+
+Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
+  Decision d;
+  const Tensor logits = model_->logits(x);
+  d.dnn_label = logits.argmax();
+  d.flagged_adversarial = detector_->is_adversarial(logits);
+  if (d.flagged_adversarial) {
+    ++corrector_activations_;
+    d.label = corrector_->correct(x);
+  } else {
+    d.label = d.dnn_label;
+  }
+  return d;
+}
+
+std::size_t Dcn::classify(const Tensor& x) { return classify_verbose(x).label; }
+
+}  // namespace dcn::core

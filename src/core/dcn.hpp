@@ -1,0 +1,49 @@
+// The Detector-Corrector Network (Sec. 4): the paper's contribution.
+//
+// Workflow (Figs. 2-3): the unmodified DNN computes logits; the detector
+// inspects the logits; benign verdict -> return the DNN's label (near-zero
+// overhead); adversarial verdict -> the corrector recovers the label by a
+// 50-sample hypercube vote.
+#pragma once
+
+#include "core/corrector.hpp"
+#include "core/detector.hpp"
+#include "defenses/classifier.hpp"
+
+namespace dcn::core {
+
+class Dcn final : public defenses::Classifier {
+ public:
+  /// All three components are held by reference and must outlive the Dcn.
+  Dcn(nn::Sequential& model, Detector& detector, Corrector& corrector);
+
+  /// The DCN decision procedure.
+  std::size_t classify(const Tensor& x) override;
+
+  [[nodiscard]] std::string name() const override { return "DCN"; }
+
+  /// Diagnostic variant that also reports which path the input took.
+  struct Decision {
+    std::size_t label = 0;
+    bool flagged_adversarial = false;  // did the detector fire?
+    std::size_t dnn_label = 0;         // the raw DNN opinion
+  };
+  Decision classify_verbose(const Tensor& x);
+
+  /// Number of corrector activations since construction (efficiency
+  /// accounting for Table 6).
+  [[nodiscard]] std::size_t corrector_activations() const {
+    return corrector_activations_;
+  }
+
+  [[nodiscard]] Detector& detector() { return *detector_; }
+  [[nodiscard]] Corrector& corrector() { return *corrector_; }
+
+ private:
+  nn::Sequential* model_;
+  Detector* detector_;
+  Corrector* corrector_;
+  std::size_t corrector_activations_ = 0;
+};
+
+}  // namespace dcn::core

@@ -1,0 +1,131 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+#include "models/model_zoo.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace dcn::core {
+
+Detector::Detector(std::size_t num_classes, DetectorConfig config)
+    : num_classes_(num_classes), config_(config), net_([&] {
+        Rng rng(config.init_seed);
+        return models::detector_mlp(num_classes, rng, config.hidden);
+      }()) {}
+
+Tensor Detector::canonicalize(const Tensor& logits,
+                              std::vector<std::size_t>* perm) const {
+  if (logits.size() != num_classes_) {
+    throw std::invalid_argument("Detector: logit size mismatch");
+  }
+  if (!config_.sort_logits) {
+    if (perm != nullptr) {
+      perm->resize(num_classes_);
+      std::iota(perm->begin(), perm->end(), std::size_t{0});
+    }
+    return logits;
+  }
+  std::vector<std::size_t> order(num_classes_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return logits[a] > logits[b];
+  });
+  Tensor sorted(Shape{num_classes_});
+  for (std::size_t i = 0; i < num_classes_; ++i) sorted[i] = logits[order[i]];
+  if (perm != nullptr) *perm = std::move(order);
+  return sorted;
+}
+
+double Detector::train(const data::Dataset& logit_dataset) {
+  if (logit_dataset.images.rank() != 2 ||
+      logit_dataset.images.dim(1) != num_classes_) {
+    throw std::invalid_argument(
+        "Detector::train: expected [N, k] logit vectors");
+  }
+  data::Dataset canonical = logit_dataset;
+  for (std::size_t i = 0; i < logit_dataset.size(); ++i) {
+    canonical.images.set_row(i, canonicalize(logit_dataset.example(i)));
+  }
+  nn::Adam optimizer({.learning_rate = config_.learning_rate});
+  nn::TrainConfig tc{.epochs = config_.epochs,
+                     .batch_size = config_.batch_size,
+                     .temperature = 1.0F,
+                     .shuffle = true,
+                     .shuffle_seed = config_.init_seed,
+                     .on_epoch = {}};
+  return nn::train(net_, canonical, optimizer, tc).final_accuracy;
+}
+
+bool Detector::is_adversarial(const Tensor& logits) {
+  return margin(logits) > 0.0;
+}
+
+double Detector::margin(const Tensor& logits) {
+  const Tensor out = net_.logits(canonicalize(logits));
+  return static_cast<double>(out[1]) - out[0];
+}
+
+double Detector::margin_with_gradient(const Tensor& logits,
+                                      Tensor& grad_logits) {
+  std::vector<std::size_t> perm;
+  const Tensor canonical = canonicalize(logits, &perm);
+  Tensor out =
+      net_.forward(canonical.reshape(Shape{1, num_classes_}), /*train=*/true);
+  const double margin = static_cast<double>(out(0, 1)) - out(0, 0);
+  Tensor seed(out.shape());
+  seed(0, 1) = 1.0F;
+  seed(0, 0) = -1.0F;
+  const Tensor grad_sorted = net_.backward(seed);  // [1, k]
+  grad_logits = Tensor(Shape{num_classes_});
+  for (std::size_t i = 0; i < num_classes_; ++i) {
+    grad_logits[perm[i]] = grad_sorted(0, i);
+  }
+  return margin;
+}
+
+namespace {
+constexpr const char* kDetectorMagic = "DCNDETECTORv1";
+}
+
+void Detector::save(std::ostream& out) {
+  out << kDetectorMagic << ' ' << num_classes_ << ' ' << config_.hidden << ' '
+      << (config_.sort_logits ? 1 : 0) << '\n';
+  nn::save_weights(net_, out);
+}
+
+void Detector::load(std::istream& in) {
+  std::string magic;
+  std::size_t classes = 0, hidden = 0;
+  int sort_flag = 0;
+  in >> magic >> classes >> hidden >> sort_flag;
+  if (magic != kDetectorMagic) {
+    throw std::runtime_error("Detector::load: bad magic '" + magic + "'");
+  }
+  if (classes != num_classes_ || hidden != config_.hidden ||
+      (sort_flag != 0) != config_.sort_logits) {
+    throw std::runtime_error(
+        "Detector::load: configuration mismatch (classes/hidden/sorting)");
+  }
+  in.ignore(1);  // newline before the weight payload
+  nn::load_weights(net_, in);
+}
+
+void Detector::save_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Detector::save_file: cannot open " + path);
+  save(out);
+}
+
+void Detector::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Detector::load_file: cannot open " + path);
+  load(in);
+}
+
+}  // namespace dcn::core

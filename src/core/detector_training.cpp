@@ -1,0 +1,118 @@
+#include "core/detector_training.hpp"
+
+#include "attacks/untargeted.hpp"
+
+namespace dcn::core {
+
+data::Dataset build_logit_dataset(nn::Sequential& model,
+                                  attacks::Attack& attack,
+                                  const data::Dataset& source,
+                                  std::size_t num_classes,
+                                  LogitDatasetStats* stats, bool balance,
+                                  const data::Dataset* extra_benign) {
+  LogitDatasetStats local;
+  std::vector<Tensor> benign_rows;
+  std::vector<Tensor> adv_rows;
+
+  auto add_benign = [&](const data::Dataset& src, std::size_t i) -> bool {
+    const Tensor logits = model.logits(src.example(i));
+    if (logits.argmax() != src.labels[i]) return false;  // paper: correct only
+    benign_rows.push_back(logits);
+    ++local.benign_count;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (!add_benign(source, i)) continue;
+    const Tensor x = source.example(i);
+    const std::size_t truth = source.labels[i];
+    for (std::size_t t = 0; t < num_classes; ++t) {
+      if (t == truth) continue;
+      const attacks::AttackResult r = attack.run_targeted(model, x, t);
+      if (!r.success) {
+        ++local.attack_failures;
+        continue;
+      }
+      adv_rows.push_back(model.logits(r.adversarial));
+      ++local.adversarial_count;
+    }
+  }
+  if (extra_benign != nullptr) {
+    for (std::size_t i = 0; i < extra_benign->size(); ++i) {
+      add_benign(*extra_benign, i);
+    }
+  }
+
+  // Optionally replicate the minority class to roughly even the priors.
+  std::vector<Tensor> rows;
+  std::vector<std::size_t> labels;
+  std::size_t benign_copies = 1, adv_copies = 1;
+  if (balance && !benign_rows.empty() && !adv_rows.empty()) {
+    if (benign_rows.size() < adv_rows.size()) {
+      benign_copies = adv_rows.size() / benign_rows.size();
+    } else {
+      adv_copies = benign_rows.size() / adv_rows.size();
+    }
+    benign_copies = std::max<std::size_t>(benign_copies, 1);
+    adv_copies = std::max<std::size_t>(adv_copies, 1);
+  }
+  for (const Tensor& z : benign_rows) {
+    for (std::size_t c = 0; c < benign_copies; ++c) {
+      rows.push_back(z);
+      labels.push_back(0);
+    }
+  }
+  for (const Tensor& z : adv_rows) {
+    for (std::size_t c = 0; c < adv_copies; ++c) {
+      rows.push_back(z);
+      labels.push_back(1);
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  data::Dataset out;
+  out.images = Tensor::stack(rows);
+  out.labels = std::move(labels);
+  return out;
+}
+
+LogitDatasetStats train_detector(Detector& detector, nn::Sequential& model,
+                                 attacks::Attack& attack,
+                                 const data::Dataset& source,
+                                 const data::Dataset* extra_benign) {
+  LogitDatasetStats stats;
+  const data::Dataset logit_dataset =
+      build_logit_dataset(model, attack, source, detector.num_classes(),
+                          &stats, /*balance=*/true, extra_benign);
+  detector.train(logit_dataset);
+  return stats;
+}
+
+DetectorErrorRates evaluate_detector(Detector& detector,
+                                     nn::Sequential& /*model*/,
+                                     const data::Dataset& logit_dataset) {
+  DetectorErrorRates rates;
+  std::size_t benign_flagged = 0;
+  std::size_t adversarial_passed = 0;
+  for (std::size_t i = 0; i < logit_dataset.size(); ++i) {
+    const bool verdict = detector.is_adversarial(logit_dataset.example(i));
+    if (logit_dataset.labels[i] == 0) {
+      ++rates.benign_count;
+      if (verdict) ++benign_flagged;
+    } else {
+      ++rates.adversarial_count;
+      if (!verdict) ++adversarial_passed;
+    }
+  }
+  if (rates.benign_count > 0) {
+    rates.false_negative = static_cast<double>(benign_flagged) /
+                           static_cast<double>(rates.benign_count);
+  }
+  if (rates.adversarial_count > 0) {
+    rates.false_positive = static_cast<double>(adversarial_passed) /
+                           static_cast<double>(rates.adversarial_count);
+  }
+  return rates;
+}
+
+}  // namespace dcn::core

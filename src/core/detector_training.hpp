@@ -1,0 +1,61 @@
+// The paper's detector training protocol (Sec. 5.2): take benign examples
+// the standard DNN classifies correctly, generate 9 targeted CW-L2
+// adversarial examples for each, and train the detector on the resulting
+// logit vectors (benign logits labeled 0, adversarial logits labeled 1).
+#pragma once
+
+#include "attacks/attack.hpp"
+#include "core/detector.hpp"
+#include "data/dataset.hpp"
+
+namespace dcn::core {
+
+struct LogitDatasetStats {
+  std::size_t benign_count = 0;
+  std::size_t adversarial_count = 0;
+  std::size_t attack_failures = 0;  // targeted attempts that did not succeed
+};
+
+/// Build a logit dataset from `source` using `attack` for the adversarial
+/// half. Only examples `model` classifies correctly contribute (as in the
+/// paper); failed targeted attempts are skipped and counted.
+///
+/// `balance`: the paper's protocol yields a 1:9 benign:adversarial imbalance.
+/// At the paper's scale (1000 benign examples) a detector still trains fine;
+/// at smaller scales the MLP degenerates to "always adversarial". When true
+/// (default), the minority class's logit vectors are replicated so the two
+/// classes are roughly balanced — a training-set detail that does not change
+/// the protocol's content.
+///
+/// `extra_benign`: benign logits cost one forward pass (no attack), so a
+/// diverse benign pool is nearly free. Correctly-classified examples from
+/// this optional dataset contribute benign logit vectors only.
+data::Dataset build_logit_dataset(nn::Sequential& model,
+                                  attacks::Attack& attack,
+                                  const data::Dataset& source,
+                                  std::size_t num_classes,
+                                  LogitDatasetStats* stats = nullptr,
+                                  bool balance = true,
+                                  const data::Dataset* extra_benign = nullptr);
+
+/// Convenience: build the dataset and train the detector on it.
+LogitDatasetStats train_detector(Detector& detector, nn::Sequential& model,
+                                 attacks::Attack& attack,
+                                 const data::Dataset& source,
+                                 const data::Dataset* extra_benign = nullptr);
+
+/// Detector error rates in the paper's Table 2 terminology:
+/// - false negative: benign flagged adversarial (activates the corrector);
+/// - false positive: adversarial passed as benign (defeats the defense).
+struct DetectorErrorRates {
+  double false_negative = 0.0;
+  double false_positive = 0.0;
+  std::size_t benign_count = 0;
+  std::size_t adversarial_count = 0;
+};
+
+DetectorErrorRates evaluate_detector(Detector& detector,
+                                     nn::Sequential& model,
+                                     const data::Dataset& logit_dataset);
+
+}  // namespace dcn::core

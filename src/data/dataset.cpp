@@ -1,0 +1,78 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcn::data {
+
+std::size_t Dataset::num_classes() const {
+  if (labels.empty()) return 0;
+  return *std::max_element(labels.begin(), labels.end()) + 1;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.labels.reserve(indices.size());
+  std::vector<Tensor> rows;
+  rows.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    if (idx >= size()) throw std::out_of_range("Dataset::subset");
+    rows.push_back(images.row(idx));
+    out.labels.push_back(labels[idx]);
+  }
+  out.images = Tensor::stack(rows);
+  return out;
+}
+
+Dataset Dataset::take(std::size_t n) const {
+  n = std::min(n, size());
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return subset(idx);
+}
+
+Dataset Dataset::shuffled(Rng& rng) const {
+  return subset(rng.permutation(size()));
+}
+
+std::pair<Dataset, Dataset> Dataset::split(std::size_t n) const {
+  n = std::min(n, size());
+  std::vector<std::size_t> head(n), tail(size() - n);
+  for (std::size_t i = 0; i < n; ++i) head[i] = i;
+  for (std::size_t i = n; i < size(); ++i) tail[i - n] = i;
+  return {subset(head), tail.empty() ? Dataset{} : subset(tail)};
+}
+
+BatchIterator::BatchIterator(const Dataset& dataset, std::size_t batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("BatchIterator: batch_size must be > 0");
+  }
+}
+
+bool BatchIterator::next(Batch& out) {
+  if (cursor_ >= dataset_.size()) return false;
+  const std::size_t end = std::min(cursor_ + batch_size_, dataset_.size());
+  std::vector<Tensor> rows;
+  rows.reserve(end - cursor_);
+  out.labels.clear();
+  for (std::size_t i = cursor_; i < end; ++i) {
+    rows.push_back(dataset_.images.row(i));
+    out.labels.push_back(dataset_.labels[i]);
+  }
+  out.images = Tensor::stack(rows);
+  cursor_ = end;
+  return true;
+}
+
+double accuracy(const Dataset& dataset,
+                const std::function<std::size_t(const Tensor&)>& classify) {
+  if (dataset.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (classify(dataset.example(i)) == dataset.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(dataset.size());
+}
+
+}  // namespace dcn::data

@@ -1,0 +1,64 @@
+// Labeled dataset container with batching and splits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::data {
+
+/// A labeled dataset: `images` is [N, ...] (features or CHW images), and
+/// `labels[i]` is the class of row i. All library components use inputs
+/// normalized to [-0.5, 0.5], matching the paper / Carlini & Wagner.
+struct Dataset {
+  Tensor images;
+  std::vector<std::size_t> labels;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] std::size_t num_classes() const;
+
+  /// Row i as an example tensor (no batch axis).
+  [[nodiscard]] Tensor example(std::size_t i) const { return images.row(i); }
+
+  /// Subset by explicit indices.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// First n examples.
+  [[nodiscard]] Dataset take(std::size_t n) const;
+
+  /// Deterministic shuffled copy.
+  [[nodiscard]] Dataset shuffled(Rng& rng) const;
+
+  /// Split into (first `n`, rest).
+  [[nodiscard]] std::pair<Dataset, Dataset> split(std::size_t n) const;
+};
+
+/// A minibatch view materialized as owning tensors.
+struct Batch {
+  Tensor images;                    // [B, ...]
+  std::vector<std::size_t> labels;  // B labels
+};
+
+/// Deterministic minibatch iteration (last partial batch included).
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::size_t batch_size);
+
+  /// Returns false when exhausted.
+  bool next(Batch& out);
+
+  void reset() { cursor_ = 0; }
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  std::size_t cursor_ = 0;
+};
+
+/// Fraction of examples a classifier callback labels correctly.
+double accuracy(const Dataset& dataset,
+                const std::function<std::size_t(const Tensor&)>& classify);
+
+}  // namespace dcn::data

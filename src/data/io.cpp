@@ -1,0 +1,127 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <limits>
+#include <fstream>
+#include <stdexcept>
+
+#include "data/transforms.hpp"
+
+namespace dcn::data {
+
+namespace {
+
+constexpr const char* kMagic = "DCNDATASETv1";
+
+std::uint32_t read_be32(std::istream& in) {
+  unsigned char b[4];
+  in.read(reinterpret_cast<char*>(b), 4);
+  if (!in) throw std::runtime_error("idx: truncated header");
+  return (std::uint32_t(b[0]) << 24) | (std::uint32_t(b[1]) << 16) |
+         (std::uint32_t(b[2]) << 8) | std::uint32_t(b[3]);
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, std::ostream& out) {
+  out << kMagic << '\n' << dataset.images.rank();
+  for (std::size_t d : dataset.images.shape().dims()) out << ' ' << d;
+  out << '\n' << dataset.labels.size() << '\n';
+  for (std::size_t l : dataset.labels) out << l << ' ';
+  out << '\n';
+  out.write(
+      reinterpret_cast<const char*>(dataset.images.data().data()),
+      static_cast<std::streamsize>(dataset.images.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_dataset: write failed");
+}
+
+Dataset load_dataset(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    throw std::runtime_error("load_dataset: bad magic '" + magic + "'");
+  }
+  std::size_t rank = 0;
+  in >> rank;
+  if (rank > 8) throw std::runtime_error("load_dataset: absurd rank");
+  std::vector<std::size_t> dims(rank);
+  for (auto& d : dims) in >> d;
+  std::size_t label_count = 0;
+  in >> label_count;
+  Dataset out;
+  out.labels.resize(label_count);
+  for (auto& l : out.labels) in >> l;
+  // Skip the remainder of the header line; the float payload follows.
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  out.images = Tensor(Shape(dims));
+  in.read(reinterpret_cast<char*>(out.images.data().data()),
+          static_cast<std::streamsize>(out.images.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("load_dataset: read failed");
+  if (rank >= 1 && dims[0] != label_count) {
+    throw std::runtime_error("load_dataset: label/image count mismatch");
+  }
+  return out;
+}
+
+void save_dataset_file(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_dataset_file: cannot open " + path);
+  save_dataset(dataset, out);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_dataset_file: cannot open " + path);
+  return load_dataset(in);
+}
+
+Dataset load_idx(std::istream& images, std::istream& labels) {
+  if (read_be32(images) != 0x00000803U) {
+    throw std::runtime_error("idx: image magic mismatch (want 0x803)");
+  }
+  const std::uint32_t n = read_be32(images);
+  const std::uint32_t h = read_be32(images);
+  const std::uint32_t w = read_be32(images);
+  if (read_be32(labels) != 0x00000801U) {
+    throw std::runtime_error("idx: label magic mismatch (want 0x801)");
+  }
+  const std::uint32_t n_labels = read_be32(labels);
+  if (n != n_labels) {
+    throw std::runtime_error("idx: image/label count mismatch");
+  }
+
+  Dataset out;
+  out.images = Tensor(Shape{n, 1, h, w});
+  out.labels.resize(n);
+  std::vector<unsigned char> buf(static_cast<std::size_t>(h) * w);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    images.read(reinterpret_cast<char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+    if (!images) throw std::runtime_error("idx: truncated image payload");
+    for (std::size_t p = 0; p < buf.size(); ++p) {
+      // [0, 255] -> [-0.5, 0.5], the library-wide input range.
+      out.images[i * buf.size() + p] =
+          static_cast<float>(buf[p]) / 255.0F + kPixelMin;
+    }
+    char lab = 0;
+    labels.read(&lab, 1);
+    if (!labels) throw std::runtime_error("idx: truncated label payload");
+    out.labels[i] = static_cast<std::size_t>(static_cast<unsigned char>(lab));
+  }
+  return out;
+}
+
+Dataset load_idx_files(const std::string& images_path,
+                       const std::string& labels_path) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) {
+    throw std::runtime_error("load_idx_files: cannot open " + images_path);
+  }
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) {
+    throw std::runtime_error("load_idx_files: cannot open " + labels_path);
+  }
+  return load_idx(images, labels);
+}
+
+}  // namespace dcn::data

@@ -1,0 +1,34 @@
+// Dataset persistence.
+//
+// Two formats:
+//  - a native binary format for any Dataset (shape + labels + float payload),
+//    so expensive synthetic/adversarial datasets can be cached across runs;
+//  - the IDX format of the real MNIST distribution (idx3-ubyte images,
+//    idx1-ubyte labels). The environment this library was developed in has
+//    no copy of MNIST, but a downstream user who has the files can load them
+//    and run every experiment on the real data — this is the bridge across
+//    the synthetic-data substitution documented in DESIGN.md. Pixels are
+//    mapped to the library's [-0.5, 0.5] range.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace dcn::data {
+
+/// Native binary round-trip.
+void save_dataset(const Dataset& dataset, std::ostream& out);
+Dataset load_dataset(std::istream& in);
+void save_dataset_file(const Dataset& dataset, const std::string& path);
+Dataset load_dataset_file(const std::string& path);
+
+/// Load MNIST-style IDX files (big-endian, magic 0x00000803 images /
+/// 0x00000801 labels). Images come out as [N, 1, H, W] in [-0.5, 0.5].
+/// Throws std::runtime_error on malformed input.
+Dataset load_idx(std::istream& images, std::istream& labels);
+Dataset load_idx_files(const std::string& images_path,
+                       const std::string& labels_path);
+
+}  // namespace dcn::data

@@ -1,0 +1,195 @@
+#include "data/synth_cifar.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace dcn::data {
+
+namespace {
+
+struct Rgb {
+  float r, g, b;
+};
+
+// Base colors per class, jittered at render time. Chosen so neighbors in
+// class index are not trivially separable by color alone.
+constexpr std::array<Rgb, 10> kBaseColors = {{
+    {0.55F, 0.70F, 0.90F},  // 0 stripes-h  (sky-ish)
+    {0.85F, 0.45F, 0.40F},  // 1 stripes-v
+    {0.60F, 0.80F, 0.45F},  // 2 stripes-diag
+    {0.80F, 0.75F, 0.40F},  // 3 checker
+    {0.50F, 0.50F, 0.85F},  // 4 disk
+    {0.85F, 0.60F, 0.75F},  // 5 ring
+    {0.45F, 0.75F, 0.75F},  // 6 square
+    {0.80F, 0.55F, 0.30F},  // 7 cross
+    {0.55F, 0.55F, 0.55F},  // 8 radial gradient
+    {0.70F, 0.40F, 0.70F},  // 9 triangles
+}};
+
+float smoothstep(float lo, float hi, float x) {
+  const float t = std::clamp((x - lo) / (hi - lo), 0.0F, 1.0F);
+  return t * t * (3.0F - 2.0F * t);
+}
+
+}  // namespace
+
+Tensor SynthCifar::render(std::size_t label, Rng& rng) const {
+  if (label >= kNumClasses) {
+    throw std::invalid_argument("SynthCifar::render: label out of range");
+  }
+  const auto& cfg = config_;
+  const std::size_t s = cfg.image_size;
+  constexpr float pi = std::numbers::pi_v<float>;
+
+  Rgb fg = kBaseColors[label];
+  fg.r = std::clamp(
+      fg.r + static_cast<float>(rng.uniform(-cfg.color_jitter, cfg.color_jitter)),
+      0.05F, 0.95F);
+  fg.g = std::clamp(
+      fg.g + static_cast<float>(rng.uniform(-cfg.color_jitter, cfg.color_jitter)),
+      0.05F, 0.95F);
+  fg.b = std::clamp(
+      fg.b + static_cast<float>(rng.uniform(-cfg.color_jitter, cfg.color_jitter)),
+      0.05F, 0.95F);
+  const Rgb bg{1.0F - fg.r * 0.8F, 1.0F - fg.g * 0.8F, 1.0F - fg.b * 0.8F};
+
+  // Pattern parameters with deliberate cross-class ambiguity: stripe angle is
+  // drawn around the class canonical angle with overlap into the neighbors.
+  const float freq = static_cast<float>(rng.uniform(2.2, 4.5));
+  const float phase = static_cast<float>(rng.uniform(0.0, 2.0 * pi));
+  const float cx = static_cast<float>(rng.uniform(0.35, 0.65));
+  const float cy = static_cast<float>(rng.uniform(0.35, 0.65));
+  const float radius = static_cast<float>(rng.uniform(0.18, 0.34));
+  float stripe_angle = 0.0F;
+  if (label == 0) stripe_angle = static_cast<float>(rng.uniform(-0.3, 0.3));
+  if (label == 1) {
+    stripe_angle = pi / 2 + static_cast<float>(rng.uniform(-0.3, 0.3));
+  }
+  if (label == 2) {
+    stripe_angle = pi / 4 + static_cast<float>(rng.uniform(-0.35, 0.35));
+  }
+
+  Tensor img(Shape{3, s, s});
+  auto put = [&](std::size_t y, std::size_t x, float mix) {
+    img(0, y, x) = bg.r + (fg.r - bg.r) * mix;
+    img(1, y, x) = bg.g + (fg.g - bg.g) * mix;
+    img(2, y, x) = bg.b + (fg.b - bg.b) * mix;
+  };
+
+  // Triangle vertices for class 9.
+  std::array<float, 6> tri{};
+  for (auto& t : tri) t = static_cast<float>(rng.uniform(0.15, 0.85));
+
+  for (std::size_t y = 0; y < s; ++y) {
+    for (std::size_t x = 0; x < s; ++x) {
+      const float u = (static_cast<float>(x) + 0.5F) / s;
+      const float v = (static_cast<float>(y) + 0.5F) / s;
+      float mix = 0.0F;
+      switch (label) {
+        case 0:
+        case 1:
+        case 2: {  // oriented stripes
+          const float t = u * std::cos(stripe_angle) +
+                          v * std::sin(stripe_angle);
+          mix = 0.5F + 0.5F * std::sin(2.0F * pi * freq * t + phase);
+          mix = smoothstep(0.35F, 0.65F, mix);
+          break;
+        }
+        case 3: {  // checkerboard
+          const int ix = static_cast<int>(u * freq * 2.0F + phase);
+          const int iy = static_cast<int>(v * freq * 2.0F);
+          mix = ((ix + iy) % 2 == 0) ? 1.0F : 0.0F;
+          break;
+        }
+        case 4: {  // filled disk
+          const float d = std::hypot(u - cx, v - cy);
+          mix = 1.0F - smoothstep(radius - 0.03F, radius + 0.03F, d);
+          break;
+        }
+        case 5: {  // ring
+          const float d = std::hypot(u - cx, v - cy);
+          const float band = 0.07F;
+          mix = smoothstep(radius - band, radius - band * 0.4F, d) *
+                (1.0F - smoothstep(radius + band * 0.4F, radius + band, d));
+          break;
+        }
+        case 6: {  // axis-aligned square
+          const float dx = std::abs(u - cx), dy = std::abs(v - cy);
+          mix = (std::max(dx, dy) < radius) ? 1.0F : 0.0F;
+          break;
+        }
+        case 7: {  // cross
+          const float arm = radius * 0.45F;
+          const bool horiz = std::abs(v - cy) < arm && std::abs(u - cx) < radius * 1.6F;
+          const bool vert = std::abs(u - cx) < arm && std::abs(v - cy) < radius * 1.6F;
+          mix = (horiz || vert) ? 1.0F : 0.0F;
+          break;
+        }
+        case 8: {  // radial gradient
+          const float d = std::hypot(u - cx, v - cy);
+          mix = std::clamp(1.0F - d / (radius * 2.2F), 0.0F, 1.0F);
+          break;
+        }
+        case 9: {  // triangle (barycentric sign test)
+          const float x0 = tri[0], y0 = tri[1], x1 = tri[2], y1 = tri[3],
+                      x2 = tri[4], y2 = tri[5];
+          const float d0 = (u - x1) * (y0 - y1) - (x0 - x1) * (v - y1);
+          const float d1 = (u - x2) * (y1 - y2) - (x1 - x2) * (v - y2);
+          const float d2 = (u - x0) * (y2 - y0) - (x2 - x0) * (v - y0);
+          const bool neg = (d0 < 0) || (d1 < 0) || (d2 < 0);
+          const bool pos = (d0 > 0) || (d1 > 0) || (d2 > 0);
+          mix = !(neg && pos) ? 1.0F : 0.0F;
+          break;
+        }
+        default:
+          break;
+      }
+      put(y, x, mix);
+    }
+  }
+
+  // Distractor blobs (same for all classes) blur class boundaries further.
+  for (std::size_t blob = 0; blob < cfg.distractor_blobs; ++blob) {
+    const float bx = static_cast<float>(rng.uniform(0.1, 0.9));
+    const float by = static_cast<float>(rng.uniform(0.1, 0.9));
+    const float br = static_cast<float>(rng.uniform(0.04, 0.10));
+    const float shade = static_cast<float>(rng.uniform(-0.35, 0.35));
+    for (std::size_t y = 0; y < s; ++y) {
+      for (std::size_t x = 0; x < s; ++x) {
+        const float u = (static_cast<float>(x) + 0.5F) / s;
+        const float v = (static_cast<float>(y) + 0.5F) / s;
+        const float d = std::hypot(u - bx, v - by);
+        if (d < br) {
+          const float w = 1.0F - d / br;
+          for (std::size_t ch = 0; ch < 3; ++ch) {
+            img(ch, y, x) += shade * w;
+          }
+        }
+      }
+    }
+  }
+
+  // Heavy noise, then shift to [-0.5, 0.5].
+  for (auto& val : img.data()) {
+    val += static_cast<float>(rng.normal(0.0, cfg.noise_stddev));
+    val = std::clamp(val, 0.0F, 1.0F) - 0.5F;
+  }
+  return img;
+}
+
+Dataset SynthCifar::generate(std::size_t count, Rng& rng) const {
+  std::vector<Tensor> rows;
+  rows.reserve(count);
+  Dataset out;
+  out.labels.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t label = i % kNumClasses;
+    rows.push_back(render(label, rng));
+    out.labels.push_back(label);
+  }
+  out.images = Tensor::stack(rows);
+  return out;
+}
+
+}  // namespace dcn::data

@@ -1,0 +1,163 @@
+#include "data/synth_mnist.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace dcn::data {
+
+namespace {
+
+struct Point {
+  float x;
+  float y;
+};
+
+using Stroke = std::vector<Point>;
+
+// Closed arc approximated as a polyline. Angles in radians, y grows downward.
+Stroke arc(Point center, float rx, float ry, float a0, float a1, int segs) {
+  Stroke s;
+  s.reserve(static_cast<std::size_t>(segs) + 1);
+  for (int i = 0; i <= segs; ++i) {
+    const float t = a0 + (a1 - a0) * static_cast<float>(i) / segs;
+    s.push_back({center.x + rx * std::cos(t), center.y + ry * std::sin(t)});
+  }
+  return s;
+}
+
+// Stroke templates per digit in a normalized frame: x,y in [0.15, 0.85],
+// y grows downward. Loosely modeled on handwritten digit skeletons.
+std::vector<Stroke> digit_strokes(std::size_t digit) {
+  constexpr float pi = std::numbers::pi_v<float>;
+  switch (digit) {
+    case 0:
+      return {arc({0.5F, 0.5F}, 0.22F, 0.32F, 0.0F, 2.0F * pi, 24)};
+    case 1:
+      return {{{0.40F, 0.30F}, {0.52F, 0.18F}, {0.52F, 0.82F}}};
+    case 2:
+      return {arc({0.5F, 0.34F}, 0.20F, 0.16F, -pi, 0.35F, 12),
+              {{0.68F, 0.42F}, {0.32F, 0.80F}, {0.72F, 0.80F}}};
+    case 3:
+      return {arc({0.48F, 0.34F}, 0.18F, 0.15F, -pi * 0.9F, pi * 0.5F, 12),
+              arc({0.48F, 0.65F}, 0.20F, 0.17F, -pi * 0.5F, pi * 0.9F, 12)};
+    case 4:
+      return {{{0.62F, 0.82F}, {0.62F, 0.18F}, {0.30F, 0.60F}, {0.76F, 0.60F}}};
+    case 5:
+      return {{{0.70F, 0.20F}, {0.36F, 0.20F}, {0.34F, 0.48F}},
+              arc({0.50F, 0.62F}, 0.20F, 0.18F, -pi * 0.55F, pi * 0.75F, 14)};
+    case 6:
+      return {{{0.64F, 0.18F}, {0.40F, 0.44F}, {0.34F, 0.62F}},
+              arc({0.50F, 0.64F}, 0.17F, 0.16F, 0.0F, 2.0F * pi, 18)};
+    case 7:
+      return {{{0.28F, 0.20F}, {0.72F, 0.20F}, {0.44F, 0.82F}}};
+    case 8:
+      return {arc({0.50F, 0.34F}, 0.16F, 0.15F, 0.0F, 2.0F * pi, 18),
+              arc({0.50F, 0.66F}, 0.19F, 0.17F, 0.0F, 2.0F * pi, 18)};
+    case 9:
+      return {arc({0.52F, 0.36F}, 0.17F, 0.16F, 0.0F, 2.0F * pi, 18),
+              {{0.69F, 0.38F}, {0.64F, 0.62F}, {0.52F, 0.82F}}};
+    default:
+      throw std::invalid_argument("digit_strokes: digit out of range");
+  }
+}
+
+// Squared distance from point p to segment ab.
+float dist2_to_segment(Point p, Point a, Point b) {
+  const float abx = b.x - a.x, aby = b.y - a.y;
+  const float apx = p.x - a.x, apy = p.y - a.y;
+  const float len2 = abx * abx + aby * aby;
+  float t = len2 > 0.0F ? (apx * abx + apy * aby) / len2 : 0.0F;
+  t = std::clamp(t, 0.0F, 1.0F);
+  const float dx = apx - t * abx, dy = apy - t * aby;
+  return dx * dx + dy * dy;
+}
+
+struct Affine {
+  // [x'; y'] = M [x-0.5; y-0.5] + [0.5 + tx; 0.5 + ty]
+  float m00, m01, m10, m11, tx, ty;
+
+  [[nodiscard]] Point apply(Point p) const {
+    const float cx = p.x - 0.5F, cy = p.y - 0.5F;
+    return {m00 * cx + m01 * cy + 0.5F + tx, m10 * cx + m11 * cy + 0.5F + ty};
+  }
+};
+
+}  // namespace
+
+Tensor SynthMnist::render(std::size_t digit, Rng& rng) const {
+  const auto& cfg = config_;
+  const std::size_t s = cfg.image_size;
+  constexpr float pi = std::numbers::pi_v<float>;
+
+  const float angle = static_cast<float>(
+      rng.uniform(-cfg.max_rotation_deg, cfg.max_rotation_deg) * pi / 180.0);
+  const float scale =
+      static_cast<float>(rng.uniform(cfg.min_scale, cfg.max_scale));
+  const float shear =
+      static_cast<float>(rng.uniform(-cfg.max_shear, cfg.max_shear));
+  const float tx =
+      static_cast<float>(rng.uniform(-cfg.max_translate, cfg.max_translate));
+  const float ty =
+      static_cast<float>(rng.uniform(-cfg.max_translate, cfg.max_translate));
+  const float c = std::cos(angle), sn = std::sin(angle);
+  const Affine xf{scale * (c + shear * sn), scale * (-sn + shear * c),
+                  scale * sn, scale * c, tx, ty};
+
+  // Transform all stroke control points once.
+  std::vector<Stroke> strokes = digit_strokes(digit);
+  for (auto& stroke : strokes) {
+    for (auto& p : stroke) p = xf.apply(p);
+  }
+
+  const float thickness = static_cast<float>(
+      rng.uniform(cfg.min_thickness, cfg.max_thickness));
+  const float soft = thickness * 0.6F;  // antialiasing band
+
+  Tensor img(Shape{1, s, s});
+  for (std::size_t py = 0; py < s; ++py) {
+    for (std::size_t px = 0; px < s; ++px) {
+      const Point p{(static_cast<float>(px) + 0.5F) / s,
+                    (static_cast<float>(py) + 0.5F) / s};
+      float d2_min = 1e9F;
+      for (const auto& stroke : strokes) {
+        for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+          d2_min = std::min(d2_min, dist2_to_segment(p, stroke[i],
+                                                     stroke[i + 1]));
+        }
+      }
+      const float d = std::sqrt(d2_min);
+      float intensity = 0.0F;
+      if (d < thickness) {
+        intensity = 1.0F;
+      } else if (d < thickness + soft) {
+        intensity = 1.0F - (d - thickness) / soft;
+      }
+      img(0, py, px) = intensity;
+    }
+  }
+
+  // Pixel noise, then shift to the paper's [-0.5, 0.5] input range.
+  for (auto& v : img.data()) {
+    v += static_cast<float>(rng.normal(0.0, cfg.noise_stddev));
+    v = std::clamp(v, 0.0F, 1.0F) - 0.5F;
+  }
+  return img;
+}
+
+Dataset SynthMnist::generate(std::size_t count, Rng& rng) const {
+  std::vector<Tensor> rows;
+  rows.reserve(count);
+  Dataset out;
+  out.labels.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t digit = i % kNumClasses;
+    rows.push_back(render(digit, rng));
+    out.labels.push_back(digit);
+  }
+  out.images = Tensor::stack(rows);
+  return out;
+}
+
+}  // namespace dcn::data

@@ -1,0 +1,46 @@
+// Procedural MNIST substitute: stroke-rendered digits 0-9.
+//
+// The environment has no network access and no copy of the IDX files, so the
+// benchmark dataset is synthesized (see DESIGN.md "Substitutions"). Each
+// digit class is a fixed set of polyline strokes in a normalized coordinate
+// frame; every sample applies a random affine jitter (rotation, scale,
+// translation, shear), random stroke thickness, and pixel noise, then
+// rasterizes to a 28x28 grayscale image normalized to [-0.5, 0.5].
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace dcn::data {
+
+struct SynthMnistConfig {
+  std::size_t image_size = 28;
+  float noise_stddev = 0.04F;    // additive Gaussian pixel noise
+  float max_rotation_deg = 12.0F;
+  float max_translate = 0.08F;   // fraction of image size
+  float min_scale = 0.80F;
+  float max_scale = 1.05F;
+  float max_shear = 0.12F;
+  float min_thickness = 0.050F;  // stroke half-width, normalized units
+  float max_thickness = 0.085F;
+};
+
+class SynthMnist {
+ public:
+  explicit SynthMnist(SynthMnistConfig config = {}) : config_(config) {}
+
+  /// Generate `count` samples with labels drawn round-robin over the 10
+  /// classes (deterministic given the rng state).
+  [[nodiscard]] Dataset generate(std::size_t count, Rng& rng) const;
+
+  /// Render a single digit of the given class. Output shape [1, S, S].
+  [[nodiscard]] Tensor render(std::size_t digit, Rng& rng) const;
+
+  [[nodiscard]] const SynthMnistConfig& config() const { return config_; }
+
+  static constexpr std::size_t kNumClasses = 10;
+
+ private:
+  SynthMnistConfig config_;
+};
+
+}  // namespace dcn::data

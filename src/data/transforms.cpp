@@ -1,0 +1,89 @@
+#include "data/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dcn::data {
+
+Tensor clip_to_box(Tensor x) {
+  x.clamp(kPixelMin, kPixelMax);
+  return x;
+}
+
+Tensor reduce_bit_depth(const Tensor& x, unsigned bits) {
+  if (bits == 0 || bits > 16) {
+    throw std::invalid_argument("reduce_bit_depth: bits must be in [1, 16]");
+  }
+  const float levels = static_cast<float>((1U << bits) - 1U);
+  return x.map([levels](float v) {
+    const float unit = (v - kPixelMin) / (kPixelMax - kPixelMin);
+    const float quantized = std::round(unit * levels) / levels;
+    return kPixelMin + quantized * (kPixelMax - kPixelMin);
+  });
+}
+
+Tensor median_smooth(const Tensor& image, std::size_t window) {
+  if (image.rank() != 3) {
+    throw std::invalid_argument("median_smooth: expected [C, H, W]");
+  }
+  if (window % 2 == 0 || window == 0) {
+    throw std::invalid_argument("median_smooth: window must be odd");
+  }
+  const std::size_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(window / 2);
+  Tensor out(image.shape());
+  std::vector<float> buf;
+  buf.reserve(window * window);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        buf.clear();
+        for (std::ptrdiff_t dy = -half; dy <= half; ++dy) {
+          for (std::ptrdiff_t dx = -half; dx <= half; ++dx) {
+            // Reflect at the borders.
+            std::ptrdiff_t yy = static_cast<std::ptrdiff_t>(y) + dy;
+            std::ptrdiff_t xx = static_cast<std::ptrdiff_t>(x) + dx;
+            yy = std::clamp<std::ptrdiff_t>(yy, 0, h - 1);
+            xx = std::clamp<std::ptrdiff_t>(xx, 0, w - 1);
+            buf.push_back(image(ch, static_cast<std::size_t>(yy),
+                                static_cast<std::size_t>(xx)));
+          }
+        }
+        std::nth_element(buf.begin(), buf.begin() + buf.size() / 2,
+                         buf.end());
+        out(ch, y, x) = buf[buf.size() / 2];
+      }
+    }
+  }
+  return out;
+}
+
+std::string ascii_render(const Tensor& image) {
+  std::size_t h = 0, w = 0;
+  if (image.rank() == 3 && image.dim(0) == 1) {
+    h = image.dim(1);
+    w = image.dim(2);
+  } else if (image.rank() == 2) {
+    h = image.dim(0);
+    w = image.dim(1);
+  } else {
+    throw std::invalid_argument("ascii_render: expected [1,H,W] or [H,W]");
+  }
+  static constexpr const char* kRamp = " .:-=+*#%@";
+  std::ostringstream os;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const float v = image[y * w + x];
+      const float unit =
+          std::clamp((v - kPixelMin) / (kPixelMax - kPixelMin), 0.0F, 1.0F);
+      os << kRamp[static_cast<std::size_t>(unit * 9.0F + 0.5F)];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dcn::data

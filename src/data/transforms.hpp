@@ -1,0 +1,27 @@
+// Input-domain transforms shared by defenses and data pipelines.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dcn::data {
+
+/// The valid input box used throughout the library (paper normalization).
+constexpr float kPixelMin = -0.5F;
+constexpr float kPixelMax = 0.5F;
+
+/// Clamp every element into the valid pixel box.
+Tensor clip_to_box(Tensor x);
+
+/// Reduce color bit depth to `bits` (feature-squeezing primitive). Values are
+/// quantized on the [kPixelMin, kPixelMax] range.
+Tensor reduce_bit_depth(const Tensor& x, unsigned bits);
+
+/// Median smoothing with a square window over each channel of a [C, H, W]
+/// image (feature-squeezing primitive). `window` must be odd.
+Tensor median_smooth(const Tensor& image, std::size_t window);
+
+/// ASCII-art rendering of a single-channel [1, H, W] (or [H, W]) image for
+/// terminal diagnostics (used by examples and Fig. 1 bench).
+std::string ascii_render(const Tensor& image);
+
+}  // namespace dcn::data

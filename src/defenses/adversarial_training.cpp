@@ -1,0 +1,51 @@
+#include "defenses/adversarial_training.hpp"
+
+#include "attacks/gradient.hpp"
+#include "data/transforms.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace dcn::defenses {
+
+AdversariallyTrainedModel::AdversariallyTrainedModel(
+    const data::Dataset& train_set,
+    const std::function<nn::Sequential(Rng&)>& make_model, Rng& rng,
+    AdversarialTrainingConfig config)
+    : model_(make_model(rng)) {
+  nn::Adam optimizer({.learning_rate = config.recipe.learning_rate});
+  Rng shuffle_rng(config.recipe.shuffle_seed);
+  Rng pick_rng = rng.fork();
+
+  for (std::size_t epoch = 0; epoch < config.recipe.epochs; ++epoch) {
+    const data::Dataset order = train_set.shuffled(shuffle_rng);
+    data::BatchIterator it(order, config.recipe.batch_size);
+    data::Batch batch;
+    while (it.next(batch)) {
+      // Replace a fraction of the batch with FGSM examples against the
+      // *current* parameters (label unchanged — the model must resist).
+      Tensor images = batch.images;
+      for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+        if (!pick_rng.bernoulli(config.adversarial_weight)) continue;
+        const Tensor x = images.row(i);
+        const Tensor grad =
+            attacks::loss_input_gradient(model_, x, batch.labels[i]);
+        Tensor adv = x;
+        for (std::size_t j = 0; j < adv.size(); ++j) {
+          const float s =
+              grad[j] > 0.0F ? 1.0F : (grad[j] < 0.0F ? -1.0F : 0.0F);
+          adv[j] = std::clamp(adv[j] + config.epsilon * s, data::kPixelMin,
+                              data::kPixelMax);
+        }
+        images.set_row(i, adv);
+      }
+      Tensor logits = model_.forward(images, /*train=*/true);
+      const nn::LossResult loss =
+          nn::softmax_cross_entropy(logits, batch.labels);
+      model_.zero_grad();
+      model_.backward(loss.grad);
+      optimizer.step(model_.params());
+    }
+  }
+}
+
+}  // namespace dcn::defenses

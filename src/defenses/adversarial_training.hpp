@@ -1,0 +1,43 @@
+// Adversarial training (Goodfellow et al. 2015) — the robustness-by-
+// retraining baseline the paper's related work (Sec. 1) contrasts DCN
+// against. Each epoch mixes clean minibatches with FGSM examples generated
+// on the fly against the current model parameters.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "defenses/classifier.hpp"
+#include "models/model_zoo.hpp"
+
+namespace dcn::defenses {
+
+struct AdversarialTrainingConfig {
+  float epsilon = 0.1F;          // FGSM budget during training
+  float adversarial_weight = 0.5F;  // fraction of each batch made adversarial
+  models::TrainRecipe recipe;
+};
+
+/// Train a model of the given architecture with FGSM data augmentation.
+class AdversariallyTrainedModel final : public Classifier {
+ public:
+  AdversariallyTrainedModel(
+      const data::Dataset& train_set,
+      const std::function<nn::Sequential(Rng&)>& make_model, Rng& rng,
+      AdversarialTrainingConfig config = {});
+
+  std::size_t classify(const Tensor& x) override {
+    return model_.classify(x);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "AdversarialTraining";
+  }
+
+  [[nodiscard]] nn::Sequential& model() { return model_; }
+
+ private:
+  nn::Sequential model_;
+};
+
+}  // namespace dcn::defenses

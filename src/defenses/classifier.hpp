@@ -1,0 +1,44 @@
+// Common single-example classifier interface shared by the standard DNN,
+// distillation, RC, and DCN, so the evaluation harness can treat every
+// defense uniformly.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::defenses {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Predicted class for one example (no batch axis).
+  virtual std::size_t classify(const Tensor& x) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  Classifier() = default;
+  Classifier(const Classifier&) = delete;
+  Classifier& operator=(const Classifier&) = delete;
+};
+
+/// Adapter: a plain Sequential model as a Classifier ("Standard DNN").
+class ModelClassifier final : public Classifier {
+ public:
+  explicit ModelClassifier(nn::Sequential& model, std::string label = "DNN")
+      : model_(&model), label_(std::move(label)) {}
+
+  std::size_t classify(const Tensor& x) override {
+    return model_->classify(x);
+  }
+
+  [[nodiscard]] std::string name() const override { return label_; }
+
+ private:
+  nn::Sequential* model_;
+  std::string label_;
+};
+
+}  // namespace dcn::defenses

@@ -1,0 +1,50 @@
+#include "defenses/distillation.hpp"
+
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcn::defenses {
+
+DistilledModel::DistilledModel(
+    const data::Dataset& train_set,
+    const std::function<nn::Sequential(Rng&)>& make_model, Rng& rng,
+    DistillationConfig config)
+    : teacher_(make_model(rng)), student_(make_model(rng)) {
+  // 1. Teacher trained on hard labels at temperature T.
+  {
+    nn::Adam optimizer({.learning_rate = config.teacher_recipe.learning_rate});
+    nn::TrainConfig tc{.epochs = config.teacher_recipe.epochs,
+                       .batch_size = config.teacher_recipe.batch_size,
+                       .temperature = config.temperature,
+                       .shuffle = true,
+                       .shuffle_seed = config.teacher_recipe.shuffle_seed,
+                       .on_epoch = {}};
+    nn::train(teacher_, train_set, optimizer, tc);
+  }
+
+  // 2. Soft labels: teacher's temperature-T softmax over the training set.
+  const std::size_t n = train_set.size();
+  std::vector<Tensor> soft_rows;
+  soft_rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor logits = teacher_.logits(train_set.example(i));
+    soft_rows.push_back(ops::softmax(logits, config.temperature));
+  }
+  const Tensor soft_targets = Tensor::stack(soft_rows);
+
+  // 3. Student trained on the soft labels at temperature T; evaluated at
+  // T = 1 (argmax of raw logits — the standard distillation deployment).
+  {
+    nn::Adam optimizer({.learning_rate = config.student_recipe.learning_rate});
+    nn::TrainConfig tc{.epochs = config.student_recipe.epochs,
+                       .batch_size = config.student_recipe.batch_size,
+                       .temperature = config.temperature,
+                       .shuffle = true,
+                       .shuffle_seed = config.student_recipe.shuffle_seed,
+                       .on_epoch = {}};
+    nn::train_soft(student_, train_set.images, soft_targets, train_set.labels,
+                   optimizer, tc);
+  }
+}
+
+}  // namespace dcn::defenses

@@ -1,0 +1,46 @@
+// Defensive distillation (Papernot et al., S&P 2016).
+//
+// Train a teacher at temperature T, relabel the training set with the
+// teacher's temperature-T soft probabilities, then train a student of the
+// same architecture on the soft labels at temperature T. At test time the
+// student runs at T = 1 (plain logits argmax). The paper uses T = 100.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "defenses/classifier.hpp"
+#include "models/model_zoo.hpp"
+
+namespace dcn::defenses {
+
+struct DistillationConfig {
+  float temperature = 100.0F;
+  models::TrainRecipe teacher_recipe;
+  models::TrainRecipe student_recipe;
+};
+
+/// Holds the distilled student (and the teacher, for inspection).
+class DistilledModel final : public Classifier {
+ public:
+  /// `make_model` builds a fresh architecture instance (called twice, for
+  /// teacher and student) from the given RNG.
+  DistilledModel(const data::Dataset& train_set,
+                 const std::function<nn::Sequential(Rng&)>& make_model,
+                 Rng& rng, DistillationConfig config = {});
+
+  std::size_t classify(const Tensor& x) override {
+    return student_.classify(x);
+  }
+
+  [[nodiscard]] std::string name() const override { return "Distillation"; }
+
+  [[nodiscard]] nn::Sequential& student() { return student_; }
+  [[nodiscard]] nn::Sequential& teacher() { return teacher_; }
+
+ private:
+  nn::Sequential teacher_;
+  nn::Sequential student_;
+};
+
+}  // namespace dcn::defenses

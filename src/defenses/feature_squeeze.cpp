@@ -1,0 +1,36 @@
+#include "defenses/feature_squeeze.hpp"
+
+#include <algorithm>
+
+#include "data/transforms.hpp"
+
+namespace dcn::defenses {
+
+FeatureSqueezeDetector::FeatureSqueezeDetector(nn::Sequential& model,
+                                               FeatureSqueezeConfig config)
+    : model_(&model), config_(config) {}
+
+double FeatureSqueezeDetector::score(const Tensor& x) {
+  const Tensor p0 = model_->probabilities(x);
+  auto l1 = [&p0](const Tensor& p) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      acc += std::abs(static_cast<double>(p0[i]) - p[i]);
+    }
+    return acc;
+  };
+  double best = 0.0;
+  best = std::max(best, l1(model_->probabilities(
+                      data::reduce_bit_depth(x, config_.bit_depth))));
+  if (x.rank() == 3) {  // median smoothing is defined on [C, H, W] images
+    best = std::max(best, l1(model_->probabilities(data::median_smooth(
+                        x, config_.median_window))));
+  }
+  return best;
+}
+
+bool FeatureSqueezeDetector::is_adversarial(const Tensor& x) {
+  return score(x) > config_.threshold;
+}
+
+}  // namespace dcn::defenses

@@ -1,0 +1,36 @@
+// Feature squeezing (Xu et al. 2017), the detection baseline the paper
+// discusses in Sec. 2.3: compare the model's prediction on the original
+// input with its predictions on "squeezed" versions (reduced bit depth,
+// median smoothing); a large disagreement flags the input as adversarial.
+#pragma once
+
+#include "defenses/classifier.hpp"
+
+namespace dcn::defenses {
+
+struct FeatureSqueezeConfig {
+  unsigned bit_depth = 4;          // color-depth squeezer
+  std::size_t median_window = 3;   // spatial-smoothing squeezer (odd)
+  float threshold = 0.5F;          // L1 softmax-distance detection threshold
+};
+
+class FeatureSqueezeDetector {
+ public:
+  FeatureSqueezeDetector(nn::Sequential& model,
+                         FeatureSqueezeConfig config = {});
+
+  /// True when the maximum L1 distance between the softmax of the original
+  /// and any squeezed variant exceeds the threshold.
+  bool is_adversarial(const Tensor& x);
+
+  /// The detection score itself (max L1 distance over squeezers).
+  double score(const Tensor& x);
+
+  [[nodiscard]] const FeatureSqueezeConfig& config() const { return config_; }
+
+ private:
+  nn::Sequential* model_;
+  FeatureSqueezeConfig config_;
+};
+
+}  // namespace dcn::defenses

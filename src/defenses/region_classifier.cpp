@@ -1,0 +1,36 @@
+#include "defenses/region_classifier.hpp"
+
+#include <algorithm>
+
+#include "data/transforms.hpp"
+
+namespace dcn::defenses {
+
+RegionClassifier::RegionClassifier(nn::Sequential& model, RegionConfig config)
+    : model_(&model), config_(config), rng_(config.seed) {}
+
+std::vector<std::size_t> RegionClassifier::vote_histogram(const Tensor& x) {
+  const std::size_t k = model_->logits(x).size();
+  std::vector<std::size_t> votes(k, 0);
+  Tensor sample(x.shape());
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      float v = x[i] + static_cast<float>(rng_.uniform(-config_.radius,
+                                                       config_.radius));
+      if (config_.clip_to_box) {
+        v = std::clamp(v, data::kPixelMin, data::kPixelMax);
+      }
+      sample[i] = v;
+    }
+    ++votes[model_->classify(sample)];
+  }
+  return votes;
+}
+
+std::size_t RegionClassifier::classify(const Tensor& x) {
+  const auto votes = vote_histogram(x);
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace dcn::defenses

@@ -1,0 +1,37 @@
+// Region-based Classification (Cao & Gong, ACSAC 2017): classify by majority
+// vote of the DNN over m points sampled uniformly in the hypercube of radius
+// r centered at the input. The paper's baseline uses m = 1000; DCN's
+// corrector reuses this machinery with m = 50.
+#pragma once
+
+#include "defenses/classifier.hpp"
+#include "tensor/random.hpp"
+
+namespace dcn::defenses {
+
+struct RegionConfig {
+  float radius = 0.3F;        // paper: 0.3 for MNIST, 0.02 for CIFAR-10
+  std::size_t samples = 1000; // paper: m = 1000 for RC
+  std::uint64_t seed = 99;
+  bool clip_to_box = true;    // keep sampled points inside [-0.5, 0.5]
+};
+
+class RegionClassifier final : public Classifier {
+ public:
+  RegionClassifier(nn::Sequential& model, RegionConfig config = {});
+
+  std::size_t classify(const Tensor& x) override;
+
+  /// Vote histogram over classes for diagnostics and tests.
+  std::vector<std::size_t> vote_histogram(const Tensor& x);
+
+  [[nodiscard]] std::string name() const override { return "RC"; }
+  [[nodiscard]] const RegionConfig& config() const { return config_; }
+
+ private:
+  nn::Sequential* model_;
+  RegionConfig config_;
+  Rng rng_;
+};
+
+}  // namespace dcn::defenses

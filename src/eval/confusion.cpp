@@ -1,0 +1,83 @@
+#include "eval/confusion.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcn::eval {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : k_(num_classes), cells_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: need at least one class");
+  }
+}
+
+void ConfusionMatrix::record(std::size_t truth, std::size_t predicted) {
+  if (truth >= k_ || predicted >= k_) {
+    throw std::out_of_range("ConfusionMatrix::record: label out of range");
+  }
+  ++cells_[truth * k_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  if (truth >= k_ || predicted >= k_) {
+    throw std::out_of_range("ConfusionMatrix::count");
+  }
+  return cells_[truth * k_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < k_; ++i) diag += cells_[i * k_ + i];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::size_t cls) const {
+  std::size_t row = 0;
+  for (std::size_t j = 0; j < k_; ++j) row += cells_[cls * k_ + j];
+  if (row == 0) return 0.0;
+  return static_cast<double>(cells_[cls * k_ + cls]) /
+         static_cast<double>(row);
+}
+
+double ConfusionMatrix::precision(std::size_t cls) const {
+  std::size_t col = 0;
+  for (std::size_t i = 0; i < k_; ++i) col += cells_[i * k_ + cls];
+  if (col == 0) return 0.0;
+  return static_cast<double>(cells_[cls * k_ + cls]) /
+         static_cast<double>(col);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    std::size_t row = 0;
+    for (std::size_t j = 0; j < k_; ++j) row += cells_[c * k_ + j];
+    if (row == 0) continue;
+    ++present;
+    sum += recall(c);
+  }
+  return present == 0 ? 0.0 : sum / static_cast<double>(present);
+}
+
+std::string ConfusionMatrix::render() const {
+  std::ostringstream os;
+  os << "truth\\pred";
+  for (std::size_t j = 0; j < k_; ++j) os << std::setw(6) << j;
+  os << '\n';
+  for (std::size_t i = 0; i < k_; ++i) {
+    os << std::setw(10) << i;
+    for (std::size_t j = 0; j < k_; ++j) {
+      os << std::setw(6) << cells_[i * k_ + j];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dcn::eval

@@ -1,0 +1,44 @@
+// Confusion-matrix bookkeeping for k-class evaluation: which wrong labels a
+// defense hands out matters (e.g., a corrected stop sign misread as a speed
+// limit is worse than as a different stop variant).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dcn::eval {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void record(std::size_t truth, std::size_t predicted);
+
+  [[nodiscard]] std::size_t count(std::size_t truth,
+                                  std::size_t predicted) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t num_classes() const { return k_; }
+
+  /// Trace / total.
+  [[nodiscard]] double accuracy() const;
+
+  /// Per-class recall (diagonal / row sum); 0 when the class never appears.
+  [[nodiscard]] double recall(std::size_t cls) const;
+
+  /// Per-class precision (diagonal / column sum); 0 when never predicted.
+  [[nodiscard]] double precision(std::size_t cls) const;
+
+  /// Unweighted mean of per-class recalls over classes that appear.
+  [[nodiscard]] double balanced_accuracy() const;
+
+  /// Fixed-width text rendering (rows = truth, columns = prediction).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // row-major [truth][predicted]
+};
+
+}  // namespace dcn::eval

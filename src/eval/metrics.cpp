@@ -1,0 +1,52 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcn::eval {
+
+namespace {
+void require_same_size(const Tensor& a, const Tensor& b, const char* who) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  }
+}
+}  // namespace
+
+std::size_t l0_distance(const Tensor& a, const Tensor& b, float tol) {
+  require_same_size(a, b, "l0_distance");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) ++n;
+  }
+  return n;
+}
+
+double l2_distance(const Tensor& a, const Tensor& b) {
+  require_same_size(a, b, "l2_distance");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double linf_distance(const Tensor& a, const Tensor& b) {
+  require_same_size(a, b, "linf_distance");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(static_cast<double>(a[i]) - b[i]));
+  }
+  return m;
+}
+
+std::string SuccessRate::percent() const {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << rate() * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace dcn::eval

@@ -1,0 +1,65 @@
+// Distance metrics and success-rate bookkeeping for attack evaluation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dcn::eval {
+
+/// Tolerance under which a per-pixel change does not count toward L0.
+/// Inputs live in [-0.5, 0.5]; 1e-4 is far below one 8-bit quantization step.
+constexpr float kL0Tolerance = 1e-4F;
+
+/// Number of changed pixels. For multi-channel images a "pixel" is a single
+/// tensor element, matching how the paper counts L0 on MNIST.
+std::size_t l0_distance(const Tensor& a, const Tensor& b,
+                        float tol = kL0Tolerance);
+
+/// Euclidean distance.
+double l2_distance(const Tensor& a, const Tensor& b);
+
+/// Maximum absolute per-element change.
+double linf_distance(const Tensor& a, const Tensor& b);
+
+/// Running success-rate counter with a readable percentage.
+class SuccessRate {
+ public:
+  void record(bool success) {
+    ++total_;
+    if (success) ++successes_;
+  }
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t successes() const { return successes_; }
+  [[nodiscard]] double rate() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(successes_) /
+                             static_cast<double>(total_);
+  }
+  [[nodiscard]] std::string percent() const;
+
+ private:
+  std::size_t total_ = 0;
+  std::size_t successes_ = 0;
+};
+
+/// Mean accumulator.
+class Mean {
+ public:
+  void record(double v) {
+    sum_ += v;
+    ++count_;
+  }
+  [[nodiscard]] double value() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dcn::eval

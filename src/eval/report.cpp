@@ -1,0 +1,65 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace dcn::eval {
+
+void Table::set_header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  // Column widths over header + all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell << std::string(width[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::print() const { std::cout << render() << std::flush; }
+
+std::string percent(double fraction, int decimals) {
+  std::ostringstream os;
+  os.precision(decimals);
+  os << std::fixed << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.precision(decimals);
+  os << std::fixed << value;
+  return os.str();
+}
+
+}  // namespace dcn::eval

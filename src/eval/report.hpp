@@ -1,0 +1,32 @@
+// Fixed-width table rendering so benches print the paper's tables verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dcn::eval {
+
+/// A simple text table: set a header row, append body rows, render aligned.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> cells);
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string render() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers.
+std::string percent(double fraction, int decimals = 2);
+std::string fixed(double value, int decimals = 3);
+
+}  // namespace dcn::eval

@@ -1,0 +1,88 @@
+#include "eval/roc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dcn::eval {
+
+std::vector<RocPoint> roc_curve(std::vector<ScoredSample> samples) {
+  if (samples.empty()) return {};
+  std::sort(samples.begin(), samples.end(),
+            [](const ScoredSample& a, const ScoredSample& b) {
+              return a.score > b.score;
+            });
+  std::size_t positives = 0, negatives = 0;
+  for (const auto& s : samples) {
+    (s.positive ? positives : negatives) += 1;
+  }
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("roc_curve: need both classes present");
+  }
+
+  std::vector<RocPoint> curve;
+  curve.push_back({samples.front().score + 1.0, 0.0, 0.0});
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (samples[i].positive ? tp : fp) += 1;
+    // Emit a point only at the end of a tie group.
+    if (i + 1 < samples.size() &&
+        samples[i + 1].score == samples[i].score) {
+      continue;
+    }
+    curve.push_back({samples[i].score,
+                     static_cast<double>(tp) / static_cast<double>(positives),
+                     static_cast<double>(fp) /
+                         static_cast<double>(negatives)});
+  }
+  return curve;
+}
+
+double auc(const std::vector<ScoredSample>& samples) {
+  // Rank-sum (Mann-Whitney U) formulation with midranks for ties.
+  std::vector<ScoredSample> sorted = samples;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScoredSample& a, const ScoredSample& b) {
+              return a.score < b.score;
+            });
+  std::size_t positives = 0, negatives = 0;
+  double rank_sum_positive = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].score == sorted[i].score) ++j;
+    const double midrank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (sorted[k].positive) {
+        rank_sum_positive += midrank;
+        ++positives;
+      } else {
+        ++negatives;
+      }
+    }
+    i = j;
+  }
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("auc: need both classes present");
+  }
+  const double u = rank_sum_positive -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) *
+              static_cast<double>(negatives));
+}
+
+RocPoint best_youden(const std::vector<ScoredSample>& samples) {
+  RocPoint best{};
+  double best_j = -1.0;
+  for (const RocPoint& p : roc_curve(samples)) {
+    const double j = p.true_positive_rate - p.false_positive_rate;
+    if (j > best_j) {
+      best_j = j;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace dcn::eval

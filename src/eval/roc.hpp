@@ -1,0 +1,34 @@
+// ROC analysis for score-based detectors (the DCN detector margin, feature
+// squeezing's L1 score). Table 2 reports error rates at a fixed threshold;
+// the ROC curve shows the whole tradeoff and the AUC summarizes it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dcn::eval {
+
+/// One scored sample: higher score should mean "more likely positive"
+/// (here: adversarial).
+struct ScoredSample {
+  double score = 0.0;
+  bool positive = false;
+};
+
+/// One operating point of the curve.
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;   // detected adversarial / adversarial
+  double false_positive_rate = 0.0;  // flagged benign / benign
+};
+
+/// Full ROC curve, one point per distinct score (plus the endpoints).
+std::vector<RocPoint> roc_curve(std::vector<ScoredSample> samples);
+
+/// Area under the ROC curve via the rank statistic (ties counted half).
+double auc(const std::vector<ScoredSample>& samples);
+
+/// The threshold whose operating point maximizes TPR - FPR (Youden's J).
+RocPoint best_youden(const std::vector<ScoredSample>& samples);
+
+}  // namespace dcn::eval

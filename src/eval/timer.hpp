@@ -1,0 +1,34 @@
+// Wall-clock timing helpers for the efficiency tables.
+#pragma once
+
+#include <chrono>
+
+namespace dcn::eval {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Time a callable once and return elapsed seconds.
+template <typename F>
+double time_seconds(F&& f) {
+  Timer t;
+  f();
+  return t.seconds();
+}
+
+}  // namespace dcn::eval

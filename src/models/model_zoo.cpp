@@ -1,0 +1,159 @@
+#include "models/model_zoo.hpp"
+
+#include <stdexcept>
+
+#include "data/synth_cifar.hpp"
+#include "data/synth_mnist.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/conv.hpp"
+
+namespace dcn::models {
+
+nn::Sequential mnist_convnet(Rng& rng) {
+  nn::Sequential m;
+  conv::Conv2DSpec c1{.in_channels = 1,
+                      .in_height = 28,
+                      .in_width = 28,
+                      .kernel = 3,
+                      .stride = 1,
+                      .padding = 0};
+  m.emplace<nn::Conv2D>(c1, 6, rng);  // -> [6, 26, 26]
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::MaxPool2D>(2);        // -> [6, 13, 13]
+  conv::Conv2DSpec c2{.in_channels = 6,
+                      .in_height = 13,
+                      .in_width = 13,
+                      .kernel = 3,
+                      .stride = 1,
+                      .padding = 0};
+  m.emplace<nn::Conv2D>(c2, 12, rng);  // -> [12, 11, 11]
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::MaxPool2D>(2);         // -> [12, 5, 5]
+  m.emplace<nn::Flatten>();            // -> [300]
+  m.emplace<nn::Dense>(300, 64, rng);
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::Dense>(64, 10, rng);   // logits
+  return m;
+}
+
+nn::Sequential cifar_convnet(Rng& rng) {
+  nn::Sequential m;
+  conv::Conv2DSpec c1{.in_channels = 3,
+                      .in_height = 32,
+                      .in_width = 32,
+                      .kernel = 3,
+                      .stride = 1,
+                      .padding = 0};
+  m.emplace<nn::Conv2D>(c1, 8, rng);  // -> [8, 30, 30]
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::MaxPool2D>(2);        // -> [8, 15, 15]
+  conv::Conv2DSpec c2{.in_channels = 8,
+                      .in_height = 15,
+                      .in_width = 15,
+                      .kernel = 3,
+                      .stride = 1,
+                      .padding = 0};
+  m.emplace<nn::Conv2D>(c2, 16, rng);  // -> [16, 13, 13]
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::MaxPool2D>(2);         // -> [16, 6, 6]
+  m.emplace<nn::Flatten>();            // -> [576]
+  m.emplace<nn::Dense>(576, 96, rng);
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::Dense>(96, 10, rng);
+  return m;
+}
+
+nn::Sequential mlp(const std::vector<std::size_t>& sizes, Rng& rng) {
+  if (sizes.size() < 2) {
+    throw std::invalid_argument("mlp: need at least {in, out}");
+  }
+  nn::Sequential m;
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    m.emplace<nn::Dense>(sizes[i], sizes[i + 1], rng);
+    if (i + 2 < sizes.size()) m.emplace<nn::ReLU>();
+  }
+  return m;
+}
+
+nn::Sequential mnist_mlp(Rng& rng) {
+  nn::Sequential m;
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Dense>(784, 128, rng);
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::Dense>(128, 64, rng);
+  m.emplace<nn::ReLU>();
+  m.emplace<nn::Dense>(64, 10, rng);
+  return m;
+}
+
+nn::Sequential mnist_mlp_bn(Rng& rng) {
+  nn::Sequential m;
+  m.emplace<nn::Flatten>();
+  m.emplace<nn::Dense>(784, 128, rng);
+  m.emplace<nn::BatchNorm1d>(128);
+  m.emplace<nn::LeakyReLU>(0.1F);
+  m.emplace<nn::Dense>(128, 64, rng);
+  m.emplace<nn::BatchNorm1d>(64);
+  m.emplace<nn::LeakyReLU>(0.1F);
+  m.emplace<nn::Dense>(64, 10, rng);
+  return m;
+}
+
+nn::Sequential detector_mlp(std::size_t num_classes, Rng& rng,
+                            std::size_t hidden) {
+  // Two fully connected layers, exactly as in the paper (Sec. 3).
+  return mlp({num_classes, hidden, 2}, rng);
+}
+
+nn::TrainStats fit(nn::Sequential& model, const data::Dataset& train_set,
+                   const TrainRecipe& recipe) {
+  nn::Adam optimizer({.learning_rate = recipe.learning_rate});
+  nn::TrainConfig config{.epochs = recipe.epochs,
+                         .batch_size = recipe.batch_size,
+                         .temperature = recipe.temperature,
+                         .shuffle = true,
+                         .shuffle_seed = recipe.shuffle_seed,
+                         .on_epoch = {}};
+  return nn::train(model, train_set, optimizer, config);
+}
+
+namespace {
+
+Workbench make_workbench_impl(const WorkbenchConfig& config, bool mnist) {
+  Workbench wb{.train_set = {},
+               .test_set = {},
+               .model = nn::Sequential{},
+               .clean_accuracy = 0.0};
+  Rng data_rng(config.data_seed);
+  if (mnist) {
+    data::SynthMnist gen;
+    wb.train_set = gen.generate(config.train_count, data_rng);
+    wb.test_set = gen.generate(config.test_count, data_rng);
+  } else {
+    data::SynthCifar gen;
+    wb.train_set = gen.generate(config.train_count, data_rng);
+    wb.test_set = gen.generate(config.test_count, data_rng);
+  }
+  Rng init_rng(config.init_seed);
+  wb.model = mnist ? mnist_convnet(init_rng) : cifar_convnet(init_rng);
+  fit(wb.model, wb.train_set, config.recipe);
+  wb.clean_accuracy = nn::evaluate(wb.model, wb.test_set);
+  return wb;
+}
+
+}  // namespace
+
+Workbench make_mnist_workbench(const WorkbenchConfig& config) {
+  return make_workbench_impl(config, /*mnist=*/true);
+}
+
+Workbench make_cifar_workbench(const WorkbenchConfig& config) {
+  return make_workbench_impl(config, /*mnist=*/false);
+}
+
+}  // namespace dcn::models

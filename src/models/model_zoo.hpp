@@ -1,0 +1,75 @@
+// Canonical model builders and training recipes used across tests, examples,
+// and benchmarks.
+//
+// The conv architectures follow the shape of the Carlini & Wagner (S&P 2017)
+// MNIST/CIFAR models (conv-conv-pool stacks followed by dense layers) scaled
+// down so everything trains in seconds on one CPU core; see DESIGN.md.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace dcn::models {
+
+/// Small convolutional classifier for [1, 28, 28] inputs, 10 classes.
+nn::Sequential mnist_convnet(Rng& rng);
+
+/// Small convolutional classifier for [3, 32, 32] inputs, 10 classes.
+nn::Sequential cifar_convnet(Rng& rng);
+
+/// Fully-connected classifier: sizes = {in, hidden..., out}, ReLU between.
+nn::Sequential mlp(const std::vector<std::size_t>& sizes, Rng& rng);
+
+/// MLP classifier for flattened [1, 28, 28] inputs (a non-convolutional
+/// architecture point for the robustness-across-architectures ablation).
+nn::Sequential mnist_mlp(Rng& rng);
+
+/// Batch-normalized LeakyReLU MLP for the same inputs — exercises the
+/// extended layer set end-to-end.
+nn::Sequential mnist_mlp_bn(Rng& rng);
+
+/// The paper's detector: a 2-fully-connected-layer binary classifier over
+/// k-dimensional logit vectors (Sec. 3). Output is 2 logits
+/// {benign, adversarial}.
+nn::Sequential detector_mlp(std::size_t num_classes, Rng& rng,
+                            std::size_t hidden = 32);
+
+/// Training recipe shared by benches: Adam, cross-entropy, fixed seeds.
+struct TrainRecipe {
+  std::size_t epochs = 8;
+  std::size_t batch_size = 32;
+  float learning_rate = 1e-3F;
+  float temperature = 1.0F;
+  std::uint64_t shuffle_seed = 7;
+};
+
+/// Train `model` on `train_set` with the recipe; returns final train stats.
+nn::TrainStats fit(nn::Sequential& model, const data::Dataset& train_set,
+                   const TrainRecipe& recipe = {});
+
+/// A ready-to-use experiment context: data + trained standard model.
+/// Benches construct one per dataset so the protocol (counts, seeds,
+/// architecture) is identical everywhere.
+struct Workbench {
+  data::Dataset train_set;
+  data::Dataset test_set;
+  nn::Sequential model;
+  double clean_accuracy = 0.0;
+};
+
+struct WorkbenchConfig {
+  std::size_t train_count = 1500;
+  std::size_t test_count = 400;
+  std::uint64_t data_seed = 42;
+  std::uint64_t init_seed = 1234;
+  TrainRecipe recipe;
+};
+
+/// Synthesize data, build and train the MNIST-domain standard DNN.
+Workbench make_mnist_workbench(const WorkbenchConfig& config = {});
+
+/// Synthesize data, build and train the CIFAR-domain standard DNN.
+Workbench make_cifar_workbench(const WorkbenchConfig& config = {});
+
+}  // namespace dcn::models

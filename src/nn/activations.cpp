@@ -1,0 +1,120 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcn::nn {
+
+namespace {
+void require_cache(const Tensor& cache, const char* who) {
+  if (cache.size() <= 1 && cache.rank() == 0) {
+    throw std::logic_error(std::string(who) +
+                           "::backward without a training forward");
+  }
+}
+}  // namespace
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  return input.map([](float v) { return v > 0.0F ? v : 0.0F; });
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  require_cache(cached_input_, "ReLU");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0F) grad[i] = 0.0F;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool train) {
+  Tensor out = input.map([](float v) {
+    // Branch on sign for numerical stability at large |v|.
+    if (v >= 0.0F) {
+      const float e = std::exp(-v);
+      return 1.0F / (1.0F + e);
+    }
+    const float e = std::exp(v);
+    return e / (1.0F + e);
+  });
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  require_cache(cached_output_, "Sigmoid");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= y * (1.0F - y);
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool train) {
+  Tensor out = input.map([](float v) { return std::tanh(v); });
+  if (train) cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  require_cache(cached_output_, "Tanh");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    const float y = cached_output_[i];
+    grad[i] *= 1.0F - y * y;
+  }
+  return grad;
+}
+
+LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {
+  if (negative_slope < 0.0F || negative_slope >= 1.0F) {
+    throw std::invalid_argument("LeakyReLU: slope must be in [0, 1)");
+  }
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool train) {
+  if (train) cached_input_ = input;
+  const float slope = slope_;
+  return input.map([slope](float v) { return v > 0.0F ? v : slope * v; });
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  require_cache(cached_input_, "LeakyReLU");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0F) grad[i] *= slope_;
+  }
+  return grad;
+}
+
+Elu::Elu(float alpha) : alpha_(alpha) {
+  if (alpha <= 0.0F) throw std::invalid_argument("ELU: alpha must be > 0");
+}
+
+Tensor Elu::forward(const Tensor& input, bool train) {
+  const float alpha = alpha_;
+  Tensor out = input.map([alpha](float v) {
+    return v > 0.0F ? v : alpha * (std::exp(v) - 1.0F);
+  });
+  if (train) {
+    cached_input_ = input;
+    cached_output_ = out;
+  }
+  return out;
+}
+
+Tensor Elu::backward(const Tensor& grad_output) {
+  require_cache(cached_input_, "ELU");
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0F) {
+      // d/dv alpha(exp(v)-1) = alpha exp(v) = output + alpha
+      grad[i] *= cached_output_[i] + alpha_;
+    }
+  }
+  return grad;
+}
+
+}  // namespace dcn::nn

@@ -1,0 +1,72 @@
+// Pointwise activation layers (shape preserving, stateless except caches).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dcn::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] Shape output_shape(const Shape& s) const override { return s; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+  [[nodiscard]] Shape output_shape(const Shape& s) const override { return s; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+  [[nodiscard]] Shape output_shape(const Shape& s) const override { return s; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class LeakyReLU final : public Layer {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.01F);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "LeakyReLU"; }
+  [[nodiscard]] Shape output_shape(const Shape& s) const override { return s; }
+
+  [[nodiscard]] float negative_slope() const { return slope_; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+class Elu final : public Layer {
+ public:
+  explicit Elu(float alpha = 1.0F);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ELU"; }
+  [[nodiscard]] Shape output_shape(const Shape& s) const override { return s; }
+
+ private:
+  float alpha_;
+  Tensor cached_input_;
+  Tensor cached_output_;
+};
+
+}  // namespace dcn::nn

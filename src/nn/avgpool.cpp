@@ -1,0 +1,70 @@
+#include "nn/avgpool.hpp"
+
+#include <stdexcept>
+
+namespace dcn::nn {
+
+AvgPool2D::AvgPool2D(std::size_t window) : window_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("AvgPool2D: window must be > 0");
+  }
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("AvgPool2D::forward: expected [N,C,H,W]");
+  }
+  const std::size_t n = input.dim(0), c = input.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = h / window_, ow = w / window_;
+  if (train) cached_input_shape_ = input.shape();
+  Tensor out(Shape{n, c, oh, ow});
+  const float inv_area = 1.0F / static_cast<float>(window_ * window_);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              acc += input(b, ch, oy * window_ + ky, ox * window_ + kx);
+            }
+          }
+          out(b, ch, oy, ox) = static_cast<float>(acc) * inv_area;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.rank() != 4) {
+    throw std::logic_error("AvgPool2D::backward without a training forward");
+  }
+  Tensor grad_in(cached_input_shape_);
+  const std::size_t n = grad_output.dim(0), c = grad_output.dim(1);
+  const std::size_t oh = grad_output.dim(2), ow = grad_output.dim(3);
+  const float inv_area = 1.0F / static_cast<float>(window_ * window_);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_output(b, ch, oy, ox) * inv_area;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              grad_in(b, ch, oy * window_ + ky, ox * window_ + kx) += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Shape AvgPool2D::output_shape(const Shape& s) const {
+  return Shape{s.dim(0), s.dim(1), s.dim(2) / window_, s.dim(3) / window_};
+}
+
+}  // namespace dcn::nn

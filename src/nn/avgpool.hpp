@@ -1,0 +1,23 @@
+// Average pooling over [N, C, H, W] batches (square window, stride ==
+// window). Gradients distribute uniformly over each window.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dcn::nn {
+
+class AvgPool2D final : public Layer {
+ public:
+  explicit AvgPool2D(std::size_t window);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "AvgPool2D"; }
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+
+ private:
+  std::size_t window_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace dcn::nn

@@ -1,0 +1,130 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcn::nn {
+
+BatchNorm1d::BatchNorm1d(std::size_t features, float momentum, float epsilon)
+    : features_(features),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Tensor::ones(Shape{features})),
+      beta_(Shape{features}),
+      grad_gamma_(Shape{features}),
+      grad_beta_(Shape{features}),
+      running_mean_(Shape{features}),
+      running_var_(Tensor::ones(Shape{features})) {
+  if (features == 0) {
+    throw std::invalid_argument("BatchNorm1d: features must be > 0");
+  }
+}
+
+Tensor BatchNorm1d::forward(const Tensor& input, bool train) {
+  if (input.rank() != 2 || input.dim(1) != features_) {
+    throw std::invalid_argument("BatchNorm1d::forward: expected [N, " +
+                                std::to_string(features_) + "]");
+  }
+  const std::size_t n = input.dim(0);
+  Tensor out(input.shape());
+  // Batch statistics are undefined for a single example. Gradient-based
+  // attacks differentiate through a training-mode forward on a batch of
+  // one; in that case normalize with the (frozen) running statistics and
+  // let backward treat them as constants — the standard eval-mode BN
+  // gradient.
+  if (train && n < 2) {
+    cached_normalized_ = Tensor(input.shape());
+    cached_inv_std_ = Tensor(Shape{features_});
+    used_running_stats_ = true;
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float inv_std = 1.0F / std::sqrt(running_var_[f] + epsilon_);
+      cached_inv_std_[f] = inv_std;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float xhat = (input(i, f) - running_mean_[f]) * inv_std;
+        cached_normalized_(i, f) = xhat;
+        out(i, f) = gamma_[f] * xhat + beta_[f];
+      }
+    }
+    return out;
+  }
+  if (train) {
+    used_running_stats_ = false;
+    cached_normalized_ = Tensor(input.shape());
+    cached_inv_std_ = Tensor(Shape{features_});
+    for (std::size_t f = 0; f < features_; ++f) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += input(i, f);
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = input(i, f) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      const float inv_std =
+          1.0F / std::sqrt(static_cast<float>(var) + epsilon_);
+      cached_inv_std_[f] = inv_std;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float xhat =
+            (input(i, f) - static_cast<float>(mean)) * inv_std;
+        cached_normalized_(i, f) = xhat;
+        out(i, f) = gamma_[f] * xhat + beta_[f];
+      }
+      running_mean_[f] = (1.0F - momentum_) * running_mean_[f] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[f] = (1.0F - momentum_) * running_var_[f] +
+                        momentum_ * static_cast<float>(var);
+    }
+  } else {
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float inv_std = 1.0F / std::sqrt(running_var_[f] + epsilon_);
+      for (std::size_t i = 0; i < n; ++i) {
+        out(i, f) = gamma_[f] * (input(i, f) - running_mean_[f]) * inv_std +
+                    beta_[f];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm1d::backward(const Tensor& grad_output) {
+  if (cached_normalized_.shape() != grad_output.shape()) {
+    throw std::logic_error("BatchNorm1d::backward without a training forward");
+  }
+  const std::size_t n = grad_output.dim(0);
+  Tensor grad_in(grad_output.shape());
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (std::size_t f = 0; f < features_; ++f) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float dy = grad_output(i, f);
+      sum_dy += dy;
+      sum_dy_xhat += static_cast<double>(dy) * cached_normalized_(i, f);
+    }
+    grad_beta_[f] += static_cast<float>(sum_dy);
+    grad_gamma_[f] += static_cast<float>(sum_dy_xhat);
+    if (used_running_stats_) {
+      // Running stats are constants: dx = gamma * inv_std * dy.
+      const float scale = gamma_[f] * cached_inv_std_[f];
+      for (std::size_t i = 0; i < n; ++i) {
+        grad_in(i, f) = scale * grad_output(i, f);
+      }
+      continue;
+    }
+    // dx = (gamma * inv_std / n) * (n*dy - sum(dy) - xhat * sum(dy*xhat))
+    const float scale = gamma_[f] * cached_inv_std_[f] * inv_n;
+    for (std::size_t i = 0; i < n; ++i) {
+      grad_in(i, f) =
+          scale * (static_cast<float>(n) * grad_output(i, f) -
+                   static_cast<float>(sum_dy) -
+                   cached_normalized_(i, f) * static_cast<float>(sum_dy_xhat));
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> BatchNorm1d::params() {
+  return {{&gamma_, &grad_gamma_, "gamma"}, {&beta_, &grad_beta_, "beta"}};
+}
+
+}  // namespace dcn::nn

@@ -1,0 +1,38 @@
+// Batch normalization over the feature axis of [N, F] inputs (BatchNorm1d).
+// Normalizes each feature to zero mean / unit variance over the batch during
+// training (tracking running statistics for inference), then applies a
+// learned affine transform (gamma, beta).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dcn::nn {
+
+class BatchNorm1d final : public Layer {
+ public:
+  BatchNorm1d(std::size_t features, float momentum = 0.1F,
+              float epsilon = 1e-5F);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  [[nodiscard]] std::string name() const override { return "BatchNorm1d"; }
+  [[nodiscard]] Shape output_shape(const Shape& s) const override { return s; }
+
+  [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t features_;
+  float momentum_;
+  float epsilon_;
+  Tensor gamma_, beta_;
+  Tensor grad_gamma_, grad_beta_;
+  Tensor running_mean_, running_var_;
+  // Training-forward caches for backward.
+  Tensor cached_normalized_;  // x_hat
+  Tensor cached_inv_std_;     // 1/sqrt(var + eps), per feature
+  bool used_running_stats_ = false;  // batch-of-1 fallback (see .cpp)
+};
+
+}  // namespace dcn::nn

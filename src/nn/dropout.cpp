@@ -1,0 +1,35 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace dcn::nn {
+
+Dropout::Dropout(float rate, Rng& rng) : rate_(rate), rng_(rng.fork()) {
+  if (rate < 0.0F || rate >= 1.0F) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  if (!train || rate_ == 0.0F) return input;
+  mask_ = Tensor(input.shape());
+  const float keep_scale = 1.0F / (1.0F - rate_);
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    mask_[i] = rng_.bernoulli(rate_) ? 0.0F : keep_scale;
+  }
+  Tensor out = input;
+  out *= mask_;
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (rate_ == 0.0F) return grad_output;
+  if (mask_.shape() != grad_output.shape()) {
+    throw std::logic_error("Dropout::backward without a training forward");
+  }
+  Tensor grad = grad_output;
+  grad *= mask_;
+  return grad;
+}
+
+}  // namespace dcn::nn

@@ -1,0 +1,27 @@
+// Inverted dropout: active only in training forward passes.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dcn::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// `rate` is the probability of zeroing an activation. The layer owns a
+  /// forked RNG so dropout masks do not perturb other consumers' streams.
+  Dropout(float rate, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+  [[nodiscard]] Shape output_shape(const Shape& s) const override { return s; }
+
+  [[nodiscard]] float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  Rng rng_;
+  Tensor mask_;  // scaled keep-mask from the last training forward
+};
+
+}  // namespace dcn::nn

@@ -1,0 +1,27 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace dcn::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten::forward: expected batch input");
+  }
+  if (train) cached_input_shape_ = input.shape();
+  return input.reshape(output_shape(input.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.rank() < 2) {
+    throw std::logic_error("Flatten::backward without a training forward");
+  }
+  return grad_output.reshape(cached_input_shape_);
+}
+
+Shape Flatten::output_shape(const Shape& input_shape) const {
+  const std::size_t n = input_shape.dim(0);
+  return Shape{n, input_shape.numel() / n};
+}
+
+}  // namespace dcn::nn

@@ -1,0 +1,19 @@
+// Flatten [N, ...] -> [N, prod(...)] keeping the batch axis.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dcn::nn {
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace dcn::nn

@@ -1,0 +1,82 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace dcn::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels,
+                                 float temperature) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_cross_entropy: expected [N, k]");
+  }
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  if (labels.size() != n) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  const Tensor logp = ops::log_softmax(logits, temperature);
+  const Tensor p = ops::softmax(logits, temperature);
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+  const float inv_t = 1.0F / temperature;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t y = labels[i];
+    if (y >= k) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    loss -= logp(i, y);
+    for (std::size_t j = 0; j < k; ++j) {
+      const float indicator = (j == y) ? 1.0F : 0.0F;
+      result.grad(i, j) = (p(i, j) - indicator) * inv_n * inv_t;
+    }
+  }
+  result.value = loss / static_cast<double>(n);
+  return result;
+}
+
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& targets,
+                              float temperature) {
+  if (logits.shape() != targets.shape() || logits.rank() != 2) {
+    throw std::invalid_argument("soft_cross_entropy: shape mismatch");
+  }
+  const std::size_t n = logits.dim(0), k = logits.dim(1);
+  const Tensor logp = ops::log_softmax(logits, temperature);
+  const Tensor p = ops::softmax(logits, temperature);
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0F / static_cast<float>(n);
+  const float inv_t = 1.0F / temperature;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      loss -= static_cast<double>(targets(i, j)) * logp(i, j);
+      result.grad(i, j) = (p(i, j) - targets(i, j)) * inv_n * inv_t;
+    }
+  }
+  result.value = loss / static_cast<double>(n);
+  return result;
+}
+
+LossResult mse(const Tensor& predictions, const Tensor& targets) {
+  if (predictions.shape() != targets.shape()) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  LossResult result;
+  result.grad = Tensor(predictions.shape());
+  double loss = 0.0;
+  const std::size_t n = predictions.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(predictions[i]) - targets[i];
+    loss += d * d;
+    result.grad[i] = static_cast<float>(2.0 * d / static_cast<double>(n));
+  }
+  result.value = loss / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace dcn::nn

@@ -1,0 +1,30 @@
+// Loss functions returning both the scalar loss and dL/d(logits).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dcn::nn {
+
+struct LossResult {
+  double value = 0.0;  // mean loss over the batch
+  Tensor grad;         // dL/d(logits), same shape as logits
+};
+
+/// Mean softmax cross-entropy over a batch of logits [N, k] against integer
+/// labels. `temperature` divides the logits (defensive distillation trains
+/// with T = 100); the gradient is taken with respect to the raw logits.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels,
+                                 float temperature = 1.0F);
+
+/// Mean cross-entropy against soft target distributions [N, k] (rows sum to
+/// 1). Used for the distillation student.
+LossResult soft_cross_entropy(const Tensor& logits, const Tensor& targets,
+                              float temperature = 1.0F);
+
+/// Mean squared error between predictions and targets of equal shape.
+LossResult mse(const Tensor& predictions, const Tensor& targets);
+
+}  // namespace dcn::nn

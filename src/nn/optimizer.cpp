@@ -1,0 +1,81 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcn::nn {
+
+void Sgd::step(const std::vector<Param>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const auto& p : params) velocity_.emplace_back(p.value->shape());
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& v = velocity_[i];
+    Tensor& value = *params[i].value;
+    const Tensor& grad = *params[i].grad;
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      float g = grad[j] + config_.weight_decay * value[j];
+      v[j] = config_.momentum * v[j] - config_.learning_rate * g;
+      value[j] += v[j];
+    }
+  }
+}
+
+void Adam::step(const std::vector<Param>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+    for (const auto& p : params) {
+      m_.emplace_back(p.value->shape());
+      v_.emplace_back(p.value->shape());
+    }
+  }
+  ++t_;
+  const float bc1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& value = *params[i].value;
+    const Tensor& grad = *params[i].grad;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j];
+      m[j] = config_.beta1 * m[j] + (1.0F - config_.beta1) * g;
+      v[j] = config_.beta2 * v[j] + (1.0F - config_.beta2) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      value[j] -= config_.learning_rate * mhat /
+                  (std::sqrt(vhat) + config_.epsilon);
+    }
+  }
+}
+
+AdamVector::AdamVector(std::size_t size, Adam::Config config)
+    : config_(config), m_(Shape{size}), v_(Shape{size}) {}
+
+void AdamVector::step(Tensor& x, const Tensor& g) {
+  if (x.size() != m_.size() || g.size() != m_.size()) {
+    throw std::invalid_argument("AdamVector::step: size mismatch");
+  }
+  ++t_;
+  const float bc1 = 1.0F - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    m_[j] = config_.beta1 * m_[j] + (1.0F - config_.beta1) * g[j];
+    v_[j] = config_.beta2 * v_[j] + (1.0F - config_.beta2) * g[j] * g[j];
+    const float mhat = m_[j] / bc1;
+    const float vhat = v_[j] / bc2;
+    x[j] -= config_.learning_rate * mhat / (std::sqrt(vhat) + config_.epsilon);
+  }
+}
+
+void AdamVector::reset() {
+  m_.fill(0.0F);
+  v_.fill(0.0F);
+  t_ = 0;
+}
+
+}  // namespace dcn::nn

@@ -1,0 +1,84 @@
+// Optimizers that update Param values from accumulated gradients.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dcn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step using each Param's accumulated gradient.
+  virtual void step(const std::vector<Param>& params) = 0;
+
+  Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  struct Config {
+    float learning_rate = 0.01F;
+    float momentum = 0.9F;
+    float weight_decay = 0.0F;
+  };
+
+  explicit Sgd(Config config) : config_(config) {}
+
+  void step(const std::vector<Param>& params) override;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+ private:
+  Config config_;
+  std::vector<Tensor> velocity_;  // lazily sized to match params
+};
+
+/// Adam (Kingma & Ba). Also reused by the CW attacks' inner loop via
+/// AdamScalarState below.
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    float learning_rate = 1e-3F;
+    float beta1 = 0.9F;
+    float beta2 = 0.999F;
+    float epsilon = 1e-8F;
+  };
+
+  explicit Adam(Config config) : config_(config) {}
+
+  void step(const std::vector<Param>& params) override;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::size_t t_ = 0;
+};
+
+/// Standalone Adam state over a single flat tensor — used to optimize attack
+/// perturbations where there is no Param list.
+class AdamVector {
+ public:
+  explicit AdamVector(std::size_t size, Adam::Config config = {});
+
+  /// In-place update of `x` given gradient `g` (both size() == size).
+  void step(Tensor& x, const Tensor& g);
+
+  void reset();
+
+ private:
+  Adam::Config config_;
+  Tensor m_;
+  Tensor v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace dcn::nn

@@ -1,0 +1,54 @@
+#include "nn/pooling.hpp"
+
+#include <stdexcept>
+
+namespace dcn::nn {
+
+MaxPool2D::MaxPool2D(std::size_t window) : window_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("MaxPool2D: window must be > 0");
+  }
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool train) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("MaxPool2D::forward: expected [N,C,H,W]");
+  }
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t oh = input.dim(2) / window_;
+  const std::size_t ow = input.dim(3) / window_;
+  Tensor out(Shape{n, c, oh, ow});
+  if (train) {
+    cached_input_shape_ = Shape{input.dim(1), input.dim(2), input.dim(3)};
+    cached_argmax_.assign(n, {});
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    conv::PoolResult r = conv::maxpool2d_forward(input.row(b), window_);
+    out.set_row(b, r.output);
+    if (train) cached_argmax_[b] = std::move(r.argmax);
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  const std::size_t n = cached_argmax_.size();
+  if (n == 0) {
+    throw std::logic_error("MaxPool2D::backward without a training forward");
+  }
+  Tensor grad_in(Shape{n, cached_input_shape_.dim(0),
+                       cached_input_shape_.dim(1), cached_input_shape_.dim(2)});
+  for (std::size_t b = 0; b < n; ++b) {
+    grad_in.set_row(b, conv::maxpool2d_backward(grad_output.row(b),
+                                                cached_argmax_[b],
+                                                cached_input_shape_));
+  }
+  return grad_in;
+}
+
+Shape MaxPool2D::output_shape(const Shape& input_shape) const {
+  return Shape{input_shape.dim(0), input_shape.dim(1),
+               input_shape.dim(2) / window_, input_shape.dim(3) / window_};
+}
+
+}  // namespace dcn::nn

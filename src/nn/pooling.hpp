@@ -1,0 +1,25 @@
+// Max pooling layer over [N, C, H, W] batches.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/conv.hpp"
+
+namespace dcn::nn {
+
+class MaxPool2D final : public Layer {
+ public:
+  /// Square window with stride == window (the C&W architectures use 2x2).
+  explicit MaxPool2D(std::size_t window);
+
+  Tensor forward(const Tensor& input, bool train) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const override;
+
+ private:
+  std::size_t window_;
+  Shape cached_input_shape_;
+  std::vector<std::vector<std::size_t>> cached_argmax_;  // per batch element
+};
+
+}  // namespace dcn::nn

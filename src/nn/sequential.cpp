@@ -1,0 +1,69 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace dcn::nn {
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> all;
+  for (auto& layer : layers_) {
+    for (auto& p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+void Sequential::zero_grad() {
+  for (auto& p : params()) p.grad->fill(0.0F);
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t n = 0;
+  for (auto& p : params()) n += p.value->size();
+  return n;
+}
+
+namespace {
+
+// Lift a single example to a batch of one: [d...] -> [1, d...].
+Tensor unsqueeze(const Tensor& example) {
+  std::vector<std::size_t> dims;
+  dims.push_back(1);
+  for (std::size_t d : example.shape().dims()) dims.push_back(d);
+  return example.reshape(Shape(dims));
+}
+
+}  // namespace
+
+Tensor Sequential::logits(const Tensor& example) {
+  Tensor out = forward(unsqueeze(example), /*train=*/false);
+  if (out.rank() != 2 || out.dim(0) != 1) {
+    throw std::logic_error("Sequential::logits: model output is not [1, k]");
+  }
+  return out.row(0);
+}
+
+std::size_t Sequential::classify(const Tensor& example) {
+  return logits(example).argmax();
+}
+
+Tensor Sequential::probabilities(const Tensor& example, float temperature) {
+  return ops::softmax(logits(example), temperature);
+}
+
+}  // namespace dcn::nn

@@ -1,0 +1,64 @@
+// Sequential model container — the "DNN" of the paper.
+//
+// A Sequential maps an input batch to logits through an ordered list of
+// layers. It exposes both batch-level training primitives (forward/backward/
+// params) and the single-example inference helpers the defenses use
+// (logits(x), classify(x)).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dcn::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Append a layer (construct in place).
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Batch forward pass; `train` enables caching and stochastic layers.
+  Tensor forward(const Tensor& input, bool train = false);
+
+  /// Backprop dL/d(logits) through all layers; returns dL/d(input).
+  /// Requires a preceding forward(..., /*train=*/true).
+  Tensor backward(const Tensor& grad_logits);
+
+  /// All trainable parameters in layer order.
+  std::vector<Param> params();
+
+  /// Reset accumulated gradients to zero.
+  void zero_grad();
+
+  /// Count of scalar trainable parameters.
+  [[nodiscard]] std::size_t parameter_count();
+
+  // ---- Single-example inference helpers ------------------------------------
+  /// Logits for one example (input without the batch axis).
+  Tensor logits(const Tensor& example);
+
+  /// Predicted class label for one example.
+  std::size_t classify(const Tensor& example);
+
+  /// Softmax probabilities for one example (optionally at temperature T).
+  Tensor probabilities(const Tensor& example, float temperature = 1.0F);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace dcn::nn

@@ -1,0 +1,72 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcn::nn {
+
+namespace {
+constexpr const char* kMagic = "DCNWEIGHTSv1";
+}
+
+void save_weights(Sequential& model, std::ostream& out) {
+  const auto params = model.params();
+  out << kMagic << '\n' << params.size() << '\n';
+  for (const auto& p : params) {
+    out << p.name << ' ' << p.value->rank();
+    for (std::size_t d : p.value->shape().dims()) out << ' ' << d;
+    out << '\n';
+  }
+  for (const auto& p : params) {
+    out.write(reinterpret_cast<const char*>(p.value->data().data()),
+              static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_weights: stream write failed");
+}
+
+void load_weights(Sequential& model, std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    throw std::runtime_error("load_weights: bad magic '" + magic + "'");
+  }
+  std::size_t count = 0;
+  in >> count;
+  const auto params = model.params();
+  if (count != params.size()) {
+    throw std::runtime_error("load_weights: parameter count mismatch: file " +
+                             std::to_string(count) + ", model " +
+                             std::to_string(params.size()));
+  }
+  for (const auto& p : params) {
+    std::string name;
+    std::size_t rank = 0;
+    in >> name >> rank;
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) in >> d;
+    if (Shape(dims) != p.value->shape()) {
+      throw std::runtime_error("load_weights: shape mismatch for " + name);
+    }
+  }
+  in.ignore(1);  // the newline after the last header line
+  for (const auto& p : params) {
+    in.read(reinterpret_cast<char*>(p.value->data().data()),
+            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+  if (!in) throw std::runtime_error("load_weights: stream read failed");
+}
+
+void save_weights_file(Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_weights_file: cannot open " + path);
+  save_weights(model, out);
+}
+
+void load_weights_file(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights_file: cannot open " + path);
+  load_weights(model, in);
+}
+
+}  // namespace dcn::nn

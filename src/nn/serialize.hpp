@@ -1,0 +1,25 @@
+// Weight (de)serialization for Sequential models.
+//
+// Format: a small text header (magic, layer count, per-layer name and param
+// shapes) followed by raw little-endian float32 payloads. Loading validates
+// that the target model's architecture matches the file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace dcn::nn {
+
+/// Write all parameters of `model` to the stream.
+void save_weights(Sequential& model, std::ostream& out);
+
+/// Read parameters into `model`; throws std::runtime_error on any mismatch.
+void load_weights(Sequential& model, std::istream& in);
+
+/// File-path conveniences.
+void save_weights_file(Sequential& model, const std::string& path);
+void load_weights_file(Sequential& model, const std::string& path);
+
+}  // namespace dcn::nn

@@ -1,0 +1,108 @@
+#include "nn/trainer.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace dcn::nn {
+
+namespace {
+
+double batch_accuracy(const Tensor& logits,
+                      const std::vector<std::size_t>& labels) {
+  const auto pred = ops::argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct);
+}
+
+}  // namespace
+
+TrainStats train(Sequential& model, const data::Dataset& dataset,
+                 Optimizer& optimizer, const TrainConfig& config) {
+  TrainStats stats;
+  Rng shuffle_rng(config.shuffle_seed);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const data::Dataset order =
+        config.shuffle ? dataset.shuffled(shuffle_rng) : dataset;
+    data::BatchIterator it(order, config.batch_size);
+    data::Batch batch;
+    double loss_sum = 0.0;
+    double correct = 0.0;
+    std::size_t batches = 0;
+    while (it.next(batch)) {
+      Tensor logits = model.forward(batch.images, /*train=*/true);
+      const LossResult loss =
+          softmax_cross_entropy(logits, batch.labels, config.temperature);
+      model.zero_grad();
+      model.backward(loss.grad);
+      optimizer.step(model.params());
+      loss_sum += loss.value;
+      correct += batch_accuracy(logits, batch.labels);
+      ++batches;
+    }
+    stats.final_loss = loss_sum / static_cast<double>(batches);
+    stats.final_accuracy = correct / static_cast<double>(dataset.size());
+    stats.epochs_run = epoch + 1;
+    if (config.on_epoch) {
+      config.on_epoch(epoch, stats.final_loss, stats.final_accuracy);
+    }
+  }
+  return stats;
+}
+
+TrainStats train_soft(Sequential& model, const Tensor& images,
+                      const Tensor& soft_targets,
+                      const std::vector<std::size_t>& hard_labels,
+                      Optimizer& optimizer, const TrainConfig& config) {
+  TrainStats stats;
+  const std::size_t n = images.dim(0);
+  Rng shuffle_rng(config.shuffle_seed);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order =
+        config.shuffle ? shuffle_rng.permutation(n) : [&] {
+          std::vector<std::size_t> id(n);
+          for (std::size_t i = 0; i < n; ++i) id[i] = i;
+          return id;
+        }();
+    double loss_sum = 0.0;
+    double correct = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, n);
+      std::vector<Tensor> img_rows, tgt_rows;
+      std::vector<std::size_t> labels;
+      for (std::size_t i = start; i < end; ++i) {
+        img_rows.push_back(images.row(order[i]));
+        tgt_rows.push_back(soft_targets.row(order[i]));
+        labels.push_back(hard_labels[order[i]]);
+      }
+      const Tensor batch_images = Tensor::stack(img_rows);
+      const Tensor batch_targets = Tensor::stack(tgt_rows);
+      Tensor logits = model.forward(batch_images, /*train=*/true);
+      const LossResult loss =
+          soft_cross_entropy(logits, batch_targets, config.temperature);
+      model.zero_grad();
+      model.backward(loss.grad);
+      optimizer.step(model.params());
+      loss_sum += loss.value;
+      correct += batch_accuracy(logits, labels);
+      ++batches;
+    }
+    stats.final_loss = loss_sum / static_cast<double>(batches);
+    stats.final_accuracy = correct / static_cast<double>(n);
+    stats.epochs_run = epoch + 1;
+    if (config.on_epoch) {
+      config.on_epoch(epoch, stats.final_loss, stats.final_accuracy);
+    }
+  }
+  return stats;
+}
+
+double evaluate(Sequential& model, const data::Dataset& dataset) {
+  return data::accuracy(dataset, [&model](const Tensor& x) {
+    return model.classify(x);
+  });
+}
+
+}  // namespace dcn::nn

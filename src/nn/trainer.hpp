@@ -1,0 +1,45 @@
+// Minibatch training loop with pluggable targets (hard labels or soft
+// distributions) — soft targets are what defensive distillation needs.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace dcn::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 32;
+  float temperature = 1.0F;  // softmax temperature during training
+  bool shuffle = true;
+  std::uint64_t shuffle_seed = 7;
+  /// Optional per-epoch observer: (epoch, mean_loss, train_accuracy).
+  std::function<void(std::size_t, double, double)> on_epoch;
+};
+
+struct TrainStats {
+  double final_loss = 0.0;
+  double final_accuracy = 0.0;
+  std::size_t epochs_run = 0;
+};
+
+/// Train on hard integer labels.
+TrainStats train(Sequential& model, const data::Dataset& dataset,
+                 Optimizer& optimizer, const TrainConfig& config);
+
+/// Train on soft targets [N, k] (rows are probability distributions). The
+/// `hard_labels` are only used for the reported accuracy.
+TrainStats train_soft(Sequential& model, const Tensor& images,
+                      const Tensor& soft_targets,
+                      const std::vector<std::size_t>& hard_labels,
+                      Optimizer& optimizer, const TrainConfig& config);
+
+/// Top-1 accuracy of the model on a dataset.
+double evaluate(Sequential& model, const data::Dataset& dataset);
+
+}  // namespace dcn::nn

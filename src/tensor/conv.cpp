@@ -1,0 +1,177 @@
+#include "tensor/conv.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace dcn::conv {
+
+namespace {
+
+void require_chw(const Tensor& image, const Conv2DSpec& spec,
+                 const char* who) {
+  if (image.rank() != 3 || image.dim(0) != spec.in_channels ||
+      image.dim(1) != spec.in_height || image.dim(2) != spec.in_width) {
+    throw std::invalid_argument(
+        std::string(who) + ": image shape " + image.shape().to_string() +
+        " does not match spec [" + std::to_string(spec.in_channels) + ", " +
+        std::to_string(spec.in_height) + ", " + std::to_string(spec.in_width) +
+        "]");
+  }
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& image, const Conv2DSpec& spec) {
+  require_chw(image, spec, "im2col");
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  Tensor cols(Shape{oh * ow, patch});
+  const float* src = image.data().data();
+  float* dst = cols.data().data();
+  const std::size_t hw = spec.in_height * spec.in_width;
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      float* prow = dst + (oy * ow + ox) * patch;
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < spec.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.padding);
+          for (std::size_t kx = 0; kx < spec.kernel; ++kx, ++idx) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            if (iy < 0 || ix < 0 ||
+                iy >= static_cast<std::ptrdiff_t>(spec.in_height) ||
+                ix >= static_cast<std::ptrdiff_t>(spec.in_width)) {
+              prow[idx] = 0.0F;
+            } else {
+              prow[idx] = src[c * hw + static_cast<std::size_t>(iy) *
+                                           spec.in_width +
+                              static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Conv2DSpec& spec) {
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  if (cols.rank() != 2 || cols.dim(0) != oh * ow || cols.dim(1) != patch) {
+    throw std::invalid_argument("col2im: cols shape mismatch " +
+                                cols.shape().to_string());
+  }
+  Tensor image(Shape{spec.in_channels, spec.in_height, spec.in_width});
+  float* dst = image.data().data();
+  const float* src = cols.data().data();
+  const std::size_t hw = spec.in_height * spec.in_width;
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      const float* prow = src + (oy * ow + ox) * patch;
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < spec.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.padding);
+          for (std::size_t kx = 0; kx < spec.kernel; ++kx, ++idx) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            if (iy < 0 || ix < 0 ||
+                iy >= static_cast<std::ptrdiff_t>(spec.in_height) ||
+                ix >= static_cast<std::ptrdiff_t>(spec.in_width)) {
+              continue;
+            }
+            dst[c * hw + static_cast<std::size_t>(iy) * spec.in_width +
+                static_cast<std::size_t>(ix)] += prow[idx];
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+Tensor conv2d_forward(const Tensor& image, const Tensor& weights,
+                      const Tensor& bias, const Conv2DSpec& spec) {
+  require_chw(image, spec, "conv2d_forward");
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  if (weights.rank() != 2 || weights.dim(1) != patch) {
+    throw std::invalid_argument("conv2d_forward: weights shape mismatch " +
+                                weights.shape().to_string());
+  }
+  const std::size_t out_c = weights.dim(0);
+  if (bias.size() != out_c) {
+    throw std::invalid_argument("conv2d_forward: bias size mismatch");
+  }
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  const Tensor cols = im2col(image, spec);        // [oh*ow, patch]
+  Tensor prod = ops::matmul_a_bt(cols, weights);  // [oh*ow, out_c]
+  Tensor out(Shape{out_c, oh, ow});
+  for (std::size_t p = 0; p < oh * ow; ++p) {
+    for (std::size_t c = 0; c < out_c; ++c) {
+      out[c * oh * ow + p] = prod(p, c) + bias[c];
+    }
+  }
+  return out;
+}
+
+PoolResult maxpool2d_forward(const Tensor& image, std::size_t window) {
+  if (image.rank() != 3) {
+    throw std::invalid_argument("maxpool2d_forward: expected [C,H,W]");
+  }
+  if (window == 0) {
+    throw std::invalid_argument("maxpool2d_forward: window must be > 0");
+  }
+  const std::size_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  const std::size_t oh = h / window, ow = w / window;
+  PoolResult result{Tensor(Shape{c, oh, ow}),
+                    std::vector<std::size_t>(c * oh * ow, 0)};
+  const float* src = image.data().data();
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t ky = 0; ky < window; ++ky) {
+          for (std::size_t kx = 0; kx < window; ++kx) {
+            const std::size_t iy = oy * window + ky;
+            const std::size_t ix = ox * window + kx;
+            const std::size_t idx = (ch * h + iy) * w + ix;
+            if (src[idx] > best) {
+              best = src[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        const std::size_t out_idx = (ch * oh + oy) * ow + ox;
+        result.output[out_idx] = best;
+        result.argmax[out_idx] = best_idx;
+      }
+    }
+  }
+  return result;
+}
+
+Tensor maxpool2d_backward(const Tensor& grad_out,
+                          const std::vector<std::size_t>& argmax,
+                          const Shape& input_shape) {
+  if (grad_out.size() != argmax.size()) {
+    throw std::invalid_argument("maxpool2d_backward: argmax size mismatch");
+  }
+  Tensor grad_in(input_shape);
+  for (std::size_t i = 0; i < argmax.size(); ++i) {
+    grad_in[argmax[i]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+}  // namespace dcn::conv

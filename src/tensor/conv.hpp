@@ -1,0 +1,59 @@
+// im2col-based convolution and pooling primitives.
+//
+// These are the compute kernels behind nn::Conv2D and nn::MaxPool2D. Keeping
+// them free functions makes them independently testable against naive
+// reference implementations.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace dcn::conv {
+
+/// Geometry of a 2-D convolution / pooling window over a [C, H, W] image.
+struct Conv2DSpec {
+  std::size_t in_channels = 1;
+  std::size_t in_height = 1;
+  std::size_t in_width = 1;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+
+  [[nodiscard]] std::size_t out_height() const {
+    return (in_height + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_width() const {
+    return (in_width + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+/// Unfold one [C, H, W] image into a matrix of patches:
+/// rows = out_h * out_w, cols = C * kernel * kernel.
+/// Padding reads as 0.
+Tensor im2col(const Tensor& image, const Conv2DSpec& spec);
+
+/// Fold a patch-gradient matrix (the shape im2col produces) back into a
+/// [C, H, W] image gradient, accumulating overlaps.
+Tensor col2im(const Tensor& cols, const Conv2DSpec& spec);
+
+/// Forward conv for one image. `weights` is [out_c, in_c * k * k], `bias` is
+/// [out_c]. Returns [out_c, out_h, out_w].
+Tensor conv2d_forward(const Tensor& image, const Tensor& weights,
+                      const Tensor& bias, const Conv2DSpec& spec);
+
+/// Max-pool window geometry result for one [C, H, W] image.
+struct PoolResult {
+  Tensor output;                     // [C, out_h, out_w]
+  std::vector<std::size_t> argmax;   // flat input index per output element
+};
+
+/// 2-D max pooling with square window `window` and stride == window.
+PoolResult maxpool2d_forward(const Tensor& image, std::size_t window);
+
+/// Scatter pooled gradients back through recorded argmax positions.
+Tensor maxpool2d_backward(const Tensor& grad_out,
+                          const std::vector<std::size_t>& argmax,
+                          const Shape& input_shape);
+
+}  // namespace dcn::conv

@@ -1,0 +1,178 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dcn::ops {
+
+namespace {
+
+void require_rank2(const Tensor& t, const char* who) {
+  if (t.rank() != 2) {
+    throw std::invalid_argument(std::string(who) + ": expected rank-2, got " +
+                                t.shape().to_string());
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul(a)");
+  require_rank2(b, "matmul(b)");
+  const std::size_t m = a.dim(0), k = a.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dimension mismatch " +
+                                a.shape().to_string() + " * " +
+                                b.shape().to_string());
+  }
+  const std::size_t n = b.dim(1);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = pa[i * k + p];
+      if (av == 0.0F) continue;
+      const float* brow = pb + p * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_at_b(a)");
+  require_rank2(b, "matmul_at_b(b)");
+  const std::size_t k = a.dim(0), m = a.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_at_b: leading dimension mismatch");
+  }
+  const std::size_t n = b.dim(1);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = pa + p * m;
+    const float* brow = pb + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0F) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
+  require_rank2(a, "matmul_a_bt(a)");
+  require_rank2(b, "matmul_a_bt(b)");
+  const std::size_t m = a.dim(0), k = a.dim(1);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_a_bt: inner dimension mismatch");
+  }
+  const std::size_t n = b.dim(0);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += double(arow[p]) * brow[p];
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  require_rank2(a, "transpose");
+  const std::size_t m = a.dim(0), n = a.dim(1);
+  Tensor t(Shape{n, m});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+namespace {
+
+// Shared row-wise stable softmax core; `log_form` selects log-softmax.
+Tensor softmax_impl(const Tensor& logits, float temperature, bool log_form) {
+  if (temperature <= 0.0F) {
+    throw std::invalid_argument("softmax: temperature must be positive");
+  }
+  const bool vector_input = logits.rank() == 1;
+  const std::size_t rows = vector_input ? 1 : logits.dim(0);
+  const std::size_t cols = vector_input ? logits.dim(0) : logits.dim(1);
+  Tensor out = logits;
+  float* p = out.data().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = p + r * cols;
+    float mx = row[0];
+    for (std::size_t j = 1; j < cols; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      denom += std::exp((row[j] - mx) / temperature);
+    }
+    const double log_denom = std::log(denom);
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double z = (row[j] - mx) / temperature;
+      row[j] = log_form ? static_cast<float>(z - log_denom)
+                        : static_cast<float>(std::exp(z - log_denom));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor softmax(const Tensor& logits, float temperature) {
+  return softmax_impl(logits, temperature, /*log_form=*/false);
+}
+
+Tensor log_softmax(const Tensor& logits, float temperature) {
+  return softmax_impl(logits, temperature, /*log_form=*/true);
+}
+
+double dot(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+Tensor axpy(const Tensor& a, float scale, const Tensor& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("axpy: size mismatch");
+  }
+  Tensor out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += scale * b[i];
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& m) {
+  require_rank2(m, "argmax_rows");
+  const std::size_t rows = m.dim(0), cols = m.dim(1);
+  std::vector<std::size_t> out(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < cols; ++j) {
+      if (m(r, j) > m(r, best)) best = j;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace dcn::ops

@@ -1,0 +1,38 @@
+// Linear-algebra and softmax primitives used by the nn layers and attacks.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dcn::ops {
+
+/// C = A * B for row-major matrices A:[m,k], B:[k,n] -> C:[m,n].
+/// Uses an ikj loop order so the inner loop is contiguous in B and C.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B for A:[k,m], B:[k,n] -> C:[m,n] (no explicit transpose).
+Tensor matmul_at_b(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T for A:[m,k], B:[n,k] -> C:[m,n].
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b);
+
+/// [m,n] -> [n,m].
+Tensor transpose(const Tensor& a);
+
+/// Row-wise softmax of a [n, k] matrix (or a single [k] vector), with the
+/// max-subtraction trick for numerical stability. `temperature` divides the
+/// logits first (defensive distillation uses T > 1).
+Tensor softmax(const Tensor& logits, float temperature = 1.0F);
+
+/// Row-wise log-softmax (stable).
+Tensor log_softmax(const Tensor& logits, float temperature = 1.0F);
+
+/// Dot product of two equally-sized tensors (flattened).
+double dot(const Tensor& a, const Tensor& b);
+
+/// a + scale * b (flattened shapes must match). Returns a new tensor.
+Tensor axpy(const Tensor& a, float scale, const Tensor& b);
+
+/// Per-row argmax of a [n, k] matrix -> n indices.
+std::vector<std::size_t> argmax_rows(const Tensor& m);
+
+}  // namespace dcn::ops

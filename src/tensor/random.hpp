@@ -1,0 +1,52 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the library (weight init, dataset synthesis,
+// dropout, attack restarts, region sampling) draw from dcn::Rng so that every
+// experiment is reproducible from a single printed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dcn {
+
+/// xoshiro256** seeded via splitmix64. Small, fast, and good enough for
+/// simulation workloads; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (cached spare value).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator (for parallel/streamed use).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace dcn

@@ -1,0 +1,59 @@
+// Shape utilities for dense row-major tensors.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dcn {
+
+/// A tensor shape: an ordered list of dimension extents, row-major layout.
+/// A rank-0 shape denotes a scalar (element count 1).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+
+  [[nodiscard]] std::size_t dim(std::size_t i) const {
+    if (i >= dims_.size()) {
+      throw std::out_of_range("Shape::dim index " + std::to_string(i) +
+                              " out of range for rank " +
+                              std::to_string(dims_.size()));
+    }
+    return dims_[i];
+  }
+
+  /// Total number of elements (product of extents; 1 for a scalar).
+  [[nodiscard]] std::size_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::size_t{1},
+                           std::multiplies<>{});
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i != 0) os << ", ";
+      os << dims_[i];
+    }
+    os << ']';
+    return os.str();
+  }
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace dcn

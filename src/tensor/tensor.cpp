@@ -1,0 +1,263 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace dcn {
+
+Tensor::Tensor() : shape_(Shape{}), data_(1, 0.0F) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.numel(), 0.0F) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_.numel()) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0F); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor(Shape{n}, std::move(values));
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (new_shape.numel() != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch: " +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::flatten() const { return reshape(Shape{data_.size()}); }
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+float& Tensor::operator()(std::size_t i, std::size_t j) {
+  return data_[i * shape_.dim(1) + j];
+}
+float Tensor::operator()(std::size_t i, std::size_t j) const {
+  return data_[i * shape_.dim(1) + j];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) {
+  return data_[(i * shape_.dim(1) + j) * shape_.dim(2) + k];
+}
+float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k) const {
+  return data_[(i * shape_.dim(1) + j) * shape_.dim(2) + k];
+}
+float& Tensor::operator()(std::size_t i, std::size_t j, std::size_t k,
+                          std::size_t l) {
+  return data_[((i * shape_.dim(1) + j) * shape_.dim(2) + k) * shape_.dim(3) +
+               l];
+}
+float Tensor::operator()(std::size_t i, std::size_t j, std::size_t k,
+                         std::size_t l) const {
+  return data_[((i * shape_.dim(1) + j) * shape_.dim(2) + k) * shape_.dim(3) +
+               l];
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* op) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string("Tensor::") + op +
+                                ": shape mismatch " + shape_.to_string() +
+                                " vs " + other.shape_.to_string());
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  check_same_shape(other, "operator*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float s) {
+  for (auto& v : data_) v += s;
+  return *this;
+}
+Tensor& Tensor::operator-=(float s) {
+  for (auto& v : data_) v -= s;
+  return *this;
+}
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+Tensor& Tensor::operator/=(float s) {
+  for (auto& v : data_) v /= s;
+  return *this;
+}
+
+Tensor& Tensor::apply(const std::function<float(float)>& f) {
+  for (auto& v : data_) v = f(v);
+  return *this;
+}
+
+Tensor Tensor::map(const std::function<float(float)>& f) const {
+  Tensor out = *this;
+  out.apply(f);
+  return out;
+}
+
+Tensor& Tensor::clamp(float lo, float hi) {
+  for (auto& v : data_) v = std::clamp(v, lo, hi);
+  return *this;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0F;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+double Tensor::l2_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double Tensor::l1_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += std::abs(static_cast<double>(v));
+  return acc;
+}
+
+double Tensor::linf_norm() const {
+  double m = 0.0;
+  for (float v : data_) m = std::max(m, std::abs(static_cast<double>(v)));
+  return m;
+}
+
+std::size_t Tensor::l0_count(float tol) const {
+  std::size_t n = 0;
+  for (float v : data_) {
+    if (std::abs(v) > tol) ++n;
+  }
+  return n;
+}
+
+Tensor Tensor::row(std::size_t index) const {
+  if (rank() < 1) throw std::logic_error("Tensor::row on scalar tensor");
+  const std::size_t n = shape_.dim(0);
+  if (index >= n) throw std::out_of_range("Tensor::row");
+  std::vector<std::size_t> rest(shape_.dims().begin() + 1,
+                                shape_.dims().end());
+  Shape row_shape(rest);
+  const std::size_t stride = row_shape.numel();
+  std::vector<float> slice(data_.begin() + index * stride,
+                           data_.begin() + (index + 1) * stride);
+  return Tensor(std::move(row_shape), std::move(slice));
+}
+
+void Tensor::set_row(std::size_t index, const Tensor& value) {
+  if (rank() < 1) throw std::logic_error("Tensor::set_row on scalar tensor");
+  const std::size_t n = shape_.dim(0);
+  if (index >= n) throw std::out_of_range("Tensor::set_row");
+  const std::size_t stride = data_.size() / n;
+  if (value.size() != stride) {
+    throw std::invalid_argument("Tensor::set_row: row size mismatch");
+  }
+  std::copy(value.data_.begin(), value.data_.end(),
+            data_.begin() + index * stride);
+}
+
+Tensor Tensor::stack(const std::vector<Tensor>& rows) {
+  if (rows.empty()) throw std::invalid_argument("Tensor::stack: empty input");
+  std::vector<std::size_t> dims;
+  dims.push_back(rows.size());
+  for (std::size_t d : rows.front().shape().dims()) dims.push_back(d);
+  Tensor out{Shape(dims)};
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].shape() != rows.front().shape()) {
+      throw std::invalid_argument("Tensor::stack: shape mismatch at row " +
+                                  std::to_string(i));
+    }
+    out.set_row(i, rows[i]);
+  }
+  return out;
+}
+
+std::string Tensor::to_string(std::size_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.to_string() << " {";
+  const std::size_t n = std::min(max_elems, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) os << ", ";
+    os << data_[i];
+  }
+  if (n < data_.size()) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dcn

@@ -1,0 +1,140 @@
+// Dense float32 tensor with value semantics.
+//
+// The whole library is built on this one container: contiguous row-major
+// storage, batch-first layouts ([N, F] for features, [N, C, H, W] for
+// images). Operations that need speed (matmul, conv) live in ops.hpp /
+// conv.hpp; Tensor itself provides storage, indexing, and elementwise math.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/random.hpp"
+#include "tensor/shape.hpp"
+
+namespace dcn {
+
+class Tensor {
+ public:
+  /// Empty scalar-shaped tensor with a single zero element.
+  Tensor();
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor of the given shape with explicit contents (size must match).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ---- Factories -----------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0F,
+                        float hi = 1.0F);
+  /// I.i.d. normal entries.
+  static Tensor normal(Shape shape, Rng& rng, float mean = 0.0F,
+                       float stddev = 1.0F);
+  /// 1-D tensor from a list of values.
+  static Tensor from_vector(std::vector<float> values);
+
+  // ---- Structure -----------------------------------------------------------
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t rank() const { return shape_.rank(); }
+  [[nodiscard]] std::size_t dim(std::size_t i) const { return shape_.dim(i); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+
+  /// Same storage reinterpreted under a new shape (element count must match).
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+  /// Collapse to rank-1.
+  [[nodiscard]] Tensor flatten() const;
+
+  // ---- Element access ------------------------------------------------------
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked flat access.
+  float& at(std::size_t i);
+  [[nodiscard]] float at(std::size_t i) const;
+
+  /// Multi-index access for ranks 2/3/4.
+  float& operator()(std::size_t i, std::size_t j);
+  float operator()(std::size_t i, std::size_t j) const;
+  float& operator()(std::size_t i, std::size_t j, std::size_t k);
+  float operator()(std::size_t i, std::size_t j, std::size_t k) const;
+  float& operator()(std::size_t i, std::size_t j, std::size_t k,
+                    std::size_t l);
+  float operator()(std::size_t i, std::size_t j, std::size_t k,
+                   std::size_t l) const;
+
+  // ---- Elementwise arithmetic (shapes must match exactly) ------------------
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);  // Hadamard product
+  Tensor& operator+=(float s);
+  Tensor& operator-=(float s);
+  Tensor& operator*=(float s);
+  Tensor& operator/=(float s);
+
+  friend Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+  friend Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+  friend Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+  friend Tensor operator+(Tensor a, float s) { return a += s; }
+  friend Tensor operator-(Tensor a, float s) { return a -= s; }
+  friend Tensor operator*(Tensor a, float s) { return a *= s; }
+  friend Tensor operator*(float s, Tensor a) { return a *= s; }
+  friend Tensor operator/(Tensor a, float s) { return a /= s; }
+
+  // ---- Maps and reductions -------------------------------------------------
+  /// Apply f to every element in place.
+  Tensor& apply(const std::function<float(float)>& f);
+  /// Return a copy with f applied to every element.
+  [[nodiscard]] Tensor map(const std::function<float(float)>& f) const;
+  /// Clamp every element into [lo, hi] in place.
+  Tensor& clamp(float lo, float hi);
+  /// Overwrite every element.
+  void fill(float value);
+
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float mean() const;
+  [[nodiscard]] float min() const;
+  [[nodiscard]] float max() const;
+  /// Flat index of the maximum element (first on ties). Requires size() > 0.
+  [[nodiscard]] std::size_t argmax() const;
+
+  /// Euclidean norm of the flattened tensor.
+  [[nodiscard]] double l2_norm() const;
+  /// Sum of |x| over the flattened tensor.
+  [[nodiscard]] double l1_norm() const;
+  /// max |x| over the flattened tensor.
+  [[nodiscard]] double linf_norm() const;
+  /// Count of nonzero elements (|x| > tol).
+  [[nodiscard]] std::size_t l0_count(float tol = 0.0F) const;
+
+  // ---- Batch helpers -------------------------------------------------------
+  /// Extract row `index` of a batch tensor: shape [N, rest...] -> [rest...].
+  [[nodiscard]] Tensor row(std::size_t index) const;
+  /// Write a [rest...] tensor into row `index` of this [N, rest...] tensor.
+  void set_row(std::size_t index, const Tensor& value);
+  /// Stack equal-shaped tensors along a new leading axis.
+  static Tensor stack(const std::vector<Tensor>& rows);
+
+  [[nodiscard]] std::string to_string(std::size_t max_elems = 32) const;
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+ private:
+  void check_same_shape(const Tensor& other, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace dcn

@@ -1,0 +1,121 @@
+// Shared, lazily-constructed test fixtures. Training even a small model costs
+// seconds, so expensive fixtures are built once per test binary.
+#pragma once
+
+#include <algorithm>
+
+#include "data/dataset.hpp"
+#include "data/synth_mnist.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace dcn::testing {
+
+/// A fast 3-class 2-D problem (Gaussian triangle) with a small trained MLP.
+/// Attack mechanics (gradients, success semantics, box handling) don't need
+/// images, so most attack unit tests run here in milliseconds.
+struct SmallProblem {
+  data::Dataset train_set;
+  data::Dataset test_set;
+  nn::Sequential model;
+  double accuracy = 0.0;
+
+  static const SmallProblem& instance() {
+    static SmallProblem p = make();
+    return p;
+  }
+
+  // The model is logically const across tests but forward(train=true)
+  // mutates caches; expose a mutable reference deliberately.
+  static SmallProblem& mutable_instance() {
+    return const_cast<SmallProblem&>(instance());
+  }
+
+ private:
+  // Class centers and spread fit inside the library-wide input box
+  // [-0.5, 0.5] so the attacks' box clipping behaves as it does on images.
+  static data::Dataset triangle(std::size_t n, Rng& rng) {
+    data::Dataset d;
+    std::vector<Tensor> rows;
+    const float cx[3] = {0.0F, 0.30F, -0.30F};
+    const float cy[3] = {0.30F, -0.25F, -0.25F};
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t label = i % 3;
+      Tensor p(Shape{2});
+      p[0] = std::clamp(
+          cx[label] + static_cast<float>(rng.normal(0.0, 0.06)), -0.5F, 0.5F);
+      p[1] = std::clamp(
+          cy[label] + static_cast<float>(rng.normal(0.0, 0.06)), -0.5F, 0.5F);
+      rows.push_back(p);
+      d.labels.push_back(label);
+    }
+    d.images = Tensor::stack(rows);
+    return d;
+  }
+
+  static SmallProblem make() {
+    SmallProblem p;
+    Rng rng(2024);
+    p.train_set = triangle(240, rng);
+    p.test_set = triangle(90, rng);
+    Rng init(7);
+    p.model = models::mlp({2, 16, 16, 3}, init);
+    models::fit(p.model, p.train_set,
+                {.epochs = 40,
+                 .batch_size = 16,
+                 .learning_rate = 1e-2F,
+                 .temperature = 1.0F,
+                 .shuffle_seed = 5});
+    p.accuracy = nn::evaluate(p.model, p.test_set);
+    return p;
+  }
+};
+
+/// A small MNIST-domain workbench shared by the CW / detector / DCN tests.
+struct MnistProblem {
+  models::Workbench wb;
+
+  static MnistProblem& instance() {
+    static MnistProblem p = make();
+    return p;
+  }
+
+ private:
+  static MnistProblem make() {
+    MnistProblem p;
+    p.wb = models::make_mnist_workbench({.train_count = 800,
+                                         .test_count = 200,
+                                         .data_seed = 42,
+                                         .init_seed = 1234,
+                                         .recipe = {.epochs = 6,
+                                                    .batch_size = 32,
+                                                    .learning_rate = 1e-3F,
+                                                    .temperature = 1.0F,
+                                                    .shuffle_seed = 7}});
+    return p;
+  }
+};
+
+/// First test-set example of `wb` that the model classifies correctly.
+inline std::size_t first_correct_index(models::Workbench& wb,
+                                       std::size_t start = 0) {
+  for (std::size_t i = start; i < wb.test_set.size(); ++i) {
+    if (wb.model.classify(wb.test_set.example(i)) == wb.test_set.labels[i]) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+/// Same, for the small 2-D problem.
+inline std::size_t first_correct_index_small(SmallProblem& p,
+                                             std::size_t start = 0) {
+  for (std::size_t i = start; i < p.test_set.size(); ++i) {
+    if (p.model.classify(p.test_set.example(i)) == p.test_set.labels[i]) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+}  // namespace dcn::testing

@@ -1,0 +1,79 @@
+// Central-difference gradient checking shared by the nn-layer tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+
+namespace dcn::testing {
+
+/// Scalar loss of a model on a fixed batch: sum of squared logits (a smooth
+/// function exercising every output).
+inline double sq_loss(nn::Sequential& model, const Tensor& batch) {
+  const Tensor out = model.forward(batch, /*train=*/false);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    acc += 0.5 * static_cast<double>(out[i]) * out[i];
+  }
+  return acc;
+}
+
+/// Analytic input gradient of sq_loss via backward().
+inline Tensor sq_loss_input_grad(nn::Sequential& model, const Tensor& batch) {
+  const Tensor out = model.forward(batch, /*train=*/true);
+  return model.backward(out);  // d(0.5*sum out^2)/d out = out
+}
+
+/// Max relative error between the analytic gradient `grad` of sq_loss and
+/// central differences on `f`(perturbed input).
+inline double max_grad_error(const std::function<double(const Tensor&)>& f,
+                             const Tensor& x, const Tensor& grad,
+                             float eps = 1e-3F) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor hi = x, lo = x;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const double numeric = (f(hi) - f(lo)) / (2.0 * eps);
+    const double analytic = grad[i];
+    // Scale floor of 1e-2: below that, float32 forward-pass noise dominates
+    // the difference quotient and relative error is meaningless.
+    const double scale =
+        std::max({std::abs(numeric), std::abs(analytic), 1e-2});
+    worst = std::max(worst, std::abs(numeric - analytic) / scale);
+  }
+  return worst;
+}
+
+/// Check parameter gradients of sq_loss for the first `max_checked` scalars
+/// of every parameter tensor in the model.
+inline double max_param_grad_error(nn::Sequential& model, const Tensor& batch,
+                                   std::size_t max_checked = 24,
+                                   float eps = 1e-3F) {
+  // Analytic gradients.
+  model.zero_grad();
+  const Tensor out = model.forward(batch, /*train=*/true);
+  model.backward(out);
+  double worst = 0.0;
+  for (auto& p : model.params()) {
+    const std::size_t n = std::min(max_checked, p.value->size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const float keep = (*p.value)[i];
+      (*p.value)[i] = keep + eps;
+      const double hi = sq_loss(model, batch);
+      (*p.value)[i] = keep - eps;
+      const double lo = sq_loss(model, batch);
+      (*p.value)[i] = keep;
+      const double numeric = (hi - lo) / (2.0 * eps);
+      const double analytic = (*p.grad)[i];
+      const double scale =
+          std::max({std::abs(numeric), std::abs(analytic), 1e-2});
+      worst = std::max(worst, std::abs(numeric - analytic) / scale);
+    }
+  }
+  return worst;
+}
+
+}  // namespace dcn::testing

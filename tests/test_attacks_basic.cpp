@@ -1,0 +1,263 @@
+// Unit tests for the fast gradient-based attacks on a small 2-D problem:
+// success semantics, box/budget invariants, and distance bookkeeping.
+#include <gtest/gtest.h>
+
+#include "attacks/deepfool.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/gradient.hpp"
+#include "attacks/igsm.hpp"
+#include "attacks/lbfgs_attack.hpp"
+#include "attacks/untargeted.hpp"
+#include "data/transforms.hpp"
+#include "eval/metrics.hpp"
+#include "fixtures.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::SmallProblem;
+
+TEST(Fixture, SmallProblemLearns) {
+  EXPECT_GT(SmallProblem::instance().accuracy, 0.95);
+}
+
+TEST(Gradient, LossGradientMatchesNumeric) {
+  auto& p = SmallProblem::mutable_instance();
+  const Tensor x = p.test_set.example(0);
+  double loss = 0.0;
+  const Tensor grad = attacks::loss_input_gradient(p.model, x, 1, &loss);
+  EXPECT_GT(loss, 0.0);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Tensor hi = x, lo = x;
+    hi[i] += eps;
+    lo[i] -= eps;
+    double lh = 0.0, ll = 0.0;
+    attacks::loss_input_gradient(p.model, hi, 1, &lh);
+    attacks::loss_input_gradient(p.model, lo, 1, &ll);
+    EXPECT_NEAR(grad[i], (lh - ll) / (2.0 * eps), 5e-2);
+  }
+}
+
+TEST(Gradient, JacobianRowsMatchWeightedGradient) {
+  auto& p = SmallProblem::mutable_instance();
+  const Tensor x = p.test_set.example(1);
+  Tensor logits;
+  const Tensor jac = attacks::logit_jacobian(p.model, x, &logits);
+  ASSERT_EQ(jac.shape(), Shape({3, 2}));
+  for (std::size_t c = 0; c < 3; ++c) {
+    Tensor w(Shape{3});
+    w[c] = 1.0F;
+    const Tensor g = attacks::weighted_logit_gradient(p.model, x, w);
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(jac(c, i), g[i], 1e-5F);
+    }
+  }
+}
+
+TEST(Gradient, WeightedGradientIsLinearInWeights) {
+  auto& p = SmallProblem::mutable_instance();
+  const Tensor x = p.test_set.example(2);
+  Tensor w1(Shape{3}), w2(Shape{3});
+  w1[0] = 1.0F;
+  w2[2] = 1.0F;
+  const Tensor g1 = attacks::weighted_logit_gradient(p.model, x, w1);
+  const Tensor g2 = attacks::weighted_logit_gradient(p.model, x, w2);
+  Tensor w12(Shape{3});
+  w12[0] = 2.0F;
+  w12[2] = -1.0F;
+  const Tensor g12 = attacks::weighted_logit_gradient(p.model, x, w12);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(g12[i], 2.0F * g1[i] - g2[i], 1e-4F);
+  }
+}
+
+TEST(Fgsm, UntargetedFlipsMostLabels) {
+  auto& p = SmallProblem::mutable_instance();
+  // A single signed step in 2-D can only move diagonally, so FGSM is a weak
+  // attack here; it must still flip a meaningful fraction.
+  attacks::Fgsm fgsm({.epsilon = 0.3F});
+  eval::SuccessRate sr;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    sr.record(fgsm.run_untargeted(p.model, x, truth).success);
+  }
+  EXPECT_GT(sr.rate(), 0.3);
+}
+
+TEST(Fgsm, RespectsLinfBudget) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Fgsm fgsm({.epsilon = 0.05F});
+  const Tensor x = p.test_set.example(0);
+  const auto r = fgsm.run_untargeted(p.model, x, p.test_set.labels[0]);
+  EXPECT_LE(r.linf, 0.05 + 1e-6);
+}
+
+TEST(Fgsm, OutputInsideBox) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Fgsm fgsm({.epsilon = 3.0F});  // would overshoot without clipping
+  const Tensor x = p.test_set.example(3);
+  const auto r = fgsm.run_untargeted(p.model, x, p.test_set.labels[3]);
+  EXPECT_GE(r.adversarial.min(), data::kPixelMin);
+  EXPECT_LE(r.adversarial.max(), data::kPixelMax);
+}
+
+TEST(Igsm, TargetedReachesTarget) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Igsm igsm({.epsilon = 1.0F,
+                      .step_size = 0.03F,
+                      .max_iterations = 100,
+                      .stop_at_success = true});
+  eval::SuccessRate sr;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    const std::size_t target = (truth + 1) % 3;
+    const auto r = igsm.run_targeted(p.model, x, target);
+    sr.record(r.success && r.predicted == target);
+  }
+  EXPECT_GT(sr.rate(), 0.6);
+}
+
+TEST(Igsm, RespectsEpsilonBall) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Igsm igsm({.epsilon = 0.1F,
+                      .step_size = 0.03F,
+                      .max_iterations = 50,
+                      .stop_at_success = false});
+  const Tensor x = p.test_set.example(4);
+  const auto r = igsm.run_untargeted(p.model, x, p.test_set.labels[4]);
+  EXPECT_LE(r.linf, 0.1 + 1e-5);
+}
+
+TEST(Igsm, MoreBudgetNeverHurtsSuccess) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Igsm small({.epsilon = 0.02F,
+                       .step_size = 0.01F,
+                       .max_iterations = 60,
+                       .stop_at_success = true});
+  attacks::Igsm large({.epsilon = 0.5F,
+                       .step_size = 0.04F,
+                       .max_iterations = 60,
+                       .stop_at_success = true});
+  eval::SuccessRate sr_small, sr_large;
+  for (std::size_t i = 0; i < 15; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    sr_small.record(small.run_untargeted(p.model, x, truth).success);
+    sr_large.record(large.run_untargeted(p.model, x, truth).success);
+  }
+  EXPECT_GE(sr_large.successes(), sr_small.successes());
+}
+
+TEST(DeepFool, FlipsLabelWithSmallDistortion) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::DeepFool df;
+  eval::SuccessRate sr;
+  eval::Mean dist;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    const auto r = df.run_untargeted(p.model, x, truth);
+    sr.record(r.success);
+    if (r.success) dist.record(r.l2);
+  }
+  EXPECT_GT(sr.rate(), 0.8);
+  // DeepFool distortion should be small relative to class separation (~0.6).
+  EXPECT_LT(dist.value(), 0.5);
+}
+
+TEST(DeepFool, TargetedVariantReachesTarget) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::DeepFool df({.max_iterations = 60, .overshoot = 0.05F});
+  std::size_t hits = 0, tries = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    const std::size_t target = (truth + 2) % 3;
+    ++tries;
+    if (df.run_targeted(p.model, x, target).success) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(tries), 0.5);
+}
+
+TEST(Lbfgs, TargetedSucceedsWithSmallDistortion) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::LbfgsAttack lbfgs;
+  eval::SuccessRate sr;
+  for (std::size_t i = 0; i < 9; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    const auto r = lbfgs.run_targeted(p.model, x, (truth + 1) % 3);
+    sr.record(r.success);
+  }
+  EXPECT_GT(sr.rate(), 0.6);
+}
+
+TEST(AttackResult, FailureKeepsOriginal) {
+  auto& p = SmallProblem::mutable_instance();
+  // Zero budget cannot succeed; the result must echo the original input.
+  attacks::Igsm igsm({.epsilon = 0.0F,
+                      .step_size = 0.01F,
+                      .max_iterations = 3,
+                      .stop_at_success = false});
+  const std::size_t i = testing::first_correct_index_small(p);
+  const Tensor x = p.test_set.example(i);
+  const auto r = igsm.run_untargeted(p.model, x, p.test_set.labels[i]);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.l0, 0.0);
+  EXPECT_EQ(r.l2, 0.0);
+}
+
+TEST(Untargeted, BestOfPicksMinimalDistortion) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Igsm igsm({.epsilon = 1.0F,
+                      .step_size = 0.03F,
+                      .max_iterations = 80,
+                      .stop_at_success = true});
+  const std::size_t i = testing::first_correct_index_small(p);
+  const Tensor x = p.test_set.example(i);
+  const std::size_t truth = p.test_set.labels[i];
+  const auto best = attacks::untargeted_best_of(igsm, p.model, x, truth, 3,
+                                                attacks::Norm::kL2);
+  const auto all = attacks::all_targets(igsm, p.model, x, truth, 3);
+  ASSERT_TRUE(best.success);
+  for (const auto& r : all) {
+    if (r.success) {
+      EXPECT_LE(best.l2, r.l2 + 1e-9);
+    }
+  }
+  EXPECT_NE(best.predicted, truth);
+}
+
+TEST(Untargeted, AllTargetsPlacesPlaceholderAtTruth) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Fgsm fgsm({.epsilon = 0.3F});
+  const std::size_t i = testing::first_correct_index_small(p);
+  const Tensor x = p.test_set.example(i);
+  const std::size_t truth = p.test_set.labels[i];
+  const auto all = attacks::all_targets(fgsm, p.model, x, truth, 3);
+  ASSERT_EQ(all.size(), 3U);
+  EXPECT_FALSE(all[truth].success);
+  EXPECT_EQ(all[truth].predicted, truth);
+}
+
+TEST(Untargeted, DistortionSelectors) {
+  attacks::AttackResult r;
+  r.l0 = 3.0;
+  r.l2 = 1.5;
+  r.linf = 0.2;
+  EXPECT_EQ(attacks::distortion(r, attacks::Norm::kL0), 3.0);
+  EXPECT_EQ(attacks::distortion(r, attacks::Norm::kL2), 1.5);
+  EXPECT_EQ(attacks::distortion(r, attacks::Norm::kLinf), 0.2);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,167 @@
+// Tests for the CW attack family on the MNIST-domain workbench. These are
+// the attacks the paper's entire evaluation is built on, so they get the
+// heavier (image-domain) fixture.
+#include <gtest/gtest.h>
+
+#include "attacks/cw_l0.hpp"
+#include "attacks/cw_l2.hpp"
+#include "attacks/cw_linf.hpp"
+#include "data/transforms.hpp"
+#include "eval/metrics.hpp"
+#include "fixtures.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::MnistProblem;
+
+TEST(Fixture, MnistProblemLearns) {
+  EXPECT_GT(MnistProblem::instance().wb.clean_accuracy, 0.9);
+}
+
+TEST(CwObjective, MarginSignMatchesClassification) {
+  Tensor logits = Tensor::from_vector({1.0F, 5.0F, 2.0F});
+  std::size_t other = 9;
+  // Target 1 is the argmax: margin negative.
+  EXPECT_LT(attacks::CwL2::objective_margin(logits, 1, &other), 0.0);
+  EXPECT_EQ(other, 2U);  // runner-up
+  // Target 0 is dominated: margin positive.
+  EXPECT_GT(attacks::CwL2::objective_margin(logits, 0, &other), 0.0);
+  EXPECT_EQ(other, 1U);
+}
+
+TEST(CwL2, TargetedSucceedsInBox) {
+  auto& p = MnistProblem::instance();
+  attacks::CwL2 cw;
+  const std::size_t i = testing::first_correct_index(p.wb);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t truth = p.wb.test_set.labels[i];
+  const std::size_t target = (truth + 1) % 10;
+  const auto r = cw.run_targeted(p.wb.model, x, target);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.predicted, target);
+  EXPECT_GE(r.adversarial.min(), data::kPixelMin - 1e-6F);
+  EXPECT_LE(r.adversarial.max(), data::kPixelMax + 1e-6F);
+  EXPECT_GT(r.l2, 0.0);
+}
+
+TEST(CwL2, HighSuccessOverTargets) {
+  auto& p = MnistProblem::instance();
+  attacks::CwL2 cw;
+  const std::size_t i = testing::first_correct_index(p.wb, 3);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t truth = p.wb.test_set.labels[i];
+  eval::SuccessRate sr;
+  for (std::size_t t = 0; t < 10; t += 2) {
+    if (t == truth) continue;
+    sr.record(cw.run_targeted(p.wb.model, x, t).success);
+  }
+  EXPECT_EQ(sr.rate(), 1.0);
+}
+
+TEST(CwL2, KappaIncreasesConfidenceAndDistortion) {
+  auto& p = MnistProblem::instance();
+  attacks::CwL2 low({.kappa = 0.0F});
+  attacks::CwL2 high({.kappa = 5.0F});
+  const std::size_t i = testing::first_correct_index(p.wb, 6);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t truth = p.wb.test_set.labels[i];
+  const std::size_t target = (truth + 3) % 10;
+  const auto r0 = low.run_targeted(p.wb.model, x, target);
+  const auto r5 = high.run_targeted(p.wb.model, x, target);
+  ASSERT_TRUE(r0.success);
+  ASSERT_TRUE(r5.success);
+  // Higher kappa -> deeper into the target region -> larger margin.
+  const Tensor z0 = p.wb.model.logits(r0.adversarial);
+  const Tensor z5 = p.wb.model.logits(r5.adversarial);
+  EXPECT_LT(attacks::CwL2::objective_margin(z5, target),
+            attacks::CwL2::objective_margin(z0, target));
+  // And the paper's noted cost: more distortion.
+  EXPECT_GE(r5.l2, r0.l2 * 0.8);  // allow optimizer noise, expect >= roughly
+}
+
+TEST(CwL0, ChangesFewerPixelsThanL2) {
+  auto& p = MnistProblem::instance();
+  attacks::CwL2 cw2;
+  attacks::CwL0 cw0;
+  const std::size_t i = testing::first_correct_index(p.wb, 9);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t truth = p.wb.test_set.labels[i];
+  const std::size_t target = (truth + 1) % 10;
+  const auto r2 = cw2.run_targeted(p.wb.model, x, target);
+  const auto r0 = cw0.run_targeted(p.wb.model, x, target);
+  ASSERT_TRUE(r2.success);
+  ASSERT_TRUE(r0.success);
+  EXPECT_LT(r0.l0, r2.l0);
+  // The L0 tradeoff: fewer pixels, each changed more.
+  EXPECT_GE(r0.linf, r2.linf * 0.8);
+}
+
+TEST(CwL0, OutputInsideBox) {
+  auto& p = MnistProblem::instance();
+  attacks::CwL0 cw0;
+  const std::size_t i = testing::first_correct_index(p.wb, 12);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t target = (p.wb.test_set.labels[i] + 4) % 10;
+  const auto r = cw0.run_targeted(p.wb.model, x, target);
+  EXPECT_GE(r.adversarial.min(), data::kPixelMin - 1e-6F);
+  EXPECT_LE(r.adversarial.max(), data::kPixelMax + 1e-6F);
+}
+
+TEST(CwLinf, ShrinksMaxPerturbationBelowL2Attack) {
+  auto& p = MnistProblem::instance();
+  attacks::CwL2 cw2;
+  attacks::CwLinf cwi;
+  const std::size_t i = testing::first_correct_index(p.wb, 15);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t truth = p.wb.test_set.labels[i];
+  const std::size_t target = (truth + 2) % 10;
+  const auto r2 = cw2.run_targeted(p.wb.model, x, target);
+  const auto ri = cwi.run_targeted(p.wb.model, x, target);
+  ASSERT_TRUE(r2.success);
+  ASSERT_TRUE(ri.success);
+  // The L-inf attack spreads the perturbation: lower max change.
+  EXPECT_LT(ri.linf, r2.linf + 1e-3);
+  // ... typically at the cost of touching many pixels.
+  EXPECT_GT(ri.l0, r2.l0 * 0.5);
+}
+
+TEST(CwLinf, OutputInsideBoxAndSucceeds) {
+  auto& p = MnistProblem::instance();
+  attacks::CwLinf cwi;
+  const std::size_t i = testing::first_correct_index(p.wb, 18);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t target = (p.wb.test_set.labels[i] + 5) % 10;
+  const auto r = cwi.run_targeted(p.wb.model, x, target);
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(r.adversarial.min(), data::kPixelMin - 1e-6F);
+  EXPECT_LE(r.adversarial.max(), data::kPixelMax + 1e-6F);
+}
+
+TEST(CwL2, AdversarialLogitsShowLowConfidenceMax) {
+  // The paper's Fig. 1 insight, as an assertion: adversarial examples have a
+  // weaker winning margin than their benign sources.
+  auto& p = MnistProblem::instance();
+  attacks::CwL2 cw;
+  const std::size_t i = testing::first_correct_index(p.wb, 21);
+  const Tensor x = p.wb.test_set.example(i);
+  const std::size_t truth = p.wb.test_set.labels[i];
+  const Tensor benign_logits = p.wb.model.logits(x);
+  const double benign_margin =
+      -attacks::CwL2::objective_margin(benign_logits, truth);
+  double adv_margin_sum = 0.0;
+  int count = 0;
+  for (std::size_t t = 0; t < 10; t += 3) {
+    if (t == truth) continue;
+    const auto r = cw.run_targeted(p.wb.model, x, t);
+    if (!r.success) continue;
+    const Tensor z = p.wb.model.logits(r.adversarial);
+    adv_margin_sum += -attacks::CwL2::objective_margin(z, r.predicted);
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_LT(adv_margin_sum / count, benign_margin);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,183 @@
+// Tests for im2col convolution and pooling against naive references.
+#include <gtest/gtest.h>
+
+#include "tensor/conv.hpp"
+#include "tensor/random.hpp"
+
+namespace dcn {
+namespace {
+
+// Direct convolution reference.
+Tensor naive_conv(const Tensor& img, const Tensor& weights, const Tensor& bias,
+                  const conv::Conv2DSpec& spec, std::size_t out_c) {
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  Tensor out(Shape{out_c, oh, ow});
+  for (std::size_t oc = 0; oc < out_c; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        double acc = bias[oc];
+        std::size_t widx = 0;
+        for (std::size_t c = 0; c < spec.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+            for (std::size_t kx = 0; kx < spec.kernel; ++kx, ++widx) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              if (iy < 0 || ix < 0 ||
+                  iy >= static_cast<std::ptrdiff_t>(spec.in_height) ||
+                  ix >= static_cast<std::ptrdiff_t>(spec.in_width)) {
+                continue;
+              }
+              acc += static_cast<double>(
+                         img(c, static_cast<std::size_t>(iy),
+                             static_cast<std::size_t>(ix))) *
+                     weights(oc, widx);
+            }
+          }
+        }
+        out(oc, oy, ox) = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv, SpecGeometry) {
+  conv::Conv2DSpec spec{.in_channels = 1,
+                        .in_height = 28,
+                        .in_width = 28,
+                        .kernel = 3,
+                        .stride = 1,
+                        .padding = 0};
+  EXPECT_EQ(spec.out_height(), 26U);
+  EXPECT_EQ(spec.out_width(), 26U);
+  spec.padding = 1;
+  EXPECT_EQ(spec.out_height(), 28U);
+  spec.stride = 2;
+  EXPECT_EQ(spec.out_height(), 14U);
+}
+
+TEST(Conv, ForwardMatchesNaive) {
+  Rng rng(11);
+  conv::Conv2DSpec spec{.in_channels = 2,
+                        .in_height = 7,
+                        .in_width = 6,
+                        .kernel = 3,
+                        .stride = 1,
+                        .padding = 0};
+  const std::size_t out_c = 4;
+  const Tensor img = Tensor::normal(Shape{2, 7, 6}, rng);
+  const Tensor w =
+      Tensor::normal(Shape{out_c, spec.in_channels * 9}, rng);
+  const Tensor b = Tensor::normal(Shape{out_c}, rng);
+  const Tensor fast = conv::conv2d_forward(img, w, b, spec);
+  const Tensor ref = naive_conv(img, w, b, spec, out_c);
+  ASSERT_EQ(fast.shape(), ref.shape());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-4F);
+  }
+}
+
+TEST(Conv, ForwardWithPaddingAndStrideMatchesNaive) {
+  Rng rng(12);
+  conv::Conv2DSpec spec{.in_channels = 3,
+                        .in_height = 8,
+                        .in_width = 8,
+                        .kernel = 3,
+                        .stride = 2,
+                        .padding = 1};
+  const std::size_t out_c = 2;
+  const Tensor img = Tensor::normal(Shape{3, 8, 8}, rng);
+  const Tensor w = Tensor::normal(Shape{out_c, 27}, rng);
+  const Tensor b = Tensor::normal(Shape{out_c}, rng);
+  const Tensor fast = conv::conv2d_forward(img, w, b, spec);
+  const Tensor ref = naive_conv(img, w, b, spec, out_c);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-4F);
+  }
+}
+
+TEST(Conv, Im2ColShapes) {
+  conv::Conv2DSpec spec{.in_channels = 2,
+                        .in_height = 5,
+                        .in_width = 5,
+                        .kernel = 3,
+                        .stride = 1,
+                        .padding = 0};
+  Rng rng(13);
+  const Tensor img = Tensor::normal(Shape{2, 5, 5}, rng);
+  const Tensor cols = conv::im2col(img, spec);
+  EXPECT_EQ(cols.shape(), Shape({9, 18}));
+}
+
+TEST(Conv, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the adjoint identity
+  // that makes the conv backward pass correct.
+  conv::Conv2DSpec spec{.in_channels = 2,
+                        .in_height = 6,
+                        .in_width = 5,
+                        .kernel = 3,
+                        .stride = 2,
+                        .padding = 1};
+  Rng rng(14);
+  const Tensor x = Tensor::normal(Shape{2, 6, 5}, rng);
+  const Tensor cols = conv::im2col(x, spec);
+  const Tensor y = Tensor::normal(cols.shape(), rng);
+  const Tensor back = conv::col2im(y, spec);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Pool, ForwardPicksWindowMax) {
+  Tensor img(Shape{1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) img[i] = static_cast<float>(i);
+  const auto r = conv::maxpool2d_forward(img, 2);
+  EXPECT_EQ(r.output.shape(), Shape({1, 2, 2}));
+  EXPECT_FLOAT_EQ(r.output(0, 0, 0), 5.0F);
+  EXPECT_FLOAT_EQ(r.output(0, 1, 1), 15.0F);
+  EXPECT_EQ(r.argmax[3], 15U);
+}
+
+TEST(Pool, BackwardRoutesGradToArgmax) {
+  Tensor img(Shape{1, 2, 2});
+  img[2] = 9.0F;  // bottom-left is the max
+  const auto r = conv::maxpool2d_forward(img, 2);
+  Tensor grad_out(Shape{1, 1, 1});
+  grad_out[0] = 3.0F;
+  const Tensor grad_in =
+      conv::maxpool2d_backward(grad_out, r.argmax, img.shape());
+  EXPECT_FLOAT_EQ(grad_in[2], 3.0F);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0F);
+}
+
+TEST(Pool, NegativeValuesHandled) {
+  Tensor img = Tensor::full(Shape{1, 2, 2}, -5.0F);
+  img[1] = -1.0F;
+  const auto r = conv::maxpool2d_forward(img, 2);
+  EXPECT_FLOAT_EQ(r.output[0], -1.0F);
+}
+
+TEST(Conv, ShapeValidation) {
+  conv::Conv2DSpec spec{.in_channels = 1,
+                        .in_height = 4,
+                        .in_width = 4,
+                        .kernel = 3,
+                        .stride = 1,
+                        .padding = 0};
+  EXPECT_THROW((void)conv::im2col(Tensor(Shape{2, 4, 4}), spec),
+               std::invalid_argument);
+  EXPECT_THROW((void)conv::maxpool2d_forward(Tensor(Shape{4, 4}), 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,239 @@
+// Tests for the paper's contribution: detector, corrector, DCN pipeline,
+// and the adaptive attack that differentiates through the detector.
+#include <gtest/gtest.h>
+
+#include "attacks/adaptive_cw.hpp"
+#include "attacks/cw_l2.hpp"
+#include "core/corrector.hpp"
+#include "core/dcn.hpp"
+#include "core/detector.hpp"
+#include "core/detector_training.hpp"
+#include "eval/metrics.hpp"
+#include "fixtures.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::MnistProblem;
+
+// Shared trained detector for this binary (built once; CW generation is the
+// expensive part).
+struct DetectorFixture {
+  core::Detector detector;
+  data::Dataset train_logits;
+  data::Dataset test_logits;
+  core::LogitDatasetStats stats;
+
+  static DetectorFixture& instance() {
+    static DetectorFixture* f = make();
+    return *f;
+  }
+
+ private:
+  static DetectorFixture* make() {
+    auto& mp = MnistProblem::instance();
+    auto* f = new DetectorFixture{core::Detector(10), {}, {}, {}};
+    // A lighter CW config keeps the fixture fast; the adversarial examples
+    // it produces are the same kind, just less distortion-optimized.
+    attacks::CwL2 cw({.kappa = 0.0F,
+                      .initial_c = 1e-1F,
+                      .binary_search_steps = 3,
+                      .max_iterations = 80,
+                      .learning_rate = 5e-2F,
+                      .abort_early = true});
+    // Train on the first 8 test examples' attack logits plus a free pool of
+    // benign logits from the training set; evaluate on later examples.
+    const auto train_src = mp.wb.test_set.take(8);
+    const auto extra_benign = mp.wb.train_set.take(300);
+    f->train_logits = core::build_logit_dataset(mp.wb.model, cw, train_src,
+                                                10, &f->stats, true,
+                                                &extra_benign);
+    f->detector.train(f->train_logits);
+    const auto [head, rest] = mp.wb.test_set.split(8);
+    (void)head;
+    const auto eval_src = rest.take(6);
+    f->test_logits = core::build_logit_dataset(mp.wb.model, cw, eval_src, 10,
+                                               nullptr, /*balance=*/false);
+    return f;
+  }
+};
+
+TEST(Detector, TrainingDataFollowsPaperProtocol) {
+  auto& f = DetectorFixture::instance();
+  // Every correctly-classified attack source contributes up to 9 adversarial
+  // logit vectors; benign logits come from the sources plus the free pool.
+  EXPECT_GT(f.stats.benign_count, 8U);
+  EXPECT_LE(f.stats.adversarial_count, 8U * 9U);
+  EXPECT_GE(f.train_logits.size(),
+            f.stats.benign_count + f.stats.adversarial_count);
+  EXPECT_EQ(f.train_logits.images.dim(1), 10U);
+}
+
+TEST(Detector, SeparatesHeldOutLogits) {
+  auto& f = DetectorFixture::instance();
+  auto& mp = MnistProblem::instance();
+  const auto rates =
+      core::evaluate_detector(f.detector, mp.wb.model, f.test_logits);
+  // The paper's Table 2: false positives (missed adversarial) ~1%, false
+  // negatives (flagged benign) a few percent. Allow slack at our scale.
+  EXPECT_LT(rates.false_positive, 0.10);
+  EXPECT_LT(rates.false_negative, 0.20);
+}
+
+TEST(Detector, MarginSignConsistentWithVerdict) {
+  auto& f = DetectorFixture::instance();
+  for (std::size_t i = 0; i < std::min<std::size_t>(f.test_logits.size(), 20);
+       ++i) {
+    const Tensor z = f.test_logits.example(i);
+    EXPECT_EQ(f.detector.is_adversarial(z), f.detector.margin(z) > 0.0);
+  }
+}
+
+TEST(Detector, RejectsWrongInputSize) {
+  auto& f = DetectorFixture::instance();
+  EXPECT_THROW((void)f.detector.margin(Tensor(Shape{5})),
+               std::invalid_argument);
+  data::Dataset bad;
+  bad.images = Tensor(Shape{4, 5});
+  bad.labels = {0, 1, 0, 1};
+  EXPECT_THROW(f.detector.train(bad), std::invalid_argument);
+}
+
+TEST(Corrector, KeepsBenignLabels) {
+  auto& mp = MnistProblem::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const Tensor x = mp.wb.test_set.example(i);
+    if (mp.wb.model.classify(x) != mp.wb.test_set.labels[i]) continue;
+    ++total;
+    if (corrector.correct(x) == mp.wb.test_set.labels[i]) ++agree;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GE(agree * 10, total * 9);  // >= 90%
+}
+
+TEST(Corrector, RecoversMostCwAdversarial) {
+  auto& mp = MnistProblem::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  attacks::CwL2 cw;
+  std::size_t recovered = 0, total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t idx = testing::first_correct_index(mp.wb, i * 3);
+    const Tensor x = mp.wb.test_set.example(idx);
+    const std::size_t truth = mp.wb.test_set.labels[idx];
+    const auto r = cw.run_targeted(mp.wb.model, x, (truth + 1 + i) % 10);
+    if (!r.success) continue;
+    ++total;
+    if (corrector.correct(r.adversarial) == truth) ++recovered;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GE(recovered * 3, total * 2);  // >= 2/3 recovered
+}
+
+TEST(Corrector, VoteHistogramSumsToSamples) {
+  auto& mp = MnistProblem::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 33});
+  const auto votes = corrector.vote_histogram(mp.wb.test_set.example(0));
+  std::size_t total = 0;
+  for (std::size_t v : votes) total += v;
+  EXPECT_EQ(total, 33U);
+}
+
+TEST(Dcn, BenignAccuracyMatchesStandardDnn) {
+  // Table 3's headline: DCN does not lose benign accuracy.
+  auto& mp = MnistProblem::instance();
+  auto& f = DetectorFixture::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(mp.wb.model, f.detector, corrector);
+  const auto subset = mp.wb.test_set.take(40);
+  const double dnn_acc = data::accuracy(
+      subset, [&](const Tensor& x) { return mp.wb.model.classify(x); });
+  const double dcn_acc =
+      data::accuracy(subset, [&](const Tensor& x) { return dcn.classify(x); });
+  EXPECT_NEAR(dcn_acc, dnn_acc, 0.05);
+}
+
+TEST(Dcn, CorrectsDetectedAdversarial) {
+  auto& mp = MnistProblem::instance();
+  auto& f = DetectorFixture::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(mp.wb.model, f.detector, corrector);
+  attacks::CwL2 cw;
+  const std::size_t idx = testing::first_correct_index(mp.wb, 30);
+  const Tensor x = mp.wb.test_set.example(idx);
+  const std::size_t truth = mp.wb.test_set.labels[idx];
+  const auto r = cw.run_targeted(mp.wb.model, x, (truth + 1) % 10);
+  ASSERT_TRUE(r.success);
+  const auto decision = dcn.classify_verbose(r.adversarial);
+  // The raw DNN is fooled.
+  EXPECT_NE(decision.dnn_label, truth);
+  // DCN should flag it (detector) and usually fix it (corrector).
+  EXPECT_TRUE(decision.flagged_adversarial);
+  EXPECT_GT(dcn.corrector_activations(), 0U);
+}
+
+TEST(Dcn, BenignPathSkipsCorrector) {
+  auto& mp = MnistProblem::instance();
+  auto& f = DetectorFixture::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(mp.wb.model, f.detector, corrector);
+  std::size_t flagged = 0;
+  const std::size_t n = 20;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto d = dcn.classify_verbose(mp.wb.test_set.example(i));
+    if (d.flagged_adversarial) ++flagged;
+  }
+  // Most benign traffic takes the cheap path (paper: false negative ~4%).
+  EXPECT_LT(flagged, n / 2);
+  EXPECT_EQ(dcn.corrector_activations(), flagged);
+}
+
+TEST(AdaptiveCw, EvadesDetectorMoreThanPlainCw) {
+  // Paper Sec. 6: an adaptive attack optimizing against the detector should
+  // produce examples the detector misses more often than plain CW output.
+  auto& mp = MnistProblem::instance();
+  auto& f = DetectorFixture::instance();
+  attacks::CwL2 plain;
+  attacks::AdaptiveCw adaptive([&](const Tensor& z, Tensor& g) {
+                                 return f.detector.margin_with_gradient(z, g);
+                               },
+                               {.kappa = 3.0F,
+                                .kappa_det = 0.0F,
+                                .lambda = 1.0F,
+                                .initial_c = 1e-1F,
+                                .binary_search_steps = 4,
+                                .max_iterations = 150,
+                                .learning_rate = 5e-2F});
+  std::size_t plain_detected = 0, adaptive_detected = 0;
+  std::size_t plain_total = 0, adaptive_total = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t idx = testing::first_correct_index(mp.wb, 40 + i * 2);
+    const Tensor x = mp.wb.test_set.example(idx);
+    const std::size_t truth = mp.wb.test_set.labels[idx];
+    const std::size_t target = (truth + 2 + i) % 10;
+    const auto rp = plain.run_targeted(mp.wb.model, x, target);
+    if (rp.success) {
+      ++plain_total;
+      if (f.detector.is_adversarial(mp.wb.model.logits(rp.adversarial))) {
+        ++plain_detected;
+      }
+    }
+    const auto ra = adaptive.run_targeted(mp.wb.model, x, target);
+    if (ra.success) {
+      ++adaptive_total;
+      if (f.detector.is_adversarial(mp.wb.model.logits(ra.adversarial))) {
+        ++adaptive_detected;
+      }
+    }
+  }
+  ASSERT_GT(plain_total, 0U);
+  // Adaptive examples that succeed must evade the detector by construction.
+  if (adaptive_total > 0) {
+    EXPECT_LE(adaptive_detected, adaptive_total / 2);
+  }
+  EXPECT_GE(plain_detected, plain_total / 2);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,190 @@
+// Tests for dataset containers, transforms, and the synthetic generators.
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "data/synth_cifar.hpp"
+#include "data/synth_mnist.hpp"
+#include "data/transforms.hpp"
+
+namespace dcn {
+namespace {
+
+data::Dataset tiny_dataset() {
+  data::Dataset d;
+  d.images = Tensor(Shape{6, 2});
+  for (std::size_t i = 0; i < 6; ++i) d.images(i, 0) = static_cast<float>(i);
+  d.labels = {0, 1, 2, 0, 1, 2};
+  return d;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const auto d = tiny_dataset();
+  EXPECT_EQ(d.size(), 6U);
+  EXPECT_EQ(d.num_classes(), 3U);
+  EXPECT_FLOAT_EQ(d.example(3)[0], 3.0F);
+}
+
+TEST(Dataset, SubsetAndTake) {
+  const auto d = tiny_dataset();
+  const auto s = d.subset({5, 0});
+  EXPECT_EQ(s.size(), 2U);
+  EXPECT_EQ(s.labels[0], 2U);
+  EXPECT_FLOAT_EQ(s.example(0)[0], 5.0F);
+  EXPECT_EQ(d.take(4).size(), 4U);
+  EXPECT_EQ(d.take(100).size(), 6U);
+  EXPECT_THROW((void)d.subset({7}), std::out_of_range);
+}
+
+TEST(Dataset, SplitPartitions) {
+  const auto d = tiny_dataset();
+  const auto [head, tail] = d.split(2);
+  EXPECT_EQ(head.size(), 2U);
+  EXPECT_EQ(tail.size(), 4U);
+  EXPECT_EQ(tail.labels[0], 2U);
+}
+
+TEST(Dataset, ShuffledIsPermutation) {
+  const auto d = tiny_dataset();
+  Rng rng(5);
+  const auto s = d.shuffled(rng);
+  EXPECT_EQ(s.size(), d.size());
+  std::vector<int> label_count(3, 0);
+  for (std::size_t l : s.labels) ++label_count[l];
+  EXPECT_EQ(label_count[0], 2);
+  EXPECT_EQ(label_count[1], 2);
+  EXPECT_EQ(label_count[2], 2);
+}
+
+TEST(BatchIterator, CoversAllWithPartialTail) {
+  const auto d = tiny_dataset();
+  data::BatchIterator it(d, 4);
+  data::Batch b;
+  ASSERT_TRUE(it.next(b));
+  EXPECT_EQ(b.labels.size(), 4U);
+  ASSERT_TRUE(it.next(b));
+  EXPECT_EQ(b.labels.size(), 2U);
+  EXPECT_FALSE(it.next(b));
+  it.reset();
+  EXPECT_TRUE(it.next(b));
+}
+
+TEST(BatchIterator, RejectsZeroBatch) {
+  const auto d = tiny_dataset();
+  EXPECT_THROW(data::BatchIterator(d, 0), std::invalid_argument);
+}
+
+TEST(Transforms, ClipToBox) {
+  Tensor t = Tensor::from_vector({-1.0F, 0.0F, 1.0F});
+  const Tensor c = data::clip_to_box(t);
+  EXPECT_FLOAT_EQ(c[0], data::kPixelMin);
+  EXPECT_FLOAT_EQ(c[2], data::kPixelMax);
+}
+
+TEST(Transforms, BitDepthReductionQuantizes) {
+  Tensor t = Tensor::from_vector({-0.5F, -0.2F, 0.13F, 0.5F});
+  const Tensor q = data::reduce_bit_depth(t, 1);  // only two levels remain
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    EXPECT_TRUE(q[i] == data::kPixelMin || q[i] == data::kPixelMax);
+  }
+  // Higher depth refines toward the original.
+  const Tensor q8 = data::reduce_bit_depth(t, 8);
+  EXPECT_NEAR(q8[1], -0.2F, 1.0F / 255.0F);
+  EXPECT_THROW((void)data::reduce_bit_depth(t, 0), std::invalid_argument);
+}
+
+TEST(Transforms, MedianSmoothRemovesImpulse) {
+  Tensor img(Shape{1, 5, 5});
+  img(0, 2, 2) = 0.5F;  // single hot pixel on a zero background
+  const Tensor sm = data::median_smooth(img, 3);
+  EXPECT_FLOAT_EQ(sm(0, 2, 2), 0.0F);
+  EXPECT_THROW((void)data::median_smooth(img, 2), std::invalid_argument);
+  EXPECT_THROW((void)data::median_smooth(Tensor(Shape{5, 5}), 3),
+               std::invalid_argument);
+}
+
+TEST(Transforms, AsciiRenderShape) {
+  Tensor img(Shape{1, 2, 3});
+  const std::string art = data::ascii_render(img);
+  // Two rows of three glyphs plus newlines.
+  EXPECT_EQ(art.size(), 2U * (3U + 1U));
+}
+
+TEST(SynthMnist, ShapesLabelsAndRange) {
+  data::SynthMnist gen;
+  Rng rng(1);
+  const auto d = gen.generate(20, rng);
+  EXPECT_EQ(d.size(), 20U);
+  EXPECT_EQ(d.images.shape(), Shape({20, 1, 28, 28}));
+  EXPECT_EQ(d.num_classes(), 10U);
+  EXPECT_GE(d.images.min(), data::kPixelMin);
+  EXPECT_LE(d.images.max(), data::kPixelMax);
+  // Round-robin labels.
+  EXPECT_EQ(d.labels[0], 0U);
+  EXPECT_EQ(d.labels[13], 3U);
+}
+
+TEST(SynthMnist, DigitsContainInk) {
+  data::SynthMnist gen;
+  Rng rng(2);
+  for (std::size_t digit = 0; digit < 10; ++digit) {
+    const Tensor img = gen.render(digit, rng);
+    // Some pixels must be bright (strokes), most dark (background).
+    std::size_t bright = 0;
+    for (float v : img.data()) {
+      if (v > 0.3F) ++bright;
+    }
+    EXPECT_GT(bright, 10U) << "digit " << digit;
+    EXPECT_LT(bright, 500U) << "digit " << digit;
+  }
+}
+
+TEST(SynthMnist, SamplesVary) {
+  data::SynthMnist gen;
+  Rng rng(3);
+  const Tensor a = gen.render(7, rng);
+  const Tensor b = gen.render(7, rng);
+  EXPECT_GT((a - b).l2_norm(), 0.1);
+}
+
+TEST(SynthMnist, RejectsBadDigit) {
+  data::SynthMnist gen;
+  Rng rng(4);
+  EXPECT_THROW((void)gen.render(10, rng), std::invalid_argument);
+}
+
+TEST(SynthCifar, ShapesLabelsAndRange) {
+  data::SynthCifar gen;
+  Rng rng(5);
+  const auto d = gen.generate(20, rng);
+  EXPECT_EQ(d.images.shape(), Shape({20, 3, 32, 32}));
+  EXPECT_GE(d.images.min(), data::kPixelMin);
+  EXPECT_LE(d.images.max(), data::kPixelMax);
+}
+
+TEST(SynthCifar, ClassesDifferOnAverage) {
+  data::SynthCifar gen;
+  Rng rng(6);
+  // Mean image of class 4 (disk) should differ from class 0 (stripes).
+  Tensor mean4(Shape{3, 32, 32}), mean0(Shape{3, 32, 32});
+  for (int i = 0; i < 5; ++i) {
+    mean4 += gen.render(4, rng);
+    mean0 += gen.render(0, rng);
+  }
+  EXPECT_GT((mean4 - mean0).l2_norm() / 5.0, 0.5);
+}
+
+TEST(SynthCifar, RejectsBadLabel) {
+  data::SynthCifar gen;
+  Rng rng(7);
+  EXPECT_THROW((void)gen.render(10, rng), std::invalid_argument);
+}
+
+TEST(DatasetAccuracy, CallbackCounting) {
+  const auto d = tiny_dataset();
+  const double acc =
+      data::accuracy(d, [](const Tensor&) { return std::size_t{0}; });
+  EXPECT_NEAR(acc, 2.0 / 6.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcn

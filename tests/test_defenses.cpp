@@ -1,0 +1,157 @@
+// Tests for the baseline defenses: distillation, RC, feature squeezing.
+#include <gtest/gtest.h>
+
+#include "attacks/cw_l2.hpp"
+#include "defenses/distillation.hpp"
+#include "defenses/feature_squeeze.hpp"
+#include "defenses/region_classifier.hpp"
+#include "eval/metrics.hpp"
+#include "fixtures.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::MnistProblem;
+using testing::SmallProblem;
+
+TEST(ModelClassifier, MatchesUnderlyingModel) {
+  auto& p = SmallProblem::mutable_instance();
+  defenses::ModelClassifier mc(p.model, "Standard");
+  EXPECT_EQ(mc.name(), "Standard");
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Tensor x = p.test_set.example(i);
+    EXPECT_EQ(mc.classify(x), p.model.classify(x));
+  }
+}
+
+TEST(Distillation, StudentKeepsAccuracy) {
+  auto& p = SmallProblem::instance();
+  Rng rng(31);
+  defenses::DistilledModel distilled(
+      p.train_set, [](Rng& r) { return models::mlp({2, 16, 16, 3}, r); },
+      rng,
+      {.temperature = 100.0F,
+       .teacher_recipe = {.epochs = 40,
+                          .batch_size = 16,
+                          .learning_rate = 1e-2F,
+                          .temperature = 1.0F,
+                          .shuffle_seed = 5},
+       .student_recipe = {.epochs = 40,
+                          .batch_size = 16,
+                          .learning_rate = 1e-2F,
+                          .temperature = 1.0F,
+                          .shuffle_seed = 6}});
+  const double acc = data::accuracy(
+      p.test_set, [&](const Tensor& x) { return distilled.classify(x); });
+  EXPECT_GT(acc, 0.90);
+}
+
+TEST(Distillation, StudentLogitsAreHighMagnitude) {
+  // Distillation's signature: training at T=100 then evaluating at T=1
+  // inflates logit magnitudes (which is what masks the gradients).
+  auto& p = SmallProblem::instance();
+  Rng rng(32);
+  defenses::DistilledModel distilled(
+      p.train_set, [](Rng& r) { return models::mlp({2, 16, 16, 3}, r); },
+      rng,
+      {.temperature = 50.0F,
+       .teacher_recipe = {.epochs = 30,
+                          .batch_size = 16,
+                          .learning_rate = 1e-2F,
+                          .temperature = 1.0F,
+                          .shuffle_seed = 5},
+       .student_recipe = {.epochs = 30,
+                          .batch_size = 16,
+                          .learning_rate = 1e-2F,
+                          .temperature = 1.0F,
+                          .shuffle_seed = 6}});
+  double student_max = 0.0, plain_max = 0.0;
+  auto& plain = SmallProblem::mutable_instance().model;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Tensor x = p.test_set.example(i);
+    student_max += distilled.student().logits(x).map([](float v) {
+      return std::abs(v);
+    }).max();
+    plain_max += plain.logits(x).map([](float v) { return std::abs(v); }).max();
+  }
+  EXPECT_GT(student_max, plain_max);
+}
+
+TEST(RegionClassifier, AgreesWithModelOnConfidentInputs) {
+  auto& p = SmallProblem::mutable_instance();
+  defenses::RegionClassifier rc(p.model,
+                                {.radius = 0.05F, .samples = 100, .seed = 1,
+                                 .clip_to_box = false});
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const Tensor x = p.test_set.example(i);
+    if (p.model.classify(x) != p.test_set.labels[i]) continue;
+    ++total;
+    if (rc.classify(x) == p.model.classify(x)) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST(RegionClassifier, VoteHistogramSumsToSamples) {
+  auto& p = SmallProblem::mutable_instance();
+  defenses::RegionClassifier rc(p.model,
+                                {.radius = 0.3F, .samples = 77, .seed = 2,
+                                 .clip_to_box = false});
+  const auto votes = rc.vote_histogram(p.test_set.example(0));
+  std::size_t total = 0;
+  for (std::size_t v : votes) total += v;
+  EXPECT_EQ(total, 77U);
+  EXPECT_EQ(votes.size(), 3U);
+}
+
+TEST(RegionClassifier, RecoversCwAdversarialOnMnist) {
+  auto& mp = MnistProblem::instance();
+  auto& model = MnistProblem::instance().wb.model;
+  defenses::RegionClassifier rc(model, {.radius = 0.3F,
+                                        .samples = 200,
+                                        .seed = 3,
+                                        .clip_to_box = true});
+  attacks::CwL2 cw;
+  const std::size_t i = testing::first_correct_index(
+      const_cast<models::Workbench&>(mp.wb));
+  const Tensor x = mp.wb.test_set.example(i);
+  const std::size_t truth = mp.wb.test_set.labels[i];
+  std::size_t recovered = 0, total = 0;
+  for (std::size_t t = 0; t < 10; t += 4) {
+    if (t == truth) continue;
+    const auto r = cw.run_targeted(model, x, t);
+    if (!r.success) continue;
+    ++total;
+    if (rc.classify(r.adversarial) == truth) ++recovered;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GE(recovered * 2, total);  // at least half recovered
+}
+
+TEST(FeatureSqueeze, BenignScoresLow) {
+  auto& mp = MnistProblem::instance();
+  auto& model = MnistProblem::instance().wb.model;
+  defenses::FeatureSqueezeDetector fs(model);
+  eval::Mean benign_scores;
+  for (std::size_t i = 0; i < 10; ++i) {
+    benign_scores.record(fs.score(mp.wb.test_set.example(i)));
+  }
+  EXPECT_LT(benign_scores.value(), 0.5);
+}
+
+TEST(FeatureSqueeze, AdversarialScoresHigherThanBenign) {
+  auto& mp = MnistProblem::instance();
+  auto& model = MnistProblem::instance().wb.model;
+  defenses::FeatureSqueezeDetector fs(model);
+  attacks::CwL2 cw;
+  const std::size_t i = testing::first_correct_index(
+      const_cast<models::Workbench&>(mp.wb), 2);
+  const Tensor x = mp.wb.test_set.example(i);
+  const std::size_t truth = mp.wb.test_set.labels[i];
+  const auto r = cw.run_targeted(model, x, (truth + 1) % 10);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(fs.score(r.adversarial), fs.score(x));
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,119 @@
+// Tests for the evaluation harness: metrics, counters, timer, tables.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "eval/timer.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(Metrics, L0CountsChangedElements) {
+  const Tensor a = Tensor::from_vector({0.0F, 1.0F, 2.0F});
+  const Tensor b = Tensor::from_vector({0.0F, 1.5F, 2.0F});
+  EXPECT_EQ(eval::l0_distance(a, b), 1U);
+  EXPECT_EQ(eval::l0_distance(a, a), 0U);
+}
+
+TEST(Metrics, L0ToleranceIgnoresTinyChanges) {
+  const Tensor a = Tensor::from_vector({0.0F});
+  const Tensor b = Tensor::from_vector({1e-6F});
+  EXPECT_EQ(eval::l0_distance(a, b), 0U);
+  EXPECT_EQ(eval::l0_distance(a, b, 0.0F), 1U);
+}
+
+TEST(Metrics, L2IsEuclidean) {
+  const Tensor a = Tensor::from_vector({0.0F, 0.0F});
+  const Tensor b = Tensor::from_vector({3.0F, 4.0F});
+  EXPECT_DOUBLE_EQ(eval::l2_distance(a, b), 5.0);
+}
+
+TEST(Metrics, LinfIsMaxChange) {
+  const Tensor a = Tensor::from_vector({1.0F, -1.0F});
+  const Tensor b = Tensor::from_vector({1.5F, -3.0F});
+  EXPECT_DOUBLE_EQ(eval::linf_distance(a, b), 2.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const Tensor a(Shape{2}), b(Shape{3});
+  EXPECT_THROW((void)eval::l2_distance(a, b), std::invalid_argument);
+  EXPECT_THROW((void)eval::l0_distance(a, b), std::invalid_argument);
+  EXPECT_THROW((void)eval::linf_distance(a, b), std::invalid_argument);
+}
+
+TEST(Metrics, TriangleInequalityL2) {
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{16}, rng);
+  const Tensor b = Tensor::normal(Shape{16}, rng);
+  const Tensor c = Tensor::normal(Shape{16}, rng);
+  EXPECT_LE(eval::l2_distance(a, c),
+            eval::l2_distance(a, b) + eval::l2_distance(b, c) + 1e-9);
+}
+
+TEST(SuccessRate, CountsAndFormats) {
+  eval::SuccessRate sr;
+  EXPECT_EQ(sr.rate(), 0.0);
+  sr.record(true);
+  sr.record(false);
+  sr.record(true);
+  sr.record(true);
+  EXPECT_EQ(sr.total(), 4U);
+  EXPECT_EQ(sr.successes(), 3U);
+  EXPECT_DOUBLE_EQ(sr.rate(), 0.75);
+  EXPECT_EQ(sr.percent(), "75.00%");
+}
+
+TEST(Mean, Accumulates) {
+  eval::Mean m;
+  EXPECT_EQ(m.value(), 0.0);
+  m.record(1.0);
+  m.record(3.0);
+  EXPECT_DOUBLE_EQ(m.value(), 2.0);
+  EXPECT_EQ(m.count(), 2U);
+}
+
+TEST(Timer, MeasuresElapsed) {
+  eval::Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.milliseconds(), 15.0);
+  t.reset();
+  EXPECT_LT(t.milliseconds(), 15.0);
+}
+
+TEST(Timer, TimeSecondsRunsCallable) {
+  bool ran = false;
+  const double s = eval::time_seconds([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_GE(s, 0.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  eval::Table t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  eval::Table t("Ragged");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW((void)t.render());
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(eval::percent(0.12345, 2), "12.35%");
+  EXPECT_EQ(eval::percent(1.0, 0), "100%");
+  EXPECT_EQ(eval::fixed(1.23456, 2), "1.23");
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,218 @@
+// Tests for the extension modules: alternative correctors (paper Sec. 6
+// future work), adversarial training, and PGD.
+#include <gtest/gtest.h>
+
+#include "attacks/cw_l2.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/igsm.hpp"
+#include "attacks/pgd.hpp"
+#include "core/correctors_alt.hpp"
+#include "defenses/adversarial_training.hpp"
+#include "eval/metrics.hpp"
+#include "fixtures.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::MnistProblem;
+using testing::SmallProblem;
+
+TEST(SoftVoteCorrector, DistributionSumsToOne) {
+  auto& p = SmallProblem::mutable_instance();
+  core::SoftVoteCorrector corr(p.model, {.radius = 0.1F,
+                                         .samples = 40,
+                                         .seed = 5,
+                                         .clip_to_box = false});
+  const Tensor d = corr.mean_distribution(p.test_set.example(0));
+  EXPECT_NEAR(d.sum(), 1.0F, 1e-4F);
+  EXPECT_EQ(d.size(), 3U);
+}
+
+TEST(SoftVoteCorrector, KeepsBenignLabels) {
+  auto& p = SmallProblem::mutable_instance();
+  core::SoftVoteCorrector corr(p.model, {.radius = 0.05F,
+                                         .samples = 40,
+                                         .seed = 6,
+                                         .clip_to_box = false});
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < 15; ++i) {
+    const Tensor x = p.test_set.example(i);
+    if (p.model.classify(x) != p.test_set.labels[i]) continue;
+    ++total;
+    if (corr.correct(x) == p.test_set.labels[i]) ++agree;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GE(agree * 10, total * 9);
+}
+
+TEST(SoftVoteCorrector, RecoversCwAdversarial) {
+  auto& mp = MnistProblem::instance();
+  core::SoftVoteCorrector corr(mp.wb.model,
+                               {.radius = 0.3F, .samples = 50, .seed = 7,
+                                .clip_to_box = true});
+  attacks::CwL2 cw;
+  const std::size_t idx = testing::first_correct_index(mp.wb);
+  const Tensor x = mp.wb.test_set.example(idx);
+  const std::size_t truth = mp.wb.test_set.labels[idx];
+  std::size_t recovered = 0, total = 0;
+  for (std::size_t t = 0; t < 10; t += 4) {
+    if (t == truth) continue;
+    const auto r = cw.run_targeted(mp.wb.model, x, t);
+    if (!r.success) continue;
+    ++total;
+    if (corr.correct(r.adversarial) == truth) ++recovered;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GE(recovered * 3, total * 2);
+}
+
+TEST(SqueezeCorrector, IdentityOnCleanHighConfidence) {
+  auto& mp = MnistProblem::instance();
+  core::SqueezeCorrector corr(mp.wb.model);
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const Tensor x = mp.wb.test_set.example(i);
+    if (mp.wb.model.classify(x) != mp.wb.test_set.labels[i]) continue;
+    ++total;
+    if (corr.correct(x) == mp.wb.test_set.labels[i]) ++agree;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GE(agree * 10, total * 8);
+}
+
+TEST(RunnerUpCorrector, ReturnsSecondHighestLogit) {
+  auto& p = SmallProblem::mutable_instance();
+  core::RunnerUpCorrector corr(p.model);
+  const Tensor x = p.test_set.example(0);
+  const Tensor logits = p.model.logits(x);
+  const std::size_t label = corr.correct(x);
+  EXPECT_NE(label, logits.argmax());
+  // It must beat every class other than the top.
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (i == logits.argmax() || i == label) continue;
+    EXPECT_GE(logits[label], logits[i]);
+  }
+}
+
+TEST(RunnerUpCorrector, RecoversMinimalCwAdversarial) {
+  // For kappa=0 CW examples the true class is typically the runner-up
+  // (Fig. 1) — the zero-cost corrector should exploit exactly that.
+  auto& mp = MnistProblem::instance();
+  core::RunnerUpCorrector corr(mp.wb.model);
+  attacks::CwL2 cw;
+  const std::size_t idx = testing::first_correct_index(mp.wb, 5);
+  const Tensor x = mp.wb.test_set.example(idx);
+  const std::size_t truth = mp.wb.test_set.labels[idx];
+  std::size_t recovered = 0, total = 0;
+  for (std::size_t t = 0; t < 10; t += 3) {
+    if (t == truth) continue;
+    const auto r = cw.run_targeted(mp.wb.model, x, t);
+    if (!r.success) continue;
+    ++total;
+    if (corr.correct(r.adversarial) == truth) ++recovered;
+  }
+  ASSERT_GT(total, 0U);
+  // The runner-up heuristic is the weakest corrector: expect it to beat
+  // chance (1/9 for a wrong class) clearly, not to match the vote corrector.
+  EXPECT_GE(recovered * 2, total);
+}
+
+TEST(AdversarialTraining, KeepsCleanAccuracy) {
+  auto& p = SmallProblem::instance();
+  Rng rng(77);
+  defenses::AdversariallyTrainedModel robust(
+      p.train_set, [](Rng& r) { return models::mlp({2, 16, 16, 3}, r); },
+      rng,
+      {.epsilon = 0.05F,
+       .adversarial_weight = 0.5F,
+       .recipe = {.epochs = 40,
+                  .batch_size = 16,
+                  .learning_rate = 1e-2F,
+                  .temperature = 1.0F,
+                  .shuffle_seed = 5}});
+  const double acc = data::accuracy(
+      p.test_set, [&](const Tensor& x) { return robust.classify(x); });
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(AdversarialTraining, MoreRobustToFgsmThanPlainModel) {
+  auto& p = SmallProblem::mutable_instance();
+  Rng rng(78);
+  defenses::AdversariallyTrainedModel robust(
+      p.train_set, [](Rng& r) { return models::mlp({2, 16, 16, 3}, r); },
+      rng,
+      {.epsilon = 0.08F,
+       .adversarial_weight = 0.5F,
+       .recipe = {.epochs = 40,
+                  .batch_size = 16,
+                  .learning_rate = 1e-2F,
+                  .temperature = 1.0F,
+                  .shuffle_seed = 5}});
+  attacks::Fgsm fgsm({.epsilon = 0.08F});
+  eval::SuccessRate vs_plain, vs_robust;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) == truth) {
+      vs_plain.record(fgsm.run_untargeted(p.model, x, truth).success);
+    }
+    if (robust.classify(x) == truth) {
+      vs_robust.record(
+          fgsm.run_untargeted(robust.model(), x, truth).success);
+    }
+  }
+  EXPECT_LE(vs_robust.rate(), vs_plain.rate() + 1e-9);
+}
+
+TEST(Pgd, AtLeastAsStrongAsIgsm) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Igsm igsm({.epsilon = 0.08F,
+                      .step_size = 0.01F,
+                      .max_iterations = 30,
+                      .stop_at_success = true});
+  attacks::Pgd pgd({.epsilon = 0.08F,
+                    .step_size = 0.01F,
+                    .max_iterations = 30,
+                    .restarts = 4,
+                    .seed = 3});
+  eval::SuccessRate igsm_rate, pgd_rate;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    igsm_rate.record(igsm.run_untargeted(p.model, x, truth).success);
+    pgd_rate.record(pgd.run_untargeted(p.model, x, truth).success);
+  }
+  EXPECT_GE(pgd_rate.successes(), igsm_rate.successes());
+}
+
+TEST(Pgd, RespectsEpsilonBall) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Pgd pgd({.epsilon = 0.06F,
+                    .step_size = 0.02F,
+                    .max_iterations = 20,
+                    .restarts = 3,
+                    .seed = 4});
+  const std::size_t i = testing::first_correct_index_small(p);
+  const auto r =
+      pgd.run_untargeted(p.model, p.test_set.example(i), p.test_set.labels[i]);
+  EXPECT_LE(r.linf, 0.06 + 1e-5);
+}
+
+TEST(Pgd, TargetedVariantWorks) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Pgd pgd({.epsilon = 0.5F,
+                    .step_size = 0.03F,
+                    .max_iterations = 60,
+                    .restarts = 3,
+                    .seed = 5});
+  const std::size_t i = testing::first_correct_index_small(p);
+  const Tensor x = p.test_set.example(i);
+  const std::size_t truth = p.test_set.labels[i];
+  const auto r = pgd.run_targeted(p.model, x, (truth + 1) % 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.predicted, (truth + 1) % 3);
+}
+
+}  // namespace
+}  // namespace dcn

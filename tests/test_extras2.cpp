@@ -1,0 +1,233 @@
+// Tests for the second extension batch: confusion matrix, noise-attack
+// baseline, LeakyReLU/ELU activations, detector persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attacks/fgsm.hpp"
+#include "attacks/noise.hpp"
+#include "core/detector.hpp"
+#include "eval/confusion.hpp"
+#include "eval/metrics.hpp"
+#include "fixtures.hpp"
+#include "gradcheck.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::SmallProblem;
+
+TEST(ConfusionMatrix, CountsAndAccuracy) {
+  eval::ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  cm.record(2, 2);
+  EXPECT_EQ(cm.total(), 4U);
+  EXPECT_EQ(cm.count(0, 1), 1U);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PrecisionRecall) {
+  eval::ConfusionMatrix cm(2);
+  // truth 0: 3 right, 1 predicted as 1. truth 1: 2 right, 2 as 0.
+  for (int i = 0; i < 3; ++i) cm.record(0, 0);
+  cm.record(0, 1);
+  for (int i = 0; i < 2; ++i) cm.record(1, 1);
+  for (int i = 0; i < 2; ++i) cm.record(1, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.75);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.balanced_accuracy(), (0.75 + 0.5) / 2.0);
+}
+
+TEST(ConfusionMatrix, EmptyClassHandling) {
+  eval::ConfusionMatrix cm(3);
+  cm.record(0, 0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.balanced_accuracy(), 1.0);  // only class 0 appears
+}
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(eval::ConfusionMatrix(0), std::invalid_argument);
+  eval::ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.record(2, 0), std::out_of_range);
+  EXPECT_THROW((void)cm.count(0, 5), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, RenderContainsCounts) {
+  eval::ConfusionMatrix cm(2);
+  cm.record(1, 0);
+  const std::string s = cm.render();
+  EXPECT_NE(s.find("truth\\pred"), std::string::npos);
+}
+
+TEST(NoiseAttack, WeakerThanFgsmAtSameBudget) {
+  // The sanity baseline: at a budget where FGSM flips labels, random noise
+  // should flip almost nothing (adversarial directions are special).
+  auto& p = SmallProblem::mutable_instance();
+  const float eps = 0.15F;
+  attacks::Fgsm fgsm({.epsilon = eps});
+  attacks::NoiseAttack noise({.epsilon = eps, .trials = 20, .seed = 5});
+  eval::SuccessRate fgsm_rate, noise_rate;
+  for (std::size_t i = 0; i < 25; ++i) {
+    const Tensor x = p.test_set.example(i);
+    const std::size_t truth = p.test_set.labels[i];
+    if (p.model.classify(x) != truth) continue;
+    fgsm_rate.record(fgsm.run_untargeted(p.model, x, truth).success);
+    noise_rate.record(noise.run_untargeted(p.model, x, truth).success);
+  }
+  EXPECT_LE(noise_rate.rate(), fgsm_rate.rate() + 1e-9);
+}
+
+TEST(NoiseAttack, FailureReturnsOriginal) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::NoiseAttack noise({.epsilon = 1e-4F, .trials = 3, .seed = 6});
+  const std::size_t i = testing::first_correct_index_small(p);
+  const auto r = noise.run_untargeted(p.model, p.test_set.example(i),
+                                      p.test_set.labels[i]);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.l2, 0.0);
+}
+
+TEST(NoiseAttack, RespectsBox) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::NoiseAttack noise({.epsilon = 2.0F, .trials = 10, .seed = 7});
+  const auto r = noise.run_untargeted(p.model, p.test_set.example(0),
+                                      p.test_set.labels[0]);
+  EXPECT_GE(r.adversarial.min(), -0.5F);
+  EXPECT_LE(r.adversarial.max(), 0.5F);
+}
+
+TEST(LeakyReLUActivation, ForwardAndGradient) {
+  nn::LeakyReLU leaky(0.1F);
+  const Tensor x =
+      Tensor::from_vector({-2.0F, 3.0F}).reshape(Shape{1, 2});
+  const Tensor y = leaky.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -0.2F);
+  EXPECT_FLOAT_EQ(y[1], 3.0F);
+  const Tensor g = leaky.backward(Tensor::ones(Shape{1, 2}));
+  EXPECT_FLOAT_EQ(g[0], 0.1F);
+  EXPECT_FLOAT_EQ(g[1], 1.0F);
+  EXPECT_THROW(nn::LeakyReLU(1.5F), std::invalid_argument);
+}
+
+TEST(EluActivation, GradientMatchesNumeric) {
+  Rng rng(8);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(3, 3, rng);
+  model.emplace<nn::Elu>(1.0F);
+  const Tensor x = Tensor::normal(Shape{2, 3}, rng);
+  const Tensor grad = testing::sq_loss_input_grad(model, x);
+  EXPECT_LT(testing::max_grad_error(
+                [&](const Tensor& z) { return testing::sq_loss(model, z); },
+                x, grad),
+            0.02);
+  EXPECT_THROW(nn::Elu(0.0F), std::invalid_argument);
+}
+
+TEST(LeakyReluComposite, GradientMatchesNumeric) {
+  Rng rng(9);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(4, 4, rng);
+  model.emplace<nn::LeakyReLU>(0.2F);
+  model.emplace<nn::Dense>(4, 2, rng);
+  const Tensor x = Tensor::normal(Shape{3, 4}, rng);
+  const Tensor grad = testing::sq_loss_input_grad(model, x);
+  EXPECT_LT(testing::max_grad_error(
+                [&](const Tensor& z) { return testing::sq_loss(model, z); },
+                x, grad),
+            0.02);
+}
+
+TEST(DetectorPersistence, RoundTripPreservesVerdicts) {
+  core::Detector original(3, {.hidden = 8,
+                              .epochs = 60,
+                              .batch_size = 8,
+                              .learning_rate = 3e-3F,
+                              .init_seed = 1,
+                              .sort_logits = true});
+  // Train on a synthetic logit problem: benign = confident, adv = tied.
+  Rng rng(11);
+  std::vector<Tensor> rows;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 60; ++i) {
+    Tensor z(Shape{3});
+    const bool adversarial = i % 2 == 1;
+    const std::size_t top = rng.uniform_index(3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      z[j] = static_cast<float>(rng.normal(0.0, 0.5));
+    }
+    z[top] += adversarial ? 0.3F : 6.0F;
+    rows.push_back(z);
+    labels.push_back(adversarial ? 1 : 0);
+  }
+  data::Dataset ds;
+  ds.images = Tensor::stack(rows);
+  ds.labels = labels;
+  original.train(ds);
+
+  std::stringstream buffer;
+  original.save(buffer);
+  core::Detector restored(3, {.hidden = 8,
+                              .epochs = 60,
+                              .batch_size = 8,
+                              .learning_rate = 3e-3F,
+                              .init_seed = 999,  // different init
+                              .sort_logits = true});
+  restored.load(buffer);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Tensor z = ds.example(i);
+    EXPECT_DOUBLE_EQ(original.margin(z), restored.margin(z));
+  }
+}
+
+TEST(DetectorPersistence, MismatchThrows) {
+  core::Detector a(3, {.hidden = 8,
+                       .epochs = 1,
+                       .batch_size = 8,
+                       .learning_rate = 1e-3F,
+                       .init_seed = 1,
+                       .sort_logits = true});
+  std::stringstream buffer;
+  a.save(buffer);
+  core::Detector wrong_hidden(3, {.hidden = 16,
+                                  .epochs = 1,
+                                  .batch_size = 8,
+                                  .learning_rate = 1e-3F,
+                                  .init_seed = 1,
+                                  .sort_logits = true});
+  EXPECT_THROW(wrong_hidden.load(buffer), std::runtime_error);
+  std::stringstream garbage("NOTADETECTOR");
+  EXPECT_THROW(a.load(garbage), std::runtime_error);
+}
+
+TEST(DetectorGradient, MatchesNumericThroughSort) {
+  // margin_with_gradient must route gradients through the sort permutation.
+  core::Detector det(4, {.hidden = 8,
+                         .epochs = 0,
+                         .batch_size = 8,
+                         .learning_rate = 1e-3F,
+                         .init_seed = 3,
+                         .sort_logits = true});
+  Rng rng(12);
+  const Tensor z = Tensor::normal(Shape{4}, rng, 0.0F, 2.0F);
+  Tensor grad;
+  const double margin = det.margin_with_gradient(z, grad);
+  EXPECT_NEAR(margin, det.margin(z), 1e-6);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < 4; ++i) {
+    Tensor hi = z, lo = z;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const double numeric = (det.margin(hi) - det.margin(lo)) / (2.0 * eps);
+    EXPECT_NEAR(grad[i], numeric, 5e-2);
+  }
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,137 @@
+// Integration test: the paper's headline claim end-to-end on one shared
+// workbench — train DNN, craft CW-L2 adversarial examples, train the
+// detector, and verify DCN reduces the attack success rate while keeping
+// benign accuracy.
+#include <gtest/gtest.h>
+
+#include "attacks/cw_l2.hpp"
+#include "attacks/untargeted.hpp"
+#include "core/dcn.hpp"
+#include "core/detector_training.hpp"
+#include "defenses/region_classifier.hpp"
+#include "eval/metrics.hpp"
+#include "eval/timer.hpp"
+#include "fixtures.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::MnistProblem;
+
+struct Pipeline {
+  core::Detector detector{10};
+  std::vector<attacks::AttackResult> adversarial;  // successful CW-L2 results
+  std::vector<std::size_t> truths;
+
+  static Pipeline& instance() {
+    static Pipeline* p = make();
+    return *p;
+  }
+
+ private:
+  static Pipeline* make() {
+    auto* p = new Pipeline;
+    auto& mp = MnistProblem::instance();
+    attacks::CwL2 cw;
+    // Detector training on a disjoint slice (paper protocol) plus the free
+    // benign-logit pool from the training set.
+    const auto extra_benign = mp.wb.train_set.take(300);
+    core::train_detector(p->detector, mp.wb.model, cw,
+                         mp.wb.test_set.take(8), &extra_benign);
+    // Evaluation adversarial examples from later indices.
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::size_t idx = testing::first_correct_index(mp.wb, 60 + i * 4);
+      const Tensor x = mp.wb.test_set.example(idx);
+      const std::size_t truth = mp.wb.test_set.labels[idx];
+      auto r = cw.run_targeted(mp.wb.model, x, (truth + 1 + i) % 10);
+      if (!r.success) continue;
+      p->adversarial.push_back(std::move(r));
+      p->truths.push_back(truth);
+    }
+    return p;
+  }
+};
+
+TEST(Integration, CwFoolsTheStandardDnnCompletely) {
+  auto& p = Pipeline::instance();
+  EXPECT_GE(p.adversarial.size(), 4U);  // ~100% attack success
+}
+
+TEST(Integration, DcnReducesSuccessRateBelowDnn) {
+  auto& mp = MnistProblem::instance();
+  auto& p = Pipeline::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(mp.wb.model, p.detector, corrector);
+
+  eval::SuccessRate dnn_success, dcn_success;
+  for (std::size_t i = 0; i < p.adversarial.size(); ++i) {
+    const Tensor& adv = p.adversarial[i].adversarial;
+    const std::size_t truth = p.truths[i];
+    dnn_success.record(mp.wb.model.classify(adv) != truth);
+    dcn_success.record(dcn.classify(adv) != truth);
+  }
+  EXPECT_EQ(dnn_success.rate(), 1.0);  // every stored example fools the DNN
+  EXPECT_LT(dcn_success.rate(), dnn_success.rate());
+  EXPECT_LE(dcn_success.rate(), 0.5);
+}
+
+TEST(Integration, DcnKeepsBenignAccuracy) {
+  auto& mp = MnistProblem::instance();
+  auto& p = Pipeline::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(mp.wb.model, p.detector, corrector);
+  const auto subset = mp.wb.test_set.take(30);
+  const double dnn = data::accuracy(
+      subset, [&](const Tensor& x) { return mp.wb.model.classify(x); });
+  const double dcnacc =
+      data::accuracy(subset, [&](const Tensor& x) { return dcn.classify(x); });
+  EXPECT_GE(dcnacc, dnn - 0.05);
+}
+
+TEST(Integration, DcnIsFasterThanRcOnBenignTraffic) {
+  // Table 6 / Fig. 5 shape at test scale: RC pays m=1000 model calls per
+  // input; DCN pays one (plus a detector MLP).
+  auto& mp = MnistProblem::instance();
+  auto& p = Pipeline::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(mp.wb.model, p.detector, corrector);
+  defenses::RegionClassifier rc(mp.wb.model,
+                                {.radius = 0.3F, .samples = 1000, .seed = 9,
+                                 .clip_to_box = true});
+  const auto subset = mp.wb.test_set.take(5);
+  eval::Timer t;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    (void)dcn.classify(subset.example(i));
+  }
+  const double dcn_time = t.seconds();
+  t.reset();
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    (void)rc.classify(subset.example(i));
+  }
+  const double rc_time = t.seconds();
+  EXPECT_LT(dcn_time * 5.0, rc_time);  // at least 5x faster end-to-end
+}
+
+TEST(Integration, UntargetedStrategyAlsoMitigated) {
+  auto& mp = MnistProblem::instance();
+  auto& p = Pipeline::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 50});
+  core::Dcn dcn(mp.wb.model, p.detector, corrector);
+  attacks::CwL2 cw({.kappa = 0.0F,
+                    .initial_c = 1e-2F,
+                    .binary_search_steps = 4,
+                    .max_iterations = 120,
+                    .learning_rate = 5e-2F,
+                    .abort_early = true});
+  const std::size_t idx = testing::first_correct_index(mp.wb, 90);
+  const Tensor x = mp.wb.test_set.example(idx);
+  const std::size_t truth = mp.wb.test_set.labels[idx];
+  const auto r = attacks::untargeted_best_of(cw, mp.wb.model, x, truth, 10,
+                                             attacks::Norm::kL2);
+  ASSERT_TRUE(r.success);  // DNN fooled
+  // DCN should usually recover the truth on min-distortion examples.
+  EXPECT_EQ(dcn.classify(r.adversarial), truth);
+}
+
+}  // namespace
+}  // namespace dcn

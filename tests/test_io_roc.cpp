@@ -1,0 +1,145 @@
+// Tests for dataset persistence (native + IDX) and ROC analysis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/io.hpp"
+#include "data/synth_mnist.hpp"
+#include "data/transforms.hpp"
+#include "eval/roc.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(DatasetIo, NativeRoundTrip) {
+  data::SynthMnist gen;
+  Rng rng(1);
+  const data::Dataset original = gen.generate(6, rng);
+  std::stringstream buffer;
+  data::save_dataset(original, buffer);
+  const data::Dataset loaded = data::load_dataset(buffer);
+  EXPECT_EQ(loaded.images, original.images);
+  EXPECT_EQ(loaded.labels, original.labels);
+}
+
+TEST(DatasetIo, BadMagicThrows) {
+  std::stringstream buffer("GARBAGE");
+  EXPECT_THROW((void)data::load_dataset(buffer), std::runtime_error);
+}
+
+namespace {
+
+void put_be32(std::ostream& out, std::uint32_t v) {
+  const unsigned char b[4] = {
+      static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+  out.write(reinterpret_cast<const char*>(b), 4);
+}
+
+// Build a miniature IDX pair: n images of h x w with pixel = label value.
+std::pair<std::string, std::string> make_idx(std::uint32_t n, std::uint32_t h,
+                                             std::uint32_t w) {
+  std::ostringstream images, labels;
+  put_be32(images, 0x00000803U);
+  put_be32(images, n);
+  put_be32(images, h);
+  put_be32(images, w);
+  put_be32(labels, 0x00000801U);
+  put_be32(labels, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const unsigned char label = static_cast<unsigned char>(i % 10);
+    for (std::uint32_t p = 0; p < h * w; ++p) {
+      const unsigned char pixel = static_cast<unsigned char>(label * 25);
+      images.write(reinterpret_cast<const char*>(&pixel), 1);
+    }
+    labels.write(reinterpret_cast<const char*>(&label), 1);
+  }
+  return {images.str(), labels.str()};
+}
+
+}  // namespace
+
+TEST(DatasetIo, IdxLoadsShapesAndRange) {
+  const auto [img_bytes, lab_bytes] = make_idx(4, 5, 6);
+  std::istringstream images(img_bytes), labels(lab_bytes);
+  const data::Dataset d = data::load_idx(images, labels);
+  EXPECT_EQ(d.images.shape(), Shape({4, 1, 5, 6}));
+  EXPECT_EQ(d.labels, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_GE(d.images.min(), data::kPixelMin);
+  EXPECT_LE(d.images.max(), data::kPixelMax);
+  // Pixel value 25 -> 25/255 - 0.5.
+  EXPECT_NEAR(d.example(1)[0], 25.0F / 255.0F - 0.5F, 1e-6F);
+}
+
+TEST(DatasetIo, IdxRejectsBadMagic) {
+  const auto [img_bytes, lab_bytes] = make_idx(2, 3, 3);
+  std::istringstream bad_images(std::string("\x00\x00\x08\x04rest", 8));
+  std::istringstream labels(lab_bytes);
+  EXPECT_THROW((void)data::load_idx(bad_images, labels), std::runtime_error);
+}
+
+TEST(DatasetIo, IdxRejectsCountMismatch) {
+  const auto [img_bytes, lab_bytes1] = make_idx(3, 2, 2);
+  const auto [img_unused, lab_bytes2] = make_idx(2, 2, 2);
+  (void)img_unused;
+  std::istringstream images(img_bytes), labels(lab_bytes2);
+  EXPECT_THROW((void)data::load_idx(images, labels), std::runtime_error);
+}
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  std::vector<eval::ScoredSample> s;
+  for (int i = 0; i < 10; ++i) s.push_back({1.0 + i, true});
+  for (int i = 0; i < 10; ++i) s.push_back({-1.0 - i, false});
+  EXPECT_DOUBLE_EQ(eval::auc(s), 1.0);
+  const auto best = eval::best_youden(s);
+  EXPECT_DOUBLE_EQ(best.true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(best.false_positive_rate, 0.0);
+}
+
+TEST(Roc, RandomScoresGiveAucHalf) {
+  Rng rng(7);
+  std::vector<eval::ScoredSample> s;
+  for (int i = 0; i < 2000; ++i) {
+    s.push_back({rng.uniform(), rng.bernoulli(0.5)});
+  }
+  EXPECT_NEAR(eval::auc(s), 0.5, 0.05);
+}
+
+TEST(Roc, InvertedScoresGiveAucZero) {
+  std::vector<eval::ScoredSample> s;
+  for (int i = 0; i < 5; ++i) s.push_back({-double(i) - 1.0, true});
+  for (int i = 0; i < 5; ++i) s.push_back({double(i) + 1.0, false});
+  EXPECT_DOUBLE_EQ(eval::auc(s), 0.0);
+}
+
+TEST(Roc, TiesCountHalf) {
+  // All scores equal: AUC must be exactly 0.5 by the midrank convention.
+  std::vector<eval::ScoredSample> s;
+  for (int i = 0; i < 6; ++i) s.push_back({1.0, i % 2 == 0});
+  EXPECT_DOUBLE_EQ(eval::auc(s), 0.5);
+}
+
+TEST(Roc, CurveIsMonotone) {
+  Rng rng(9);
+  std::vector<eval::ScoredSample> s;
+  for (int i = 0; i < 200; ++i) {
+    const bool positive = rng.bernoulli(0.4);
+    s.push_back({rng.normal() + (positive ? 1.0 : 0.0), positive});
+  }
+  const auto curve = eval::roc_curve(s);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+}
+
+TEST(Roc, SingleClassThrows) {
+  std::vector<eval::ScoredSample> s{{1.0, true}, {2.0, true}};
+  EXPECT_THROW((void)eval::auc(s), std::invalid_argument);
+  EXPECT_THROW((void)eval::roc_curve(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcn

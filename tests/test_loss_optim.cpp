@@ -1,0 +1,176 @@
+// Tests for loss functions (value + gradient) and optimizers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(Loss, CrossEntropyValueMatchesManual) {
+  // logits [0, 0]: p = [0.5, 0.5]; CE of label 0 = ln 2.
+  Tensor logits(Shape{1, 2});
+  const auto r = nn::softmax_cross_entropy(logits, {0});
+  EXPECT_NEAR(r.value, std::log(2.0), 1e-6);
+}
+
+TEST(Loss, CrossEntropyGradientMatchesNumeric) {
+  Rng rng(1);
+  Tensor logits = Tensor::normal(Shape{3, 4}, rng);
+  const std::vector<std::size_t> labels{1, 3, 0};
+  const auto r = nn::softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor hi = logits, lo = logits;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const double numeric = (nn::softmax_cross_entropy(hi, labels).value -
+                            nn::softmax_cross_entropy(lo, labels).value) /
+                           (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(Loss, CrossEntropyWithTemperatureGradientMatchesNumeric) {
+  Rng rng(2);
+  Tensor logits = Tensor::normal(Shape{2, 3}, rng, 0.0F, 3.0F);
+  const std::vector<std::size_t> labels{2, 0};
+  const float temp = 10.0F;
+  const auto r = nn::softmax_cross_entropy(logits, labels, temp);
+  const float eps = 1e-2F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor hi = logits, lo = logits;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const double numeric =
+        (nn::softmax_cross_entropy(hi, labels, temp).value -
+         nn::softmax_cross_entropy(lo, labels, temp).value) /
+        (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(Loss, SoftCrossEntropyGradientMatchesNumeric) {
+  Rng rng(3);
+  Tensor logits = Tensor::normal(Shape{2, 3}, rng);
+  const Tensor targets = ops::softmax(Tensor::normal(Shape{2, 3}, rng));
+  const auto r = nn::soft_cross_entropy(logits, targets);
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor hi = logits, lo = logits;
+    hi[i] += eps;
+    lo[i] -= eps;
+    const double numeric = (nn::soft_cross_entropy(hi, targets).value -
+                            nn::soft_cross_entropy(lo, targets).value) /
+                           (2.0 * eps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(Loss, SoftCrossEntropyMatchesHardOnOneHot) {
+  Rng rng(4);
+  Tensor logits = Tensor::normal(Shape{2, 4}, rng);
+  Tensor onehot(Shape{2, 4});
+  onehot(0, 1) = 1.0F;
+  onehot(1, 3) = 1.0F;
+  const auto soft = nn::soft_cross_entropy(logits, onehot);
+  const auto hard = nn::softmax_cross_entropy(logits, {1, 3});
+  EXPECT_NEAR(soft.value, hard.value, 1e-6);
+}
+
+TEST(Loss, MseValueAndGradient) {
+  const Tensor pred = Tensor::from_vector({1.0F, 2.0F});
+  const Tensor target = Tensor::from_vector({0.0F, 4.0F});
+  const auto r = nn::mse(pred, target);
+  EXPECT_NEAR(r.value, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(r.grad[0], 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(r.grad[1], 2.0 * -2.0 / 2.0, 1e-6);
+}
+
+TEST(Loss, LabelOutOfRangeThrows) {
+  Tensor logits(Shape{1, 2});
+  EXPECT_THROW((void)nn::softmax_cross_entropy(logits, {2}),
+               std::invalid_argument);
+}
+
+// A 1-D quadratic: optimizers must drive w -> 3.
+class QuadraticProblem {
+ public:
+  QuadraticProblem() : w_(Shape{1}), g_(Shape{1}) { w_[0] = -5.0F; }
+
+  nn::Param param() { return {&w_, &g_, "w"}; }
+
+  void compute_grad() { g_[0] = 2.0F * (w_[0] - 3.0F); }
+
+  float w() const { return w_[0]; }
+
+ private:
+  Tensor w_;
+  Tensor g_;
+};
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  QuadraticProblem prob;
+  nn::Sgd sgd({.learning_rate = 0.1F, .momentum = 0.0F, .weight_decay = 0.0F});
+  for (int i = 0; i < 200; ++i) {
+    prob.compute_grad();
+    sgd.step({prob.param()});
+  }
+  EXPECT_NEAR(prob.w(), 3.0F, 1e-3F);
+}
+
+TEST(Optimizer, SgdMomentumConverges) {
+  QuadraticProblem prob;
+  nn::Sgd sgd({.learning_rate = 0.05F, .momentum = 0.9F, .weight_decay = 0.0F});
+  for (int i = 0; i < 300; ++i) {
+    prob.compute_grad();
+    sgd.step({prob.param()});
+  }
+  EXPECT_NEAR(prob.w(), 3.0F, 1e-2F);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  QuadraticProblem prob;
+  nn::Adam adam({.learning_rate = 0.2F});
+  for (int i = 0; i < 500; ++i) {
+    prob.compute_grad();
+    adam.step({prob.param()});
+  }
+  EXPECT_NEAR(prob.w(), 3.0F, 1e-2F);
+}
+
+TEST(Optimizer, AdamVectorMinimizesRosenbrockishBowl) {
+  Tensor x = Tensor::from_vector({4.0F, -3.0F});
+  nn::AdamVector adam(2, {.learning_rate = 0.1F});
+  for (int i = 0; i < 800; ++i) {
+    Tensor g(Shape{2});
+    g[0] = 2.0F * x[0];
+    g[1] = 8.0F * x[1];
+    adam.step(x, g);
+  }
+  EXPECT_NEAR(x[0], 0.0F, 1e-2F);
+  EXPECT_NEAR(x[1], 0.0F, 1e-2F);
+}
+
+TEST(Optimizer, AdamVectorSizeMismatchThrows) {
+  nn::AdamVector adam(3);
+  Tensor x(Shape{2}), g(Shape{2});
+  EXPECT_THROW(adam.step(x, g), std::invalid_argument);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::from_vector({10.0F});
+  Tensor g(Shape{1});  // zero gradient: only decay acts
+  nn::Sgd sgd({.learning_rate = 0.1F, .momentum = 0.0F, .weight_decay = 0.5F});
+  nn::Param p{&w, &g, "w"};
+  for (int i = 0; i < 10; ++i) sgd.step({p});
+  EXPECT_LT(std::abs(w[0]), 10.0F);
+}
+
+}  // namespace
+}  // namespace dcn

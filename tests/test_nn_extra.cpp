@@ -1,0 +1,142 @@
+// Tests for the extended nn layers: BatchNorm1d and AvgPool2D.
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "nn/avgpool.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dense.hpp"
+#include "nn/sequential.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(BatchNorm, TrainingNormalizesBatch) {
+  nn::BatchNorm1d bn(3);
+  Rng rng(1);
+  const Tensor x = Tensor::normal(Shape{16, 3}, rng, 5.0F, 2.0F);
+  const Tensor y = bn.forward(x, /*train=*/true);
+  for (std::size_t f = 0; f < 3; ++f) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 16; ++i) mean += y(i, f);
+    mean /= 16.0;
+    for (std::size_t i = 0; i < 16; ++i) {
+      var += (y(i, f) - mean) * (y(i, f) - mean);
+    }
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);  // gamma=1, beta=0 initially
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataMoments) {
+  nn::BatchNorm1d bn(2, /*momentum=*/0.5F);
+  Rng rng(2);
+  for (int step = 0; step < 50; ++step) {
+    const Tensor x = Tensor::normal(Shape{64, 2}, rng, 3.0F, 2.0F);
+    (void)bn.forward(x, /*train=*/true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0F, 0.4F);
+  EXPECT_NEAR(bn.running_var()[0], 4.0F, 1.0F);
+}
+
+TEST(BatchNorm, InferenceUsesRunningStats) {
+  nn::BatchNorm1d bn(1, /*momentum=*/1.0F);  // adopt last batch stats fully
+  Rng rng(3);
+  const Tensor train_x = Tensor::normal(Shape{64, 1}, rng, 2.0F, 1.0F);
+  (void)bn.forward(train_x, /*train=*/true);
+  // Inference on a constant input equal to the running mean -> ~0 output.
+  Tensor probe(Shape{2, 1});
+  probe(0, 0) = bn.running_mean()[0];
+  probe(1, 0) = bn.running_mean()[0];
+  const Tensor y = bn.forward(probe, /*train=*/false);
+  EXPECT_NEAR(y(0, 0), 0.0F, 1e-3F);
+}
+
+TEST(BatchNorm, GradientMatchesNumeric) {
+  Rng rng(4);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(3, 4, rng);
+  model.emplace<nn::BatchNorm1d>(4);
+  model.emplace<nn::Dense>(4, 2, rng);
+  const Tensor x = Tensor::normal(Shape{6, 3}, rng);
+  const Tensor grad = testing::sq_loss_input_grad(model, x);
+  // Caution: sq_loss runs inference-mode forward, whose running stats differ
+  // from the batch stats backward used. Compare against a train-mode loss.
+  auto train_loss = [&](const Tensor& z) {
+    const Tensor out = model.forward(z, /*train=*/true);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      acc += 0.5 * static_cast<double>(out[i]) * out[i];
+    }
+    return acc;
+  };
+  EXPECT_LT(testing::max_grad_error(train_loss, x, grad, 1e-3F), 0.05);
+}
+
+TEST(BatchNorm, BatchOfOneFallsBackToRunningStats) {
+  // Attack gradients run training-mode forwards on single examples; BN must
+  // then behave like inference (running stats) and give the matching
+  // gradient d(out)/d(in) = gamma * inv_std.
+  nn::BatchNorm1d bn(2, /*momentum=*/1.0F);
+  Rng rng(6);
+  (void)bn.forward(Tensor::normal(Shape{32, 2}, rng, 1.0F, 2.0F),
+                   /*train=*/true);  // establish running stats
+  Tensor x(Shape{1, 2});
+  x(0, 0) = 0.7F;
+  x(0, 1) = -0.3F;
+  const Tensor train_out = bn.forward(x, /*train=*/true);
+  const Tensor eval_out = bn.forward(x, /*train=*/false);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_FLOAT_EQ(train_out[i], eval_out[i]);
+  }
+  Tensor g(Shape{1, 2});
+  g(0, 0) = 1.0F;
+  const Tensor gi = bn.backward(g);
+  // d(out)/d(in) for eval-mode BN is gamma / sqrt(var + eps) > 0.
+  EXPECT_GT(gi(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(gi(0, 1), 0.0F);
+}
+
+TEST(AvgPool, AveragesWindows) {
+  Tensor img(Shape{1, 1, 2, 2});
+  img[0] = 1.0F;
+  img[1] = 2.0F;
+  img[2] = 3.0F;
+  img[3] = 6.0F;
+  nn::AvgPool2D pool(2);
+  const Tensor y = pool.forward(img, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 3.0F);
+}
+
+TEST(AvgPool, BackwardDistributesUniformly) {
+  nn::AvgPool2D pool(2);
+  Tensor img(Shape{1, 1, 2, 2});
+  (void)pool.forward(img, /*train=*/true);
+  Tensor g(Shape{1, 1, 1, 1});
+  g[0] = 4.0F;
+  const Tensor gi = pool.backward(g);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gi[i], 1.0F);
+}
+
+TEST(AvgPool, GradientMatchesNumeric) {
+  Rng rng(5);
+  nn::Sequential model;
+  model.emplace<nn::AvgPool2D>(2);
+  const Tensor x = Tensor::normal(Shape{2, 2, 4, 4}, rng);
+  const Tensor grad = testing::sq_loss_input_grad(model, x);
+  EXPECT_LT(testing::max_grad_error(
+                [&](const Tensor& z) { return testing::sq_loss(model, z); },
+                x, grad),
+            0.02);
+}
+
+TEST(AvgPool, ShapeValidation) {
+  nn::AvgPool2D pool(2);
+  EXPECT_THROW((void)pool.forward(Tensor(Shape{2, 4, 4}), false),
+               std::invalid_argument);
+  EXPECT_THROW(nn::AvgPool2D(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,160 @@
+// Tests for linear-algebra primitives against naive references.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/random.hpp"
+
+namespace dcn {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c(Shape{m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a(i, p)) * b(p, j);
+      }
+      c(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+TEST(Ops, MatmulMatchesNaive) {
+  Rng rng(1);
+  const Tensor a = Tensor::normal(Shape{7, 5}, rng);
+  const Tensor b = Tensor::normal(Shape{5, 9}, rng);
+  const Tensor fast = ops::matmul(a, b);
+  const Tensor ref = naive_matmul(a, b);
+  ASSERT_EQ(fast.shape(), ref.shape());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-4F);
+  }
+}
+
+TEST(Ops, MatmulIdentity) {
+  Rng rng(2);
+  const Tensor a = Tensor::normal(Shape{4, 4}, rng);
+  Tensor eye(Shape{4, 4});
+  for (std::size_t i = 0; i < 4; ++i) eye(i, i) = 1.0F;
+  const Tensor c = ops::matmul(a, eye);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(c[i], a[i]);
+}
+
+TEST(Ops, MatmulShapeMismatchThrows) {
+  Tensor a(Shape{2, 3}), b(Shape{4, 2});
+  EXPECT_THROW((void)ops::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulAtBMatchesTransposedNaive) {
+  Rng rng(3);
+  const Tensor a = Tensor::normal(Shape{6, 4}, rng);  // [k=6, m=4]
+  const Tensor b = Tensor::normal(Shape{6, 5}, rng);  // [k=6, n=5]
+  const Tensor fast = ops::matmul_at_b(a, b);
+  const Tensor ref = naive_matmul(ops::transpose(a), b);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-4F);
+  }
+}
+
+TEST(Ops, MatmulABtMatchesTransposedNaive) {
+  Rng rng(4);
+  const Tensor a = Tensor::normal(Shape{3, 6}, rng);  // [m=3, k=6]
+  const Tensor b = Tensor::normal(Shape{5, 6}, rng);  // [n=5, k=6]
+  const Tensor fast = ops::matmul_a_bt(a, b);
+  const Tensor ref = naive_matmul(a, ops::transpose(b));
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], ref[i], 1e-4F);
+  }
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  Rng rng(5);
+  const Tensor a = Tensor::normal(Shape{3, 7}, rng);
+  const Tensor tt = ops::transpose(ops::transpose(a));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_FLOAT_EQ(tt[i], a[i]);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(6);
+  const Tensor logits = Tensor::normal(Shape{4, 10}, rng, 0.0F, 5.0F);
+  const Tensor p = ops::softmax(logits);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_GE(p(r, j), 0.0F);
+      sum += p(r, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxPreservesArgmax) {
+  const Tensor logits =
+      Tensor::from_vector({1.0F, 5.0F, -2.0F}).reshape(Shape{1, 3});
+  EXPECT_EQ(ops::softmax(logits).row(0).argmax(), 1U);
+  EXPECT_EQ(ops::softmax(logits, 100.0F).row(0).argmax(), 1U);
+}
+
+TEST(Ops, SoftmaxNumericallyStableAtLargeLogits) {
+  const Tensor logits =
+      Tensor::from_vector({1000.0F, 999.0F}).reshape(Shape{1, 2});
+  const Tensor p = ops::softmax(logits);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(Ops, SoftmaxTemperatureFlattens) {
+  const Tensor logits =
+      Tensor::from_vector({3.0F, 0.0F, 0.0F}).reshape(Shape{1, 3});
+  const Tensor sharp = ops::softmax(logits, 1.0F);
+  const Tensor flat = ops::softmax(logits, 100.0F);
+  EXPECT_GT(sharp(0, 0), flat(0, 0));
+  EXPECT_NEAR(flat(0, 0), 1.0F / 3.0F, 0.01F);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(7);
+  const Tensor logits = Tensor::normal(Shape{2, 5}, rng);
+  const Tensor lp = ops::log_softmax(logits);
+  const Tensor p = ops::softmax(logits);
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    EXPECT_NEAR(lp[i], std::log(p[i]), 1e-5F);
+  }
+}
+
+TEST(Ops, SoftmaxVectorInput) {
+  const Tensor v = Tensor::from_vector({0.0F, 0.0F});
+  const Tensor p = ops::softmax(v);
+  EXPECT_NEAR(p[0], 0.5F, 1e-6F);
+}
+
+TEST(Ops, SoftmaxRejectsNonPositiveTemperature) {
+  const Tensor v = Tensor::from_vector({0.0F, 0.0F});
+  EXPECT_THROW((void)ops::softmax(v, 0.0F), std::invalid_argument);
+}
+
+TEST(Ops, DotAndAxpy) {
+  const Tensor a = Tensor::from_vector({1, 2, 3});
+  const Tensor b = Tensor::from_vector({4, 5, 6});
+  EXPECT_DOUBLE_EQ(ops::dot(a, b), 32.0);
+  const Tensor c = ops::axpy(a, 2.0F, b);
+  EXPECT_FLOAT_EQ(c[0], 9.0F);
+  EXPECT_THROW((void)ops::dot(a, Tensor(Shape{2})), std::invalid_argument);
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor m(Shape{2, 3});
+  m(0, 1) = 5.0F;
+  m(1, 2) = 2.0F;
+  const auto idx = ops::argmax_rows(m);
+  EXPECT_EQ(idx[0], 1U);
+  EXPECT_EQ(idx[1], 2U);
+}
+
+}  // namespace
+}  // namespace dcn

@@ -1,0 +1,204 @@
+// Parameterized property tests: invariants that must hold across whole
+// parameter ranges, swept with TEST_P.
+#include <gtest/gtest.h>
+
+#include "attacks/fgsm.hpp"
+#include "attacks/igsm.hpp"
+#include "core/corrector.hpp"
+#include "data/transforms.hpp"
+#include "eval/metrics.hpp"
+#include "fixtures.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::SmallProblem;
+
+// ---- FGSM/IGSM epsilon sweep ------------------------------------------------
+
+class EpsilonSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(EpsilonSweep, FgsmStaysInBoxAndBudget) {
+  const float eps = GetParam();
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Fgsm fgsm({.epsilon = eps});
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Tensor x = data::clip_to_box(p.test_set.example(i));
+    const auto r = fgsm.run_untargeted(p.model, x, p.test_set.labels[i]);
+    EXPECT_LE(r.linf, eps + 1e-6);
+    EXPECT_GE(r.adversarial.min(), data::kPixelMin - 1e-6F);
+    EXPECT_LE(r.adversarial.max(), data::kPixelMax + 1e-6F);
+  }
+}
+
+TEST_P(EpsilonSweep, IgsmNeverExceedsBall) {
+  const float eps = GetParam();
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Igsm igsm({.epsilon = eps,
+                      .step_size = eps / 4.0F + 1e-3F,
+                      .max_iterations = 25,
+                      .stop_at_success = false});
+  const Tensor x = data::clip_to_box(p.test_set.example(1));
+  const auto r = igsm.run_untargeted(p.model, x, p.test_set.labels[1]);
+  EXPECT_LE(r.linf, eps + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonSweep,
+                         ::testing::Values(0.01F, 0.05F, 0.1F, 0.2F, 0.3F));
+
+// ---- Bit-depth sweep ---------------------------------------------------------
+
+class BitDepthSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitDepthSweep, QuantizationIsIdempotent) {
+  const unsigned bits = GetParam();
+  Rng rng(bits);
+  const Tensor x = Tensor::uniform(Shape{64}, rng, data::kPixelMin,
+                                   data::kPixelMax);
+  const Tensor q1 = data::reduce_bit_depth(x, bits);
+  const Tensor q2 = data::reduce_bit_depth(q1, bits);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(q1[i], q2[i], 1e-6F);
+  }
+}
+
+TEST_P(BitDepthSweep, LevelCountBounded) {
+  const unsigned bits = GetParam();
+  Rng rng(bits + 100);
+  const Tensor x = Tensor::uniform(Shape{512}, rng, data::kPixelMin,
+                                   data::kPixelMax);
+  const Tensor q = data::reduce_bit_depth(x, bits);
+  std::vector<float> levels(q.data());
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  EXPECT_LE(levels.size(), (1U << bits));
+}
+
+TEST_P(BitDepthSweep, ErrorBoundedByHalfStep) {
+  const unsigned bits = GetParam();
+  Rng rng(bits + 200);
+  const Tensor x = Tensor::uniform(Shape{128}, rng, data::kPixelMin,
+                                   data::kPixelMax);
+  const Tensor q = data::reduce_bit_depth(x, bits);
+  const float step = 1.0F / static_cast<float>((1U << bits) - 1U);
+  EXPECT_LE(eval::linf_distance(x, q), step / 2.0F + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BitDepthSweep,
+                         ::testing::Values(1U, 2U, 4U, 6U, 8U));
+
+// ---- Softmax temperature sweep ----------------------------------------------
+
+class TemperatureSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(TemperatureSweep, SoftmaxInvariants) {
+  const float temp = GetParam();
+  Rng rng(static_cast<std::uint64_t>(temp * 10));
+  const Tensor logits = Tensor::normal(Shape{5, 10}, rng, 0.0F, 4.0F);
+  const Tensor p = ops::softmax(logits, temp);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    std::size_t argmax_p = 0, argmax_z = 0;
+    for (std::size_t j = 0; j < 10; ++j) {
+      sum += p(r, j);
+      if (p(r, j) > p(r, argmax_p)) argmax_p = j;
+      if (logits(r, j) > logits(r, argmax_z)) argmax_z = j;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    EXPECT_EQ(argmax_p, argmax_z);  // temperature never changes the argmax
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, TemperatureSweep,
+                         ::testing::Values(0.5F, 1.0F, 10.0F, 100.0F));
+
+// ---- Corrector sample-count sweep --------------------------------------------
+
+class CorrectorSamplesSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorrectorSamplesSweep, HistogramSumsToM) {
+  const std::size_t m = GetParam();
+  auto& p = SmallProblem::mutable_instance();
+  core::Corrector corrector(
+      p.model, {.radius = 0.2F, .samples = m, .seed = m, .clip_to_box = false});
+  const auto votes = corrector.vote_histogram(p.test_set.example(0));
+  std::size_t total = 0;
+  for (std::size_t v : votes) total += v;
+  EXPECT_EQ(total, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleCounts, CorrectorSamplesSweep,
+                         ::testing::Values(1U, 10U, 50U, 200U));
+
+// ---- Corrector radius sweep: zero radius degenerates to the DNN --------------
+
+class CorrectorRadiusSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(CorrectorRadiusSweep, SmallRadiusAgreesWithModelOnConfident) {
+  const float r = GetParam();
+  auto& p = SmallProblem::mutable_instance();
+  core::Corrector corrector(p.model, {.radius = r,
+                                      .samples = 30,
+                                      .seed = 11,
+                                      .clip_to_box = false});
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const Tensor x = p.test_set.example(i);
+    if (p.model.classify(x) != p.test_set.labels[i]) continue;
+    ++total;
+    if (corrector.correct(x) == p.model.classify(x)) ++agree;
+  }
+  ASSERT_GT(total, 0U);
+  EXPECT_GE(agree * 10, total * 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, CorrectorRadiusSweep,
+                         ::testing::Values(0.0F, 0.01F, 0.05F, 0.1F));
+
+// ---- Median smoothing window sweep --------------------------------------------
+
+class MedianWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MedianWindowSweep, OutputWithinInputEnvelope) {
+  const std::size_t w = GetParam();
+  Rng rng(w);
+  const Tensor img = Tensor::uniform(Shape{3, 9, 9}, rng, data::kPixelMin,
+                                     data::kPixelMax);
+  const Tensor sm = data::median_smooth(img, w);
+  EXPECT_GE(sm.min(), img.min() - 1e-6F);
+  EXPECT_LE(sm.max(), img.max() + 1e-6F);
+  EXPECT_EQ(sm.shape(), img.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, MedianWindowSweep,
+                         ::testing::Values(1U, 3U, 5U));
+
+// ---- RNG seed sweep ------------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, UniformStaysInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(-0.5, 0.5);
+    EXPECT_GE(v, -0.5);
+    EXPECT_LT(v, 0.5);
+  }
+}
+
+TEST_P(SeedSweep, SameSeedSameDataset) {
+  data::SynthMnist gen;
+  Rng a(GetParam()), b(GetParam());
+  const auto da = gen.generate(5, a);
+  const auto db = gen.generate(5, b);
+  EXPECT_EQ(da.images, db.images);
+  EXPECT_EQ(da.labels, db.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 31337ULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace dcn

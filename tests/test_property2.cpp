@@ -1,0 +1,197 @@
+// Second parameterized property-test batch: PGD budgets, noise-attack
+// trials, dataset-IO shapes, ROC separation monotonicity, and
+// synthetic-dataset invariants.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attacks/noise.hpp"
+#include "attacks/pgd.hpp"
+#include "data/io.hpp"
+#include "data/synth_cifar.hpp"
+#include "data/synth_mnist.hpp"
+#include "data/transforms.hpp"
+#include "eval/confusion.hpp"
+#include "eval/roc.hpp"
+#include "fixtures.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::SmallProblem;
+
+// ---- PGD epsilon sweep -------------------------------------------------------
+
+class PgdEpsilonSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(PgdEpsilonSweep, StaysInBallAndBox) {
+  const float eps = GetParam();
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Pgd pgd({.epsilon = eps,
+                    .step_size = eps / 3.0F + 1e-3F,
+                    .max_iterations = 15,
+                    .restarts = 2,
+                    .seed = 21});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto r = pgd.run_untargeted(p.model, p.test_set.example(i),
+                                      p.test_set.labels[i]);
+    EXPECT_LE(r.linf, eps + 1e-5);
+    EXPECT_GE(r.adversarial.min(), data::kPixelMin - 1e-6F);
+    EXPECT_LE(r.adversarial.max(), data::kPixelMax + 1e-6F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PgdEpsilonSweep,
+                         ::testing::Values(0.02F, 0.05F, 0.1F, 0.25F));
+
+// ---- Noise-attack trials sweep -----------------------------------------------
+
+class NoiseTrialSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NoiseTrialSweep, IterationCountBounded) {
+  const std::size_t trials = GetParam();
+  auto& p = SmallProblem::mutable_instance();
+  attacks::NoiseAttack noise(
+      {.epsilon = 0.02F, .trials = trials, .seed = trials});
+  const auto r = noise.run_untargeted(p.model, p.test_set.example(0),
+                                      p.test_set.labels[0]);
+  EXPECT_LE(r.iterations, trials);
+  EXPECT_GE(r.iterations, 1U);
+  EXPECT_LE(r.linf, 0.02 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, NoiseTrialSweep,
+                         ::testing::Values(1U, 5U, 25U, 100U));
+
+// ---- Dataset IO across shapes --------------------------------------------------
+
+struct IoShapeCase {
+  std::vector<std::size_t> dims;
+};
+
+class DatasetIoShapeSweep : public ::testing::TestWithParam<IoShapeCase> {};
+
+TEST_P(DatasetIoShapeSweep, RoundTripsExactly) {
+  const auto& dims = GetParam().dims;
+  Rng rng(dims.size());
+  data::Dataset d;
+  d.images = Tensor::normal(Shape(std::vector<std::size_t>(dims)), rng);
+  d.labels.resize(dims[0]);
+  for (std::size_t i = 0; i < d.labels.size(); ++i) d.labels[i] = i % 7;
+  std::stringstream buffer;
+  data::save_dataset(d, buffer);
+  const data::Dataset loaded = data::load_dataset(buffer);
+  EXPECT_EQ(loaded.images, d.images);
+  EXPECT_EQ(loaded.labels, d.labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DatasetIoShapeSweep,
+    ::testing::Values(IoShapeCase{{3, 4}}, IoShapeCase{{5, 1, 6, 6}},
+                      IoShapeCase{{2, 3, 8, 8}}, IoShapeCase{{1, 10}}));
+
+// ---- ROC: AUC grows with class separation --------------------------------------
+
+class RocSeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RocSeparationSweep, AucAtLeastBaseline) {
+  const double separation = GetParam();
+  Rng rng(static_cast<std::uint64_t>(separation * 100));
+  std::vector<eval::ScoredSample> samples;
+  for (int i = 0; i < 400; ++i) {
+    const bool positive = i % 2 == 0;
+    samples.push_back(
+        {rng.normal() + (positive ? separation : 0.0), positive});
+  }
+  const double a = eval::auc(samples);
+  // Monotone link between separation and AUC (loose analytic bound).
+  if (separation == 0.0) {
+    EXPECT_NEAR(a, 0.5, 0.1);
+  } else if (separation >= 3.0) {
+    EXPECT_GT(a, 0.95);
+  } else {
+    EXPECT_GT(a, 0.55);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, RocSeparationSweep,
+                         ::testing::Values(0.0, 1.0, 3.0, 6.0));
+
+// ---- Synthetic dataset invariants across sizes ----------------------------------
+
+class SynthSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SynthSizeSweep, MnistBalancedLabelsAndRange) {
+  const std::size_t n = GetParam();
+  data::SynthMnist gen;
+  Rng rng(n);
+  const auto d = gen.generate(n, rng);
+  EXPECT_EQ(d.size(), n);
+  std::vector<std::size_t> counts(10, 0);
+  for (std::size_t l : d.labels) ++counts[l];
+  // Round-robin labels: max imbalance 1.
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*hi - *lo, 1U);
+  EXPECT_GE(d.images.min(), data::kPixelMin);
+  EXPECT_LE(d.images.max(), data::kPixelMax);
+}
+
+TEST_P(SynthSizeSweep, CifarBalancedLabelsAndRange) {
+  const std::size_t n = GetParam();
+  data::SynthCifar gen;
+  Rng rng(n + 1);
+  const auto d = gen.generate(n, rng);
+  EXPECT_EQ(d.size(), n);
+  EXPECT_GE(d.images.min(), data::kPixelMin);
+  EXPECT_LE(d.images.max(), data::kPixelMax);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SynthSizeSweep,
+                         ::testing::Values(10U, 25U, 40U));
+
+// ---- Confusion matrix consistency with accuracy() -------------------------------
+
+class ConfusionConsistencySweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfusionConsistencySweep, AccuracyMatchesManualCount) {
+  Rng rng(GetParam());
+  eval::ConfusionMatrix cm(5);
+  std::size_t right = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t truth = rng.uniform_index(5);
+    const std::size_t pred =
+        rng.bernoulli(0.7) ? truth : rng.uniform_index(5);
+    cm.record(truth, pred);
+    ++total;
+    if (truth == pred) ++right;
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(),
+                   static_cast<double>(right) / static_cast<double>(total));
+  EXPECT_EQ(cm.total(), total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfusionConsistencySweep,
+                         ::testing::Values(1ULL, 2ULL, 3ULL));
+
+// ---- Bit-depth + median composition stays in box --------------------------------
+
+class SqueezeCompositionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SqueezeCompositionSweep, ComposedSqueezersStayInBox) {
+  const unsigned bits = GetParam();
+  Rng rng(bits * 31);
+  const Tensor img = Tensor::uniform(Shape{1, 7, 7}, rng, data::kPixelMin,
+                                     data::kPixelMax);
+  const Tensor composed =
+      data::median_smooth(data::reduce_bit_depth(img, bits), 3);
+  EXPECT_GE(composed.min(), data::kPixelMin - 1e-6F);
+  EXPECT_LE(composed.max(), data::kPixelMax + 1e-6F);
+  EXPECT_EQ(composed.shape(), img.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SqueezeCompositionSweep,
+                         ::testing::Values(1U, 3U, 5U, 8U));
+
+}  // namespace
+}  // namespace dcn

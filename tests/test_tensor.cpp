@@ -1,0 +1,203 @@
+// Unit tests for the tensor substrate: Shape, Tensor storage/indexing,
+// elementwise math, reductions, and batch helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor.hpp"
+
+namespace dcn {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3U);
+  EXPECT_EQ(s.numel(), 24U);
+  EXPECT_EQ(s.dim(1), 3U);
+  EXPECT_THROW((void)s.dim(3), std::out_of_range);
+}
+
+TEST(Shape, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0U);
+  EXPECT_EQ(s.numel(), 1U);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, ToString) { EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]"); }
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 2});
+  EXPECT_EQ(t.size(), 4U);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(Tensor, FactoryFull) {
+  Tensor t = Tensor::full(Shape{3}, 2.5F);
+  EXPECT_EQ(t.sum(), 7.5F);
+}
+
+TEST(Tensor, FromVector) {
+  Tensor t = Tensor::from_vector({1.0F, 2.0F, 3.0F});
+  EXPECT_EQ(t.rank(), 1U);
+  EXPECT_EQ(t.dim(0), 3U);
+  EXPECT_EQ(t[2], 3.0F);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0F, 2.0F}), std::invalid_argument);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t(Shape{2, 3});
+  t(1, 2) = 7.0F;
+  EXPECT_EQ(t[5], 7.0F);
+  Tensor u(Shape{2, 3, 4});
+  u(1, 2, 3) = 9.0F;
+  EXPECT_EQ(u[23], 9.0F);
+  Tensor v(Shape{2, 2, 2, 2});
+  v(1, 1, 1, 1) = 4.0F;
+  EXPECT_EQ(v[15], 4.0F);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_vector({1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshape(Shape{2, 3});
+  EXPECT_EQ(r(1, 0), 4.0F);
+  EXPECT_THROW((void)t.reshape(Shape{4}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a = Tensor::from_vector({1, 2, 3});
+  Tensor b = Tensor::from_vector({4, 5, 6});
+  EXPECT_EQ((a + b)[1], 7.0F);
+  EXPECT_EQ((b - a)[2], 3.0F);
+  EXPECT_EQ((a * b)[0], 4.0F);
+  EXPECT_EQ((a * 2.0F)[2], 6.0F);
+  EXPECT_EQ((a / 2.0F)[0], 0.5F);
+  EXPECT_EQ((a + 1.0F)[0], 2.0F);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Tensor, MapAndApplyAndClamp) {
+  Tensor t = Tensor::from_vector({-2, 0, 2});
+  Tensor m = t.map([](float v) { return v * v; });
+  EXPECT_EQ(m[0], 4.0F);
+  t.clamp(-1.0F, 1.0F);
+  EXPECT_EQ(t[0], -1.0F);
+  EXPECT_EQ(t[2], 1.0F);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from_vector({1, -3, 2});
+  EXPECT_FLOAT_EQ(t.sum(), 0.0F);
+  EXPECT_FLOAT_EQ(t.mean(), 0.0F);
+  EXPECT_EQ(t.min(), -3.0F);
+  EXPECT_EQ(t.max(), 2.0F);
+  EXPECT_EQ(t.argmax(), 2U);
+}
+
+TEST(Tensor, Norms) {
+  Tensor t = Tensor::from_vector({3, -4, 0});
+  EXPECT_DOUBLE_EQ(t.l2_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(t.l1_norm(), 7.0);
+  EXPECT_DOUBLE_EQ(t.linf_norm(), 4.0);
+  EXPECT_EQ(t.l0_count(), 2U);
+}
+
+TEST(Tensor, RowAndSetRow) {
+  Tensor t(Shape{2, 3});
+  Tensor r = Tensor::from_vector({1, 2, 3});
+  t.set_row(1, r);
+  EXPECT_EQ(t.row(1)[2], 3.0F);
+  EXPECT_EQ(t.row(0)[0], 0.0F);
+  EXPECT_THROW((void)t.row(2), std::out_of_range);
+  EXPECT_THROW(t.set_row(0, Tensor(Shape{4})), std::invalid_argument);
+}
+
+TEST(Tensor, Stack) {
+  Tensor a = Tensor::from_vector({1, 2});
+  Tensor b = Tensor::from_vector({3, 4});
+  Tensor s = Tensor::stack({a, b});
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s(1, 0), 3.0F);
+  EXPECT_THROW((void)Tensor::stack({}), std::invalid_argument);
+  EXPECT_THROW((void)Tensor::stack({a, Tensor(Shape{3})}), std::invalid_argument);
+}
+
+TEST(Tensor, BoundsCheckedAt) {
+  Tensor t(Shape{2});
+  EXPECT_NO_THROW((void)t.at(1));
+  EXPECT_THROW((void)t.at(2), std::out_of_range);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniform_index(7), 7U);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(3);
+  auto p = rng.permutation(50);
+  std::vector<bool> seen(50, false);
+  for (std::size_t v : p) {
+    ASSERT_LT(v, 50U);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(11);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(TensorRandom, UniformWithinBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform(Shape{100}, rng, -0.5F, 0.5F);
+  EXPECT_GE(t.min(), -0.5F);
+  EXPECT_LT(t.max(), 0.5F);
+}
+
+}  // namespace
+}  // namespace dcn

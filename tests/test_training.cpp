@@ -1,0 +1,188 @@
+// End-to-end training tests: the nn stack must actually learn.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/synth_mnist.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace dcn {
+namespace {
+
+// Two interleaved Gaussian blobs: a linearly separable 2-class toy problem.
+data::Dataset blobs(std::size_t n, Rng& rng) {
+  data::Dataset d;
+  std::vector<Tensor> rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = i % 2;
+    const float cx = label == 0 ? -1.0F : 1.0F;
+    Tensor p(Shape{2});
+    p[0] = cx + static_cast<float>(rng.normal(0.0, 0.4));
+    p[1] = -cx + static_cast<float>(rng.normal(0.0, 0.4));
+    rows.push_back(p);
+    d.labels.push_back(label);
+  }
+  d.images = Tensor::stack(rows);
+  return d;
+}
+
+TEST(Training, MlpLearnsBlobs) {
+  Rng rng(1);
+  const auto train = blobs(200, rng);
+  const auto test = blobs(100, rng);
+  nn::Sequential model = models::mlp({2, 8, 2}, rng);
+  nn::Adam opt({.learning_rate = 1e-2F});
+  nn::TrainConfig cfg{.epochs = 30,
+                      .batch_size = 16,
+                      .temperature = 1.0F,
+                      .shuffle = true,
+                      .shuffle_seed = 3,
+                      .on_epoch = {}};
+  const auto stats = nn::train(model, train, opt, cfg);
+  EXPECT_GT(stats.final_accuracy, 0.95);
+  EXPECT_GT(nn::evaluate(model, test), 0.93);
+}
+
+TEST(Training, LossDecreasesMonotonicallyOnAverage) {
+  Rng rng(2);
+  const auto train = blobs(200, rng);
+  nn::Sequential model = models::mlp({2, 8, 2}, rng);
+  nn::Adam opt({.learning_rate = 1e-2F});
+  std::vector<double> losses;
+  nn::TrainConfig cfg{.epochs = 10,
+                      .batch_size = 16,
+                      .temperature = 1.0F,
+                      .shuffle = true,
+                      .shuffle_seed = 3,
+                      .on_epoch = [&](std::size_t, double loss, double) {
+                        losses.push_back(loss);
+                      }};
+  nn::train(model, train, opt, cfg);
+  ASSERT_EQ(losses.size(), 10U);
+  EXPECT_LT(losses.back(), losses.front() * 0.5);
+}
+
+TEST(Training, SoftTargetsReproduceHardTraining) {
+  Rng rng(3);
+  const auto train = blobs(120, rng);
+  // One-hot soft targets == hard labels.
+  Tensor onehot(Shape{train.size(), 2});
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    onehot(i, train.labels[i]) = 1.0F;
+  }
+  nn::Sequential model = models::mlp({2, 8, 2}, rng);
+  nn::Adam opt({.learning_rate = 1e-2F});
+  nn::TrainConfig cfg{.epochs = 25,
+                      .batch_size = 16,
+                      .temperature = 1.0F,
+                      .shuffle = true,
+                      .shuffle_seed = 3,
+                      .on_epoch = {}};
+  const auto stats =
+      nn::train_soft(model, train.images, onehot, train.labels, opt, cfg);
+  EXPECT_GT(stats.final_accuracy, 0.95);
+}
+
+TEST(Training, MnistConvnetLearnsSyntheticDigits) {
+  // Small but real: the full MNIST-domain pipeline used by the benches.
+  data::SynthMnist gen;
+  Rng data_rng(42);
+  const auto train = gen.generate(600, data_rng);
+  const auto test = gen.generate(100, data_rng);
+  Rng init_rng(7);
+  nn::Sequential model = models::mnist_convnet(init_rng);
+  models::fit(model, train, {.epochs = 6,
+                             .batch_size = 32,
+                             .learning_rate = 1e-3F,
+                             .temperature = 1.0F,
+                             .shuffle_seed = 7});
+  EXPECT_GT(nn::evaluate(model, test), 0.85);
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  Rng rng(4);
+  const auto train = blobs(100, rng);
+  nn::Sequential model = models::mlp({2, 6, 2}, rng);
+  models::fit(model, train, {.epochs = 5,
+                             .batch_size = 16,
+                             .learning_rate = 1e-2F,
+                             .temperature = 1.0F,
+                             .shuffle_seed = 7});
+  std::stringstream buffer;
+  nn::save_weights(model, buffer);
+
+  Rng rng2(999);  // different init: weights must be overwritten by load
+  nn::Sequential copy = models::mlp({2, 6, 2}, rng2);
+  nn::load_weights(copy, buffer);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const Tensor a = model.logits(train.example(i));
+    const Tensor b = copy.logits(train.example(i));
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      ASSERT_FLOAT_EQ(a[j], b[j]);
+    }
+  }
+}
+
+TEST(Serialize, ArchitectureMismatchThrows) {
+  Rng rng(5);
+  nn::Sequential model = models::mlp({2, 6, 2}, rng);
+  std::stringstream buffer;
+  nn::save_weights(model, buffer);
+  nn::Sequential other = models::mlp({2, 7, 2}, rng);
+  EXPECT_THROW(nn::load_weights(other, buffer), std::runtime_error);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  Rng rng(6);
+  nn::Sequential model = models::mlp({2, 3, 2}, rng);
+  std::stringstream buffer("NOTAWEIGHTFILE");
+  EXPECT_THROW(nn::load_weights(model, buffer), std::runtime_error);
+}
+
+TEST(ModelZoo, ArchitectureShapes) {
+  Rng rng(7);
+  nn::Sequential mnist = models::mnist_convnet(rng);
+  const Tensor x = Tensor::normal(Shape{1, 28, 28}, rng, 0.0F, 0.2F);
+  EXPECT_EQ(mnist.logits(x).size(), 10U);
+
+  nn::Sequential cifar = models::cifar_convnet(rng);
+  const Tensor c = Tensor::normal(Shape{3, 32, 32}, rng, 0.0F, 0.2F);
+  EXPECT_EQ(cifar.logits(c).size(), 10U);
+
+  nn::Sequential det = models::detector_mlp(10, rng);
+  EXPECT_EQ(det.logits(Tensor(Shape{10})).size(), 2U);
+}
+
+TEST(ModelZoo, MlpRequiresTwoSizes) {
+  Rng rng(8);
+  EXPECT_THROW((void)models::mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(ModelZoo, AlternativeMnistArchitectures) {
+  Rng rng(9);
+  nn::Sequential plain = models::mnist_mlp(rng);
+  nn::Sequential bn = models::mnist_mlp_bn(rng);
+  const Tensor x = Tensor::normal(Shape{1, 28, 28}, rng, 0.0F, 0.2F);
+  EXPECT_EQ(plain.logits(x).size(), 10U);
+  EXPECT_EQ(bn.logits(x).size(), 10U);
+}
+
+TEST(ModelZoo, BatchNormMlpLearnsDigits) {
+  data::SynthMnist gen;
+  Rng data_rng(11);
+  const auto train = gen.generate(400, data_rng);
+  const auto test = gen.generate(100, data_rng);
+  Rng init(3);
+  nn::Sequential model = models::mnist_mlp_bn(init);
+  models::fit(model, train, {.epochs = 5,
+                             .batch_size = 32,
+                             .learning_rate = 1e-3F,
+                             .temperature = 1.0F,
+                             .shuffle_seed = 7});
+  EXPECT_GT(nn::evaluate(model, test), 0.8);
+}
+
+}  // namespace
+}  // namespace dcn
