@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_correctors.dir/bench_ablation_correctors.cpp.o"
+  "CMakeFiles/bench_ablation_correctors.dir/bench_ablation_correctors.cpp.o.d"
+  "bench_ablation_correctors"
+  "bench_ablation_correctors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_correctors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_attack.dir/bench_adaptive_attack.cpp.o"
+  "CMakeFiles/bench_adaptive_attack.dir/bench_adaptive_attack.cpp.o.d"
+  "bench_adaptive_attack"
+  "bench_adaptive_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_roc.dir/bench_detector_roc.cpp.o"
+  "CMakeFiles/bench_detector_roc.dir/bench_detector_roc.cpp.o.d"
+  "bench_detector_roc"
+  "bench_detector_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

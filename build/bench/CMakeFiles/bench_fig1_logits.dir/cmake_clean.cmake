@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_logits.dir/bench_fig1_logits.cpp.o"
+  "CMakeFiles/bench_fig1_logits.dir/bench_fig1_logits.cpp.o.d"
+  "bench_fig1_logits"
+  "bench_fig1_logits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_logits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

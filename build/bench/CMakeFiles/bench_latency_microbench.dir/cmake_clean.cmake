@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_microbench.dir/bench_latency_microbench.cpp.o"
+  "CMakeFiles/bench_latency_microbench.dir/bench_latency_microbench.cpp.o.d"
+  "bench_latency_microbench"
+  "bench_latency_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_detector.dir/bench_table2_detector.cpp.o"
+  "CMakeFiles/bench_table2_detector.dir/bench_table2_detector.cpp.o.d"
+  "bench_table2_detector"
+  "bench_table2_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

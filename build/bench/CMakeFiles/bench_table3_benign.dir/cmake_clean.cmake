@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_benign.dir/bench_table3_benign.cpp.o"
+  "CMakeFiles/bench_table3_benign.dir/bench_table3_benign.cpp.o.d"
+  "bench_table3_benign"
+  "bench_table3_benign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_benign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mnist.dir/bench_table4_mnist.cpp.o"
+  "CMakeFiles/bench_table4_mnist.dir/bench_table4_mnist.cpp.o.d"
+  "bench_table4_mnist"
+  "bench_table4_mnist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mnist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

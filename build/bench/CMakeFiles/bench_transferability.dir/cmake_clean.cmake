@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transferability.dir/bench_transferability.cpp.o"
+  "CMakeFiles/bench_transferability.dir/bench_transferability.cpp.o.d"
+  "bench_transferability"
+  "bench_transferability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transferability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_redteam.dir/adaptive_redteam.cpp.o"
+  "CMakeFiles/example_adaptive_redteam.dir/adaptive_redteam.cpp.o.d"
+  "example_adaptive_redteam"
+  "example_adaptive_redteam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_redteam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dcn_cli.dir/dcn_cli.cpp.o"
+  "CMakeFiles/example_dcn_cli.dir/dcn_cli.cpp.o.d"
+  "example_dcn_cli"
+  "example_dcn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dcn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_defense_comparison.dir/defense_comparison.cpp.o"
+  "CMakeFiles/example_defense_comparison.dir/defense_comparison.cpp.o.d"
+  "example_defense_comparison"
+  "example_defense_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_defense_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

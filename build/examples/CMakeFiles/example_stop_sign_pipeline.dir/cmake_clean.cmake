@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stop_sign_pipeline.dir/stop_sign_pipeline.cpp.o"
+  "CMakeFiles/example_stop_sign_pipeline.dir/stop_sign_pipeline.cpp.o.d"
+  "example_stop_sign_pipeline"
+  "example_stop_sign_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stop_sign_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_stop_sign_pipeline.
+# This may be replaced when dependencies are built.

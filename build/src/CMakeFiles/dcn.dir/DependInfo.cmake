@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/adaptive_cw.cpp" "src/CMakeFiles/dcn.dir/attacks/adaptive_cw.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/adaptive_cw.cpp.o.d"
+  "/root/repo/src/attacks/attack.cpp" "src/CMakeFiles/dcn.dir/attacks/attack.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/attack.cpp.o.d"
+  "/root/repo/src/attacks/cw_l0.cpp" "src/CMakeFiles/dcn.dir/attacks/cw_l0.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/cw_l0.cpp.o.d"
+  "/root/repo/src/attacks/cw_l2.cpp" "src/CMakeFiles/dcn.dir/attacks/cw_l2.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/cw_l2.cpp.o.d"
+  "/root/repo/src/attacks/cw_linf.cpp" "src/CMakeFiles/dcn.dir/attacks/cw_linf.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/cw_linf.cpp.o.d"
+  "/root/repo/src/attacks/deepfool.cpp" "src/CMakeFiles/dcn.dir/attacks/deepfool.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/deepfool.cpp.o.d"
+  "/root/repo/src/attacks/fgsm.cpp" "src/CMakeFiles/dcn.dir/attacks/fgsm.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/fgsm.cpp.o.d"
+  "/root/repo/src/attacks/gradient.cpp" "src/CMakeFiles/dcn.dir/attacks/gradient.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/gradient.cpp.o.d"
+  "/root/repo/src/attacks/igsm.cpp" "src/CMakeFiles/dcn.dir/attacks/igsm.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/igsm.cpp.o.d"
+  "/root/repo/src/attacks/jsma.cpp" "src/CMakeFiles/dcn.dir/attacks/jsma.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/jsma.cpp.o.d"
+  "/root/repo/src/attacks/lbfgs_attack.cpp" "src/CMakeFiles/dcn.dir/attacks/lbfgs_attack.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/lbfgs_attack.cpp.o.d"
+  "/root/repo/src/attacks/noise.cpp" "src/CMakeFiles/dcn.dir/attacks/noise.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/noise.cpp.o.d"
+  "/root/repo/src/attacks/pgd.cpp" "src/CMakeFiles/dcn.dir/attacks/pgd.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/pgd.cpp.o.d"
+  "/root/repo/src/attacks/untargeted.cpp" "src/CMakeFiles/dcn.dir/attacks/untargeted.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/attacks/untargeted.cpp.o.d"
+  "/root/repo/src/core/corrector.cpp" "src/CMakeFiles/dcn.dir/core/corrector.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/core/corrector.cpp.o.d"
+  "/root/repo/src/core/correctors_alt.cpp" "src/CMakeFiles/dcn.dir/core/correctors_alt.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/core/correctors_alt.cpp.o.d"
+  "/root/repo/src/core/dcn.cpp" "src/CMakeFiles/dcn.dir/core/dcn.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/core/dcn.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/CMakeFiles/dcn.dir/core/detector.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/core/detector.cpp.o.d"
+  "/root/repo/src/core/detector_training.cpp" "src/CMakeFiles/dcn.dir/core/detector_training.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/core/detector_training.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/dcn.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/dcn.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/synth_cifar.cpp" "src/CMakeFiles/dcn.dir/data/synth_cifar.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/data/synth_cifar.cpp.o.d"
+  "/root/repo/src/data/synth_mnist.cpp" "src/CMakeFiles/dcn.dir/data/synth_mnist.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/data/synth_mnist.cpp.o.d"
+  "/root/repo/src/data/transforms.cpp" "src/CMakeFiles/dcn.dir/data/transforms.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/data/transforms.cpp.o.d"
+  "/root/repo/src/defenses/adversarial_training.cpp" "src/CMakeFiles/dcn.dir/defenses/adversarial_training.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/defenses/adversarial_training.cpp.o.d"
+  "/root/repo/src/defenses/distillation.cpp" "src/CMakeFiles/dcn.dir/defenses/distillation.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/defenses/distillation.cpp.o.d"
+  "/root/repo/src/defenses/feature_squeeze.cpp" "src/CMakeFiles/dcn.dir/defenses/feature_squeeze.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/defenses/feature_squeeze.cpp.o.d"
+  "/root/repo/src/defenses/region_classifier.cpp" "src/CMakeFiles/dcn.dir/defenses/region_classifier.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/defenses/region_classifier.cpp.o.d"
+  "/root/repo/src/eval/confusion.cpp" "src/CMakeFiles/dcn.dir/eval/confusion.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/eval/confusion.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/dcn.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/dcn.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/eval/report.cpp.o.d"
+  "/root/repo/src/eval/roc.cpp" "src/CMakeFiles/dcn.dir/eval/roc.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/eval/roc.cpp.o.d"
+  "/root/repo/src/models/model_zoo.cpp" "src/CMakeFiles/dcn.dir/models/model_zoo.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/models/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/dcn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/avgpool.cpp" "src/CMakeFiles/dcn.dir/nn/avgpool.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/avgpool.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/dcn.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/dcn.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/dcn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/dcn.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/CMakeFiles/dcn.dir/nn/flatten.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/flatten.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/dcn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/dcn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/dcn.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/dcn.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/dcn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/dcn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/tensor/conv.cpp" "src/CMakeFiles/dcn.dir/tensor/conv.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/tensor/conv.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/dcn.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/random.cpp" "src/CMakeFiles/dcn.dir/tensor/random.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/tensor/random.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/dcn.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/dcn.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_attack_tests.dir/test_attacks_basic.cpp.o"
+  "CMakeFiles/dcn_attack_tests.dir/test_attacks_basic.cpp.o.d"
+  "CMakeFiles/dcn_attack_tests.dir/test_property.cpp.o"
+  "CMakeFiles/dcn_attack_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/dcn_attack_tests.dir/test_property2.cpp.o"
+  "CMakeFiles/dcn_attack_tests.dir/test_property2.cpp.o.d"
+  "dcn_attack_tests"
+  "dcn_attack_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_attack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

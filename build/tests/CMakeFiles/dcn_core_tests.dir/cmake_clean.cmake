@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_core_tests.dir/test_core_dcn.cpp.o"
+  "CMakeFiles/dcn_core_tests.dir/test_core_dcn.cpp.o.d"
+  "dcn_core_tests"
+  "dcn_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_cw_tests.dir/test_attacks_cw.cpp.o"
+  "CMakeFiles/dcn_cw_tests.dir/test_attacks_cw.cpp.o.d"
+  "dcn_cw_tests"
+  "dcn_cw_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_cw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dcn_cw_tests.
+# This may be replaced when dependencies are built.

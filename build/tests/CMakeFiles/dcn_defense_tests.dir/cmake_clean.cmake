@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_defense_tests.dir/test_defenses.cpp.o"
+  "CMakeFiles/dcn_defense_tests.dir/test_defenses.cpp.o.d"
+  "dcn_defense_tests"
+  "dcn_defense_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_defense_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_extension_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/dcn_extension_tests.dir/test_extensions.cpp.o.d"
+  "dcn_extension_tests"
+  "dcn_extension_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_extras2_tests.dir/test_extras2.cpp.o"
+  "CMakeFiles/dcn_extras2_tests.dir/test_extras2.cpp.o.d"
+  "dcn_extras2_tests"
+  "dcn_extras2_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_extras2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_integration_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/dcn_integration_tests.dir/test_integration.cpp.o.d"
+  "dcn_integration_tests"
+  "dcn_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_training_tests.dir/test_training.cpp.o"
+  "CMakeFiles/dcn_training_tests.dir/test_training.cpp.o.d"
+  "dcn_training_tests"
+  "dcn_training_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_training_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

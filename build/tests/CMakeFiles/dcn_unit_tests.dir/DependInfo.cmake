@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_conv.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_conv.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_conv.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_io_roc.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_io_roc.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_io_roc.cpp.o.d"
+  "/root/repo/tests/test_loss_optim.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_loss_optim.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_loss_optim.cpp.o.d"
+  "/root/repo/tests/test_nn_extra.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_nn_extra.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_nn_extra.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_ops.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_ops.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_ops.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/dcn_unit_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/dcn_unit_tests.dir/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dcn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

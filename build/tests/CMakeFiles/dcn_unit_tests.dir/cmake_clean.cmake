@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcn_unit_tests.dir/test_conv.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_conv.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_data.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_data.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_eval.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_eval.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_io_roc.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_io_roc.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_loss_optim.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_loss_optim.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_nn_extra.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_nn_extra.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_nn_layers.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_nn_layers.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_ops.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_ops.cpp.o.d"
+  "CMakeFiles/dcn_unit_tests.dir/test_tensor.cpp.o"
+  "CMakeFiles/dcn_unit_tests.dir/test_tensor.cpp.o.d"
+  "dcn_unit_tests"
+  "dcn_unit_tests.pdb"
+  "dcn_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcn_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dcn_unit_tests[1]_include.cmake")
+add_test(dcn_training_tests "/root/repo/build/tests/dcn_training_tests")
+set_tests_properties(dcn_training_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;28;add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcn_attack_tests "/root/repo/build/tests/dcn_attack_tests")
+set_tests_properties(dcn_attack_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;29;add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcn_cw_tests "/root/repo/build/tests/dcn_cw_tests")
+set_tests_properties(dcn_cw_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;30;add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcn_defense_tests "/root/repo/build/tests/dcn_defense_tests")
+set_tests_properties(dcn_defense_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;31;add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcn_core_tests "/root/repo/build/tests/dcn_core_tests")
+set_tests_properties(dcn_core_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;32;add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcn_integration_tests "/root/repo/build/tests/dcn_integration_tests")
+set_tests_properties(dcn_integration_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;33;add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcn_extension_tests "/root/repo/build/tests/dcn_extension_tests")
+set_tests_properties(dcn_extension_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;34;add_suite;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcn_extras2_tests "/root/repo/build/tests/dcn_extras2_tests")
+set_tests_properties(dcn_extras2_tests PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;24;add_test;/root/repo/tests/CMakeLists.txt;35;add_suite;/root/repo/tests/CMakeLists.txt;0;")
