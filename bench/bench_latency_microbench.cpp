@@ -2,10 +2,24 @@
 // Tables 3 and 6: one DNN forward pass, the detector MLP, the DCN corrector
 // (m=50), full RC (m=1000), and one CW-L2 gradient iteration. These are the
 // unit prices from which the tables' totals compose.
+//
+// Before the google-benchmark suite runs, main() measures the parallel
+// runtime directly — matmul GFLOP/s and corrector samples/sec at thread
+// counts {1, 2, max}, plus the seed's sequential single-example corrector
+// loop as the speedup baseline — and writes BENCH_runtime.json.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <functional>
+#include <thread>
 
 #include "attacks/gradient.hpp"
 #include "common.hpp"
+#include "eval/bench_json.hpp"
+#include "nn/layer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
 
 namespace {
 
@@ -92,6 +106,271 @@ void BM_LogitJacobian(benchmark::State& state) {
 }
 BENCHMARK(BM_LogitJacobian);
 
+// ---- BENCH_runtime.json: the perf trajectory of the parallel runtime ------
+
+/// Best-of-15 wall-clock seconds for one call of f. Minimum, not mean: on a
+/// shared core the interesting number is the undisturbed run, and scheduler
+/// noise only ever adds time.
+template <typename F>
+double timed(F&& f) {
+  double best = 0.0;
+  for (int rep = 0; rep < 15; ++rep) {
+    eval::Timer t;
+    f();
+    const double s = t.seconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+// Frozen copies of the seed's kernels (pre-runtime rewrite). The live code
+// paths keep getting faster, so the speedup the runtime layer buys can only
+// be measured against an implementation that stands still; these reproduce
+// the seed's loops verbatim and drive the MNIST convnet through them using
+// the trained model's own parameters.
+namespace seed_ref {
+
+Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c(Shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(arow[p]) * brow[p];
+      }
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor im2col_seed(const Tensor& image, const conv::Conv2DSpec& spec) {
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  Tensor cols(Shape{oh * ow, patch});
+  const float* src = image.data().data();
+  float* dst = cols.data().data();
+  const std::size_t hw = spec.in_height * spec.in_width;
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      float* prow = dst + (oy * ow + ox) * patch;
+      std::size_t idx = 0;
+      for (std::size_t c = 0; c < spec.in_channels; ++c) {
+        for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.padding);
+          for (std::size_t kx = 0; kx < spec.kernel; ++kx, ++idx) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            if (iy < 0 || ix < 0 ||
+                iy >= static_cast<std::ptrdiff_t>(spec.in_height) ||
+                ix >= static_cast<std::ptrdiff_t>(spec.in_width)) {
+              prow[idx] = 0.0F;
+            } else {
+              prow[idx] = src[c * hw +
+                              static_cast<std::size_t>(iy) * spec.in_width +
+                              static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor conv_forward(const Tensor& image, const Tensor& weights,
+                    const Tensor& bias, const conv::Conv2DSpec& spec) {
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  const std::size_t out_c = weights.dim(0);
+  const Tensor cols = im2col_seed(image, spec);
+  const Tensor prod = matmul_a_bt(cols, weights);
+  Tensor out(Shape{out_c, oh, ow});
+  for (std::size_t p = 0; p < oh * ow; ++p) {
+    for (std::size_t c = 0; c < out_c; ++c) {
+      out[c * oh * ow + p] = prod(p, c) + bias[c];
+    }
+  }
+  return out;
+}
+
+Tensor dense_forward(const Tensor& x, const Tensor& weights,
+                     const Tensor& bias) {
+  Tensor out = matmul_a_bt(x, weights);
+  for (std::size_t j = 0; j < out.dim(1); ++j) out(0, j) += bias[j];
+  return out;
+}
+
+Tensor relu(const Tensor& x) {
+  return x.map([](float v) { return v > 0.0F ? v : 0.0F; });
+}
+
+/// The seed's forward pass for models::mnist_convnet, parameters borrowed
+/// from the trained model. Max pooling is pure data movement and unchanged
+/// since the seed, so it is reused directly.
+std::size_t classify_mnist(const std::vector<nn::Param>& ps, const Tensor& x) {
+  const conv::Conv2DSpec c1{.in_channels = 1,
+                            .in_height = 28,
+                            .in_width = 28,
+                            .kernel = 3,
+                            .stride = 1,
+                            .padding = 0};
+  const conv::Conv2DSpec c2{.in_channels = 6,
+                            .in_height = 13,
+                            .in_width = 13,
+                            .kernel = 3,
+                            .stride = 1,
+                            .padding = 0};
+  Tensor h = conv_forward(x, *ps[0].value, *ps[1].value, c1);
+  h = conv::maxpool2d_forward(relu(h), 2).output;
+  h = conv_forward(h, *ps[2].value, *ps[3].value, c2);
+  h = conv::maxpool2d_forward(relu(h), 2).output;
+  h = h.reshape(Shape{1, h.size()});
+  h = relu(dense_forward(h, *ps[4].value, *ps[5].value));
+  h = dense_forward(h, *ps[6].value, *ps[7].value);
+  return h.row(0).argmax();
+}
+
+}  // namespace seed_ref
+
+/// The seed's corrector inner loop — m sequential single-example forward
+/// passes with one shared RNG — run through `classify`, which picks the
+/// kernels. The frozen seed kernels give the speedup baseline; the live
+/// `model.classify` variant isolates how much of the win is batching alone.
+std::size_t corrector_sequential_loop(
+    const Tensor& x, std::size_t m, float radius,
+    const std::function<std::size_t(const Tensor&)>& classify) {
+  Rng rng(4242);
+  Tensor sample(x.shape());
+  std::vector<std::size_t> votes(10, 0);
+  for (std::size_t s = 0; s < m; ++s) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const float v =
+          x[i] + static_cast<float>(rng.uniform(-radius, radius));
+      sample[i] = std::clamp(v, data::kPixelMin, data::kPixelMax);
+    }
+    ++votes[classify(sample)];
+  }
+  return static_cast<std::size_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+void write_runtime_json() {
+  Env& e = Env::instance();
+  const std::size_t hw = std::max(1U, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1, 2, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                      thread_counts.end());
+
+  eval::JsonObject json;
+  json.set("bench", "runtime")
+      .set("hardware_concurrency", hw)
+      .set("default_threads", runtime::thread_count());
+
+  // Matmul GFLOP/s: a square GEMM large enough to dwarf dispatch overhead.
+  {
+    const std::size_t n = 384;
+    Rng rng(5);
+    const Tensor a = Tensor::uniform(Shape{n, n}, rng, -1.0F, 1.0F);
+    const Tensor b = Tensor::uniform(Shape{n, n}, rng, -1.0F, 1.0F);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    eval::JsonObject mm;
+    mm.set("m", n).set("k", n).set("n", n);
+    for (std::size_t t : thread_counts) {
+      runtime::set_thread_count(t);
+      const double s = timed([&] { (void)ops::matmul(a, b); });
+      mm.set("gflops_t" + std::to_string(t), flops / s / 1e9);
+      std::printf("[runtime] matmul %zux%zu t=%zu: %.2f GFLOP/s\n", n, n, t,
+                  flops / s / 1e9);
+    }
+    json.set("matmul", mm);
+  }
+
+  // Corrector: the seed's sequential loop (frozen seed kernels) vs the same
+  // loop on today's kernels vs the batched parallel path.
+  {
+    const std::size_t m = e.corrector.config().samples;
+    const auto params = e.wb.model.params();
+    const std::size_t live = e.wb.model.classify(e.example);
+    const std::size_t frozen = seed_ref::classify_mnist(params, e.example);
+    if (live != frozen) {
+      std::printf("[runtime] WARNING: frozen seed forward disagrees with the "
+                  "live model (%zu vs %zu)\n", frozen, live);
+    }
+    eval::JsonObject corr;
+    corr.set("samples", m).set("radius", 0.3);
+    runtime::set_thread_count(1);
+    const double base_s = timed([&] {
+      benchmark::DoNotOptimize(corrector_sequential_loop(
+          e.example, m, 0.3F,
+          [&](const Tensor& s) { return seed_ref::classify_mnist(params, s); }));
+    });
+    const double live_loop_s = timed([&] {
+      benchmark::DoNotOptimize(corrector_sequential_loop(
+          e.example, m, 0.3F,
+          [&](const Tensor& s) { return e.wb.model.classify(s); }));
+    });
+    corr.set("seed_single_example_loop_s", base_s)
+        .set("seed_samples_per_sec", static_cast<double>(m) / base_s)
+        .set("current_kernels_loop_s", live_loop_s)
+        .set("kernel_only_speedup", base_s / live_loop_s);
+    std::printf("[runtime] corrector seed baseline (frozen kernels): %.4fs "
+                "(%.0f samples/s)\n",
+                base_s, static_cast<double>(m) / base_s);
+    std::printf("[runtime] corrector sequential loop, current kernels: %.4fs "
+                "(%.2fx vs seed)\n",
+                live_loop_s, base_s / live_loop_s);
+    for (std::size_t t : thread_counts) {
+      runtime::set_thread_count(t);
+      const double s =
+          timed([&] { benchmark::DoNotOptimize(e.corrector.correct(e.example)); });
+      corr.set("batched_t" + std::to_string(t) + "_s", s)
+          .set("samples_per_sec_t" + std::to_string(t),
+               static_cast<double>(m) / s)
+          .set("speedup_t" + std::to_string(t) + "_vs_seed", base_s / s);
+      std::printf(
+          "[runtime] corrector batched t=%zu: %.4fs (%.0f samples/s, %.2fx "
+          "vs seed)\n",
+          t, s, static_cast<double>(m) / s, base_s / s);
+    }
+    json.set("corrector", corr);
+  }
+
+  // RC m=1000 (the paper's heavy path) on the batched pipeline.
+  {
+    eval::JsonObject rcj;
+    rcj.set("samples", std::size_t{1000});
+    for (std::size_t t : thread_counts) {
+      runtime::set_thread_count(t);
+      const double s =
+          timed([&] { benchmark::DoNotOptimize(e.rc.classify(e.example)); });
+      rcj.set("batched_t" + std::to_string(t) + "_s", s);
+      std::printf("[runtime] RC m=1000 batched t=%zu: %.4fs\n", t, s);
+    }
+    json.set("region_classifier", rcj);
+  }
+
+  runtime::set_thread_count(std::max<std::size_t>(1, hw));
+  eval::write_json_file("BENCH_runtime.json", json);
+  std::printf("[runtime] wrote BENCH_runtime.json\n\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_runtime_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,10 +11,20 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "eval/bench_json.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
-void run_domain(bool mnist) {
+/// Accuracy of a predicted-label vector against the dataset labels.
+double batch_accuracy(const dcn::data::Dataset& ds,
+                      const std::vector<std::size_t>& pred) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) hits += pred[i] == ds.labels[i];
+  return static_cast<double>(hits) / static_cast<double>(ds.size());
+}
+
+void run_domain(bool mnist, dcn::eval::JsonObject& json) {
   using namespace dcn;
   const bench::DomainParams params =
       mnist ? bench::mnist_params() : bench::cifar_params();
@@ -76,13 +86,47 @@ void run_domain(bool mnist) {
     const double acc = data::accuracy(ds, cls);
     entries.push_back({name, acc, t.seconds(), ds.size()});
   };
-  measure("Standard", eval_set,
-          [&](const Tensor& x) { return wb.model.classify(x); });
+  // Standard DNN and DCN go through the batched runtime; RC is per-example
+  // outside but batch-parallel inside each m=1000 region vote.
+  {
+    eval::Timer t;
+    const double acc =
+        batch_accuracy(eval_set, wb.model.classify_batch(eval_set.images));
+    entries.push_back({"Standard", acc, t.seconds(), eval_set.size()});
+  }
   measure("Distillation", eval_set,
           [&](const Tensor& x) { return distilled.classify(x); });
   measure("RC (m=1000)", rc_set,
           [&](const Tensor& x) { return rc.classify(x); });
-  measure("DCN", eval_set, [&](const Tensor& x) { return dcn.classify(x); });
+  {
+    eval::Timer t;
+    const double acc = batch_accuracy(eval_set, dcn.predict(eval_set.images));
+    entries.push_back({"DCN", acc, t.seconds(), eval_set.size()});
+  }
+
+  // Per-thread wall-clock of the DCN batch path for the perf trajectory.
+  eval::JsonObject domain;
+  domain.set("examples", eval_set.size());
+  double t1 = 0.0;
+  std::vector<std::size_t> thread_counts{1};
+  if (runtime::thread_count() > 1) thread_counts.push_back(runtime::thread_count());
+  for (std::size_t threads : thread_counts) {
+    runtime::set_thread_count(threads);
+    eval::Timer t;
+    (void)dcn.predict(eval_set.images);
+    const double s = t.seconds();
+    domain.set("dcn_batch_t" + std::to_string(threads) + "_s", s);
+    if (threads == 1) {
+      t1 = s;
+    } else {
+      domain.set("dcn_speedup_t" + std::to_string(threads), t1 / s);
+    }
+  }
+  for (const auto& e : entries) {
+    domain.set(e.name + "_accuracy", e.accuracy)
+        .set(e.name + "_seconds", e.seconds);
+  }
+  json.set(params.name, domain);
 
   eval::Table table(std::string("Table 3 (") + params.name +
                     "): benign accuracy and running time");
@@ -104,7 +148,12 @@ void run_domain(bool mnist) {
 int main() {
   std::printf("=== Table 3: classification accuracy on benign examples ===\n");
   std::printf("paper shape: DCN == Standard accuracy; RC ~1000x slower\n\n");
-  run_domain(true);
-  run_domain(false);
+  dcn::eval::JsonObject json;
+  json.set("bench", "table3")
+      .set("default_threads", dcn::runtime::thread_count());
+  run_domain(true, json);
+  run_domain(false, json);
+  dcn::eval::write_json_file("BENCH_table3.json", json);
+  std::printf("wrote BENCH_table3.json\n");
   return 0;
 }

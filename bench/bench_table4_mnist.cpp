@@ -21,6 +21,7 @@ int main() {
                         .sources = 6,
                         .train_count = 1500,
                         .test_count = 300,
-                        .detector_sources = 14});
+                        .detector_sources = 14,
+                        .json_path = "BENCH_table4.json"});
   return 0;
 }

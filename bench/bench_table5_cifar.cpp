@@ -22,6 +22,7 @@ int main() {
                         .sources = 4,
                         .train_count = 1200,
                         .test_count = 200,
-                        .detector_sources = 10});
+                        .detector_sources = 10,
+                        .json_path = "BENCH_table5.json"});
   return 0;
 }

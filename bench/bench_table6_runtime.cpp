@@ -12,6 +12,8 @@
 
 #include "attacks/cw_l2.hpp"
 #include "common.hpp"
+#include "eval/bench_json.hpp"
+#include "runtime/thread_pool.hpp"
 
 int main() {
   using namespace dcn;
@@ -69,8 +71,11 @@ int main() {
       inputs.push_back(wb.test_set.example((14 + i) % wb.test_set.size()));
     }
 
+    // DCN takes the whole mix through the batch entry point; RC stays
+    // per-example outside (its m=1000 region vote is batch-parallel inside).
+    const Tensor input_batch = Tensor::stack(inputs);
     eval::Timer t;
-    for (const Tensor& x : inputs) (void)dcn.classify(x);
+    (void)dcn.predict(input_batch);
     const double dcn_s = t.seconds();
     t.reset();
     for (const Tensor& x : inputs) (void)rc.classify(x);
@@ -101,5 +106,40 @@ int main() {
               (rc_times.back() - rc_times.front()) /
                   std::max(rc_times.front(), 1e-9) * 100.0,
               rc_times.front() / std::max(dcn_times.front(), 1e-9));
+
+  // Per-thread wall-clock of the all-adversarial mix (the corrector-heavy
+  // workload the runtime layer exists for).
+  {
+    std::vector<Tensor> worst;
+    for (std::size_t i = 0; i < total_inputs; ++i) {
+      worst.push_back(adv_pool[i % adv_pool.size()]);
+    }
+    const Tensor worst_batch = Tensor::stack(worst);
+    eval::JsonObject json;
+    json.set("bench", "table6").set("inputs", total_inputs);
+    json.set("mix_percent", std::vector<double>(mixes.begin(), mixes.end()));
+    json.set("dcn_seconds", dcn_times).set("rc_seconds", rc_times);
+    std::vector<std::size_t> thread_counts{1};
+    if (runtime::thread_count() > 1) {
+      thread_counts.push_back(runtime::thread_count());
+    }
+    double t1 = 0.0;
+    for (std::size_t threads : thread_counts) {
+      runtime::set_thread_count(threads);
+      eval::Timer t;
+      (void)dcn.predict(worst_batch);
+      const double s = t.seconds();
+      json.set("dcn_adv100_t" + std::to_string(threads) + "_s", s);
+      std::printf("[runtime] 100%% adversarial batch t=%zu: %.2fs\n", threads,
+                  s);
+      if (threads == 1) {
+        t1 = s;
+      } else {
+        json.set("dcn_adv100_speedup_t" + std::to_string(threads), t1 / s);
+      }
+    }
+    eval::write_json_file("BENCH_table6.json", json);
+    std::printf("wrote BENCH_table6.json\n");
+  }
   return 0;
 }

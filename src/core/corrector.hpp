@@ -1,6 +1,14 @@
 // The paper's corrector (Sec. 4): region-based majority vote with the
 // improved parameters — same hypercube radius r as RC but only m = 50
 // samples, which Fig. 4 shows loses no accuracy while cutting cost ~20x.
+//
+// Runtime: all m perturbed samples are generated into one [m, d...] batch
+// and classified through Sequential::classify_batch, which partitions the
+// batch across the runtime thread pool. Sampling draws from the corrector's
+// own sequential RNG stream (sample-major, element-minor — the exact draw
+// order of the original single-example loop, so votes reproduce it bit for
+// bit), and generation costs ~1% of the inference it feeds, so it stays
+// serial. The vote histogram is bit-identical at any DCN_THREADS value.
 #pragma once
 
 #include "nn/sequential.hpp"
@@ -14,6 +22,13 @@ struct CorrectorConfig {
   std::uint64_t seed = 4242;
   bool clip_to_box = true;
 };
+
+/// Fill a [m, d...] batch with hypercube samples around x, drawing serially
+/// from `rng` in sample-major, element-minor order (advancing its state, so
+/// successive calls continue the stream like the original sequential loop).
+/// Shared by the corrector, RC, and the soft-vote corrector.
+Tensor sample_region_batch(const Tensor& x, std::size_t m, float radius,
+                           Rng& rng, bool clip_to_box);
 
 class Corrector {
  public:
@@ -31,6 +46,7 @@ class Corrector {
   nn::Sequential* model_;
   CorrectorConfig config_;
   Rng rng_;
+  std::size_t num_classes_ = 0;  // resolved from layer metadata on first use
 };
 
 }  // namespace dcn::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/corrector.hpp"
 #include "data/transforms.hpp"
 #include "tensor/ops.hpp"
 
@@ -13,25 +14,16 @@ SoftVoteCorrector::SoftVoteCorrector(nn::Sequential& model,
     : model_(&model), config_(config), rng_(config.seed) {}
 
 Tensor SoftVoteCorrector::mean_distribution(const Tensor& x) {
-  Tensor sample(x.shape());
-  Tensor mean;
-  for (std::size_t s = 0; s < config_.samples; ++s) {
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      float v = x[i] + static_cast<float>(rng_.uniform(-config_.radius,
-                                                       config_.radius));
-      if (config_.clip_to_box) {
-        v = std::clamp(v, data::kPixelMin, data::kPixelMax);
-      }
-      sample[i] = v;
-    }
-    const Tensor p = model_->probabilities(sample);
-    if (mean.size() != p.size()) {
-      mean = p;
-    } else {
-      mean += p;
-    }
+  const Tensor batch = sample_region_batch(x, config_.samples, config_.radius,
+                                           rng_, config_.clip_to_box);
+  const Tensor probs = ops::softmax(model_->logits_batch(batch));  // [m, k]
+  const std::size_t m = probs.dim(0), k = probs.dim(1);
+  // Fixed row-order reduction keeps the mean identical at any thread count.
+  Tensor mean(Shape{k});
+  for (std::size_t s = 0; s < m; ++s) {
+    for (std::size_t j = 0; j < k; ++j) mean[j] += probs(s, j);
   }
-  mean /= static_cast<float>(config_.samples);
+  mean /= static_cast<float>(m);
   return mean;
 }
 

@@ -21,4 +21,20 @@ Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
 
 std::size_t Dcn::classify(const Tensor& x) { return classify_verbose(x).label; }
 
+std::vector<std::size_t> Dcn::predict(const Tensor& batch) {
+  const Tensor logits = model_->logits_batch(batch);  // [N, k]
+  const std::size_t n = logits.dim(0);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor row = logits.row(i);
+    if (detector_->is_adversarial(row)) {
+      ++corrector_activations_;
+      labels[i] = corrector_->correct(batch.row(i));
+    } else {
+      labels[i] = row.argmax();
+    }
+  }
+  return labels;
+}
+
 }  // namespace dcn::core

@@ -20,6 +20,13 @@ class Dcn final : public defenses::Classifier {
   /// The DCN decision procedure.
   std::size_t classify(const Tensor& x) override;
 
+  /// Batched DCN decision procedure for a [N, d...] batch: one batched
+  /// forward pass produces all logits (partitioned across the runtime
+  /// thread pool), the detector screens each row, and only flagged rows pay
+  /// the corrector's region vote. Results are identical to calling
+  /// classify() per example, at any DCN_THREADS value.
+  std::vector<std::size_t> predict(const Tensor& batch);
+
   [[nodiscard]] std::string name() const override { return "DCN"; }
 
   /// Diagnostic variant that also reports which path the input took.

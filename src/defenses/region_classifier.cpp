@@ -1,8 +1,9 @@
 #include "defenses/region_classifier.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
-#include "data/transforms.hpp"
+#include "core/corrector.hpp"
 
 namespace dcn::defenses {
 
@@ -10,19 +11,24 @@ RegionClassifier::RegionClassifier(nn::Sequential& model, RegionConfig config)
     : model_(&model), config_(config), rng_(config.seed) {}
 
 std::vector<std::size_t> RegionClassifier::vote_histogram(const Tensor& x) {
-  const std::size_t k = model_->logits(x).size();
-  std::vector<std::size_t> votes(k, 0);
-  Tensor sample(x.shape());
-  for (std::size_t s = 0; s < config_.samples; ++s) {
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      float v = x[i] + static_cast<float>(rng_.uniform(-config_.radius,
-                                                       config_.radius));
-      if (config_.clip_to_box) {
-        v = std::clamp(v, data::kPixelMin, data::kPixelMax);
-      }
-      sample[i] = v;
+  if (num_classes_ == 0) {
+    std::vector<std::size_t> dims{1};
+    for (std::size_t d : x.shape().dims()) dims.push_back(d);
+    const Shape out = model_->output_shape(Shape(dims));
+    if (out.rank() != 2) {
+      throw std::logic_error("RegionClassifier: model output is not [N, k]");
     }
-    ++votes[model_->classify(sample)];
+    num_classes_ = out.dim(1);
+  }
+  std::vector<std::size_t> votes(num_classes_, 0);
+  if (config_.samples == 0) return votes;
+  const Tensor batch = core::sample_region_batch(
+      x, config_.samples, config_.radius, rng_, config_.clip_to_box);
+  for (std::size_t label : model_->classify_batch(batch)) {
+    if (label >= votes.size()) {
+      throw std::logic_error("RegionClassifier: label out of range");
+    }
+    ++votes[label];
   }
   return votes;
 }

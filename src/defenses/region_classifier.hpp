@@ -2,6 +2,10 @@
 // vote of the DNN over m points sampled uniformly in the hypercube of radius
 // r centered at the input. The paper's baseline uses m = 1000; DCN's
 // corrector reuses this machinery with m = 50.
+//
+// Runtime: the m samples are generated into one batch from the classifier's
+// sequential RNG stream and classified via the parallel batch path — see
+// core::sample_region_batch.
 #pragma once
 
 #include "defenses/classifier.hpp"
@@ -32,6 +36,7 @@ class RegionClassifier final : public Classifier {
   nn::Sequential* model_;
   RegionConfig config_;
   Rng rng_;
+  std::size_t num_classes_ = 0;  // resolved from layer metadata on first use
 };
 
 }  // namespace dcn::defenses

@@ -1,0 +1,114 @@
+#include "eval/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace dcn::eval {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  entries_.emplace_back(key, number(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::size_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, int value) {
+  entries_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  entries_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + escape(value) + "\"");
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const JsonObject& value) {
+  entries_.emplace_back(key, value.dump());
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key,
+                            const std::vector<double>& values) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) arr += ", ";
+    arr += number(values[i]);
+  }
+  arr += "]";
+  entries_.emplace_back(key, arr);
+  return *this;
+}
+
+std::string JsonObject::dump(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+  std::string out = "{";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    out += pad + "\"" + escape(entries_[i].first) + "\": ";
+    // Re-indent nested objects so the file stays readable.
+    const std::string& v = entries_[i].second;
+    if (!v.empty() && v.front() == '{') {
+      for (char c : v) {
+        out += c;
+        if (c == '\n') out += pad;
+      }
+    } else {
+      out += v;
+    }
+  }
+  out += "\n" + std::string(static_cast<std::size_t>(indent), ' ') + "}";
+  return out;
+}
+
+void write_json_file(const std::string& path, const JsonObject& obj) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_json_file: cannot open " + path);
+  }
+  out << obj.dump() << "\n";
+  if (!out) {
+    throw std::runtime_error("write_json_file: write failed for " + path);
+  }
+}
+
+}  // namespace dcn::eval

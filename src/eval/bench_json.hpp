@@ -1,0 +1,36 @@
+// Minimal ordered JSON emitter for bench result files (BENCH_*.json).
+//
+// Values are rendered at insertion time and kept in insertion order, which is
+// all the perf-trajectory tooling needs: flat-ish objects of numbers, strings,
+// arrays, and nested objects. Not a parser.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcn::eval {
+
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::size_t value);
+  JsonObject& set(const std::string& key, int value);
+  JsonObject& set(const std::string& key, bool value);
+  JsonObject& set(const std::string& key, const char* value);
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const JsonObject& value);
+  JsonObject& set(const std::string& key, const std::vector<double>& values);
+
+  /// Render with 2-space indentation.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Write `obj.dump()` to `path` (overwrites). Throws on I/O failure.
+void write_json_file(const std::string& path, const JsonObject& obj);
+
+}  // namespace dcn::eval

@@ -1,6 +1,8 @@
 #include "nn/activations.hpp"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 namespace dcn::nn {
@@ -16,7 +18,20 @@ void require_cache(const Tensor& cache, const char* who) {
 
 Tensor ReLU::forward(const Tensor& input, bool train) {
   if (train) cached_input_ = input;
-  return input.map([](float v) { return v > 0.0F ? v : 0.0F; });
+  // Branchless mask instead of Tensor::map: the std::function call per
+  // element and the data-dependent branch (a ~50% mispredict on activations)
+  // both cost more than the whole batched conv GEMM. The mask keeps the
+  // exact `v > 0 ? v : 0` semantics, including -0 and NaN mapping to +0.
+  Tensor out(input.shape());
+  const float* in = input.data().data();
+  float* o = out.data().data();
+  const std::size_t n = input.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = in[i];
+    const std::uint32_t keep = -static_cast<std::uint32_t>(v > 0.0F);
+    o[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(v) & keep);
+  }
+  return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace dcn::nn {
@@ -28,22 +29,32 @@ Tensor Conv2D::forward(const Tensor& input, bool train) {
     throw std::invalid_argument("Conv2D::forward: input shape mismatch " +
                                 input.shape().to_string());
   }
+  // Inference takes the whole batch through one transposed-im2col + GEMM
+  // pass (bit-identical to the per-example path, far cheaper per image).
+  // Training keeps the per-example loop because backward needs each image's
+  // [oh*ow, patch] column matrix cached.
+  if (!train) return conv::conv2d_forward_batch(input, weights_, bias_, spec_);
   const std::size_t n = input.dim(0);
   const std::size_t oh = spec_.out_height(), ow = spec_.out_width();
   Tensor out(Shape{n, out_channels_, oh, ow});
-  if (train) cached_cols_.assign(n, Tensor{});
-  for (std::size_t b = 0; b < n; ++b) {
-    Tensor cols = conv::im2col(input.row(b), spec_);  // [oh*ow, patch]
-    Tensor prod = ops::matmul_a_bt(cols, weights_);   // [oh*ow, out_c]
-    Tensor img(Shape{out_channels_, oh, ow});
-    for (std::size_t p = 0; p < oh * ow; ++p) {
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        img[c * oh * ow + p] = prod(p, c) + bias_[c];
+  cached_cols_.assign(n, Tensor{});
+  // Batch images are independent and each writes its own output row and its
+  // own cache slot, so the batch loop parallelizes cleanly; the kernels
+  // inside run inline on the workers.
+  runtime::parallel_for(0, n, 1, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      Tensor cols = conv::im2col(input.row(b), spec_);  // [oh*ow, patch]
+      Tensor prod = ops::matmul_a_bt(cols, weights_);   // [oh*ow, out_c]
+      Tensor img(Shape{out_channels_, oh, ow});
+      for (std::size_t p = 0; p < oh * ow; ++p) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          img[c * oh * ow + p] = prod(p, c) + bias_[c];
+        }
       }
+      out.set_row(b, img);
+      cached_cols_[b] = std::move(cols);
     }
-    out.set_row(b, img);
-    if (train) cached_cols_[b] = std::move(cols);
-  }
+  });
   return out;
 }
 

@@ -1,6 +1,9 @@
 #include "nn/pooling.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "runtime/thread_pool.hpp"
 
 namespace dcn::nn {
 
@@ -19,14 +22,41 @@ Tensor MaxPool2D::forward(const Tensor& input, bool train) {
   const std::size_t oh = input.dim(2) / window_;
   const std::size_t ow = input.dim(3) / window_;
   Tensor out(Shape{n, c, oh, ow});
-  if (train) {
-    cached_input_shape_ = Shape{input.dim(1), input.dim(2), input.dim(3)};
-    cached_argmax_.assign(n, {});
+  if (!train) {
+    // Inference skips the argmax bookkeeping and the per-image row copies.
+    // std::max lowers to a branchless maxss and keeps the first operand on
+    // ties, so the pooled values match the training path's strict-greater
+    // scan exactly. Planes are disjoint, so the loop parallelizes cleanly.
+    const float* src = input.data().data();
+    float* dst = out.data().data();
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    runtime::parallel_for(0, n * c, 8, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t pc = lo; pc < hi; ++pc) {
+        const float* plane = src + pc * h * w;
+        float* oplane = dst + pc * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            float best = plane[oy * window_ * w + ox * window_];
+            for (std::size_t ky = 0; ky < window_; ++ky) {
+              const float* irow = plane + (oy * window_ + ky) * w +
+                                  ox * window_;
+              for (std::size_t kx = 0; kx < window_; ++kx) {
+                best = std::max(best, irow[kx]);
+              }
+            }
+            oplane[oy * ow + ox] = best;
+          }
+        }
+      }
+    });
+    return out;
   }
+  cached_input_shape_ = Shape{input.dim(1), input.dim(2), input.dim(3)};
+  cached_argmax_.assign(n, {});
   for (std::size_t b = 0; b < n; ++b) {
     conv::PoolResult r = conv::maxpool2d_forward(input.row(b), window_);
     out.set_row(b, r.output);
-    if (train) cached_argmax_[b] = std::move(r.argmax);
+    cached_argmax_[b] = std::move(r.argmax);
   }
   return out;
 }

@@ -1,7 +1,10 @@
 #include "nn/sequential.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace dcn::nn {
@@ -64,6 +67,61 @@ std::size_t Sequential::classify(const Tensor& example) {
 
 Tensor Sequential::probabilities(const Tensor& example, float temperature) {
   return ops::softmax(logits(example), temperature);
+}
+
+Shape Sequential::output_shape(const Shape& input_shape) const {
+  Shape s = input_shape;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+Tensor Sequential::logits_batch(const Tensor& batch) {
+  if (batch.rank() < 2 || batch.dim(0) == 0) {
+    throw std::invalid_argument("Sequential::logits_batch: expected a "
+                                "non-empty [N, d...] batch, got " +
+                                batch.shape().to_string());
+  }
+  const std::size_t n = batch.dim(0);
+  const std::size_t conc = runtime::pool().concurrency();
+  // One sub-batch per available thread; a single-threaded pool (or a batch
+  // of one) takes the whole batch through one forward pass.
+  const std::size_t grain = std::max<std::size_t>(1, (n + conc - 1) / conc);
+  if (grain >= n) {
+    Tensor out = forward(batch, /*train=*/false);
+    if (out.rank() != 2 || out.dim(0) != n) {
+      throw std::logic_error(
+          "Sequential::logits_batch: model output is not [N, k]");
+    }
+    return out;
+  }
+  const std::size_t row_elems = batch.size() / n;
+  const std::size_t nchunks = (n + grain - 1) / grain;
+  std::vector<Tensor> parts(nchunks);
+  runtime::parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::size_t> dims = batch.shape().dims();
+    dims[0] = hi - lo;
+    Tensor sub{Shape(dims)};
+    std::copy(batch.data().begin() + static_cast<std::ptrdiff_t>(lo * row_elems),
+              batch.data().begin() + static_cast<std::ptrdiff_t>(hi * row_elems),
+              sub.data().begin());
+    Tensor out = forward(sub, /*train=*/false);
+    if (out.rank() != 2 || out.dim(0) != hi - lo) {
+      throw std::logic_error(
+          "Sequential::logits_batch: model output is not [N, k]");
+    }
+    parts[lo / grain] = std::move(out);
+  });
+  const std::size_t k = parts[0].dim(1);
+  Tensor out(Shape{n, k});
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    std::copy(parts[c].data().begin(), parts[c].data().end(),
+              out.data().begin() + static_cast<std::ptrdiff_t>(c * grain * k));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Sequential::classify_batch(const Tensor& batch) {
+  return ops::argmax_rows(logits_batch(batch));
 }
 
 }  // namespace dcn::nn

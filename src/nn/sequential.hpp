@@ -47,6 +47,10 @@ class Sequential {
   /// Count of scalar trainable parameters.
   [[nodiscard]] std::size_t parameter_count();
 
+  /// Output shape for a given input shape (batch axis included), derived
+  /// from layer metadata without running a forward pass.
+  [[nodiscard]] Shape output_shape(const Shape& input_shape) const;
+
   // ---- Single-example inference helpers ------------------------------------
   /// Logits for one example (input without the batch axis).
   Tensor logits(const Tensor& example);
@@ -56,6 +60,19 @@ class Sequential {
 
   /// Softmax probabilities for one example (optionally at temperature T).
   Tensor probabilities(const Tensor& example, float temperature = 1.0F);
+
+  // ---- Batched inference ---------------------------------------------------
+  // Inference-mode layers are pure with respect to layer state (no caching,
+  // no running-stat updates), so the batch is partitioned into contiguous
+  // sub-batches that flow through the network concurrently on the runtime
+  // thread pool. Per-example results are independent of the partition, so
+  // output is identical at any DCN_THREADS value.
+
+  /// Logits for a [N, d...] batch -> [N, k]. N must be > 0.
+  Tensor logits_batch(const Tensor& batch);
+
+  /// Predicted class labels for a [N, d...] batch.
+  std::vector<std::size_t> classify_batch(const Tensor& batch);
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

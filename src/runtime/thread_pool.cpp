@@ -1,0 +1,162 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+
+namespace dcn::runtime {
+
+namespace {
+
+// True on threads that belong to some ThreadPool; nested parallel_for calls
+// from such threads run inline instead of re-entering the queue (which could
+// otherwise deadlock: every worker waiting on chunks only workers can run).
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads <= 1 ? 0 : threads - 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  const std::size_t nchunks = (count + grain - 1) / grain;
+  // Serial fast path: no workers, a single chunk, or a nested call from
+  // inside a worker (parallelism stays at the outermost loop).
+  if (workers_.empty() || nchunks == 1 || tls_in_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  // Shared chunk cursor: caller and workers claim chunks until exhausted.
+  struct Job {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t begin, grain, end, nchunks;
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->grain = grain;
+  job->end = end;
+  job->nchunks = nchunks;
+  job->fn = &fn;
+
+  auto drain = [](const std::shared_ptr<Job>& j) {
+    for (;;) {
+      const std::size_t c = j->next.fetch_add(1);
+      if (c >= j->nchunks) break;
+      const std::size_t lo = j->begin + c * j->grain;
+      const std::size_t hi = std::min(j->end, lo + j->grain);
+      try {
+        (*j->fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(j->mutex);
+        if (!j->error) j->error = std::current_exception();
+      }
+      if (j->done.fetch_add(1) + 1 == j->nchunks) {
+        std::lock_guard<std::mutex> lock(j->mutex);
+        j->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker is enough: each loops the cursor dry.
+  const std::size_t helpers = std::min(workers_.size(), nchunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.emplace([job, drain] { drain(job); });
+    }
+  }
+  cv_.notify_all();
+
+  drain(job);
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->cv.wait(lock, [&] { return job->done.load() == job->nchunks; });
+    if (job->error) std::rethrow_exception(job->error);
+  }
+}
+
+namespace {
+
+std::size_t env_thread_count() {
+  if (const char* env = std::getenv("DCN_THREADS")) {
+    char* endp = nullptr;
+    const long v = std::strtol(env, &endp, 10);
+    if (endp != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::unique_ptr<ThreadPool> g_pool;        // guarded by g_pool_mutex
+std::size_t g_threads = 0;                 // 0 = not yet configured
+std::mutex g_pool_mutex;
+
+}  // namespace
+
+ThreadPool& pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    if (g_threads == 0) g_threads = env_thread_count();
+    g_pool = std::make_unique<ThreadPool>(g_threads);
+  }
+  return *g_pool;
+}
+
+std::size_t thread_count() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_threads == 0) g_threads = env_thread_count();
+  return g_threads;
+}
+
+void set_thread_count(std::size_t threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("set_thread_count: threads must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_threads = threads;
+  g_pool.reset();  // next pool() call rebuilds at the new size
+}
+
+}  // namespace dcn::runtime

@@ -1,0 +1,80 @@
+// Shared parallel runtime for the hot inference paths.
+//
+// A fixed pool of worker threads plus a chunked parallel_for. The pool is
+// deliberately simple — no work stealing, no futures — because every hot
+// loop in the library (GEMM rows, im2col patches, batched forward passes,
+// corrector region samples) is a balanced index range that chunks well.
+//
+// Determinism contract: parallel_for only partitions an index range; the
+// work done for index i is identical at any thread count, and callers only
+// write to disjoint per-index (or per-chunk) destinations. Nothing in the
+// runtime reorders floating-point accumulation, so results are bit-identical
+// whether DCN_THREADS is 1 or 64.
+//
+// Sizing: the global pool reads the DCN_THREADS environment variable once
+// (default: std::thread::hardware_concurrency()). Tests and benches may
+// resize it at a safe point via set_thread_count().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dcn::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 and 1 both mean "run everything inline".
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 when the pool is inline-only).
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Degree of parallelism parallel_for can exploit (>= 1; the calling
+  /// thread always participates).
+  [[nodiscard]] std::size_t concurrency() const { return size() + 1; }
+
+  /// Apply fn(chunk_begin, chunk_end) over [begin, end) split into chunks of
+  /// at most `grain` indices. The calling thread participates; chunks are
+  /// claimed from an atomic cursor so balance is automatic. Blocks until the
+  /// whole range is done. Exceptions from fn are rethrown on the caller
+  /// (first one wins). Nested calls from inside a worker run inline —
+  /// parallelism is applied at the outermost level only.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool, lazily constructed from DCN_THREADS.
+ThreadPool& pool();
+
+/// Worker count the global pool was (or will be) built with.
+std::size_t thread_count();
+
+/// Rebuild the global pool with `threads` workers (1 = serial). Not safe
+/// while a parallel_for is in flight; intended for tests and benches.
+void set_thread_count(std::size_t threads);
+
+/// Convenience wrapper over pool().parallel_for.
+inline void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  pool().parallel_for(begin, end, grain, fn);
+}
+
+}  // namespace dcn::runtime

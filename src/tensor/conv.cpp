@@ -1,8 +1,11 @@
 #include "tensor/conv.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <vector>
 
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace dcn::conv {
@@ -31,7 +34,10 @@ Tensor im2col(const Tensor& image, const Conv2DSpec& spec) {
   const float* src = image.data().data();
   float* dst = cols.data().data();
   const std::size_t hw = spec.in_height * spec.in_width;
-  for (std::size_t oy = 0; oy < oh; ++oy) {
+  // Each output row oy owns a disjoint [ow, patch] slice of `cols`, so the
+  // gather parallelizes over rows with no shared writes.
+  runtime::parallel_for(0, oh, 4, [&](std::size_t oy0, std::size_t oy1) {
+  for (std::size_t oy = oy0; oy < oy1; ++oy) {
     for (std::size_t ox = 0; ox < ow; ++ox) {
       float* prow = dst + (oy * ow + ox) * patch;
       std::size_t idx = 0;
@@ -58,6 +64,7 @@ Tensor im2col(const Tensor& image, const Conv2DSpec& spec) {
       }
     }
   }
+  });
   return cols;
 }
 
@@ -121,6 +128,139 @@ Tensor conv2d_forward(const Tensor& image, const Tensor& weights,
       out[c * oh * ow + p] = prod(p, c) + bias[c];
     }
   }
+  return out;
+}
+
+Tensor conv2d_forward_batch(const Tensor& batch, const Tensor& weights,
+                            const Tensor& bias, const Conv2DSpec& spec) {
+  if (batch.rank() != 4 || batch.dim(1) != spec.in_channels ||
+      batch.dim(2) != spec.in_height || batch.dim(3) != spec.in_width) {
+    throw std::invalid_argument("conv2d_forward_batch: batch shape " +
+                                batch.shape().to_string() +
+                                " does not match spec [" +
+                                std::to_string(spec.in_channels) + ", " +
+                                std::to_string(spec.in_height) + ", " +
+                                std::to_string(spec.in_width) + "]");
+  }
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  if (weights.rank() != 2 || weights.dim(1) != patch) {
+    throw std::invalid_argument(
+        "conv2d_forward_batch: weights shape mismatch " +
+        weights.shape().to_string());
+  }
+  const std::size_t out_c = weights.dim(0);
+  if (bias.size() != out_c) {
+    throw std::invalid_argument("conv2d_forward_batch: bias size mismatch");
+  }
+  const std::size_t n = batch.dim(0);
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  const std::size_t np = n * oh * ow;
+  Tensor out(Shape{n, out_c, oh, ow});
+  if (np == 0) return out;
+
+  // Transposed patch matrix: row r = (c, ky, kx), column (b * oh + oy) * ow
+  // + ox. Row-major columns make the GEMM inner loop one long contiguous
+  // stream, and for stride 1 each (b, oy) segment is a straight copy of an
+  // input row with the clipped padding edges zero-filled. Patch rows are
+  // disjoint, so they parallelize with no shared writes.
+  Tensor cols_t(Shape{patch, np});
+  const float* src = batch.data().data();
+  float* dst = cols_t.data().data();
+  const std::size_t hw = spec.in_height * spec.in_width;
+  const std::size_t chw = spec.in_channels * hw;
+  runtime::parallel_for(0, patch, 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t c = r / (spec.kernel * spec.kernel);
+      const std::size_t ky = (r / spec.kernel) % spec.kernel;
+      const std::size_t kx = r % spec.kernel;
+      float* row = dst + r * np;
+      for (std::size_t b = 0; b < n; ++b) {
+        const float* plane = src + b * chw + c * hw;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          float* seg = row + (b * oh + oy) * ow;
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+              static_cast<std::ptrdiff_t>(spec.padding);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(spec.in_height)) {
+            std::fill(seg, seg + ow, 0.0F);
+            continue;
+          }
+          const float* irow =
+              plane + static_cast<std::size_t>(iy) * spec.in_width;
+          if (spec.stride == 1) {
+            // ix = ox + kx - padding must land in [0, in_width).
+            const std::ptrdiff_t shift =
+                static_cast<std::ptrdiff_t>(kx) -
+                static_cast<std::ptrdiff_t>(spec.padding);
+            const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, -shift);
+            const std::ptrdiff_t hi = std::clamp<std::ptrdiff_t>(
+                static_cast<std::ptrdiff_t>(spec.in_width) - shift, lo,
+                static_cast<std::ptrdiff_t>(ow));
+            std::fill(seg, seg + lo, 0.0F);
+            std::copy(irow + lo + shift, irow + hi + shift, seg + lo);
+            std::fill(seg + hi, seg + ow, 0.0F);
+          } else {
+            for (std::size_t ox = 0; ox < ow; ++ox) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                  static_cast<std::ptrdiff_t>(spec.padding);
+              seg[ox] =
+                  (ix < 0 || ix >= static_cast<std::ptrdiff_t>(spec.in_width))
+                      ? 0.0F
+                      : irow[ix];
+            }
+          }
+        }
+      }
+    }
+  });
+
+  // GEMM: out[b, oc] = W[oc] . patches + bias, computed per (channel,
+  // column-tile) task. The double scratch tile (16 KB) stays L1-resident
+  // while the p loop streams over it, and each output element accumulates
+  // over p in ascending order — the same operation sequence as
+  // matmul_a_bt's dot products, so the batched path is bit-identical to the
+  // per-example one. Tasks own disjoint output elements and each element is
+  // computed entirely inside one task, so neither the tiling nor the
+  // partitioning can change any accumulation order.
+  constexpr std::size_t kJt = 2048;
+  const float* w = weights.data().data();
+  float* po = out.data().data();
+  const std::size_t ohw = oh * ow;
+  const std::size_t ntiles = (np + kJt - 1) / kJt;
+  runtime::parallel_for(0, out_c * ntiles, 1, [&](std::size_t t0,
+                                                  std::size_t t1) {
+    std::vector<double> acc(std::min(np, kJt));
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t oc = t / ntiles;
+      const std::size_t j0 = (t % ntiles) * kJt;
+      const std::size_t j1 = std::min(np, j0 + kJt);
+      const std::size_t len = j1 - j0;
+      std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(len),
+                0.0);
+      const float* wrow = w + oc * patch;
+      for (std::size_t p = 0; p < patch; ++p) {
+        const double wv = wrow[p];
+        const float* crow = dst + p * np + j0;
+        for (std::size_t jj = 0; jj < len; ++jj) {
+          acc[jj] += static_cast<double>(crow[jj]) * wv;
+        }
+      }
+      // Columns j map to out[j / ohw, oc, j % ohw]; write back per image run.
+      const float bv = bias[oc];
+      std::size_t j = j0;
+      while (j < j1) {
+        const std::size_t b = j / ohw, q = j % ohw;
+        const std::size_t run = std::min(j1, (b + 1) * ohw) - j;
+        float* orow = po + (b * out_c + oc) * ohw + q;
+        const double* arow = acc.data() + (j - j0);
+        for (std::size_t r = 0; r < run; ++r) {
+          orow[r] = static_cast<float>(arow[r]) + bv;
+        }
+        j += run;
+      }
+    }
+  });
   return out;
 }
 

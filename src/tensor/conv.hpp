@@ -42,6 +42,14 @@ Tensor col2im(const Tensor& cols, const Conv2DSpec& spec);
 Tensor conv2d_forward(const Tensor& image, const Tensor& weights,
                       const Tensor& bias, const Conv2DSpec& spec);
 
+/// Forward conv for a whole [N, C, H, W] batch in one transposed-im2col +
+/// GEMM pass. Returns [N, out_c, out_h, out_w]. Every output element
+/// accumulates its patch dot product over the patch index in ascending order
+/// in double, so the result is bit-identical to calling conv2d_forward per
+/// image — and to itself at any DCN_THREADS value.
+Tensor conv2d_forward_batch(const Tensor& batch, const Tensor& weights,
+                            const Tensor& bias, const Conv2DSpec& spec);
+
 /// Max-pool window geometry result for one [C, H, W] image.
 struct PoolResult {
   Tensor output;                     // [C, out_h, out_w]

@@ -1,7 +1,11 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
 
 namespace dcn::ops {
 
@@ -12,6 +16,21 @@ void require_rank2(const Tensor& t, const char* who) {
     throw std::invalid_argument(std::string(who) + ": expected rank-2, got " +
                                 t.shape().to_string());
   }
+}
+
+// Cache-block sizes for the GEMM kernels. kKc panels of the shared dimension
+// stay resident in L1/L2 while a row block streams through; kJc keeps the C
+// row segment and B panel columns together. Fixed constants (never derived
+// from the thread count) so blocking does not perturb accumulation order
+// between runs at different DCN_THREADS values.
+constexpr std::size_t kKc = 256;
+constexpr std::size_t kJc = 1024;
+
+// Row-block grain for parallel GEMM: enough rows per chunk to amortize
+// dispatch, few enough to balance across the pool.
+std::size_t row_grain(std::size_t rows) {
+  const std::size_t conc = runtime::pool().concurrency();
+  return std::max<std::size_t>(8, (rows + 2 * conc - 1) / (2 * conc));
 }
 
 }  // namespace
@@ -30,15 +49,29 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = pa[i * k + p];
-      if (av == 0.0F) continue;
-      const float* brow = pb + p * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // Row-parallel blocked ikj kernel: each chunk owns a disjoint slice of C
+  // rows, so threads never share an output element and the per-element
+  // accumulation order (p ascending within each k-panel, panels ascending)
+  // is identical at any thread count.
+  runtime::parallel_for(0, m, row_grain(m), [&](std::size_t i0,
+                                                std::size_t i1) {
+    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::size_t p1 = std::min(k, p0 + kKc);
+      for (std::size_t j0 = 0; j0 < n; j0 += kJc) {
+        const std::size_t j1 = std::min(n, j0 + kJc);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* arow = pa + i * k;
+          float* crow = pc + i * n;
+          for (std::size_t p = p0; p < p1; ++p) {
+            const float av = arow[p];
+            if (av == 0.0F) continue;
+            const float* brow = pb + p * n;
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -54,16 +87,25 @@ Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * m;
-    const float* brow = pb + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0F) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  // C rows are partitioned across the pool; within a row block the p loop
+  // stays outermost so A and B stream row-major, and a[p, i] accesses land in
+  // the same cache lines for the whole i block.
+  runtime::parallel_for(0, m, row_grain(m), [&](std::size_t i0,
+                                                std::size_t i1) {
+    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::size_t p1 = std::min(k, p0 + kKc);
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float* arow = pa + p * m;
+        const float* brow = pb + p * n;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float av = arow[i];
+          if (av == 0.0F) continue;
+          float* crow = pc + i * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -79,15 +121,56 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double acc = 0.0;
-      for (std::size_t p = 0; p < k; ++p) acc += double(arow[p]) * brow[p];
-      pc[i * n + j] = static_cast<float>(acc);
-    }
+  // Wide row blocks amortize a one-off transpose of B; the dot products then
+  // become rank-1 updates on a double scratch row, streaming both operands
+  // contiguously with a vectorizable inner loop. Each output element still
+  // accumulates over p in ascending order in double, so the result is
+  // bit-identical to the narrow path below.
+  if (m >= 8 && n > 1) {
+    std::vector<float> bt(k * n);
+    runtime::parallel_for(0, k, 64, [&](std::size_t p0, std::size_t p1) {
+      for (std::size_t p = p0; p < p1; ++p) {
+        for (std::size_t j = 0; j < n; ++j) bt[p * n + j] = pb[j * k + p];
+      }
+    });
+    runtime::parallel_for(0, m, row_grain(m), [&](std::size_t i0,
+                                                  std::size_t i1) {
+      std::vector<double> acc(n);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = pa + i * k;
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (std::size_t p = 0; p < k; ++p) {
+          const double av = arow[p];
+          const float* brow = bt.data() + p * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            acc[j] += av * static_cast<double>(brow[j]);
+          }
+        }
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] = static_cast<float>(acc[j]);
+        }
+      }
+    });
+    return c;
   }
+  // Both operands are traversed contiguously (dot of row i of A with row j of
+  // B); blocking j keeps a panel of B rows hot while arow streams from L1.
+  runtime::parallel_for(0, m, row_grain(m), [&](std::size_t i0,
+                                                std::size_t i1) {
+    for (std::size_t j0 = 0; j0 < n; j0 += kJc) {
+      const std::size_t j1 = std::min(n, j0 + kJc);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* arow = pa + i * k;
+        for (std::size_t j = j0; j < j1; ++j) {
+          const float* brow = pb + j * k;
+          double acc = 0.0;
+          for (std::size_t p = 0; p < k; ++p) acc += double(arow[p]) * brow[p];
+          pc[i * n + j] = static_cast<float>(acc);
+        }
+      }
+    }
+  });
   return c;
 }
 
