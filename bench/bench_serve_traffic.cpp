@@ -1,0 +1,170 @@
+// Serving under Table 6's mixed benign/adversarial traffic model.
+//
+// Table 6 times offline batches; a deployment sees *concurrent single-image
+// requests*. This bench replays the same benign:adversarial mixes through
+// the micro-batching DcnServer at several arrival rates and reports what an
+// operator would watch: detector-positive rate, corrector activations,
+// batch-size shape, and p50/p95/p99 end-to-end latency per request.
+//
+// Expected shape (the paper's deployment story, Sec. 5): benign-only
+// traffic pays ~detector-only latency regardless of rate; latency grows
+// with the adversarial share because flagged requests gate in the
+// corrector's region vote; the flush mix shifts timer->full as the arrival
+// rate approaches service capacity.
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "attacks/cw_l2.hpp"
+#include "common.hpp"
+#include "eval/bench_json.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace dcn;
+
+struct CellResult {
+  serve::ServerMetrics::Snapshot metrics;
+  eval::JsonObject json;
+  double wall_seconds = 0.0;
+};
+
+/// Replay `requests` through a fresh server at a fixed arrival rate
+/// (rate_rps == 0 means an open-loop burst: submit as fast as possible).
+CellResult run_cell(core::Dcn& dcn, const std::vector<Tensor>& requests,
+                    double rate_rps, const serve::ServerConfig& config) {
+  serve::DcnServer server(dcn, config);
+  std::vector<std::future<serve::ServeResult>> futures;
+  futures.reserve(requests.size());
+  eval::Timer wall;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (rate_rps > 0.0) {
+      // Deterministic uniform interarrival schedule (absolute deadlines so
+      // submit-side jitter does not accumulate).
+      std::this_thread::sleep_until(
+          start + std::chrono::duration<double>(static_cast<double>(i) /
+                                                rate_rps));
+    }
+    futures.push_back(server.submit(requests[i]));
+  }
+  for (auto& f : futures) (void)f.get();
+  CellResult cell;
+  cell.wall_seconds = wall.seconds();
+  cell.json = server.metrics_json();
+  cell.metrics = server.metrics().snapshot();
+  server.shutdown();
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Serving: Table 6 traffic mixes through the micro-batching "
+              "server ===\n");
+  std::printf("shape: benign traffic ~ detector-only latency; adversarial "
+              "share buys corrector cost\n\n");
+
+  const bench::DomainParams params = bench::mnist_params();
+  auto wb = bench::make_workbench(true, 1500, 300);
+  core::Detector detector = bench::make_detector(wb, 14);
+
+  // Adversarial pool, as in bench_table6_runtime.
+  attacks::CwL2 cw(bench::light_cw_config());
+  const auto sources = bench::correct_indices(wb, 25, 14);
+  std::vector<Tensor> adv_pool;
+  eval::Timer pool_timer;
+  for (std::size_t src : sources) {
+    const Tensor x = wb.test_set.example(src);
+    const std::size_t truth = wb.test_set.labels[src];
+    const auto r = cw.run_targeted(wb.model, x, (truth + 1) % 10);
+    if (r.success) adv_pool.push_back(r.adversarial);
+  }
+  std::printf("[setup] adversarial pool: %zu examples (%.1fs)\n\n",
+              adv_pool.size(), pool_timer.seconds());
+
+  const std::size_t total_requests = 80;
+  const std::vector<int> mixes{0, 10, 30, 50, 100};
+  const std::vector<double> rates{0.0, 1000.0, 250.0};  // 0 = burst
+  const serve::ServerConfig config{.max_batch = 8, .max_delay_us = 2000};
+
+  eval::JsonObject json;
+  json.set("bench", "serve_traffic")
+      .set("requests_per_cell", total_requests)
+      .set("max_batch", config.max_batch)
+      .set("max_delay_us", static_cast<std::size_t>(config.max_delay_us))
+      .set("mix_percent", std::vector<double>(mixes.begin(), mixes.end()))
+      .set("arrival_rps", rates);
+
+  eval::Table table("Serving: end-to-end latency per request (ms)");
+  table.set_header({"mix \\ rate", "burst p50/p95/p99", "1000rps p50/p95/p99",
+                    "250rps p50/p95/p99", "det+ rate"});
+
+  for (int mix : mixes) {
+    // Arrival order interleaves adversarial requests through the stream
+    // (deterministic shuffle) instead of front-loading them, like real
+    // traffic would.
+    const std::size_t n_adv =
+        total_requests * static_cast<std::size_t>(mix) / 100;
+    std::vector<Tensor> requests;
+    std::vector<std::size_t> order(total_requests);
+    for (std::size_t i = 0; i < total_requests; ++i) order[i] = i;
+    Rng shuffle_rng(1000 + static_cast<std::uint64_t>(mix));
+    for (std::size_t i = total_requests - 1; i > 0; --i) {
+      std::swap(order[i], order[shuffle_rng.uniform_index(i + 1)]);
+    }
+    for (std::size_t i = 0; i < total_requests; ++i) {
+      if (order[i] < n_adv) {
+        requests.push_back(adv_pool[order[i] % adv_pool.size()]);
+      } else {
+        requests.push_back(
+            wb.test_set.example((14 + order[i]) % wb.test_set.size()));
+      }
+    }
+
+    std::vector<std::string> row{std::to_string(mix) + "%"};
+    double det_rate = 0.0;
+    for (double rate : rates) {
+      // Fresh corrector per cell: every cell starts at the same RNG stream
+      // position, so a cell's responses do not depend on which cells ran
+      // before it.
+      core::Corrector corrector(wb.model, {.radius = params.region_radius,
+                                           .samples = params.dcn_samples});
+      core::Dcn dcn(wb.model, detector, corrector);
+      CellResult cell = run_cell(dcn, requests, rate, config);
+      const auto& m = cell.metrics;
+      det_rate = m.detector_positive_rate;
+      row.push_back(eval::fixed(m.end_to_end.p50_us / 1e3, 2) + "/" +
+                    eval::fixed(m.end_to_end.p95_us / 1e3, 2) + "/" +
+                    eval::fixed(m.end_to_end.p99_us / 1e3, 2));
+      const std::string key = "mix" + std::to_string(mix) + "_rate" +
+                              std::to_string(static_cast<int>(rate));
+      cell.json.set("wall_seconds", cell.wall_seconds)
+          .set("throughput_rps",
+               static_cast<double>(total_requests) / cell.wall_seconds);
+      json.set(key, cell.json);
+      std::printf(
+          "[mix %3d%% rate %6s] p50 %7.2fms p95 %7.2fms p99 %7.2fms | "
+          "det+ %4.1f%% corrector %2zu | batches %zu (full %zu, timer %zu) "
+          "mean size %.1f | %.2fs wall\n",
+          mix, rate == 0.0 ? "burst" : eval::fixed(rate, 0).c_str(),
+          m.end_to_end.p50_us / 1e3, m.end_to_end.p95_us / 1e3,
+          m.end_to_end.p99_us / 1e3, det_rate * 100.0,
+          static_cast<std::size_t>(m.detector_positives),
+          static_cast<std::size_t>(m.batches),
+          static_cast<std::size_t>(m.flush_full),
+          static_cast<std::size_t>(m.flush_timer), m.mean_batch_size,
+          cell.wall_seconds);
+    }
+    row.push_back(eval::fixed(det_rate * 100.0, 1) + "%");
+    table.add_row(row);
+  }
+  std::printf("\n");
+  table.print();
+
+  eval::write_json_file("BENCH_serve.json", json);
+  std::printf("\nwrote BENCH_serve.json\n");
+  return 0;
+}

@@ -21,18 +21,30 @@ Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
 
 std::size_t Dcn::classify(const Tensor& x) { return classify_verbose(x).label; }
 
-std::vector<std::size_t> Dcn::predict(const Tensor& batch) {
+std::vector<Dcn::Decision> Dcn::predict_verbose(const Tensor& batch) {
   const Tensor logits = model_->logits_batch(batch);  // [N, k]
   const std::size_t n = logits.dim(0);
-  std::vector<std::size_t> labels(n);
+  std::vector<Decision> decisions(n);
   for (std::size_t i = 0; i < n; ++i) {
     const Tensor row = logits.row(i);
-    if (detector_->is_adversarial(row)) {
+    Decision& d = decisions[i];
+    d.dnn_label = row.argmax();
+    d.flagged_adversarial = detector_->is_adversarial(row);
+    if (d.flagged_adversarial) {
       ++corrector_activations_;
-      labels[i] = corrector_->correct(batch.row(i));
+      d.label = corrector_->correct(batch.row(i));
     } else {
-      labels[i] = row.argmax();
+      d.label = d.dnn_label;
     }
+  }
+  return decisions;
+}
+
+std::vector<std::size_t> Dcn::predict(const Tensor& batch) {
+  const std::vector<Decision> decisions = predict_verbose(batch);
+  std::vector<std::size_t> labels(decisions.size());
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    labels[i] = decisions[i].label;
   }
   return labels;
 }

@@ -37,6 +37,14 @@ class Dcn final : public defenses::Classifier {
   };
   Decision classify_verbose(const Tensor& x);
 
+  /// predict() with per-example attribution: which rows the detector
+  /// flagged (and therefore paid the corrector vote) and what the raw DNN
+  /// said. Rows are decided in index order, so the j-th flagged row always
+  /// consumes the j-th segment of the corrector's RNG stream — which is why
+  /// the serving layer can split a request sequence into arbitrary
+  /// micro-batches without changing any response (see src/serve/).
+  std::vector<Decision> predict_verbose(const Tensor& batch);
+
   /// Number of corrector activations since construction (efficiency
   /// accounting for Table 6).
   [[nodiscard]] std::size_t corrector_activations() const {

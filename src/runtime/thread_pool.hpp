@@ -14,6 +14,12 @@
 // Sizing: the global pool reads the DCN_THREADS environment variable once
 // (default: std::thread::hardware_concurrency()). Tests and benches may
 // resize it at a safe point via set_thread_count().
+//
+// This is the process's ONLY compute pool. In particular the serving layer
+// (src/serve/) adds just one dispatcher thread of its own and pushes every
+// micro-batch through here via Dcn::predict — any thread may call
+// parallel_for (the caller participates in its own job), so the dispatcher
+// needs no special standing.
 #pragma once
 
 #include <condition_variable>

@@ -1,0 +1,165 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <vector>
+
+namespace dcn::serve {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+/// Raise an atomic maximum (relaxed CAS loop).
+void fetch_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t seen = target.load(kRelaxed);
+  while (seen < value && !target.compare_exchange_weak(seen, value, kRelaxed)) {
+  }
+}
+
+}  // namespace
+
+// ---- LatencyHistogram ------------------------------------------------------
+
+void LatencyHistogram::record(double us) {
+  const auto v = static_cast<std::uint64_t>(std::llround(std::max(us, 0.0)));
+  std::size_t bucket = std::bit_width(v);  // 0 -> 0, [2^(i-1), 2^i) -> i
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  buckets_[bucket].fetch_add(1, kRelaxed);
+  count_.fetch_add(1, kRelaxed);
+  sum_us_.fetch_add(v, kRelaxed);
+  fetch_max(max_us_, v);
+}
+
+LatencyHistogram::Summary LatencyHistogram::summarize() const {
+  Summary s;
+  std::array<std::uint64_t, kBuckets> counts{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(kRelaxed);
+    s.count += counts[i];
+  }
+  if (s.count == 0) return s;
+  s.mean_us = static_cast<double>(sum_us_.load(kRelaxed)) /
+              static_cast<double>(s.count);
+  s.max_us = static_cast<double>(max_us_.load(kRelaxed));
+
+  const auto quantile = [&](double q) {
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(s.count)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      if (seen + counts[i] < target) {
+        seen += counts[i];
+        continue;
+      }
+      // Interpolate linearly inside bucket i's [lo, hi) span.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      const double hi = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(counts[i]);
+      return std::min(lo + frac * (hi - lo), s.max_us);
+    }
+    return s.max_us;
+  };
+  s.p50_us = quantile(0.50);
+  s.p95_us = quantile(0.95);
+  s.p99_us = quantile(0.99);
+  return s;
+}
+
+eval::JsonObject LatencyHistogram::to_json() const {
+  const Summary s = summarize();
+  eval::JsonObject json;
+  json.set("count", static_cast<std::size_t>(s.count))
+      .set("mean_us", s.mean_us)
+      .set("p50_us", s.p50_us)
+      .set("p95_us", s.p95_us)
+      .set("p99_us", s.p99_us)
+      .set("max_us", s.max_us);
+  return json;
+}
+
+// ---- ServerMetrics ---------------------------------------------------------
+
+void ServerMetrics::on_submit(std::size_t queue_depth_after) {
+  submitted_.fetch_add(1, kRelaxed);
+  fetch_max(peak_queue_depth_, queue_depth_after);
+}
+
+void ServerMetrics::on_reject() { rejected_.fetch_add(1, kRelaxed); }
+
+void ServerMetrics::on_flush(std::size_t batch_size, bool full, bool timer) {
+  batches_.fetch_add(1, kRelaxed);
+  if (full) flush_full_.fetch_add(1, kRelaxed);
+  if (timer) flush_timer_.fetch_add(1, kRelaxed);
+  if (!full && !timer) flush_shutdown_.fetch_add(1, kRelaxed);
+  batch_size_sum_.fetch_add(batch_size, kRelaxed);
+  const std::size_t slot = std::min(batch_size, kBatchSizeSlots - 1);
+  batch_sizes_[slot].fetch_add(1, kRelaxed);
+}
+
+void ServerMetrics::on_result(bool flagged_adversarial, double queue_us,
+                              double total_us) {
+  completed_.fetch_add(1, kRelaxed);
+  if (flagged_adversarial) detector_positives_.fetch_add(1, kRelaxed);
+  queue_wait_.record(queue_us);
+  end_to_end_.record(total_us);
+}
+
+ServerMetrics::Snapshot ServerMetrics::snapshot() const {
+  Snapshot s;
+  s.submitted = submitted_.load(kRelaxed);
+  s.completed = completed_.load(kRelaxed);
+  s.rejected = rejected_.load(kRelaxed);
+  s.batches = batches_.load(kRelaxed);
+  s.flush_full = flush_full_.load(kRelaxed);
+  s.flush_timer = flush_timer_.load(kRelaxed);
+  s.flush_shutdown = flush_shutdown_.load(kRelaxed);
+  s.detector_positives = detector_positives_.load(kRelaxed);
+  s.peak_queue_depth = peak_queue_depth_.load(kRelaxed);
+  if (s.batches > 0) {
+    s.mean_batch_size = static_cast<double>(batch_size_sum_.load(kRelaxed)) /
+                        static_cast<double>(s.batches);
+  }
+  if (s.completed > 0) {
+    s.detector_positive_rate = static_cast<double>(s.detector_positives) /
+                               static_cast<double>(s.completed);
+  }
+  s.queue_wait = queue_wait_.summarize();
+  s.end_to_end = end_to_end_.summarize();
+  return s;
+}
+
+eval::JsonObject ServerMetrics::to_json(std::size_t current_queue_depth) const {
+  const Snapshot s = snapshot();
+  eval::JsonObject json;
+  json.set("requests_submitted", static_cast<std::size_t>(s.submitted))
+      .set("requests_completed", static_cast<std::size_t>(s.completed))
+      .set("requests_rejected", static_cast<std::size_t>(s.rejected))
+      .set("queue_depth", current_queue_depth)
+      .set("peak_queue_depth", static_cast<std::size_t>(s.peak_queue_depth))
+      .set("batches", static_cast<std::size_t>(s.batches))
+      .set("flush_full", static_cast<std::size_t>(s.flush_full))
+      .set("flush_timer", static_cast<std::size_t>(s.flush_timer))
+      .set("flush_shutdown", static_cast<std::size_t>(s.flush_shutdown))
+      .set("mean_batch_size", s.mean_batch_size)
+      .set("detector_positives", static_cast<std::size_t>(s.detector_positives))
+      .set("corrector_activations",
+           static_cast<std::size_t>(s.detector_positives))
+      .set("detector_positive_rate", s.detector_positive_rate);
+  // The non-empty head of the batch-size distribution (index = batch size;
+  // the last slot aggregates anything larger).
+  std::vector<double> sizes;
+  for (std::size_t i = 0; i < kBatchSizeSlots; ++i) {
+    sizes.push_back(static_cast<double>(batch_sizes_[i].load(kRelaxed)));
+  }
+  while (sizes.size() > 1 && sizes.back() == 0.0) sizes.pop_back();
+  json.set("batch_size_counts", sizes);
+  json.set("queue_wait", queue_wait_.to_json());
+  json.set("end_to_end", end_to_end_.to_json());
+  return json;
+}
+
+}  // namespace dcn::serve

@@ -1,0 +1,103 @@
+// Serving observability: lock-cheap counters plus latency histograms.
+//
+// Every mutation is a relaxed atomic op — submit paths and the dispatcher
+// never contend on a lock for accounting. Reads (snapshot / to_json) are
+// only approximately consistent while traffic is in flight, which is the
+// usual monitoring contract; after the server drains they are exact.
+//
+// Latencies go into log2-bucketed histograms (bucket i covers
+// [2^(i-1), 2^i) microseconds), so a quantile is exact to its bucket and
+// linearly interpolated within it — tight enough for p50/p95/p99 dashboards
+// at any magnitude from microseconds to minutes, with O(1) record cost.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "eval/bench_json.hpp"
+
+namespace dcn::serve {
+
+class LatencyHistogram {
+ public:
+  /// Record one latency observation, in microseconds.
+  void record(double us);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double mean_us = 0.0;
+    double max_us = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+  };
+  [[nodiscard]] Summary summarize() const;
+
+  /// {count, mean_us, p50_us, p95_us, p99_us, max_us} for metrics export.
+  [[nodiscard]] eval::JsonObject to_json() const;
+
+ private:
+  // Bucket 0 holds 0us; bucket i>=1 holds [2^(i-1), 2^i). 40 buckets cover
+  // latencies past 6 days, beyond any plausible request lifetime.
+  static constexpr std::size_t kBuckets = 40;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// Aggregate serving metrics: request/batch counters, flush-reason split,
+/// detector/corrector attribution, batch-size distribution, queue-wait and
+/// end-to-end latency histograms.
+class ServerMetrics {
+ public:
+  // -- Mutation hooks (called by DcnServer) ----------------------------------
+  void on_submit(std::size_t queue_depth_after);
+  void on_reject();
+  void on_flush(std::size_t batch_size, bool full, bool timer);
+  void on_result(bool flagged_adversarial, double queue_us, double total_us);
+
+  // -- Export ----------------------------------------------------------------
+  struct Snapshot {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t flush_full = 0;
+    std::uint64_t flush_timer = 0;
+    std::uint64_t flush_shutdown = 0;
+    std::uint64_t detector_positives = 0;  // == corrector activations
+    std::uint64_t peak_queue_depth = 0;
+    double mean_batch_size = 0.0;
+    double detector_positive_rate = 0.0;  // positives / completed
+    LatencyHistogram::Summary queue_wait;
+    LatencyHistogram::Summary end_to_end;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Full metrics object (the schema documented in docs/OPERATIONS.md).
+  /// `current_queue_depth` is supplied by the caller because depth lives in
+  /// the micro-batcher, not here.
+  [[nodiscard]] eval::JsonObject to_json(std::size_t current_queue_depth) const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> flush_full_{0};
+  std::atomic<std::uint64_t> flush_timer_{0};
+  std::atomic<std::uint64_t> flush_shutdown_{0};
+  std::atomic<std::uint64_t> detector_positives_{0};
+  std::atomic<std::uint64_t> batch_size_sum_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  // Batch sizes are small integers (<= max_batch); sizes past the last slot
+  // land in the overflow bucket so the distribution stays bounded.
+  static constexpr std::size_t kBatchSizeSlots = 33;
+  std::array<std::atomic<std::uint64_t>, kBatchSizeSlots> batch_sizes_{};
+  LatencyHistogram queue_wait_;
+  LatencyHistogram end_to_end_;
+};
+
+}  // namespace dcn::serve

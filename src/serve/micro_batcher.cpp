@@ -1,0 +1,72 @@
+#include "serve/micro_batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dcn::serve {
+
+MicroBatcher::MicroBatcher(std::size_t max_batch,
+                           std::chrono::microseconds max_delay)
+    : max_batch_(max_batch), max_delay_(max_delay) {
+  if (max_batch == 0) {
+    throw std::invalid_argument("MicroBatcher: max_batch must be >= 1");
+  }
+}
+
+bool MicroBatcher::push(PendingRequest& request) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    queue_.push_back(std::move(request));
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void MicroBatcher::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+MicroBatcher::Flush MicroBatcher::take_locked(FlushReason reason) {
+  Flush flush;
+  flush.reason = reason;
+  const std::size_t take = std::min(queue_.size(), max_batch_);
+  flush.requests.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    flush.requests.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return flush;
+}
+
+MicroBatcher::Flush MicroBatcher::next() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (closed_) return {};  // drained: consumer exits
+      cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      continue;
+    }
+    if (queue_.size() >= max_batch_) return take_locked(FlushReason::kFull);
+    if (closed_) return take_locked(FlushReason::kShutdown);
+    // Wait for more arrivals, but only until the oldest request's latency
+    // budget runs out. A predicate-false return means the deadline hit.
+    const auto deadline = queue_.front().enqueued + max_delay_;
+    const bool woke = cv_.wait_until(lock, deadline, [&] {
+      return closed_ || queue_.size() >= max_batch_;
+    });
+    if (!woke) return take_locked(FlushReason::kTimer);
+  }
+}
+
+std::size_t MicroBatcher::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace dcn::serve

@@ -1,0 +1,93 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dcn::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microseconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+DcnServer::DcnServer(core::Dcn& dcn, ServerConfig config)
+    : dcn_(&dcn),
+      config_(config),
+      batcher_(config.max_batch, std::chrono::microseconds(config.max_delay_us)) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+DcnServer::~DcnServer() { shutdown(); }
+
+std::future<ServeResult> DcnServer::submit(Tensor input) {
+  PendingRequest request;
+  request.input = std::move(input);
+  request.enqueued = Clock::now();
+  request.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  std::future<ServeResult> future = request.promise.get_future();
+  if (!batcher_.push(request)) {
+    metrics_.on_reject();
+    throw std::runtime_error("DcnServer: submit after shutdown");
+  }
+  metrics_.on_submit(batcher_.depth());
+  return future;
+}
+
+void DcnServer::shutdown() {
+  batcher_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void DcnServer::dispatch_loop() {
+  for (;;) {
+    MicroBatcher::Flush flush = batcher_.next();
+    if (flush.requests.empty()) return;  // closed and drained
+    serve_flush(std::move(flush));
+  }
+}
+
+void DcnServer::serve_flush(MicroBatcher::Flush flush) {
+  const Clock::time_point dispatched = Clock::now();
+  const std::size_t n = flush.requests.size();
+  metrics_.on_flush(n, flush.reason == FlushReason::kFull,
+                    flush.reason == FlushReason::kTimer);
+
+  std::vector<core::Dcn::Decision> decisions;
+  try {
+    std::vector<Tensor> inputs;
+    inputs.reserve(n);
+    for (PendingRequest& r : flush.requests) inputs.push_back(r.input);
+    decisions = dcn_->predict_verbose(Tensor::stack(inputs));
+  } catch (...) {
+    // Shape mismatch inside the batch or a failure in the model: every
+    // requester of this flush gets the exception instead of a result.
+    const std::exception_ptr error = std::current_exception();
+    for (PendingRequest& r : flush.requests) r.promise.set_exception(error);
+    return;
+  }
+
+  const Clock::time_point done = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    PendingRequest& r = flush.requests[i];
+    ServeResult result;
+    result.label = decisions[i].label;
+    result.flagged_adversarial = decisions[i].flagged_adversarial;
+    result.dnn_label = decisions[i].dnn_label;
+    result.batch_size = n;
+    result.sequence = r.sequence;
+    result.queue_us = microseconds_between(r.enqueued, dispatched);
+    result.total_us = microseconds_between(r.enqueued, done);
+    metrics_.on_result(result.flagged_adversarial, result.queue_us,
+                       result.total_us);
+    r.promise.set_value(result);
+  }
+}
+
+}  // namespace dcn::serve

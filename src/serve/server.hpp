@@ -1,0 +1,82 @@
+// DcnServer — the request-batching front end over Dcn::predict.
+//
+// Concurrent callers submit() single images and get a future; one dispatcher
+// thread coalesces the queue into timed micro-batches (MicroBatcher) and
+// runs each through the batched Dcn::predict_verbose path, which spreads
+// the forward pass and any corrector votes across the runtime thread pool.
+// There is no second pool: the dispatcher is the only thread the server
+// adds, and all heavy lifting happens on runtime::pool().
+//
+// Dataflow:
+//
+//   submit(x) ──┐
+//   submit(x) ──┤  FIFO queue  ──(full | timer | shutdown)──► micro-batch
+//   submit(x) ──┘ (MicroBatcher)                                   │
+//                                                     Dcn::predict_verbose
+//                                                    (runtime thread pool)
+//                                                                  │
+//   future.get() ◄── promise per request ◄── ServeResult + metrics ┘
+//
+// Batching invariance: requests are served strictly in arrival order and
+// Dcn::predict_verbose decides rows in index order, so responses are
+// bit-identical to feeding the same request sequence through Dcn one at a
+// time — micro-batch boundaries never change an answer (the determinism
+// contract; pinned by tests/test_serve.cpp, documented in
+// docs/OPERATIONS.md).
+#pragma once
+
+#include <future>
+#include <thread>
+
+#include "core/dcn.hpp"
+#include "serve/metrics.hpp"
+#include "serve/micro_batcher.hpp"
+#include "serve/types.hpp"
+
+namespace dcn::serve {
+
+class DcnServer {
+ public:
+  /// The Dcn (and everything it references) must outlive the server. The
+  /// server assumes exclusive use of the Dcn while running: the corrector's
+  /// RNG stream is part of the response, so interleaving outside calls
+  /// would change which stream segment a request consumes.
+  explicit DcnServer(core::Dcn& dcn, ServerConfig config = {});
+
+  /// Drains in-flight requests (shutdown()) before destruction.
+  ~DcnServer();
+
+  DcnServer(const DcnServer&) = delete;
+  DcnServer& operator=(const DcnServer&) = delete;
+
+  /// Enqueue one input (shape = one example, no batch axis; all requests
+  /// must share one shape). Returns the future of the response. Throws
+  /// std::runtime_error after shutdown().
+  std::future<ServeResult> submit(Tensor input);
+
+  /// Stop accepting requests, serve everything still queued, and join the
+  /// dispatcher. Idempotent; also called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] const ServerMetrics& metrics() const { return metrics_; }
+
+  /// Snapshot of the full metrics schema (docs/OPERATIONS.md), including
+  /// the live queue depth.
+  [[nodiscard]] eval::JsonObject metrics_json() const {
+    return metrics_.to_json(batcher_.depth());
+  }
+
+ private:
+  void dispatch_loop();
+  void serve_flush(MicroBatcher::Flush flush);
+
+  core::Dcn* dcn_;
+  ServerConfig config_;
+  ServerMetrics metrics_;
+  MicroBatcher batcher_;
+  std::atomic<std::uint64_t> next_sequence_{0};
+  std::thread dispatcher_;
+};
+
+}  // namespace dcn::serve

@@ -1,0 +1,36 @@
+// Shared value types for the serving layer (src/serve/).
+//
+// Kept separate from server.hpp so the micro-batcher can carry promises of
+// ServeResult without depending on the server itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcn::serve {
+
+/// Knobs of the micro-batching policy (see docs/OPERATIONS.md).
+struct ServerConfig {
+  /// Flush as soon as this many requests are queued ("flush on full").
+  std::size_t max_batch = 8;
+  /// Flush when the oldest queued request has waited this long ("flush on
+  /// timer") — the latency bound a lone request pays under idle traffic.
+  std::uint64_t max_delay_us = 2000;
+};
+
+/// Per-request response: the DCN decision plus the attribution and timing
+/// the monitoring layer aggregates.
+struct ServeResult {
+  std::size_t label = 0;             // the DCN's answer
+  bool flagged_adversarial = false;  // did the detector gate fire?
+  std::size_t dnn_label = 0;         // the raw DNN opinion
+  std::size_t batch_size = 0;        // size of the micro-batch that served it
+  std::uint64_t sequence = 0;        // arrival order assigned by submit()
+  double queue_us = 0.0;             // enqueue -> micro-batch dispatch
+  double total_us = 0.0;             // enqueue -> response ready (end-to-end)
+};
+
+/// Why a micro-batch left the queue.
+enum class FlushReason { kFull, kTimer, kShutdown };
+
+}  // namespace dcn::serve

@@ -1,0 +1,217 @@
+// Serving-layer tests: micro-batcher flush policies (timer, full, shutdown),
+// the batching-invariance guarantee (server responses bit-identical to
+// unbatched Dcn decisions for the same request sequence), and metrics
+// accounting.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/corrector.hpp"
+#include "core/dcn.hpp"
+#include "core/detector.hpp"
+#include "models/model_zoo.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace dcn;
+using namespace std::chrono_literals;
+
+// The runtime suite uses the same tiny MLP; the detector stays untrained
+// (its verdicts are arbitrary but deterministic), which is all these tests
+// need — some inputs flag, some don't.
+nn::Sequential make_small_model() {
+  Rng init(77);
+  return models::mlp({6, 24, 16, 4}, init);
+}
+
+Tensor make_batch(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::uniform(Shape{n, 6}, rng, -0.5F, 0.5F);
+}
+
+/// Fixture bundling a model + detector + fresh corrector + Dcn so each test
+/// starts from the same corrector RNG stream position.
+struct Stack {
+  nn::Sequential model = make_small_model();
+  core::Detector detector{4};
+  core::Corrector corrector{model, {.radius = 0.2F, .samples = 32}};
+  core::Dcn dcn{model, detector, corrector};
+};
+
+TEST(Serve, FlushOnTimerServesALoneRequest) {
+  Stack s;
+  serve::DcnServer server(s.dcn, {.max_batch = 8, .max_delay_us = 2000});
+  auto future = server.submit(make_batch(1, 11).row(0));
+  // The queue never fills, so only the timer can flush this.
+  const serve::ServeResult r = future.get();
+  EXPECT_EQ(r.batch_size, 1U);
+  EXPECT_EQ(r.sequence, 0U);
+  EXPECT_GE(r.total_us, r.queue_us);
+  server.shutdown();
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.submitted, 1U);
+  EXPECT_EQ(snap.completed, 1U);
+  EXPECT_EQ(snap.flush_timer, 1U);
+  EXPECT_EQ(snap.flush_full, 0U);
+}
+
+TEST(Serve, FlushOnFullUnderBurst) {
+  Stack s;
+  // Timer effectively disabled: only full batches (and shutdown) may flush.
+  serve::DcnServer server(s.dcn, {.max_batch = 4, .max_delay_us = 60'000'000});
+  const Tensor inputs = make_batch(8, 13);
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    futures.push_back(server.submit(inputs.row(i)));
+  }
+  for (auto& f : futures) {
+    // Every response must come from an exactly-full batch.
+    EXPECT_EQ(f.get().batch_size, 4U);
+  }
+  server.shutdown();
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.completed, 8U);
+  EXPECT_EQ(snap.batches, 2U);
+  EXPECT_EQ(snap.flush_full, 2U);
+  EXPECT_EQ(snap.flush_timer, 0U);
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size, 4.0);
+}
+
+TEST(Serve, ShutdownDrainsInFlightRequests) {
+  Stack s;
+  // Neither full (max_batch 16 > 5) nor timer (60s) can fire: the requests
+  // are only served because shutdown drains the queue.
+  serve::DcnServer server(s.dcn, {.max_batch = 16, .max_delay_us = 60'000'000});
+  const Tensor inputs = make_batch(5, 17);
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (std::size_t i = 0; i < 5; ++i) {
+    futures.push_back(server.submit(inputs.row(i)));
+  }
+  server.shutdown();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::ServeResult r = futures[i].get();
+    EXPECT_EQ(r.batch_size, 5U);
+    EXPECT_EQ(r.sequence, i);
+  }
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.flush_shutdown, 1U);
+  EXPECT_EQ(snap.completed, 5U);
+  // The server rejects new work after shutdown, and shutdown is idempotent.
+  EXPECT_THROW((void)server.submit(inputs.row(0)), std::runtime_error);
+  server.shutdown();
+  EXPECT_EQ(server.metrics().snapshot().rejected, 1U);
+}
+
+TEST(Serve, ResponsesAreBatchingInvariant) {
+  const Tensor inputs = make_batch(23, 29);
+  const std::size_t n = inputs.dim(0);
+
+  // Serve the sequence through small, timer-cut micro-batches.
+  std::vector<serve::ServeResult> served;
+  {
+    Stack s;
+    serve::DcnServer server(s.dcn, {.max_batch = 5, .max_delay_us = 300});
+    std::vector<std::future<serve::ServeResult>> futures;
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(server.submit(inputs.row(i)));
+      // Stagger a few arrivals so the run mixes full and timer flushes.
+      if (i % 7 == 6) std::this_thread::sleep_for(1ms);
+    }
+    for (auto& f : futures) served.push_back(f.get());
+  }
+
+  // Reference: the same sequence, one example at a time, from an identical
+  // fresh stack (same corrector seed => same RNG stream).
+  Stack ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const core::Dcn::Decision d = ref.dcn.classify_verbose(inputs.row(i));
+    EXPECT_EQ(served[i].label, d.label) << "request " << i;
+    EXPECT_EQ(served[i].dnn_label, d.dnn_label) << "request " << i;
+    EXPECT_EQ(served[i].flagged_adversarial, d.flagged_adversarial)
+        << "request " << i;
+  }
+  // And against the whole-batch entry point, which shares the contract.
+  Stack whole;
+  const auto decisions = whole.dcn.predict_verbose(inputs);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(served[i].label, decisions[i].label) << "request " << i;
+  }
+  // At least one request must have exercised the corrector path for this to
+  // be a meaningful invariance check.
+  std::size_t flagged = 0;
+  for (const auto& r : served) flagged += r.flagged_adversarial;
+  EXPECT_GT(flagged, 0U);
+}
+
+TEST(Serve, MetricsAccountingAndJsonSchema) {
+  Stack s;
+  serve::DcnServer server(s.dcn, {.max_batch = 4, .max_delay_us = 500});
+  const Tensor inputs = make_batch(10, 31);
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (std::size_t i = 0; i < 10; ++i) {
+    futures.push_back(server.submit(inputs.row(i)));
+  }
+  std::size_t flagged = 0;
+  for (auto& f : futures) flagged += f.get().flagged_adversarial;
+  server.shutdown();
+
+  const auto snap = server.metrics().snapshot();
+  EXPECT_EQ(snap.submitted, 10U);
+  EXPECT_EQ(snap.completed, 10U);
+  EXPECT_EQ(snap.detector_positives, flagged);
+  EXPECT_EQ(snap.detector_positives, s.dcn.corrector_activations());
+  EXPECT_DOUBLE_EQ(snap.detector_positive_rate,
+                   static_cast<double>(flagged) / 10.0);
+  EXPECT_EQ(snap.batches, snap.flush_full + snap.flush_timer +
+                              snap.flush_shutdown);
+  EXPECT_EQ(snap.end_to_end.count, 10U);
+  EXPECT_LE(snap.end_to_end.p50_us, snap.end_to_end.p95_us);
+  EXPECT_LE(snap.end_to_end.p95_us, snap.end_to_end.p99_us);
+  EXPECT_LE(snap.end_to_end.p99_us, snap.end_to_end.max_us);
+  EXPECT_GE(snap.end_to_end.mean_us, snap.queue_wait.mean_us);
+
+  // The exported JSON carries the schema OPERATIONS.md documents.
+  const std::string json = server.metrics_json().dump();
+  for (const char* key :
+       {"requests_submitted", "requests_completed", "queue_depth",
+        "batches", "flush_full", "flush_timer", "flush_shutdown",
+        "mean_batch_size", "detector_positive_rate", "corrector_activations",
+        "batch_size_counts", "queue_wait", "end_to_end", "p95_us"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing key " << key;
+  }
+}
+
+TEST(Serve, LatencyHistogramQuantiles) {
+  serve::LatencyHistogram h;
+  // 100 observations: 1..100 us. Log2 buckets give quantiles exact to their
+  // bucket; check ordering and coarse position rather than exact values.
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const auto s = h.summarize();
+  EXPECT_EQ(s.count, 100U);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+  EXPECT_NEAR(s.mean_us, 50.5, 1e-9);
+  EXPECT_GT(s.p50_us, 16.0);   // true p50 = 50, bucket [32,64)
+  EXPECT_LE(s.p50_us, 64.0);
+  EXPECT_GT(s.p95_us, 64.0);   // true p95 = 95, bucket [64,100]
+  EXPECT_LE(s.p95_us, 100.0);
+  EXPECT_LE(s.p95_us, s.p99_us);
+  EXPECT_LE(s.p99_us, s.max_us);
+  // Degenerate histograms do not divide by zero.
+  const auto empty = serve::LatencyHistogram{}.summarize();
+  EXPECT_EQ(empty.count, 0U);
+  EXPECT_DOUBLE_EQ(empty.p99_us, 0.0);
+}
+
+TEST(Serve, RejectsZeroMaxBatch) {
+  Stack s;
+  EXPECT_THROW(serve::DcnServer(s.dcn, {.max_batch = 0, .max_delay_us = 100}),
+               std::invalid_argument);
+}
+
+}  // namespace

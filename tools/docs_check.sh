@@ -1,0 +1,64 @@
+#!/bin/sh
+# docs_check.sh — keep the documentation honest.
+#
+# Verifies two invariants, and fails (exit 1) listing every violation:
+#   1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
+#      ROADMAP.md, and docs/*.md points at a file that exists.
+#   2. Every bench binary EXPERIMENTS.md cites (`bench_*`) has a source file
+#      in bench/ and, when a build directory is supplied, a built executable
+#      in <build>/bench/.
+#
+# Usage: docs_check.sh <repo_root> [build_dir]
+# Wired up as the `docs-check` CMake target and the `dcn_docs_check` ctest
+# entry (see the top-level CMakeLists.txt).
+set -u
+
+repo="${1:?usage: docs_check.sh <repo_root> [build_dir]}"
+build="${2:-}"
+failures=0
+
+fail() {
+    echo "docs-check: $1" >&2
+    failures=$((failures + 1))
+}
+
+# --- 1. Relative links in the markdown docs ---------------------------------
+docs=$(ls "$repo"/README.md "$repo"/DESIGN.md "$repo"/EXPERIMENTS.md \
+          "$repo"/ROADMAP.md "$repo"/docs/*.md 2>/dev/null)
+for doc in $docs; do
+    dir=$(dirname "$doc")
+    # Markdown inline links: capture the (...) target, one per line.
+    links=$(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//')
+    for link in $links; do
+        case "$link" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target="${link%%#*}"            # drop an in-page anchor
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            fail "$(basename "$doc"): broken relative link '$link'"
+        fi
+    done
+done
+
+# --- 2. Bench binaries named in EXPERIMENTS.md ------------------------------
+benches=$(grep -oE 'bench_[a-z0-9_]+(\.[a-z0-9]+)?' "$repo/EXPERIMENTS.md" \
+              | sort -u)
+for name in $benches; do
+    case "$name" in
+        *.*) continue ;;                # a filename (e.g. bench_output.txt)
+    esac
+    if [ ! -f "$repo/bench/$name.cpp" ]; then
+        fail "EXPERIMENTS.md cites '$name' but bench/$name.cpp does not exist"
+        continue
+    fi
+    if [ -n "$build" ] && [ -d "$build/bench" ] && [ ! -x "$build/bench/$name" ]; then
+        fail "EXPERIMENTS.md cites '$name' but $build/bench/$name is not built"
+    fi
+done
+
+if [ "$failures" -gt 0 ]; then
+    echo "docs-check: FAILED with $failures problem(s)" >&2
+    exit 1
+fi
+echo "docs-check: OK (links and bench citations verified)"
