@@ -215,7 +215,7 @@ inline void run_grid(const GridConfig& cfg) {
   add("Distillation", rates.distill);
   add("RC", rates.rc);
   add("Our DCN", rates.dcn);
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
 
   if (!cfg.json_path.empty()) {
     eval::JsonObject json;

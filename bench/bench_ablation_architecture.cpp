@@ -83,7 +83,7 @@ int main() {
     table.add_row({r.name, eval::percent(r.clean), r.dnn_fooled, r.detected,
                    r.dcn_fooled});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf("\nexpected shape: every architecture is fooled ~100%%, every "
               "detector catches ~100%%, DCN success stays low — the defense "
               "rides on the logit geometry, not the architecture.\n");

@@ -104,7 +104,7 @@ int main() {
   run("feature-squeeze", [&](const Tensor& x) { return squeeze.correct(x); });
   run("runner-up logit",
       [&](const Tensor& x) { return runner_up.correct(x); });
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nreading: soft-vote matches/beats the hard vote at identical cost; "
       "runner-up is free and surprisingly strong on minimal-distortion CW "

@@ -77,7 +77,7 @@ int main() {
                    eval::percent(rates.false_negative),
                    eval::percent(rates.false_positive)});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nreading: sorting is what makes the 2-layer detector sample-"
       "efficient; raw logits need the paper's 10x larger training set to "

@@ -55,7 +55,7 @@ void run_domain(bool mnist, const std::vector<float>& radii) {
     table.add_row({eval::fixed(r, 3), benign_kept.percent(),
                    adv_recovered.percent()});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf("\n");
 }
 

@@ -55,7 +55,7 @@ int main() {
                          detected.percent(), dcn_fooled.percent(),
                          eval::fixed(l2.value(), 2)});
   }
-  kappa_table.print();
+  std::fputs(kappa_table.render().c_str(), stdout);
 
   // --- Part 2: detector-aware adaptive CW ----------------------------------
   std::printf("\n");
@@ -99,7 +99,7 @@ int main() {
   };
   run_attack("plain CW-L2", plain);
   run_attack("adaptive CW-L2", adaptive);
-  adaptive_table.print();
+  std::fputs(adaptive_table.render().c_str(), stdout);
   std::printf(
       "\nexpected shape: adaptive attack evades the detector (low detected "
       "rate) at the cost of higher L2, partially restoring attack success — "

@@ -64,7 +64,7 @@ int main() {
                      eval::percent(curve[i].true_positive_rate, 1),
                      eval::percent(curve[i].false_positive_rate, 1)});
     }
-    table.print();
+    std::fputs(table.render().c_str(), stdout);
     std::printf("\n");
   };
   report("DCN logit detector", dcn_scores);

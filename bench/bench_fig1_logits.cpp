@@ -54,7 +54,7 @@ int main() {
     add_logit_row(t, z);
     adv_margin.record(-attacks::CwL2::objective_margin(z, z.argmax()));
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
 
   const Tensor zb = wb.model.logits(x);
   std::printf(

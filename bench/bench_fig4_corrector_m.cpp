@@ -60,7 +60,7 @@ int main() {
                                1) +
                        "ms"});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf("\nconclusion check: m=50 should match m=1000 accuracy at ~5%% "
               "of the cost (the paper's parameter improvement).\n");
   return 0;

@@ -100,6 +100,6 @@ int main() {
     std::printf("[attack] %s done (%.1fs)\n", e.name.c_str(), t.seconds());
   }
   std::printf("\n");
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   return 0;
 }

@@ -162,7 +162,7 @@ int main() {
     table.add_row(row);
   }
   std::printf("\n");
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
 
   eval::write_json_file("BENCH_serve.json", json);
   std::printf("\nwrote BENCH_serve.json\n");

@@ -64,6 +64,6 @@ int main() {
     table.add_row({r.dataset, eval::percent(r.rates.false_negative),
                    eval::percent(r.rates.false_positive)});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   return 0;
 }

@@ -139,7 +139,7 @@ void run_domain(bool mnist, dcn::eval::JsonObject& json) {
                                2) +
                        "ms"});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf("\n");
 }
 

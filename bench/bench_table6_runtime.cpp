@@ -89,7 +89,7 @@ int main() {
   std::printf("\n");
   table.add_row(dcn_row);
   table.add_row(rc_row);
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
 
   // Fig. 5 is the same data on a log-scale plot; print the series.
   std::printf("\nFig. 5 series (log-scale plot of the rows above):\n");

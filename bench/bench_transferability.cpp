@@ -76,7 +76,7 @@ int main() {
                    transferred.percent(), detected.percent(),
                    fooled_dcn.percent(), eval::fixed(l2.value(), 2)});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nreading: at kappa=0 almost nothing transfers, so DCN is safe by "
       "default; but the examples that DO transfer defeat DCN at a high rate "

@@ -100,7 +100,7 @@ int main() {
   run_level("0", "CW-L2 (kappa=0)", level0);
   run_level("1", "CW-L2 (kappa=5)", level1);
   run_level("2", "adaptive CW (detector-aware)", level2);
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
 
   std::printf(
       "\nlessons: (1) the paper's detector stops the oblivious attacker "

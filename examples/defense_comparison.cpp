@@ -109,7 +109,7 @@ int main() {
                                1) +
                        "ms"});
   }
-  table.print();
+  std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\ntakeaway: this batch was crafted white-box against the Standard "
       "DNN, so it fools that model completely. Distillation dodges it only "

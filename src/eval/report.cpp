@@ -1,7 +1,6 @@
 #include "eval/report.hpp"
 
 #include <algorithm>
-#include <iostream>
 #include <sstream>
 
 namespace dcn::eval {
@@ -45,8 +44,6 @@ std::string Table::render() const {
   for (const auto& r : rows_) emit(r);
   return os.str();
 }
-
-void Table::print() const { std::cout << render() << std::flush; }
 
 std::string percent(double fraction, int decimals) {
   std::ostringstream os;

@@ -14,10 +14,9 @@ class Table {
   void set_header(std::vector<std::string> cells);
   void add_row(std::vector<std::string> cells);
 
+  /// The aligned text block. Callers own the output stream — library code
+  /// never writes to stdout (dcn-lint rule `no-cout`).
   [[nodiscard]] std::string render() const;
-
-  /// Render and write to stdout.
-  void print() const;
 
  private:
   std::string title_;

@@ -1,0 +1,304 @@
+// The lint engine is itself a contract — every rule must fire on a known-bad
+// snippet and stay quiet when the matching suppression comment is present,
+// otherwise dcn-lint silently stops guarding the determinism/threading
+// invariants. Each test feeds a synthetic (path, content) pair straight into
+// check_source, so rule scoping (src/ vs bench/, runtime exemptions, the
+// GEMM file set) is exercised without touching the filesystem.
+#include "../tools/lint/lint_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using dcn::lint::check_source;
+using dcn::lint::Violation;
+
+std::vector<std::string> rules_fired(const std::vector<Violation>& vs) {
+  std::vector<std::string> out;
+  out.reserve(vs.size());
+  for (const auto& v : vs) out.push_back(v.rule);
+  return out;
+}
+
+bool fired(const std::vector<Violation>& vs, const std::string& rule) {
+  const auto rs = rules_fired(vs);
+  return std::find(rs.begin(), rs.end(), rule) != rs.end();
+}
+
+long count_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  const auto rs = rules_fired(vs);
+  return std::count(rs.begin(), rs.end(), rule);
+}
+
+// ---- entropy ---------------------------------------------------------------
+
+TEST(LintEntropy, FiresOnRandSrandTimeAndRandomDevice) {
+  const char* bad =
+      "int f() {\n"
+      "  srand(42);\n"
+      "  int a = rand();\n"
+      "  long t = time(nullptr);\n"
+      "  std::random_device rd;\n"
+      "  return a;\n"
+      "}\n";
+  const auto vs = check_source("src/core/foo.cpp", bad);
+  EXPECT_EQ(count_rule(vs, "entropy"), 4);
+}
+
+TEST(LintEntropy, ScopedToLibraryCode) {
+  // The same text in a bench file is legal: only src/ carries the contract.
+  const char* text = "int main() { srand(1); return rand(); }\n";
+  EXPECT_FALSE(fired(check_source("bench/bench_foo.cpp", text), "entropy"));
+  EXPECT_TRUE(fired(check_source("src/attacks/foo.cpp", text), "entropy"));
+}
+
+TEST(LintEntropy, IgnoresCommentsStringsAndSubwords) {
+  const char* text =
+      "// rand() in a comment is fine\n"
+      "const char* s = \"call time() later\";\n"
+      "int random_seed = 0;          // identifier containing 'random'\n"
+      "int operand = strand(1);      // subword matches must not fire\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", text).empty());
+}
+
+TEST(LintEntropy, RuntimeIsStillLibraryCode) {
+  // The runtime/serve exemption applies to raw-thread only, not entropy.
+  EXPECT_TRUE(fired(
+      check_source("src/runtime/foo.cpp", "int x = rand();\n"), "entropy"));
+}
+
+// ---- raw-thread ------------------------------------------------------------
+
+TEST(LintRawThread, FiresOnThreadAsyncAndArrayNew) {
+  const char* bad =
+      "void f() {\n"
+      "  std::thread t([] {});\n"
+      "  auto fut = std::async([] { return 1; });\n"
+      "  float* buf = new float[64];\n"
+      "  delete[] buf;\n"
+      "  t.join();\n"
+      "}\n";
+  const auto vs = check_source("src/core/foo.cpp", bad);
+  EXPECT_EQ(count_rule(vs, "raw-thread"), 4);
+}
+
+TEST(LintRawThread, RuntimeAndServeAreExempt) {
+  const char* text = "std::thread worker([] {}); float* p = new float[8];\n";
+  EXPECT_TRUE(check_source("src/runtime/pool.cpp", text).empty());
+  EXPECT_TRUE(check_source("src/serve/server.cpp", text).empty());
+  EXPECT_TRUE(fired(check_source("src/nn/dense.cpp", text), "raw-thread"));
+  EXPECT_TRUE(fired(check_source("tests/test_foo.cpp", text), "raw-thread"));
+}
+
+TEST(LintRawThread, HardwareConcurrencyQueryIsLegal) {
+  // std::thread::<member> creates no thread — benches size sweeps with it.
+  const char* text =
+      "unsigned n = std::thread::hardware_concurrency();\n"
+      "std::thread::id self;\n";
+  EXPECT_TRUE(check_source("bench/bench_foo.cpp", text).empty());
+}
+
+TEST(LintRawThread, PlacementAndScalarNewAreLegal) {
+  const char* text =
+      "auto* one = new Foo();\n"
+      "auto p = std::make_unique<std::vector<int>>();\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", text).empty());
+}
+
+// ---- float-accumulator -----------------------------------------------------
+
+TEST(LintFloatAccumulator, FiresInGemmKernelFiles) {
+  const char* bad =
+      "void gemm() {\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    float acc = 0.0F;\n"
+      "    for (int p = 0; p < k; ++p) acc += a[p] * b[p];\n"
+      "    c[i] = acc;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(fired(check_source("src/tensor/ops.cpp", bad),
+                    "float-accumulator"));
+  // Outside the double-accumulation file set the pattern is not the
+  // contract's business (e.g. attack saliency scores).
+  EXPECT_FALSE(fired(check_source("src/attacks/jsma.cpp", bad),
+                     "float-accumulator"));
+}
+
+TEST(LintFloatAccumulator, DoubleAccumulatorIsTheBlessedForm) {
+  const char* good =
+      "double acc = 0.0;\n"
+      "for (int p = 0; p < k; ++p) acc += double(a[p]) * b[p];\n"
+      "float scale = 2.0F;          // float locals without += stay legal\n"
+      "out[i] = float(acc) * scale;\n";
+  EXPECT_TRUE(check_source("src/tensor/ops.cpp", good).empty());
+}
+
+// ---- no-cout ---------------------------------------------------------------
+
+TEST(LintNoCout, FiresOnCoutPrintfPuts) {
+  const char* bad =
+      "#include <iostream>\n"
+      "void report() {\n"
+      "  std::cout << \"done\\n\";\n"
+      "  printf(\"%d\\n\", 1);\n"
+      "  puts(\"x\");\n"
+      "}\n";
+  const auto vs = check_source("src/eval/foo.cpp", bad);
+  EXPECT_EQ(count_rule(vs, "no-cout"), 3);
+}
+
+TEST(LintNoCout, BenchesAndSnprintfAreLegal) {
+  EXPECT_TRUE(
+      check_source("bench/bench_foo.cpp", "std::cout << 1;\n").empty());
+  // Formatting into a buffer is not output.
+  EXPECT_TRUE(check_source("src/eval/foo.cpp",
+                           "std::snprintf(buf, sizeof(buf), \"%g\", v);\n")
+                  .empty());
+}
+
+// ---- header hygiene --------------------------------------------------------
+
+TEST(LintHeaders, MissingPragmaOnceFires) {
+  const auto vs = check_source("src/core/foo.hpp", "struct Foo {};\n");
+  ASSERT_TRUE(fired(vs, "pragma-once"));
+  EXPECT_EQ(vs.front().line, 1u);
+}
+
+TEST(LintHeaders, PragmaOnceInCommentDoesNotCount) {
+  const char* text = "// #pragma once\nstruct Foo {};\n";
+  EXPECT_TRUE(fired(check_source("src/core/foo.hpp", text), "pragma-once"));
+}
+
+TEST(LintHeaders, UsingNamespaceAtHeaderScopeFires) {
+  const char* bad = "#pragma once\nusing namespace std;\n";
+  EXPECT_TRUE(fired(check_source("bench/common.hpp", bad),
+                    "using-namespace-header"));
+  // In a .cpp the same line is allowed (function/file scope is the
+  // implementer's call).
+  EXPECT_FALSE(fired(check_source("bench/common.cpp", bad),
+                     "using-namespace-header"));
+}
+
+// ---- mutex-in-parallel-for -------------------------------------------------
+
+TEST(LintParallelFor, LockInsideWorkerLambdaFires) {
+  const char* bad =
+      "void f() {\n"
+      "  runtime::parallel_for(0, n, 64, [&](std::size_t b, std::size_t e) {\n"
+      "    std::lock_guard<std::mutex> g(m);\n"
+      "    for (std::size_t i = b; i < e; ++i) out[i] = i;\n"
+      "  });\n"
+      "}\n";
+  EXPECT_TRUE(fired(check_source("src/nn/dense.cpp", bad),
+                    "mutex-in-parallel-for"));
+}
+
+TEST(LintParallelFor, LockFreeWorkerIsLegal) {
+  const char* good =
+      "runtime::parallel_for(0, n, 64, [&](std::size_t b, std::size_t e) {\n"
+      "  for (std::size_t i = b; i < e; ++i) out[i] = f(i);\n"
+      "});\n"
+      "std::lock_guard<std::mutex> g(m);  // after the join: fine\n";
+  EXPECT_TRUE(check_source("src/nn/dense.cpp", good).empty());
+}
+
+// ---- suppressions ----------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSilencesOneRule) {
+  const char* text =
+      "int a = rand();  // dcn-lint: allow(entropy)\n"
+      "int b = rand();\n";
+  const auto vs = check_source("src/core/foo.cpp", text);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs.front().line, 2u);
+}
+
+TEST(LintSuppression, PrecedingLineAllowCoversNextLine) {
+  const char* text =
+      "// dcn-lint: allow(raw-thread)\n"
+      "std::thread t([] {});\n";
+  EXPECT_TRUE(check_source("tests/test_foo.cpp", text).empty());
+}
+
+TEST(LintSuppression, AllowListsMultipleRules) {
+  const char* text =
+      "// dcn-lint: allow(entropy, no-cout)\n"
+      "int a = rand(); std::cout << a;\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", text).empty());
+}
+
+TEST(LintSuppression, AllowDoesNotLeakPastTheNextLine) {
+  const char* text =
+      "// dcn-lint: allow(entropy)\n"
+      "int a = rand();\n"
+      "int b = rand();\n";
+  const auto vs = check_source("src/core/foo.cpp", text);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs.front().line, 3u);
+}
+
+TEST(LintSuppression, WrongRuleNameDoesNotSilence) {
+  const char* text = "int a = rand();  // dcn-lint: allow(no-cout)\n";
+  EXPECT_TRUE(fired(check_source("src/core/foo.cpp", text), "entropy"));
+}
+
+TEST(LintSuppression, AllowFileSilencesWholeFile) {
+  const char* text =
+      "// dcn-lint: allow-file(entropy)\n"
+      "int a = rand();\n"
+      "int b = rand();\n"
+      "std::thread t([] {});  // other rules still fire\n";
+  const auto vs = check_source("src/core/foo.cpp", text);
+  EXPECT_FALSE(fired(vs, "entropy"));
+  EXPECT_TRUE(fired(vs, "raw-thread"));
+}
+
+// ---- tokenizer robustness --------------------------------------------------
+
+TEST(LintTokenizer, RawStringsAreBlanked) {
+  const char* text =
+      "const char* kDoc = R\"(call rand() and std::thread here)\";\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", text).empty());
+}
+
+TEST(LintTokenizer, BlockCommentsSpanningLinesKeepLineNumbers) {
+  const char* text =
+      "/* line 1\n"
+      "   rand() inside a block comment\n"
+      "*/\n"
+      "int a = rand();\n";
+  const auto vs = check_source("src/core/foo.cpp", text);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs.front().line, 4u);
+}
+
+TEST(LintTokenizer, DigitSeparatorsAreNotCharLiterals) {
+  // A naive char-literal scan would treat 60'000'000's quotes as literal
+  // delimiters and blank real code between them.
+  const char* text =
+      "constexpr long kDelay = 60'000'000;\n"
+      "int a = rand();\n";
+  const auto vs = check_source("src/serve/foo.cpp", text);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs.front().rule, "entropy");
+  EXPECT_EQ(vs.front().line, 2u);
+}
+
+TEST(LintTokenizer, EscapedQuotesInStringsDoNotDesync) {
+  const char* text =
+      "const char* s = \"quote \\\" then rand()\";\n"
+      "int a = rand();\n";
+  const auto vs = check_source("src/core/foo.cpp", text);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs.front().line, 2u);
+}
+
+// The linted tree itself is the final fixture: the `dcn-lint` ctest entry
+// runs the real binary over the repo, so a regression anywhere in src/ fails
+// the suite even if these unit tests still pass.
+
+}  // namespace

@@ -1,0 +1,74 @@
+#!/bin/sh
+# analysis_matrix.sh — one command that proves the tree clean under the full
+# static/dynamic analysis matrix. Three legs, in order:
+#
+#   plain              Release build, full ctest (includes the dcn-lint
+#                      contract checks and dcn_docs_check).
+#   address,undefined  ASan+UBSan build, full ctest. Heap errors anywhere and
+#                      signed-overflow/misaligned-load UB in the tensor/attack
+#                      kernels fail the leg (-fno-sanitize-recover=all).
+#   thread             TSan build, concurrency suites only (dcn_runtime_tests,
+#                      dcn_serve_tests, the pinned determinism entry, and the
+#                      lint suite they share a binary with). TSan's 5-15x
+#                      slowdown buys nothing on the single-threaded training
+#                      fixtures — races only exist where threads do.
+#
+# Each leg configures its own build tree under <repo>/build-matrix/<leg> so
+# the developer build/ directory is never clobbered; legs run sequentially
+# and the script stops at the first failure. A clean exit means: contracts
+# lint-clean, no ASan/UBSan findings, no TSan races (modulo the justified
+# suppressions in tsan.supp, which TSAN_OPTIONS wires in when present).
+#
+# Usage: tools/analysis_matrix.sh [repo_root]
+#   JOBS=<n>  parallel build/test jobs (default: nproc)
+#
+# Documented as the pre-PR gate in ROADMAP.md ("Tier-1 verify") and in
+# docs/OPERATIONS.md ("Analysis matrix").
+set -u
+
+repo="${1:-$(pwd)}"
+repo=$(cd "$repo" && pwd) || exit 2
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 1)}"
+matrix_root="$repo/build-matrix"
+
+# TSan runs only the suites that exercise concurrency (plus dcn-lint, which
+# is free). Everything else in the suite is single-threaded fixture work.
+tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_runtime_determinism_sanitized|dcn-lint'
+
+run_leg() {
+    leg_name="$1"       # directory-safe label
+    sanitize="$2"       # DCN_SANITIZE value ('' for plain)
+    test_args="$3"      # extra ctest arguments
+    bdir="$matrix_root/$leg_name"
+
+    echo ""
+    echo "=== analysis-matrix: $leg_name (DCN_SANITIZE='$sanitize') ==="
+    cmake -B "$bdir" -S "$repo" -DDCN_SANITIZE="$sanitize" \
+          -DCMAKE_BUILD_TYPE=Release >/dev/null || {
+        echo "analysis-matrix: $leg_name: configure FAILED" >&2; exit 1; }
+    cmake --build "$bdir" -j "$jobs" >/dev/null || {
+        echo "analysis-matrix: $leg_name: build FAILED" >&2; exit 1; }
+    # shellcheck disable=SC2086 — test_args is intentionally word-split.
+    (cd "$bdir" && ctest --output-on-failure -j "$jobs" $test_args) || {
+        echo "analysis-matrix: $leg_name: tests FAILED" >&2; exit 1; }
+    echo "analysis-matrix: $leg_name: OK"
+}
+
+# UBSan: abort on the first finding with a symbolized stack. ASan: leak
+# checking stays on (the default). TSan: honor the checked-in suppression
+# file when it exists; every entry there documents why the race is benign.
+UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export UBSAN_OPTIONS
+if [ -f "$repo/tsan.supp" ]; then
+    TSAN_OPTIONS="suppressions=$repo/tsan.supp halt_on_error=1"
+else
+    TSAN_OPTIONS="halt_on_error=1"
+fi
+export TSAN_OPTIONS
+
+run_leg plain        ""                  ""
+run_leg asan-ubsan   "address,undefined" ""
+run_leg tsan         "thread"            "-R $tsan_filter"
+
+echo ""
+echo "analysis-matrix: ALL LEGS CLEAN (plain, address+undefined, thread)"

@@ -1,12 +1,17 @@
 #!/bin/sh
 # docs_check.sh — keep the documentation honest.
 #
-# Verifies two invariants, and fails (exit 1) listing every violation:
+# Verifies three invariants, and fails (exit 1) listing every violation:
 #   1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
 #      ROADMAP.md, and docs/*.md points at a file that exists.
 #   2. Every bench binary EXPERIMENTS.md cites (`bench_*`) has a source file
 #      in bench/ and, when a build directory is supplied, a built executable
 #      in <build>/bench/.
+#   3. Every backtick-quoted repo path the docs cite (`src/...`, `bench/...`,
+#      `examples/...`, `tests/...`, `tools/...`, `docs/...`) exists: a
+#      trailing slash must name a directory, a path with an extension must
+#      name a file, and an extensionless `bench/foo` must have a foo.cpp
+#      source. Docs that drift from the tree fail the suite.
 #
 # Usage: docs_check.sh <repo_root> [build_dir]
 # Wired up as the `docs-check` CMake target and the `dcn_docs_check` ctest
@@ -57,8 +62,36 @@ for name in $benches; do
     fi
 done
 
+# --- 3. Backtick-quoted repo paths ------------------------------------------
+for doc in $docs; do
+    cited=$(grep -ohE '`(src|bench|examples|tests|tools|docs)/[A-Za-z0-9_./-]*`' \
+                "$doc" | tr -d '\140' | sort -u)
+    for path in $cited; do
+        case "$path" in
+            *...*) continue ;;          # `src/...`-style placeholder, not a path
+            */)
+                if [ ! -d "$repo/$path" ]; then
+                    fail "$(basename "$doc"): cited directory '$path' does not exist"
+                fi
+                ;;
+            *.*)
+                if [ ! -f "$repo/$path" ]; then
+                    fail "$(basename "$doc"): cited file '$path' does not exist"
+                fi
+                ;;
+            *)
+                # Extensionless: a built binary (bench/foo -> bench/foo.cpp),
+                # or a directory cited without its trailing slash.
+                if [ ! -f "$repo/$path.cpp" ] && [ ! -e "$repo/$path" ]; then
+                    fail "$(basename "$doc"): cited path '$path' has no source or directory"
+                fi
+                ;;
+        esac
+    done
+done
+
 if [ "$failures" -gt 0 ]; then
     echo "docs-check: FAILED with $failures problem(s)" >&2
     exit 1
 fi
-echo "docs-check: OK (links and bench citations verified)"
+echo "docs-check: OK (links, bench citations, and cited repo paths verified)"

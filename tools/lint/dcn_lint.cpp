@@ -1,0 +1,101 @@
+// dcn-lint — enforce the project contracts the compiler can't see.
+//
+// Usage:
+//   dcn_lint <repo_root> [--rules]
+//
+// Walks src/, bench/, examples/, and tests/ under <repo_root>, runs every
+// .cpp/.hpp through the rule engine in lint_rules.hpp, and prints one line
+// per violation in compiler format (path:line: [rule] message) so editors
+// can jump to them. Exits 1 when anything fires, 0 on a clean tree.
+//
+// Wired into the suite as the `dcn-lint` ctest entry and the `dcn-lint`
+// build target (see tools/lint/CMakeLists.txt); docs/OPERATIONS.md explains
+// the rules and the suppression syntax.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kScanDirs[] = {"src", "bench", "examples", "tests"};
+
+constexpr const char* kRuleHelp =
+    "entropy                 no rand()/srand()/random_device/time() in src/\n"
+    "raw-thread              no std::thread/std::async/new[]/delete[] outside\n"
+    "                        src/runtime/ and src/serve/\n"
+    "float-accumulator       no float accumulators in GEMM/conv kernels\n"
+    "no-cout                 no std::cout/printf/puts in src/\n"
+    "pragma-once             every header carries #pragma once\n"
+    "using-namespace-header  no `using namespace` at header scope\n"
+    "mutex-in-parallel-for   no lock acquisition inside parallel_for spans\n"
+    "\n"
+    "Suppress with `// dcn-lint: allow(rule)` on or above the line, or\n"
+    "`// dcn-lint: allow-file(rule)` for a whole file.\n";
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--rules") {
+    std::cout << kRuleHelp;
+    return 0;
+  }
+  if (argc != 2) {
+    std::cerr << "usage: dcn_lint <repo_root> [--rules]\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!fs::is_directory(root)) {
+    std::cerr << "dcn-lint: '" << root.string() << "' is not a directory\n";
+    return 2;
+  }
+
+  // Deterministic order: collect, then sort by repo-relative path.
+  std::vector<std::string> files;
+  for (const char* dir : kScanDirs) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        files.push_back(
+            fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  std::size_t dirty_files = 0;
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto violations = dcn::lint::check_source(rel, buf.str());
+    if (!violations.empty()) ++dirty_files;
+    for (const auto& v : violations) {
+      std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+      ++total;
+    }
+  }
+
+  if (total != 0) {
+    std::cout << "dcn-lint: FAILED — " << total << " violation(s) in "
+              << dirty_files << " of " << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "dcn-lint: OK (" << files.size()
+            << " files clean across src/, bench/, examples/, tests/)\n";
+  return 0;
+}

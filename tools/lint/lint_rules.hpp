@@ -1,0 +1,522 @@
+// dcn-lint rule engine — the project-contract checks no compiler enforces.
+//
+// The repo's correctness story rests on invariants that are easy to break
+// silently: the bit-exact determinism contract (fixed double-accumulation
+// order in GEMM/conv, seeded RNG streams only — never ambient entropy) and
+// the threading discipline (one compute pool in src/runtime/, one dispatcher
+// thread in src/serve/, nothing else spawns threads or takes locks inside
+// parallel_for workers). This engine tokenizes a translation unit just far
+// enough to check those contracts structurally, with per-line suppression
+// comments for the rare justified exception.
+//
+// Rules (ids are what suppression comments name):
+//
+//   entropy                 src/ only. rand/srand/rand_r/drand48/random_device/
+//                           time() are banned entropy sources; all randomness
+//                           must flow through seeded dcn Rng streams.
+//   raw-thread              Everywhere except src/runtime/ and src/serve/.
+//                           std::thread / std::jthread / std::async and raw
+//                           new[] / delete[] are reserved for the runtime and
+//                           serve layers; compute goes through parallel_for,
+//                           storage through containers.
+//   float-accumulator       GEMM/conv reduction kernels only (fixed file set).
+//                           A `float` variable that is later `+=`-ed breaks
+//                           the double-accumulation determinism contract.
+//   no-cout                 src/ only. std::cout / printf / puts in library
+//                           code; output belongs to callers (render()/JSON).
+//   pragma-once             Every header must contain `#pragma once`.
+//   using-namespace-header  `using namespace` at header scope leaks into
+//                           every includer.
+//   mutex-in-parallel-for   Lock acquisition inside a parallel_for call span
+//                           serializes the pool; use per-chunk buffers and a
+//                           sequential merge instead.
+//
+// Suppressions: `// dcn-lint: allow(rule)` or `allow(rule1,rule2)` trailing
+// a statement silences those rules on that line; the same comment alone on
+// its own line silences them on the line below (so the directive can sit
+// above the offending statement). `// dcn-lint: allow-file(rule)` silences a
+// rule for the whole file; reserve it for files whose purpose is the
+// exception.
+//
+// The engine never reads the filesystem: callers hand it (path, content)
+// pairs, which is what makes it unit-testable (tests/test_lint_rules.cpp)
+// and trivially driven by the dcn_lint binary.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcn::lint {
+
+struct Violation {
+  std::string rule;
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string message;
+};
+
+namespace detail {
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// The comment/literal-blanked view of a file plus its suppression table.
+struct Prepared {
+  std::string code;  // same length/lines as the input; comments and the
+                     // bodies of string/char literals replaced by spaces
+  std::map<std::size_t, std::set<std::string>> line_allows;
+  std::set<std::string> file_allows;
+};
+
+/// Record `dcn-lint: allow(...)` / `allow-file(...)` directives found in a
+/// comment that starts on `line`. A trailing comment covers its own line; a
+/// comment that is alone on its line covers the next line instead (set
+/// `covers_next`), so the directive can sit above the offending statement.
+inline void parse_directives(std::string_view comment, std::size_t line,
+                             bool covers_next, Prepared& out) {
+  static constexpr std::string_view kTag = "dcn-lint:";
+  std::size_t at = comment.find(kTag);
+  if (at == std::string_view::npos) return;
+  std::string_view rest = comment.substr(at + kTag.size());
+  const bool file_wide = rest.find("allow-file(") != std::string_view::npos;
+  const std::size_t open = rest.find('(');
+  if (open == std::string_view::npos) return;
+  const std::size_t close = rest.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = rest.substr(open + 1, close - open - 1);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    std::string_view item = list.substr(0, comma);
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) {
+      item.remove_prefix(1);
+    }
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) {
+      item.remove_suffix(1);
+    }
+    if (!item.empty()) {
+      if (file_wide) {
+        out.file_allows.emplace(item);
+      } else {
+        out.line_allows[covers_next ? line + 1 : line].emplace(item);
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+/// Blank comments and string/char-literal bodies (newlines survive so line
+/// numbers stay true), collecting suppression directives along the way.
+/// Handles //, /* */, "...", '...', and R"delim(...)delim".
+inline Prepared prepare(std::string_view content) {
+  Prepared out;
+  out.code.assign(content.size(), ' ');
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  auto copy = [&](std::size_t at) { out.code[at] = content[at]; };
+  // True when nothing but whitespace precedes offset `at` on its line — a
+  // comment starting there is standalone and its allow() covers the line
+  // below it rather than its own.
+  auto standalone = [&](std::size_t at) {
+    while (at > 0 && content[at - 1] != '\n') {
+      const char p = content[--at];
+      if (p != ' ' && p != '\t') return false;
+    }
+    return true;
+  };
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && content[i] != '\n') ++i;
+      parse_directives(content.substr(start, i - start), line,
+                       standalone(start), out);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const std::size_t start = i;
+      const std::size_t start_line = line;
+      const bool alone = standalone(start);
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      // A standalone block comment covers the line after its last line.
+      parse_directives(content.substr(start, i - start),
+                       alone ? line : start_line, alone, out);
+      continue;
+    }
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
+        (i == 0 || !ident_char(content[i - 1]))) {
+      std::size_t j = i + 2;
+      while (j < n && content[j] != '(') ++j;
+      const std::string closer =
+          ")" + std::string(content.substr(i + 2, j - (i + 2))) + "\"";
+      const std::size_t end = content.find(closer, j);
+      const std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + closer.size();
+      for (; i < stop; ++i) {
+        if (content[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        }
+      }
+      continue;
+    }
+    // A ' directly after a digit/identifier char is a C++14 digit separator
+    // (60'000'000), not a char literal — leave it in place.
+    if (c == '\'' && i > 0 && ident_char(content[i - 1])) {
+      copy(i);
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      copy(i);  // keep the delimiter so token boundaries survive
+      const char quote = c;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) ++i;
+        if (content[i] == '\n') {
+          out.code[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      if (i < n) copy(i++);
+      continue;
+    }
+    copy(i);
+    ++i;
+  }
+  return out;
+}
+
+/// 1-based line number of offset `at` in `code`.
+inline std::size_t line_of(std::string_view code, std::size_t at) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(code.begin(), code.begin() + static_cast<long>(at),
+                            '\n'));
+}
+
+/// Find the next whole-identifier occurrence of `ident` at or after `from`.
+inline std::size_t find_ident(std::string_view code, std::string_view ident,
+                              std::size_t from) {
+  while (true) {
+    const std::size_t at = code.find(ident, from);
+    if (at == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = at == 0 || !ident_char(code[at - 1]);
+    const std::size_t end = at + ident.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return at;
+    from = at + 1;
+  }
+}
+
+/// First non-whitespace offset at or after `from` (npos at end).
+inline std::size_t skip_ws(std::string_view code, std::size_t from) {
+  while (from < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[from])) != 0) {
+    ++from;
+  }
+  return from < code.size() ? from : std::string_view::npos;
+}
+
+/// True when the identifier at `at` is immediately qualified by `std::`.
+inline bool std_qualified(std::string_view code, std::size_t at) {
+  std::size_t j = at;
+  while (j > 0 &&
+         std::isspace(static_cast<unsigned char>(code[j - 1])) != 0) {
+    --j;
+  }
+  if (j < 2 || code[j - 1] != ':' || code[j - 2] != ':') return false;
+  j -= 2;
+  while (j > 0 &&
+         std::isspace(static_cast<unsigned char>(code[j - 1])) != 0) {
+    --j;
+  }
+  return j >= 3 && code.substr(j - 3, 3) == "std" &&
+         (j == 3 || !ident_char(code[j - 4]));
+}
+
+/// Offset just past the matching ')' for the '(' at `open` (npos if
+/// unbalanced). Works on blanked code, so literals cannot confuse depth.
+inline std::size_t match_paren(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace detail
+
+/// Where a file sits in the tree decides which rules apply to it.
+struct FileScope {
+  bool in_src = false;        // src/** — library code
+  bool threading_ok = false;  // src/runtime/** or src/serve/**
+  bool is_header = false;     // *.hpp
+  bool gemm_kernel = false;   // the fixed double-accumulation file set
+};
+
+inline FileScope classify(std::string_view path) {
+  FileScope s;
+  auto has_prefix = [&](std::string_view p) {
+    return path.substr(0, p.size()) == p;
+  };
+  s.in_src = has_prefix("src/");
+  s.threading_ok = has_prefix("src/runtime/") || has_prefix("src/serve/");
+  s.is_header = path.size() >= 4 &&
+                path.substr(path.size() - 4) == ".hpp";
+  // The kernels bound by the double-accumulation determinism contract
+  // (ROADMAP "SIMD kernels"; DESIGN.md determinism notes).
+  static constexpr std::string_view kGemmFiles[] = {
+      "src/tensor/ops.cpp",  "src/tensor/conv.cpp",   "src/tensor/tensor.cpp",
+      "src/nn/dense.cpp",    "src/nn/conv2d.cpp",     "src/nn/avgpool.cpp",
+      "src/nn/batchnorm.cpp"};
+  for (std::string_view f : kGemmFiles) {
+    if (path == f) s.gemm_kernel = true;
+  }
+  return s;
+}
+
+/// Run every applicable rule over one file. `path` must be repo-relative
+/// with forward slashes (e.g. "src/core/dcn.cpp") — scoping keys off it.
+inline std::vector<Violation> check_source(std::string_view path,
+                                           std::string_view content) {
+  using namespace detail;
+  const FileScope scope = classify(path);
+  const Prepared prep = prepare(content);
+  const std::string_view code = prep.code;
+
+  std::vector<Violation> raw;
+  auto add = [&](std::string rule, std::size_t at, std::string message) {
+    raw.push_back(Violation{std::move(rule), std::string(path),
+                            line_of(code, at), std::move(message)});
+  };
+
+  // ---- entropy (library code only) ----------------------------------------
+  if (scope.in_src) {
+    for (std::string_view fn : {"rand", "srand", "rand_r", "drand48", "time"}) {
+      std::size_t at = 0;
+      while ((at = find_ident(code, fn, at)) != std::string_view::npos) {
+        const std::size_t after = skip_ws(code, at + fn.size());
+        if (after != std::string_view::npos && code[after] == '(') {
+          add("entropy", at,
+              "'" + std::string(fn) +
+                  "()' is a non-deterministic entropy source; library "
+                  "randomness must come from a seeded dcn Rng stream");
+        }
+        at += fn.size();
+      }
+    }
+    std::size_t at = 0;
+    while ((at = find_ident(code, "random_device", at)) !=
+           std::string_view::npos) {
+      add("entropy", at,
+          "std::random_device breaks the determinism contract; seed an Rng "
+          "stream explicitly");
+      at += 1;
+    }
+  }
+
+  // ---- raw-thread (everywhere but runtime/ and serve/) --------------------
+  if (!scope.threading_ok) {
+    for (std::string_view kw : {"thread", "jthread", "async"}) {
+      std::size_t at = 0;
+      while ((at = find_ident(code, kw, at)) != std::string_view::npos) {
+        const std::size_t next = at + kw.size();
+        if (std_qualified(code, at)) {
+          // std::thread::<member> is a type-level query (hardware_concurrency,
+          // id, ...) — no thread is created, so it stays legal.
+          const std::size_t after = skip_ws(code, next);
+          const bool member_access =
+              kw != "async" && after != std::string_view::npos &&
+              after + 1 < code.size() && code[after] == ':' &&
+              code[after + 1] == ':';
+          if (!member_access) {
+            add("raw-thread", at,
+                "std::" + std::string(kw) +
+                    " outside src/runtime//src/serve/; compute belongs on "
+                    "runtime::parallel_for");
+          }
+        }
+        at = next;
+      }
+    }
+    std::size_t at = 0;
+    while ((at = find_ident(code, "new", at)) != std::string_view::npos) {
+      // Skip the type name (identifiers, ::, <...>) after `new`; a `[` next
+      // means array new.
+      std::size_t j = at + 3;
+      int angle = 0;
+      while (j < code.size()) {
+        const char c = code[j];
+        if (c == '<') ++angle;
+        if (c == '>' && angle > 0) --angle;
+        if (angle == 0 && !ident_char(c) && c != ':' && c != ' ' &&
+            c != '\n' && c != '\t' && c != '<' && c != '>') {
+          break;
+        }
+        ++j;
+      }
+      if (j < code.size() && code[j] == '[') {
+        add("raw-thread", at,
+            "raw new[] outside src/runtime//src/serve/; use std::vector or "
+            "Tensor storage");
+      }
+      at += 3;
+    }
+    at = 0;
+    while ((at = find_ident(code, "delete", at)) != std::string_view::npos) {
+      const std::size_t after = skip_ws(code, at + 6);
+      if (after != std::string_view::npos && code[after] == '[') {
+        add("raw-thread", at,
+            "raw delete[] outside src/runtime//src/serve/; use owning "
+            "containers");
+      }
+      at += 6;
+    }
+  }
+
+  // ---- float-accumulator (GEMM/conv kernel files) -------------------------
+  if (scope.gemm_kernel) {
+    std::size_t at = 0;
+    while ((at = find_ident(code, "float", at)) != std::string_view::npos) {
+      const std::size_t start = at;
+      at += 5;
+      std::size_t j = skip_ws(code, at);
+      if (j == std::string_view::npos || !ident_char(code[j])) continue;
+      const std::size_t name_begin = j;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      const std::string name(code.substr(name_begin, j - name_begin));
+      const std::size_t eq = skip_ws(code, j);
+      if (eq == std::string_view::npos || code[eq] != '=' ||
+          (eq + 1 < code.size() && code[eq + 1] == '=')) {
+        continue;
+      }
+      // A float that later receives `+=` is a single-precision accumulator.
+      std::size_t use = j;
+      while ((use = find_ident(code, name, use)) != std::string_view::npos) {
+        const std::size_t op = skip_ws(code, use + name.size());
+        if (op != std::string_view::npos && op + 1 < code.size() &&
+            code[op] == '+' && code[op + 1] == '=') {
+          add("float-accumulator", start,
+              "float accumulator '" + name +
+                  "' in a GEMM/conv kernel; the determinism contract "
+                  "requires double accumulation in a fixed order");
+          break;
+        }
+        use += name.size();
+      }
+    }
+  }
+
+  // ---- no-cout (library code only) ----------------------------------------
+  if (scope.in_src) {
+    std::size_t at = 0;
+    while ((at = find_ident(code, "cout", at)) != std::string_view::npos) {
+      if (std_qualified(code, at)) {
+        add("no-cout", at,
+            "std::cout in library code; return render()/JSON and let the "
+            "caller own the stream");
+      }
+      at += 4;
+    }
+    for (std::string_view fn : {"printf", "puts", "putchar"}) {
+      at = 0;
+      while ((at = find_ident(code, fn, at)) != std::string_view::npos) {
+        const std::size_t after = skip_ws(code, at + fn.size());
+        if (after != std::string_view::npos && code[after] == '(') {
+          add("no-cout", at,
+              "'" + std::string(fn) +
+                  "' in library code; output belongs to callers");
+        }
+        at += fn.size();
+      }
+    }
+  }
+
+  // ---- header hygiene -----------------------------------------------------
+  if (scope.is_header) {
+    if (code.find("#pragma once") == std::string_view::npos) {
+      raw.push_back(Violation{"pragma-once", std::string(path), 1,
+                              "header is missing #pragma once"});
+    }
+    std::size_t at = 0;
+    while ((at = find_ident(code, "using", at)) != std::string_view::npos) {
+      const std::size_t after = skip_ws(code, at + 5);
+      if (after != std::string_view::npos &&
+          find_ident(code, "namespace", after) == after) {
+        add("using-namespace-header", at,
+            "'using namespace' at header scope leaks into every includer");
+      }
+      at += 5;
+    }
+  }
+
+  // ---- mutex-in-parallel-for ----------------------------------------------
+  {
+    std::size_t at = 0;
+    while ((at = find_ident(code, "parallel_for", at)) !=
+           std::string_view::npos) {
+      const std::size_t open = skip_ws(code, at + 12);
+      if (open == std::string_view::npos || code[open] != '(') {
+        at += 12;
+        continue;
+      }
+      const std::size_t close = match_paren(code, open);
+      const std::size_t end =
+          close == std::string_view::npos ? code.size() : close;
+      const std::string_view span = code.substr(open, end - open);
+      for (std::string_view lock :
+           {"lock_guard", "unique_lock", "scoped_lock", "mutex"}) {
+        const std::size_t hit = find_ident(span, lock, 0);
+        if (hit != std::string_view::npos) {
+          add("mutex-in-parallel-for", open + hit,
+              "'" + std::string(lock) +
+                  "' inside a parallel_for call serializes the pool; use "
+                  "per-chunk buffers and merge sequentially");
+        }
+      }
+      at = end;
+    }
+  }
+
+  // ---- apply suppressions -------------------------------------------------
+  std::vector<Violation> out;
+  for (Violation& v : raw) {
+    if (prep.file_allows.count(v.rule) != 0) continue;
+    const auto it = prep.line_allows.find(v.line);
+    if (it != prep.line_allows.end() && it->second.count(v.rule) != 0) {
+      continue;
+    }
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace dcn::lint
