@@ -1,0 +1,143 @@
+// Observability overhead bench: price the span tracer on the corrector-heavy
+// path and pin it against the <3% budget the tracing contract promises
+// (src/obs/trace.hpp; docs/OPERATIONS.md "Observability").
+//
+// Protocol: an MLP sized so compute dominates ([64, 256, 256, 10]) under a
+// region-sampling corrector (m = 64). Both phases run the same seeded
+// request sequence and differ ONLY in the runtime tracing toggle:
+//
+//   baseline  — tracer compiled in (default build) but disabled
+//   traced    — obs::set_tracing_enabled(true); buffers cleared per rep
+//
+// Reps are INTERLEAVED (off, on, off, on, ...) so clock-frequency and cache
+// drift hits both phases equally instead of biasing whichever ran second;
+// per-call latency is the median across each phase's reps. The bench also
+// pins the determinism contract: the label sequence with tracing on must
+// equal the sequence with tracing off (spans observe, never perturb the RNG
+// stream). With -DDCN_TRACE=OFF both phases compile to the same code and
+// the overhead reads as noise around zero.
+//
+// Output: BENCH_obs.json {baseline_us_per_call, traced_us_per_call,
+// overhead_pct, spans_per_call, determinism_ok, runtime_attribution}.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "eval/bench_json.hpp"
+#include "obs/trace.hpp"
+#include "runtime/kernel_stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/random.hpp"
+
+namespace {
+
+using namespace dcn;
+
+constexpr std::size_t kInputDim = 64;
+constexpr std::size_t kSamples = 64;   // corrector region samples per call
+constexpr std::size_t kCalls = 200;    // corrector calls per rep
+constexpr std::size_t kReps = 7;       // per phase, interleaved
+constexpr std::size_t kWarmup = 25;
+
+struct Phase {
+  core::Corrector corrector;
+  std::vector<double> rep_us;
+  std::vector<std::size_t> labels;  // first rep's labels (determinism pin)
+  bool traced;
+
+  Phase(nn::Sequential& model, bool traced_in)
+      : corrector(model,
+                  {.radius = 0.1F, .samples = kSamples, .seed = 2024}),
+        traced(traced_in) {}
+
+  /// One timed rep of kCalls corrector calls under this phase's toggle.
+  /// Each phase owns a corrector seeded identically, so rep r consumes the
+  /// same RNG stream segment in both phases and the answers must match.
+  void run_rep(const std::vector<Tensor>& inputs) {
+    obs::set_tracing_enabled(traced);
+    obs::trace_clear();  // keep per-thread buffers from saturating
+    const bool first = rep_us.empty();
+    eval::Timer timer;
+    for (const Tensor& x : inputs) {
+      const std::size_t label = corrector.correct(x);
+      if (first) labels.push_back(label);
+    }
+    rep_us.push_back(timer.seconds() * 1e6 / static_cast<double>(kCalls));
+    obs::set_tracing_enabled(false);
+  }
+
+  [[nodiscard]] double median_us() const {
+    std::vector<double> sorted = rep_us;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() / 2];
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("[protocol] obs overhead: mlp(64-256-256-10), corrector m=%zu "
+              "radius=0.1 seed=2024; %zu calls/rep, median of %zu reps; "
+              "threads=%zu; tracer compiled %s\n",
+              kSamples, kCalls, kReps, runtime::thread_count(),
+              obs::kTraceCompiled ? "in" : "out");
+
+  Rng init_rng(7);
+  nn::Sequential model =
+      models::mlp({kInputDim, 256, 256, 10}, init_rng);
+
+  Rng input_rng(99);
+  std::vector<Tensor> inputs;
+  inputs.reserve(kCalls);
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    inputs.push_back(
+        Tensor::uniform(Shape{kInputDim}, input_rng, -0.5F, 0.5F));
+  }
+
+  Phase baseline(model, /*traced=*/false);
+  Phase traced(model, /*traced=*/true);
+  for (std::size_t i = 0; i < kWarmup; ++i) {
+    (void)baseline.corrector.correct(inputs[i % inputs.size()]);
+    (void)traced.corrector.correct(inputs[i % inputs.size()]);
+  }
+  for (std::size_t rep = 0; rep < kReps; ++rep) {
+    baseline.run_rep(inputs);
+    traced.run_rep(inputs);
+  }
+  const obs::TraceStats ts = obs::trace_stats();
+  const double spans_per_call =
+      static_cast<double>(ts.recorded + ts.dropped) /
+      static_cast<double>(kCalls);
+
+  const bool determinism_ok = baseline.labels == traced.labels;
+  const double baseline_us = baseline.median_us();
+  const double traced_us = traced.median_us();
+  const double overhead_pct =
+      (traced_us - baseline_us) / baseline_us * 100.0;
+
+  std::printf("  baseline  %8.2f us/call (tracing off)\n", baseline_us);
+  std::printf("  traced    %8.2f us/call (%.1f spans/call)\n",
+              traced_us, spans_per_call);
+  std::printf("  overhead  %+7.2f%%  (budget < 3%%)\n", overhead_pct);
+  std::printf("  determinism (labels identical on/off): %s\n",
+              determinism_ok ? "ok" : "VIOLATED");
+
+  eval::JsonObject json;
+  json.set("model", "mlp(64-256-256-10)")
+      .set("corrector_samples", kSamples)
+      .set("calls_per_rep", kCalls)
+      .set("reps", kReps)
+      .set("threads", runtime::thread_count())
+      .set("trace_compiled", obs::kTraceCompiled)
+      .set("baseline_us_per_call", baseline_us)
+      .set("traced_us_per_call", traced_us)
+      .set("overhead_pct", overhead_pct)
+      .set("overhead_budget_pct", 3.0)
+      .set("spans_per_call", spans_per_call)
+      .set("determinism_ok", determinism_ok);
+  bench::attach_runtime_attribution(json);
+  eval::write_json_file("BENCH_obs.json", json);
+  std::printf("\nwrote BENCH_obs.json\n");
+  return determinism_ok ? 0 : 1;
+}

@@ -164,6 +164,7 @@ int main() {
   std::printf("\n");
   std::fputs(table.render().c_str(), stdout);
 
+  bench::attach_runtime_attribution(json);
   eval::write_json_file("BENCH_serve.json", json);
   std::printf("\nwrote BENCH_serve.json\n");
   return 0;

@@ -14,10 +14,12 @@
 #include "data/transforms.hpp"
 #include "defenses/distillation.hpp"
 #include "defenses/region_classifier.hpp"
+#include "eval/bench_json.hpp"
 #include "eval/metrics.hpp"
 #include "eval/report.hpp"
 #include "eval/timer.hpp"
 #include "models/model_zoo.hpp"
+#include "obs/registry.hpp"
 
 namespace dcn::bench {
 
@@ -92,6 +94,15 @@ inline core::Detector make_detector(models::Workbench& wb,
       sources, stats.adversarial_count, stats.benign_count,
       stats.attack_failures, t.seconds());
   return detector;
+}
+
+/// Embed the library-level stage attribution (kernel counters, pool gauges,
+/// tracer health) as a "runtime_attribution" block in a BENCH_*.json object.
+/// Call right before write_json_file so the block reflects the whole run;
+/// pair with runtime::kernel_stats().reset() at the start of the measured
+/// section when only that section should be attributed.
+inline void attach_runtime_attribution(eval::JsonObject& json) {
+  json.set("runtime_attribution", obs::runtime_metrics_json());
 }
 
 /// Indices of the first `n` test examples the model classifies correctly,

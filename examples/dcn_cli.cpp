@@ -15,6 +15,14 @@
 //             micro-batching server in src/serve/ for the request-level
 //             front end)
 //
+// Global observability flags (valid on every subcommand):
+//   --trace FILE    record a span trace of the run and write it to FILE as
+//                   Chrome trace-event JSON (open at https://ui.perfetto.dev)
+//   --metrics prom|json
+//                   after the command finishes, print the unified metrics
+//                   registry (kernel counters, pool gauges, tracer health)
+//                   in Prometheus text exposition or flat JSON
+//
 // Example session:
 //   dcn_cli generate --dataset mnist --count 1500 --out train.ds
 //   dcn_cli generate --dataset mnist --count 200 --out test.ds --seed 43
@@ -22,6 +30,8 @@
 //   dcn_cli eval --data test.ds --weights model.w
 //   dcn_cli attack --data test.ds --weights model.w --attack cw-l2
 //   dcn_cli protect --data test.ds --weights model.w
+//   dcn_cli eval --data test.ds --weights model.w --trace eval.trace.json \
+//     --metrics prom
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -48,6 +58,8 @@
 #include "models/model_zoo.hpp"
 #include "nn/serialize.hpp"
 #include "nn/trainer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -235,7 +247,18 @@ int cmd_protect(const Args& args) {
 void usage() {
   std::printf(
       "usage: dcn_cli <generate|train|eval|attack|protect> [--flag value]\n"
+      "global flags: --trace FILE, --metrics prom|json\n"
       "see the header comment of examples/dcn_cli.cpp for a full session.\n");
+}
+
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "train") return cmd_train(args);
+  if (cmd == "eval") return cmd_eval(args);
+  if (cmd == "attack") return cmd_attack(args);
+  if (cmd == "protect") return cmd_protect(args);
+  usage();
+  return 2;
 }
 
 }  // namespace
@@ -248,13 +271,31 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args = parse_flags(argc, argv, 2);
-    if (cmd == "generate") return cmd_generate(args);
-    if (cmd == "train") return cmd_train(args);
-    if (cmd == "eval") return cmd_eval(args);
-    if (cmd == "attack") return cmd_attack(args);
-    if (cmd == "protect") return cmd_protect(args);
-    usage();
-    return 2;
+    const auto trace_it = args.find("trace");
+    const auto metrics_it = args.find("metrics");
+    if (metrics_it != args.end() && metrics_it->second != "prom" &&
+        metrics_it->second != "json") {
+      throw std::runtime_error("--metrics expects 'prom' or 'json'");
+    }
+    if (trace_it != args.end()) obs::set_tracing_enabled(true);
+    const int rc = dispatch(cmd, args);
+    if (trace_it != args.end()) {
+      obs::set_tracing_enabled(false);
+      const obs::TraceStats ts = obs::trace_stats();
+      obs::write_trace_file(trace_it->second);
+      std::fprintf(stderr, "trace: wrote %llu spans (%llu dropped) to %s\n",
+                   static_cast<unsigned long long>(ts.recorded),
+                   static_cast<unsigned long long>(ts.dropped),
+                   trace_it->second.c_str());
+    }
+    if (metrics_it != args.end()) {
+      if (metrics_it->second == "prom") {
+        std::printf("%s", obs::registry().render_prometheus().c_str());
+      } else {
+        std::printf("%s\n", obs::registry().to_json().dump().c_str());
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

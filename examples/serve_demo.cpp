@@ -6,6 +6,9 @@
 //   3. Replay a small benign/adversarial request mix from two client
 //      threads, then print the per-request responses and the operator
 //      metrics JSON (docs/OPERATIONS.md documents the schema).
+//   4. On shutdown, print the Prometheus exposition of the unified metrics
+//      registry and write the recorded span trace to serve_demo.trace.json
+//      (load it at https://ui.perfetto.dev or chrome://tracing).
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
 //               ./build/examples/example_serve_demo
@@ -20,6 +23,8 @@
 #include "data/synth_mnist.hpp"
 #include "models/model_zoo.hpp"
 #include "nn/trainer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 
 int main() {
@@ -61,6 +66,9 @@ int main() {
   // --- 2. The server --------------------------------------------------------
   std::printf("3) serving a mixed request stream through DcnServer "
               "(max_batch=4, max_delay=1ms)...\n\n");
+  // Trace only the serving phase: training/attack crafting above would bury
+  // the request spans under millions of layer/GEMM events.
+  obs::set_tracing_enabled(true);
   serve::DcnServer server(dcn, {.max_batch = 4, .max_delay_us = 1000});
 
   // Two clients submit concurrently: one benign stream, one that slips the
@@ -99,5 +107,17 @@ int main() {
   server.shutdown();
   std::printf("\n4) operator metrics (the JSON a monitoring agent scrapes):\n%s\n",
               server.metrics_json().dump().c_str());
+
+  // --- 3. Observability exports --------------------------------------------
+  obs::set_tracing_enabled(false);
+  std::printf("\n5) Prometheus exposition (obs::registry().render_prometheus()):"
+              "\n%s",
+              obs::registry().render_prometheus().c_str());
+  const obs::TraceStats ts = obs::trace_stats();
+  obs::write_trace_file("serve_demo.trace.json");
+  std::printf("\n6) wrote serve_demo.trace.json (%llu spans, %llu dropped) — "
+              "open it at https://ui.perfetto.dev\n",
+              static_cast<unsigned long long>(ts.recorded),
+              static_cast<unsigned long long>(ts.dropped));
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "data/transforms.hpp"
+#include "obs/trace.hpp"
 
 namespace dcn::core {
 
@@ -49,9 +50,19 @@ std::vector<std::size_t> Corrector::vote_histogram(const Tensor& x) {
   }
   std::vector<std::size_t> votes(num_classes_, 0);
   if (config_.samples == 0) return votes;
-  const Tensor batch = sample_region_batch(x, config_.samples, config_.radius,
-                                           rng_, config_.clip_to_box);
-  for (std::size_t label : model_->classify_batch(batch)) {
+  const Tensor batch = [&] {
+    DCN_TRACE_SPAN_ARG("corrector.sample_region", "core", "samples",
+                       config_.samples);
+    return sample_region_batch(x, config_.samples, config_.radius, rng_,
+                               config_.clip_to_box);
+  }();
+  const std::vector<std::size_t> labels = [&] {
+    DCN_TRACE_SPAN_ARG("corrector.classify_batch", "core", "samples",
+                       config_.samples);
+    return model_->classify_batch(batch);
+  }();
+  DCN_TRACE_SPAN("corrector.vote", "core");
+  for (std::size_t label : labels) {
     if (label >= votes.size()) {
       throw std::logic_error("Corrector: label out of range");
     }

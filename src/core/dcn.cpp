@@ -1,17 +1,24 @@
 #include "core/dcn.hpp"
 
+#include "obs/trace.hpp"
+
 namespace dcn::core {
 
 Dcn::Dcn(nn::Sequential& model, Detector& detector, Corrector& corrector)
     : model_(&model), detector_(&detector), corrector_(&corrector) {}
 
 Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
+  DCN_TRACE_SPAN("dcn.classify", "core");
   Decision d;
-  const Tensor logits = model_->logits(x);
+  const Tensor logits = [&] {
+    DCN_TRACE_SPAN("dcn.detector_forward", "core");
+    return model_->logits(x);
+  }();
   d.dnn_label = logits.argmax();
   d.flagged_adversarial = detector_->is_adversarial(logits);
   if (d.flagged_adversarial) {
     ++corrector_activations_;
+    DCN_TRACE_SPAN("dcn.corrector", "core");
     d.label = corrector_->correct(x);
   } else {
     d.label = d.dnn_label;
@@ -22,7 +29,11 @@ Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
 std::size_t Dcn::classify(const Tensor& x) { return classify_verbose(x).label; }
 
 std::vector<Dcn::Decision> Dcn::predict_verbose(const Tensor& batch) {
-  const Tensor logits = model_->logits_batch(batch);  // [N, k]
+  DCN_TRACE_SPAN_ARG("dcn.predict", "core", "batch", batch.dim(0));
+  const Tensor logits = [&] {
+    DCN_TRACE_SPAN_ARG("dcn.detector_forward", "core", "batch", batch.dim(0));
+    return model_->logits_batch(batch);  // [N, k]
+  }();
   const std::size_t n = logits.dim(0);
   std::vector<Decision> decisions(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -32,6 +43,7 @@ std::vector<Dcn::Decision> Dcn::predict_verbose(const Tensor& batch) {
     d.flagged_adversarial = detector_->is_adversarial(row);
     if (d.flagged_adversarial) {
       ++corrector_activations_;
+      DCN_TRACE_SPAN_ARG("dcn.corrector", "core", "row", i);
       d.label = corrector_->correct(batch.row(i));
     } else {
       d.label = d.dnn_label;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -11,7 +12,13 @@ namespace dcn::nn {
 
 Tensor Sequential::forward(const Tensor& input, bool train) {
   Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x, train);
+  for (auto& layer : layers_) {
+    // Per-layer span; the name string is only materialized when a trace is
+    // actually being recorded (rename copies it into the span's own buffer).
+    obs::Span span("layer", "nn");
+    if (span.active()) span.rename(layer->name());
+    x = layer->forward(x, train);
+  }
   return x;
 }
 

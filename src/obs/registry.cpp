@@ -1,0 +1,228 @@
+#include "obs/registry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "obs/trace.hpp"
+#include "runtime/kernel_stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dcn::obs {
+
+namespace {
+
+/// Prometheus sample value: exact integers render without an exponent so
+/// counters stay grep-able; everything else falls back to %.9g.
+std::string render_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void kernel_source(std::vector<Metric>& out) {
+  const runtime::KernelStatsSnapshot s = runtime::kernel_stats().snapshot();
+  auto add = [&out](const char* name, const char* help, double value) {
+    out.push_back({name, help, MetricType::kCounter, "", "", value});
+  };
+  add("dcn_kernel_gemm_calls_total", "GEMM kernel invocations",
+      static_cast<double>(s.gemm_calls));
+  add("dcn_kernel_gemm_flops_total", "Floating-point ops in GEMM kernels",
+      static_cast<double>(s.gemm_flops));
+  add("dcn_kernel_gemm_bytes_total", "A+B+C footprint moved by GEMM kernels",
+      static_cast<double>(s.gemm_bytes));
+  add("dcn_kernel_gemm_seconds_total", "Wall time inside GEMM kernels",
+      static_cast<double>(s.gemm_ns) * 1e-9);
+  add("dcn_kernel_im2col_calls_total", "im2col lowering invocations",
+      static_cast<double>(s.im2col_calls));
+  add("dcn_kernel_im2col_bytes_total", "Bytes read+written by im2col",
+      static_cast<double>(s.im2col_bytes));
+  add("dcn_kernel_im2col_seconds_total", "Wall time inside im2col",
+      static_cast<double>(s.im2col_ns) * 1e-9);
+  add("dcn_kernel_conv_calls_total", "Batched conv GEMM-stage invocations",
+      static_cast<double>(s.conv_calls));
+  add("dcn_kernel_conv_flops_total", "Floating-point ops in conv GEMM stage",
+      static_cast<double>(s.conv_flops));
+  add("dcn_kernel_conv_seconds_total", "Wall time inside conv GEMM stage",
+      static_cast<double>(s.conv_ns) * 1e-9);
+}
+
+void pool_source(std::vector<Metric>& out) {
+  const runtime::PoolStatsSnapshot s = runtime::pool_stats();
+  out.push_back({"dcn_pool_workers", "Helper threads in the compute pool",
+                 MetricType::kGauge, "", "", static_cast<double>(s.workers)});
+  out.push_back({"dcn_pool_parallel_fors_total",
+                 "parallel_for dispatches that fanned out",
+                 MetricType::kCounter, "", "",
+                 static_cast<double>(s.parallel_fors)});
+  out.push_back({"dcn_pool_inline_runs_total",
+                 "parallel_for calls that ran on the serial fast path",
+                 MetricType::kCounter, "", "",
+                 static_cast<double>(s.inline_runs)});
+  out.push_back({"dcn_pool_chunks_total", "Chunks claimed across all jobs",
+                 MetricType::kCounter, "", "",
+                 static_cast<double>(s.chunks)});
+  out.push_back({"dcn_pool_uptime_seconds", "Time since the pool was built",
+                 MetricType::kGauge, "", "",
+                 static_cast<double>(s.uptime_ns) * 1e-9});
+  double busy_total_ns = 0.0;
+  for (std::size_t i = 0; i < s.worker_tasks.size(); ++i) {
+    const std::string idx = std::to_string(i);
+    out.push_back({"dcn_pool_worker_tasks_total",
+                   "Helper tasks run, per worker", MetricType::kCounter,
+                   "worker", idx, static_cast<double>(s.worker_tasks[i])});
+    out.push_back({"dcn_pool_worker_busy_seconds_total",
+                   "Time inside tasks, per worker", MetricType::kCounter,
+                   "worker", idx,
+                   static_cast<double>(s.worker_busy_ns[i]) * 1e-9});
+    busy_total_ns += static_cast<double>(s.worker_busy_ns[i]);
+  }
+  const double denom =
+      static_cast<double>(s.workers) * static_cast<double>(s.uptime_ns);
+  out.push_back({"dcn_pool_utilization",
+                 "Mean fraction of worker time spent inside tasks",
+                 MetricType::kGauge, "", "",
+                 denom > 0.0 ? busy_total_ns / denom : 0.0});
+}
+
+void trace_source(std::vector<Metric>& out) {
+  const TraceStats s = trace_stats();
+  out.push_back({"dcn_trace_enabled", "1 when span recording is on",
+                 MetricType::kGauge, "", "", tracing_enabled() ? 1.0 : 0.0});
+  out.push_back({"dcn_trace_events_buffered",
+                 "Spans currently held in thread buffers", MetricType::kGauge,
+                 "", "", static_cast<double>(s.recorded)});
+  out.push_back({"dcn_trace_events_dropped_total",
+                 "Spans lost to full per-thread buffers", MetricType::kCounter,
+                 "", "", static_cast<double>(s.dropped)});
+  out.push_back({"dcn_trace_thread_buffers", "Thread buffers ever registered",
+                 MetricType::kGauge, "", "",
+                 static_cast<double>(s.threads)});
+}
+
+}  // namespace
+
+std::size_t MetricsRegistry::add_source(MetricSource source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t id = next_id_++;
+  sources_.emplace_back(id, std::move(source));
+  return id;
+}
+
+void MetricsRegistry::remove_source(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i].first == id) {
+      sources_.erase(sources_.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::vector<Metric> MetricsRegistry::collect() const {
+  // Sources run under the lock: that makes remove_source() a synchronization
+  // point, so a producer (e.g. a DcnServer) that removes itself in its
+  // destructor can never be scraped mid-teardown. Sources are cheap relaxed
+  // snapshots, so holding the lock across them costs nothing that matters.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Metric> out;
+  for (const auto& [id, source] : sources_) source(out);
+  return out;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  const std::vector<Metric> metrics = collect();
+  std::string out;
+  out.reserve(metrics.size() * 96);
+  std::unordered_set<std::string> seen;
+  for (const Metric& m : metrics) {
+    if (seen.insert(m.name).second) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " ";
+      out += m.type == MetricType::kCounter ? "counter" : "gauge";
+      out += "\n";
+    }
+    out += m.name;
+    if (!m.label_key.empty()) {
+      out += "{" + m.label_key + "=\"" + m.label_value + "\"}";
+    }
+    out += " " + render_value(m.value) + "\n";
+  }
+  return out;
+}
+
+eval::JsonObject MetricsRegistry::to_json() const {
+  eval::JsonObject obj;
+  for (const Metric& m : collect()) {
+    std::string key = m.name;
+    if (!m.label_key.empty()) {
+      key += "{" + m.label_key + "=\"" + m.label_value + "\"}";
+    }
+    obj.set(key, m.value);
+  }
+  return obj;
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* r = [] {
+    auto* reg = new MetricsRegistry();
+    reg->add_source(kernel_source);
+    reg->add_source(pool_source);
+    reg->add_source(trace_source);
+    return reg;
+  }();
+  return *r;
+}
+
+eval::JsonObject runtime_metrics_json() {
+  const runtime::KernelStatsSnapshot k = runtime::kernel_stats().snapshot();
+  eval::JsonObject kernel;
+  kernel.set("gemm_calls", static_cast<std::size_t>(k.gemm_calls))
+      .set("gemm_gflops", static_cast<double>(k.gemm_flops) * 1e-9)
+      .set("gemm_mbytes", static_cast<double>(k.gemm_bytes) * 1e-6)
+      .set("gemm_ms", static_cast<double>(k.gemm_ns) * 1e-6)
+      .set("im2col_calls", static_cast<std::size_t>(k.im2col_calls))
+      .set("im2col_mbytes", static_cast<double>(k.im2col_bytes) * 1e-6)
+      .set("im2col_ms", static_cast<double>(k.im2col_ns) * 1e-6)
+      .set("conv_calls", static_cast<std::size_t>(k.conv_calls))
+      .set("conv_gflops", static_cast<double>(k.conv_flops) * 1e-9)
+      .set("conv_ms", static_cast<double>(k.conv_ns) * 1e-6);
+
+  const runtime::PoolStatsSnapshot p = runtime::pool_stats();
+  double busy_ns = 0.0;
+  std::vector<double> worker_tasks;
+  worker_tasks.reserve(p.worker_tasks.size());
+  for (std::size_t i = 0; i < p.worker_tasks.size(); ++i) {
+    worker_tasks.push_back(static_cast<double>(p.worker_tasks[i]));
+    busy_ns += static_cast<double>(p.worker_busy_ns[i]);
+  }
+  const double denom =
+      static_cast<double>(p.workers) * static_cast<double>(p.uptime_ns);
+  eval::JsonObject pool;
+  pool.set("workers", p.workers)
+      .set("parallel_fors", static_cast<std::size_t>(p.parallel_fors))
+      .set("inline_runs", static_cast<std::size_t>(p.inline_runs))
+      .set("chunks", static_cast<std::size_t>(p.chunks))
+      .set("utilization", denom > 0.0 ? busy_ns / denom : 0.0)
+      .set("worker_tasks", worker_tasks);
+
+  const TraceStats t = trace_stats();
+  eval::JsonObject trace;
+  trace.set("compiled", kTraceCompiled)
+      .set("enabled", tracing_enabled())
+      .set("events_buffered", static_cast<std::size_t>(t.recorded))
+      .set("events_dropped", static_cast<std::size_t>(t.dropped))
+      .set("thread_buffers", t.threads);
+
+  eval::JsonObject out;
+  out.set("kernel", kernel).set("pool", pool).set("trace", trace);
+  return out;
+}
+
+}  // namespace dcn::obs

@@ -1,0 +1,79 @@
+// Unified metrics registry — one process-wide place every subsystem's
+// counters flow through, with Prometheus text exposition and JSON export.
+//
+// Sources (the serving layer, the kernel counters, the thread pool, the
+// tracer itself) register a collect callback; a scrape walks every source
+// and renders the combined sample set. The registry never owns counters —
+// each subsystem keeps its own relaxed-atomic state and only materializes
+// Metric values at scrape time, so registration adds zero cost to hot paths.
+//
+// The global registry() pre-registers the three library-level sources:
+//   dcn_kernel_*  — GEMM / im2col / conv counters (runtime::kernel_stats)
+//   dcn_pool_*    — thread-pool utilization gauges (runtime::pool_stats)
+//   dcn_trace_*   — span tracer buffer health (obs::trace_stats)
+// serve::DcnServer adds/removes its dcn_server_* source over its lifetime.
+//
+// Exposition format and scrape examples: docs/OPERATIONS.md
+// ("Observability").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/bench_json.hpp"
+
+namespace dcn::obs {
+
+enum class MetricType { kCounter, kGauge };
+
+/// One sample: a fully qualified family name, optional single label pair,
+/// and a value. Families repeat across samples (one per label value); HELP
+/// and TYPE are emitted once per family in exposition order.
+struct Metric {
+  std::string name;         // e.g. "dcn_kernel_gemm_flops_total"
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::string label_key;    // empty => unlabeled sample
+  std::string label_value;
+  double value = 0.0;
+};
+
+/// A registered producer appends its current samples to the vector.
+using MetricSource = std::function<void(std::vector<Metric>&)>;
+
+class MetricsRegistry {
+ public:
+  /// Register a source; returns a handle for remove_source. Thread-safe.
+  std::size_t add_source(MetricSource source);
+  void remove_source(std::size_t id);
+
+  /// Snapshot every source's samples, in registration order.
+  [[nodiscard]] std::vector<Metric> collect() const;
+
+  /// Prometheus text exposition (version 0.0.4): # HELP / # TYPE once per
+  /// family, then one sample line per metric.
+  [[nodiscard]] std::string render_prometheus() const;
+
+  /// Flat JSON object keyed by sample identity (labels folded into the key
+  /// as name{key="value"}).
+  [[nodiscard]] eval::JsonObject to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::size_t, MetricSource>> sources_;
+  std::size_t next_id_ = 0;
+};
+
+/// The process-wide registry, with the kernel / pool / trace sources
+/// pre-registered on first use.
+MetricsRegistry& registry();
+
+/// {kernel: {...}, pool: {...}, trace: {...}} — the library-level runtime
+/// block embedded in DcnServer::metrics_json and BENCH_*.json attribution.
+[[nodiscard]] eval::JsonObject runtime_metrics_json();
+
+}  // namespace dcn::obs

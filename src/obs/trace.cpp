@@ -1,0 +1,225 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace dcn::obs {
+
+#if !defined(DCN_TRACE_DISABLED)
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One recorded span. `name` is a bounded copy so dynamic names (layer
+/// names) cannot dangle; `category`/`arg_name` are always string literals.
+struct Event {
+  char name[48];
+  const char* category;
+  const char* arg_name;  // nullptr => no args block
+  double arg_value;
+  double ts_us;   // relative to the tracer epoch
+  double dur_us;
+};
+
+/// Per-thread event buffer. The owning thread is the only writer; it
+/// publishes each entry with a release-store of `count`, so any reader that
+/// acquire-loads `count` sees fully written events below it. The buffer
+/// never wraps: when full, events are dropped and counted, which keeps
+/// concurrent export free of write-after-publish races.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int thread_id) : tid(thread_id) {
+    events.resize(kCapacity);
+  }
+
+  static constexpr std::size_t kCapacity = 1 << 14;  // 16384 events/thread
+  std::vector<Event> events;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  int tid;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+Clock::time_point epoch() {
+  static const Clock::time_point e = Clock::now();
+  return e;
+}
+
+/// The calling thread's buffer; registered (and kept alive process-wide)
+/// on first use so events survive thread exit — the server's dispatcher
+/// thread is gone by the time serve_demo exports its trace.
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* tls = nullptr;
+  if (tls == nullptr) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto buffer = std::make_shared<ThreadBuffer>(r.next_tid++);
+    r.buffers.push_back(buffer);
+    tls = buffer.get();
+  }
+  return *tls;
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += "\\u0020";  // control chars never appear in our names; blank them
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+void record_span(const char* name, const char* category,
+                 Clock::time_point start, Clock::time_point end,
+                 const char* arg_name, double arg_value) noexcept {
+  ThreadBuffer& buffer = local_buffer();
+  const std::size_t n = buffer.count.load(std::memory_order_relaxed);
+  if (n >= ThreadBuffer::kCapacity) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& ev = buffer.events[n];
+  const std::size_t len = std::strlen(name);
+  const std::size_t keep =
+      len < sizeof(ev.name) - 1 ? len : sizeof(ev.name) - 1;
+  std::memcpy(ev.name, name, keep);
+  ev.name[keep] = '\0';
+  ev.category = category;
+  ev.arg_name = arg_name;
+  ev.arg_value = arg_value;
+  ev.ts_us =
+      std::chrono::duration<double, std::micro>(start - epoch()).count();
+  ev.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  buffer.count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+bool tracing_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) {
+  // Materialize the epoch before the first span so timestamps are positive.
+  (void)detail::epoch();
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void trace_clear() {
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& buffer : r.buffers) {
+    buffer->count.store(0, std::memory_order_release);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string trace_export() {
+  // Snapshot the buffer list, then read each buffer up to its published
+  // count. Buffers are append-only and never shrink outside trace_clear(),
+  // so this is safe against concurrent recording.
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  {
+    detail::Registry& r = detail::registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    buffers = r.buffers;
+  }
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& buffer : buffers) {
+    const std::size_t n = buffer->count.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n; ++i) {
+      const detail::Event& ev = buffer->events[i];
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\": \"";
+      detail::append_escaped(out, ev.name);
+      out += "\", \"cat\": \"";
+      detail::append_escaped(out, ev.category);
+      out += "\", \"ph\": \"X\", \"ts\": ";
+      detail::append_number(out, ev.ts_us);
+      out += ", \"dur\": ";
+      detail::append_number(out, ev.dur_us);
+      out += ", \"pid\": 1, \"tid\": ";
+      out += std::to_string(buffer->tid);
+      if (ev.arg_name != nullptr) {
+        out += ", \"args\": {\"";
+        detail::append_escaped(out, ev.arg_name);
+        out += "\": ";
+        detail::append_number(out, ev.arg_value);
+        out += "}";
+      }
+      out += "}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+TraceStats trace_stats() {
+  TraceStats stats;
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  stats.threads = r.buffers.size();
+  for (const auto& buffer : r.buffers) {
+    stats.recorded += buffer->count.load(std::memory_order_acquire);
+    stats.dropped += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+#else  // DCN_TRACE_DISABLED — keep the API linkable so callers need no #if.
+
+bool tracing_enabled() { return false; }
+void set_tracing_enabled(bool) {}
+void trace_clear() {}
+std::string trace_export() { return "{\"traceEvents\": []}\n"; }
+TraceStats trace_stats() { return {}; }
+
+#endif  // DCN_TRACE_DISABLED
+
+void write_trace_file(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_trace_file: cannot open " + path);
+  }
+  out << trace_export();
+  if (!out) {
+    throw std::runtime_error("write_trace_file: write failed for " + path);
+  }
+}
+
+}  // namespace dcn::obs

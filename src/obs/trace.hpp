@@ -1,0 +1,166 @@
+// Span tracer — per-thread, lock-free-on-record request tracing with Chrome
+// trace-event export (chrome://tracing / Perfetto "traceEvents" JSON).
+//
+// Design constraints, in order:
+//   1. Spans observe, never perturb. A Span reads the monotonic clock and
+//      writes into its own thread's buffer; it never touches an RNG stream,
+//      never reorders accumulation, never takes a lock on the record path.
+//      Tracing on/off therefore cannot change any model output (pinned by
+//      tests/test_obs.cpp).
+//   2. Zero cost when compiled out: configure with -DDCN_TRACE=OFF and every
+//      DCN_TRACE_SPAN expands to a no-op object the optimizer deletes.
+//   3. Near-zero cost when compiled in but disabled (the default state): a
+//      Span construction is one relaxed atomic load and a branch.
+//   4. Lock-cheap when enabled: each thread records into its own
+//      fixed-capacity event buffer; entries are published with a
+//      release-store of the count and readers use an acquire-load, so
+//      trace_export() is race-free even mid-traffic. A full buffer drops
+//      new events (counted, never overwritten) rather than wrapping, which
+//      is what keeps concurrent export well-defined.
+//
+// Usage:
+//   obs::set_tracing_enabled(true);
+//   { DCN_TRACE_SPAN("serve.flush", "serve"); ... }          // RAII guard
+//   { DCN_TRACE_SPAN_ARG("dcn.predict", "core", "batch", n); ... }
+//   obs::write_trace_file("run.trace.json");   // open in Perfetto
+//
+// docs/OPERATIONS.md ("Observability") documents the export format and the
+// Perfetto workflow.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dcn::obs {
+
+#if defined(DCN_TRACE_DISABLED)
+inline constexpr bool kTraceCompiled = false;
+#else
+inline constexpr bool kTraceCompiled = true;
+#endif
+
+/// Runtime toggle. Off by default; flipping it on/off is safe at any time
+/// (spans in flight finish recording under the state they started with).
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+/// Drop every recorded event and reset the dropped counters. Call at a
+/// quiescent point (no spans in flight) — benches use it between reps.
+void trace_clear();
+
+/// Render everything recorded so far as Chrome trace-event JSON:
+/// {"traceEvents": [{"name", "cat", "ph":"X", "ts", "dur", "pid", "tid",
+/// "args"}, ...]}. `ts`/`dur` are microseconds since the tracer epoch.
+[[nodiscard]] std::string trace_export();
+
+/// trace_export() to a file (overwrites). Throws on I/O failure.
+void write_trace_file(const std::string& path);
+
+struct TraceStats {
+  std::uint64_t recorded = 0;  // events currently buffered across threads
+  std::uint64_t dropped = 0;   // events lost to full per-thread buffers
+  std::size_t threads = 0;     // thread buffers ever registered
+};
+[[nodiscard]] TraceStats trace_stats();
+
+#if !defined(DCN_TRACE_DISABLED)
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+/// Record one completed span (implemented in trace.cpp; called once per
+/// enabled span from ~Span).
+void record_span(const char* name, const char* category,
+                 std::chrono::steady_clock::time_point start,
+                 std::chrono::steady_clock::time_point end,
+                 const char* arg_name, double arg_value) noexcept;
+}  // namespace detail
+
+/// RAII span guard: measures construction -> destruction on the monotonic
+/// clock and records it into the calling thread's buffer.
+class Span {
+ public:
+  Span(const char* name, const char* category) noexcept
+      : active_(detail::g_trace_enabled.load(std::memory_order_relaxed)),
+        name_(name),
+        category_(category) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+
+  Span(const char* name, const char* category, const char* arg_name,
+       double arg_value) noexcept
+      : Span(name, category) {
+    arg_name_ = arg_name;
+    arg_value_ = arg_value;
+  }
+
+  ~Span() {
+    if (!active_) return;
+    detail::record_span(dynamic_[0] != '\0' ? dynamic_ : name_, category_,
+                        start_, std::chrono::steady_clock::now(), arg_name_,
+                        arg_value_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span will record (tracing enabled at construction).
+  /// Callers gate any name-building work on it so a disabled span costs
+  /// nothing beyond the flag check.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Replace the name with a runtime string (copied; truncated to fit).
+  /// Only meaningful while active() — callers skip the call otherwise.
+  void rename(std::string_view name) noexcept {
+    const std::size_t n = name.size() < sizeof(dynamic_) - 1
+                              ? name.size()
+                              : sizeof(dynamic_) - 1;
+    std::memcpy(dynamic_, name.data(), n);
+    dynamic_[n] = '\0';
+  }
+
+  /// Attach (or overwrite) the single numeric argument.
+  void arg(const char* name, double value) noexcept {
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+
+ private:
+  bool active_;
+  const char* name_;
+  const char* category_;
+  const char* arg_name_ = nullptr;
+  double arg_value_ = 0.0;
+  char dynamic_[48] = {0};  // rename() storage; empty => use name_
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // DCN_TRACE_DISABLED
+
+class Span {
+ public:
+  Span(const char*, const char*) noexcept {}
+  Span(const char*, const char*, const char*, double) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  [[nodiscard]] bool active() const noexcept { return false; }
+  void rename(std::string_view) noexcept {}
+  void arg(const char*, double) noexcept {}
+};
+
+#endif  // DCN_TRACE_DISABLED
+
+}  // namespace dcn::obs
+
+// Statement macros for the common literal-name case. Each expands to an
+// anonymous-ish RAII guard scoped to the enclosing block.
+#define DCN_OBS_CONCAT2(a, b) a##b
+#define DCN_OBS_CONCAT(a, b) DCN_OBS_CONCAT2(a, b)
+#define DCN_TRACE_SPAN(name, category) \
+  ::dcn::obs::Span DCN_OBS_CONCAT(dcn_trace_span_, __LINE__)(name, category)
+#define DCN_TRACE_SPAN_ARG(name, category, arg_name, arg_value)     \
+  ::dcn::obs::Span DCN_OBS_CONCAT(dcn_trace_span_, __LINE__)(       \
+      name, category, arg_name, static_cast<double>(arg_value))

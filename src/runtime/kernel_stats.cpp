@@ -1,0 +1,10 @@
+#include "runtime/kernel_stats.hpp"
+
+namespace dcn::runtime {
+
+KernelStats& kernel_stats() {
+  static KernelStats stats;
+  return stats;
+}
+
+}  // namespace dcn::runtime

@@ -1,0 +1,114 @@
+// Kernel-level counters for the hot compute paths: FLOPs, bytes, call
+// counts, and wall time for the GEMM family, im2col lowering, and the
+// batched conv kernel.
+//
+// The contract mirrors serve::ServerMetrics: every mutation is a relaxed
+// atomic, so the kernels never contend on a lock for accounting and the
+// counters are safe to bump from inside parallel_for workers. Snapshots are
+// approximately consistent while compute is in flight, exact at quiescence.
+// Timing uses the monotonic clock (std::chrono::steady_clock — sanctioned
+// here by the dcn-lint entropy rule: monotonic timing is not entropy) and
+// observes only; nothing here can perturb results.
+//
+// The counters feed the unified obs::MetricsRegistry (dcn_kernel_* metric
+// families) and the "runtime_attribution" block of BENCH_*.json files.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dcn::runtime {
+
+struct KernelStatsSnapshot {
+  std::uint64_t gemm_calls = 0;
+  std::uint64_t gemm_flops = 0;     // 2*m*n*k per call
+  std::uint64_t gemm_bytes = 0;     // A + B + C footprint per call
+  std::uint64_t gemm_ns = 0;        // wall time inside the GEMM kernels
+  std::uint64_t im2col_calls = 0;
+  std::uint64_t im2col_bytes = 0;   // image read + patch matrix written
+  std::uint64_t im2col_ns = 0;
+  std::uint64_t conv_calls = 0;     // batched conv GEMM stage
+  std::uint64_t conv_flops = 0;
+  std::uint64_t conv_ns = 0;
+};
+
+class KernelStats {
+ public:
+  void on_gemm(std::uint64_t flops, std::uint64_t bytes, std::uint64_t ns) {
+    gemm_calls_.fetch_add(1, kRelaxed);
+    gemm_flops_.fetch_add(flops, kRelaxed);
+    gemm_bytes_.fetch_add(bytes, kRelaxed);
+    gemm_ns_.fetch_add(ns, kRelaxed);
+  }
+
+  void on_im2col(std::uint64_t bytes, std::uint64_t ns) {
+    im2col_calls_.fetch_add(1, kRelaxed);
+    im2col_bytes_.fetch_add(bytes, kRelaxed);
+    im2col_ns_.fetch_add(ns, kRelaxed);
+  }
+
+  void on_conv(std::uint64_t flops, std::uint64_t ns) {
+    conv_calls_.fetch_add(1, kRelaxed);
+    conv_flops_.fetch_add(flops, kRelaxed);
+    conv_ns_.fetch_add(ns, kRelaxed);
+  }
+
+  [[nodiscard]] KernelStatsSnapshot snapshot() const {
+    KernelStatsSnapshot s;
+    s.gemm_calls = gemm_calls_.load(kRelaxed);
+    s.gemm_flops = gemm_flops_.load(kRelaxed);
+    s.gemm_bytes = gemm_bytes_.load(kRelaxed);
+    s.gemm_ns = gemm_ns_.load(kRelaxed);
+    s.im2col_calls = im2col_calls_.load(kRelaxed);
+    s.im2col_bytes = im2col_bytes_.load(kRelaxed);
+    s.im2col_ns = im2col_ns_.load(kRelaxed);
+    s.conv_calls = conv_calls_.load(kRelaxed);
+    s.conv_flops = conv_flops_.load(kRelaxed);
+    s.conv_ns = conv_ns_.load(kRelaxed);
+    return s;
+  }
+
+  /// Zero every counter (scrape-delta semantics; benches reset between reps).
+  void reset() {
+    for (auto* c : {&gemm_calls_, &gemm_flops_, &gemm_bytes_, &gemm_ns_,
+                    &im2col_calls_, &im2col_bytes_, &im2col_ns_, &conv_calls_,
+                    &conv_flops_, &conv_ns_}) {
+      c->store(0, kRelaxed);
+    }
+  }
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+  std::atomic<std::uint64_t> gemm_calls_{0};
+  std::atomic<std::uint64_t> gemm_flops_{0};
+  std::atomic<std::uint64_t> gemm_bytes_{0};
+  std::atomic<std::uint64_t> gemm_ns_{0};
+  std::atomic<std::uint64_t> im2col_calls_{0};
+  std::atomic<std::uint64_t> im2col_bytes_{0};
+  std::atomic<std::uint64_t> im2col_ns_{0};
+  std::atomic<std::uint64_t> conv_calls_{0};
+  std::atomic<std::uint64_t> conv_flops_{0};
+  std::atomic<std::uint64_t> conv_ns_{0};
+};
+
+/// The process-wide kernel counter block.
+KernelStats& kernel_stats();
+
+/// Monotonic nanosecond stopwatch for kernel accounting.
+class KernelTimer {
+ public:
+  KernelTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] std::uint64_t ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dcn::runtime

@@ -17,11 +17,13 @@ thread_local bool tls_in_worker = false;
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : start_time_(std::chrono::steady_clock::now()) {
   const std::size_t workers = threads <= 1 ? 0 : threads - 1;
+  if (workers > 0) worker_stats_ = std::make_unique<WorkerStat[]>(workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,8 +36,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   tls_in_worker = true;
+  WorkerStat& stat = worker_stats_[index];
   for (;;) {
     std::function<void()> task;
     {
@@ -45,8 +48,36 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const auto t0 = std::chrono::steady_clock::now();
     task();
+    const auto busy = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    stat.busy_ns.fetch_add(static_cast<std::uint64_t>(busy),
+                           std::memory_order_relaxed);
+    stat.tasks.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+PoolStatsSnapshot ThreadPool::stats() const {
+  PoolStatsSnapshot s;
+  s.workers = workers_.size();
+  s.parallel_fors = stat_parallel_fors_.load(std::memory_order_relaxed);
+  s.inline_runs = stat_inline_runs_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.uptime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  s.worker_tasks.reserve(s.workers);
+  s.worker_busy_ns.reserve(s.workers);
+  for (std::size_t i = 0; i < s.workers; ++i) {
+    s.worker_tasks.push_back(
+        worker_stats_[i].tasks.load(std::memory_order_relaxed));
+    s.worker_busy_ns.push_back(
+        worker_stats_[i].busy_ns.load(std::memory_order_relaxed));
+  }
+  return s;
 }
 
 void ThreadPool::parallel_for(
@@ -59,9 +90,12 @@ void ThreadPool::parallel_for(
   // Serial fast path: no workers, a single chunk, or a nested call from
   // inside a worker (parallelism stays at the outermost loop).
   if (workers_.empty() || nchunks == 1 || tls_in_worker) {
+    stat_inline_runs_.fetch_add(1, std::memory_order_relaxed);
     fn(begin, end);
     return;
   }
+  stat_parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+  stat_chunks_.fetch_add(nchunks, std::memory_order_relaxed);
 
   // Shared chunk cursor: caller and workers claim chunks until exhausted.
   struct Job {
@@ -149,6 +183,8 @@ std::size_t thread_count() {
   if (g_threads == 0) g_threads = env_thread_count();
   return g_threads;
 }
+
+PoolStatsSnapshot pool_stats() { return pool().stats(); }
 
 void set_thread_count(std::size_t threads) {
   if (threads == 0) {

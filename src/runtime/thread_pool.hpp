@@ -22,15 +22,33 @@
 // needs no special standing.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace dcn::runtime {
+
+/// Utilization gauges for the pool (obs::MetricsRegistry exports them as the
+/// dcn_pool_* families). All sampled from relaxed atomics: approximately
+/// consistent mid-flight, exact at quiescence. Per-worker idle time is
+/// derived as uptime - busy, so a cold worker reads as fully idle.
+struct PoolStatsSnapshot {
+  std::size_t workers = 0;
+  std::uint64_t parallel_fors = 0;  // parallel dispatches (chunked path)
+  std::uint64_t inline_runs = 0;    // serial fast-path executions
+  std::uint64_t chunks = 0;         // chunks claimed across all jobs
+  std::uint64_t uptime_ns = 0;      // since the pool was built
+  std::vector<std::uint64_t> worker_tasks;    // helper tasks run per worker
+  std::vector<std::uint64_t> worker_busy_ns;  // time inside tasks per worker
+};
 
 class ThreadPool {
  public:
@@ -57,14 +75,29 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Utilization snapshot (see PoolStatsSnapshot).
+  [[nodiscard]] PoolStatsSnapshot stats() const;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
+
+  struct WorkerStat {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Gauges: relaxed atomics only, bumped off the lock.
+  std::unique_ptr<WorkerStat[]> worker_stats_;
+  std::atomic<std::uint64_t> stat_parallel_fors_{0};
+  std::atomic<std::uint64_t> stat_inline_runs_{0};
+  std::atomic<std::uint64_t> stat_chunks_{0};
+  std::chrono::steady_clock::time_point start_time_;
 };
 
 /// The process-wide pool, lazily constructed from DCN_THREADS.
@@ -76,6 +109,10 @@ std::size_t thread_count();
 /// Rebuild the global pool with `threads` workers (1 = serial). Not safe
 /// while a parallel_for is in flight; intended for tests and benches.
 void set_thread_count(std::size_t threads);
+
+/// Utilization snapshot of the global pool (gauges reset when the pool is
+/// rebuilt via set_thread_count).
+PoolStatsSnapshot pool_stats();
 
 /// Convenience wrapper over pool().parallel_for.
 inline void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,

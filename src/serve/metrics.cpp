@@ -69,6 +69,23 @@ LatencyHistogram::Summary LatencyHistogram::summarize() const {
   return s;
 }
 
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, kRelaxed);
+  count_.store(0, kRelaxed);
+  sum_us_.store(0, kRelaxed);
+  max_us_.store(0, kRelaxed);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(kRelaxed);
+    if (n != 0) buckets_[i].fetch_add(n, kRelaxed);
+  }
+  count_.fetch_add(other.count_.load(kRelaxed), kRelaxed);
+  sum_us_.fetch_add(other.sum_us_.load(kRelaxed), kRelaxed);
+  fetch_max(max_us_, other.max_us_.load(kRelaxed));
+}
+
 eval::JsonObject LatencyHistogram::to_json() const {
   const Summary s = summarize();
   eval::JsonObject json;
@@ -160,6 +177,76 @@ eval::JsonObject ServerMetrics::to_json(std::size_t current_queue_depth) const {
   json.set("queue_wait", queue_wait_.to_json());
   json.set("end_to_end", end_to_end_.to_json());
   return json;
+}
+
+void ServerMetrics::collect(std::vector<obs::Metric>& out,
+                            std::size_t current_queue_depth) const {
+  const Snapshot s = snapshot();
+  auto counter = [&out](const char* name, const char* help, double value) {
+    out.push_back({name, help, obs::MetricType::kCounter, "", "", value});
+  };
+  auto gauge = [&out](const char* name, const char* help, double value) {
+    out.push_back({name, help, obs::MetricType::kGauge, "", "", value});
+  };
+  counter("dcn_server_requests_submitted_total", "Requests accepted by submit",
+          static_cast<double>(s.submitted));
+  counter("dcn_server_requests_completed_total", "Requests answered",
+          static_cast<double>(s.completed));
+  counter("dcn_server_requests_rejected_total",
+          "Submits refused after shutdown", static_cast<double>(s.rejected));
+  counter("dcn_server_batches_total", "Micro-batches served",
+          static_cast<double>(s.batches));
+  counter("dcn_server_flush_full_total", "Flushes triggered by a full batch",
+          static_cast<double>(s.flush_full));
+  counter("dcn_server_flush_timer_total", "Flushes triggered by the delay cap",
+          static_cast<double>(s.flush_timer));
+  counter("dcn_server_flush_shutdown_total", "Flushes triggered by drain",
+          static_cast<double>(s.flush_shutdown));
+  counter("dcn_server_detector_positives_total",
+          "Requests flagged adversarial (corrector activations)",
+          static_cast<double>(s.detector_positives));
+  gauge("dcn_server_queue_depth", "Requests currently queued",
+        static_cast<double>(current_queue_depth));
+  gauge("dcn_server_peak_queue_depth", "High-water queue depth",
+        static_cast<double>(s.peak_queue_depth));
+  gauge("dcn_server_mean_batch_size", "Mean requests per micro-batch",
+        s.mean_batch_size);
+  gauge("dcn_server_queue_wait_p99_us", "p99 queue wait, microseconds",
+        s.queue_wait.p99_us);
+  gauge("dcn_server_end_to_end_p99_us", "p99 end-to-end latency, microseconds",
+        s.end_to_end.p99_us);
+}
+
+void ServerMetrics::reset() {
+  for (auto* c :
+       {&submitted_, &completed_, &rejected_, &batches_, &flush_full_,
+        &flush_timer_, &flush_shutdown_, &detector_positives_,
+        &batch_size_sum_, &peak_queue_depth_}) {
+    c->store(0, kRelaxed);
+  }
+  for (auto& slot : batch_sizes_) slot.store(0, kRelaxed);
+  queue_wait_.reset();
+  end_to_end_.reset();
+}
+
+void ServerMetrics::merge(const ServerMetrics& other) {
+  submitted_.fetch_add(other.submitted_.load(kRelaxed), kRelaxed);
+  completed_.fetch_add(other.completed_.load(kRelaxed), kRelaxed);
+  rejected_.fetch_add(other.rejected_.load(kRelaxed), kRelaxed);
+  batches_.fetch_add(other.batches_.load(kRelaxed), kRelaxed);
+  flush_full_.fetch_add(other.flush_full_.load(kRelaxed), kRelaxed);
+  flush_timer_.fetch_add(other.flush_timer_.load(kRelaxed), kRelaxed);
+  flush_shutdown_.fetch_add(other.flush_shutdown_.load(kRelaxed), kRelaxed);
+  detector_positives_.fetch_add(other.detector_positives_.load(kRelaxed),
+                                kRelaxed);
+  batch_size_sum_.fetch_add(other.batch_size_sum_.load(kRelaxed), kRelaxed);
+  fetch_max(peak_queue_depth_, other.peak_queue_depth_.load(kRelaxed));
+  for (std::size_t i = 0; i < kBatchSizeSlots; ++i) {
+    const std::uint64_t n = other.batch_sizes_[i].load(kRelaxed);
+    if (n != 0) batch_sizes_[i].fetch_add(n, kRelaxed);
+  }
+  queue_wait_.merge(other.queue_wait_);
+  end_to_end_.merge(other.end_to_end_);
 }
 
 }  // namespace dcn::serve

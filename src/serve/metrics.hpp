@@ -14,8 +14,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "eval/bench_json.hpp"
+#include "obs/registry.hpp"
 
 namespace dcn::serve {
 
@@ -33,6 +35,17 @@ class LatencyHistogram {
     double p99_us = 0.0;
   };
   [[nodiscard]] Summary summarize() const;
+
+  /// Zero every bucket and the aggregates. Quiescent-point operation: call
+  /// with no record() in flight (e.g. between bench reps).
+  void reset();
+
+  /// Fold `other`'s observations into this histogram. Safe against
+  /// concurrent record() on either side — both read and write with relaxed
+  /// atomics — so shards recorded on different threads merge losslessly
+  /// (bucket counts and sums are exact; max is exact; quantiles are as exact
+  /// as a single histogram's).
+  void merge(const LatencyHistogram& other);
 
   /// {count, mean_us, p50_us, p95_us, p99_us, max_us} for metrics export.
   [[nodiscard]] eval::JsonObject to_json() const;
@@ -80,6 +93,19 @@ class ServerMetrics {
   /// `current_queue_depth` is supplied by the caller because depth lives in
   /// the micro-batcher, not here.
   [[nodiscard]] eval::JsonObject to_json(std::size_t current_queue_depth) const;
+
+  /// Append this block's samples as dcn_server_* metrics for the unified
+  /// registry (DcnServer registers a source that calls this).
+  void collect(std::vector<obs::Metric>& out,
+               std::size_t current_queue_depth) const;
+
+  /// Zero every counter and histogram (quiescent-point operation).
+  void reset();
+
+  /// Fold `other` into this block: counters add, peaks max, histograms
+  /// merge. Relaxed-atomic on both sides, so concurrent recording on either
+  /// block cannot corrupt the result.
+  void merge(const ServerMetrics& other);
 
  private:
   std::atomic<std::uint64_t> submitted_{0};

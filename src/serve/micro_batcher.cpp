@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace dcn::serve {
 
 MicroBatcher::MicroBatcher(std::size_t max_batch,
@@ -45,6 +47,9 @@ MicroBatcher::Flush MicroBatcher::take_locked(FlushReason reason) {
 }
 
 MicroBatcher::Flush MicroBatcher::next() {
+  // One span per wait: how long the dispatcher sat blocked before a flush
+  // became due (the batching delay the latency SLO pays for).
+  obs::Span span("serve.batch_wait", "serve");
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (queue_.empty()) {

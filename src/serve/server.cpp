@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace dcn::serve {
 
 namespace {
@@ -21,12 +24,22 @@ DcnServer::DcnServer(core::Dcn& dcn, ServerConfig config)
     : dcn_(&dcn),
       config_(config),
       batcher_(config.max_batch, std::chrono::microseconds(config.max_delay_us)) {
+  metrics_source_id_ = obs::registry().add_source(
+      [this](std::vector<obs::Metric>& out) {
+        metrics_.collect(out, batcher_.depth());
+      });
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
-DcnServer::~DcnServer() { shutdown(); }
+DcnServer::~DcnServer() {
+  shutdown();
+  // Sources run under the registry lock, so after this no scrape can reach
+  // the dying server.
+  obs::registry().remove_source(metrics_source_id_);
+}
 
 std::future<ServeResult> DcnServer::submit(Tensor input) {
+  DCN_TRACE_SPAN("serve.submit", "serve");
   PendingRequest request;
   request.input = std::move(input);
   request.enqueued = Clock::now();
@@ -56,6 +69,7 @@ void DcnServer::dispatch_loop() {
 void DcnServer::serve_flush(MicroBatcher::Flush flush) {
   const Clock::time_point dispatched = Clock::now();
   const std::size_t n = flush.requests.size();
+  DCN_TRACE_SPAN_ARG("serve.flush", "serve", "batch", n);
   metrics_.on_flush(n, flush.reason == FlushReason::kFull,
                     flush.reason == FlushReason::kTimer);
 
@@ -88,6 +102,12 @@ void DcnServer::serve_flush(MicroBatcher::Flush flush) {
                        result.total_us);
     r.promise.set_value(result);
   }
+}
+
+eval::JsonObject DcnServer::metrics_json() const {
+  eval::JsonObject json = metrics_.to_json(batcher_.depth());
+  json.set("runtime", obs::runtime_metrics_json());
+  return json;
 }
 
 }  // namespace dcn::serve

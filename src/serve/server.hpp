@@ -62,10 +62,9 @@ class DcnServer {
   [[nodiscard]] const ServerMetrics& metrics() const { return metrics_; }
 
   /// Snapshot of the full metrics schema (docs/OPERATIONS.md), including
-  /// the live queue depth.
-  [[nodiscard]] eval::JsonObject metrics_json() const {
-    return metrics_.to_json(batcher_.depth());
-  }
+  /// the live queue depth and the library-level "runtime" block (kernel
+  /// counters, pool gauges, tracer health).
+  [[nodiscard]] eval::JsonObject metrics_json() const;
 
  private:
   void dispatch_loop();
@@ -76,6 +75,7 @@ class DcnServer {
   ServerMetrics metrics_;
   MicroBatcher batcher_;
   std::atomic<std::uint64_t> next_sequence_{0};
+  std::size_t metrics_source_id_ = 0;  // handle in obs::registry()
   std::thread dispatcher_;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/kernel_stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -31,6 +32,7 @@ Tensor im2col(const Tensor& image, const Conv2DSpec& spec) {
   const std::size_t oh = spec.out_height(), ow = spec.out_width();
   const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
   Tensor cols(Shape{oh * ow, patch});
+  const runtime::KernelTimer timer;
   const float* src = image.data().data();
   float* dst = cols.data().data();
   const std::size_t hw = spec.in_height * spec.in_width;
@@ -65,6 +67,10 @@ Tensor im2col(const Tensor& image, const Conv2DSpec& spec) {
     }
   }
   });
+  // Image read + patch matrix written, float32.
+  runtime::kernel_stats().on_im2col(
+      static_cast<std::uint64_t>(sizeof(float)) * (image.size() + cols.size()),
+      timer.ns());
   return cols;
 }
 
@@ -164,6 +170,7 @@ Tensor conv2d_forward_batch(const Tensor& batch, const Tensor& weights,
   // input row with the clipped padding edges zero-filled. Patch rows are
   // disjoint, so they parallelize with no shared writes.
   Tensor cols_t(Shape{patch, np});
+  const runtime::KernelTimer lower_timer;
   const float* src = batch.data().data();
   float* dst = cols_t.data().data();
   const std::size_t hw = spec.in_height * spec.in_width;
@@ -214,6 +221,10 @@ Tensor conv2d_forward_batch(const Tensor& batch, const Tensor& weights,
       }
     }
   });
+  runtime::kernel_stats().on_im2col(
+      static_cast<std::uint64_t>(sizeof(float)) *
+          (batch.size() + cols_t.size()),
+      lower_timer.ns());
 
   // GEMM: out[b, oc] = W[oc] . patches + bias, computed per (channel,
   // column-tile) task. The double scratch tile (16 KB) stays L1-resident
@@ -224,6 +235,7 @@ Tensor conv2d_forward_batch(const Tensor& batch, const Tensor& weights,
   // computed entirely inside one task, so neither the tiling nor the
   // partitioning can change any accumulation order.
   constexpr std::size_t kJt = 2048;
+  const runtime::KernelTimer gemm_timer;
   const float* w = weights.data().data();
   float* po = out.data().data();
   const std::size_t ohw = oh * ow;
@@ -261,6 +273,8 @@ Tensor conv2d_forward_batch(const Tensor& batch, const Tensor& weights,
       }
     }
   });
+  runtime::kernel_stats().on_conv(
+      static_cast<std::uint64_t>(2) * np * out_c * patch, gemm_timer.ns());
   return out;
 }
 

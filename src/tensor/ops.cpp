@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "runtime/kernel_stats.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace dcn::ops {
@@ -16,6 +17,16 @@ void require_rank2(const Tensor& t, const char* who) {
     throw std::invalid_argument(std::string(who) + ": expected rank-2, got " +
                                 t.shape().to_string());
   }
+}
+
+// GEMM accounting for the dcn_kernel_* metric families: 2mnk flops and the
+// A+B+C float32 footprint. Observation only — never touches the data path.
+void count_gemm(std::size_t m, std::size_t n, std::size_t k,
+                std::uint64_t ns) {
+  const auto flops = static_cast<std::uint64_t>(2) * m * n * k;
+  const auto bytes =
+      static_cast<std::uint64_t>(sizeof(float)) * (m * k + k * n + m * n);
+  runtime::kernel_stats().on_gemm(flops, bytes, ns);
 }
 
 // Cache-block sizes for the GEMM kernels. kKc panels of the shared dimension
@@ -46,6 +57,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.dim(1);
   Tensor c(Shape{m, n});
+  const runtime::KernelTimer timer;
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
@@ -72,6 +84,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       }
     }
   });
+  count_gemm(m, n, k, timer.ns());
   return c;
 }
 
@@ -84,6 +97,7 @@ Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.dim(1);
   Tensor c(Shape{m, n});
+  const runtime::KernelTimer timer;
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
@@ -106,6 +120,7 @@ Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
       }
     }
   });
+  count_gemm(m, n, k, timer.ns());
   return c;
 }
 
@@ -118,6 +133,7 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = b.dim(0);
   Tensor c(Shape{m, n});
+  const runtime::KernelTimer timer;
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
@@ -152,6 +168,7 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
         }
       }
     });
+    count_gemm(m, n, k, timer.ns());
     return c;
   }
   // Both operands are traversed contiguously (dot of row i of A with row j of
@@ -171,6 +188,7 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
       }
     }
   });
+  count_gemm(m, n, k, timer.ns());
   return c;
 }
 

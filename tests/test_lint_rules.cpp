@@ -71,6 +71,33 @@ TEST(LintEntropy, RuntimeIsStillLibraryCode) {
       check_source("src/runtime/foo.cpp", "int x = rand();\n"), "entropy"));
 }
 
+TEST(LintEntropy, SteadyClockAllowedOnlyInTimingLayers) {
+  // Monotonic timing is observation, not entropy — but only the layers whose
+  // job is timing (obs, runtime, serve, eval) get to read the clock. Model
+  // code consuming time would break replayability.
+  const char* text = "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_FALSE(fired(check_source("src/obs/trace.cpp", text), "entropy"));
+  EXPECT_FALSE(fired(check_source("src/runtime/kernel_stats.hpp", text),
+                     "entropy"));
+  EXPECT_FALSE(fired(check_source("src/serve/metrics.cpp", text), "entropy"));
+  EXPECT_FALSE(fired(check_source("src/eval/timer.hpp", text), "entropy"));
+  EXPECT_TRUE(fired(check_source("src/core/dcn.cpp", text), "entropy"));
+  EXPECT_TRUE(fired(check_source("src/nn/dense.cpp", text), "entropy"));
+  // Outside src/ the contract does not apply at all.
+  EXPECT_FALSE(fired(check_source("bench/bench_foo.cpp", text), "entropy"));
+}
+
+TEST(LintEntropy, WallClocksBannedEverywhereInSrc) {
+  // system_clock / high_resolution_clock are ambient state even in the
+  // timing layers: exposition must take steady_clock or injected timestamps.
+  const char* sys = "auto now = std::chrono::system_clock::now();\n";
+  const char* hr = "auto now = std::chrono::high_resolution_clock::now();\n";
+  EXPECT_TRUE(fired(check_source("src/obs/trace.cpp", sys), "entropy"));
+  EXPECT_TRUE(fired(check_source("src/runtime/pool.cpp", hr), "entropy"));
+  EXPECT_TRUE(fired(check_source("src/core/dcn.cpp", sys), "entropy"));
+  EXPECT_FALSE(fired(check_source("tools/lint/dcn_lint.cpp", sys), "entropy"));
+}
+
 // ---- raw-thread ------------------------------------------------------------
 
 TEST(LintRawThread, FiresOnThreadAsyncAndArrayNew) {

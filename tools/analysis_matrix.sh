@@ -33,7 +33,7 @@ matrix_root="$repo/build-matrix"
 
 # TSan runs only the suites that exercise concurrency (plus dcn-lint, which
 # is free). Everything else in the suite is single-threaded fixture work.
-tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_runtime_determinism_sanitized|dcn-lint'
+tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn-lint'
 
 run_leg() {
     leg_name="$1"       # directory-safe label

@@ -27,7 +27,10 @@ namespace {
 constexpr const char* kScanDirs[] = {"src", "bench", "examples", "tests"};
 
 constexpr const char* kRuleHelp =
-    "entropy                 no rand()/srand()/random_device/time() in src/\n"
+    "entropy                 no rand()/srand()/random_device/time() in src/;\n"
+    "                        no wall clocks (system_clock/high_resolution_\n"
+    "                        clock) in src/; steady_clock only in the timing\n"
+    "                        layers (src/obs|runtime|serve|eval)\n"
     "raw-thread              no std::thread/std::async/new[]/delete[] outside\n"
     "                        src/runtime/ and src/serve/\n"
     "float-accumulator       no float accumulators in GEMM/conv kernels\n"

@@ -13,7 +13,15 @@
 //
 //   entropy                 src/ only. rand/srand/rand_r/drand48/random_device/
 //                           time() are banned entropy sources; all randomness
-//                           must flow through seeded dcn Rng streams.
+//                           must flow through seeded dcn Rng streams. Clocks
+//                           split by intent: system_clock and
+//                           high_resolution_clock (wall time / unspecified
+//                           aliasing) are banned everywhere in src/, while the
+//                           monotonic steady_clock is legal in the layers
+//                           whose job is timing — src/obs/, src/runtime/,
+//                           src/serve/, src/eval/ — and banned elsewhere
+//                           (monotonic timing is observability, not entropy,
+//                           but model code has no business reading clocks).
 //   raw-thread              Everywhere except src/runtime/ and src/serve/.
 //                           std::thread / std::jthread / std::async and raw
 //                           new[] / delete[] are reserved for the runtime and
@@ -275,6 +283,7 @@ inline std::size_t match_paren(std::string_view code, std::size_t open) {
 struct FileScope {
   bool in_src = false;        // src/** — library code
   bool threading_ok = false;  // src/runtime/** or src/serve/**
+  bool monotonic_ok = false;  // layers allowed to read steady_clock
   bool is_header = false;     // *.hpp
   bool gemm_kernel = false;   // the fixed double-accumulation file set
 };
@@ -286,6 +295,11 @@ inline FileScope classify(std::string_view path) {
   };
   s.in_src = has_prefix("src/");
   s.threading_ok = has_prefix("src/runtime/") || has_prefix("src/serve/");
+  // Timing layers: the tracer/registry, the pool gauges and kernel counters,
+  // serving latency metrics, and the bench timer. Everything else in src/
+  // computes on tensors and has no business reading any clock.
+  s.monotonic_ok = has_prefix("src/obs/") || has_prefix("src/runtime/") ||
+                   has_prefix("src/serve/") || has_prefix("src/eval/");
   s.is_header = path.size() >= 4 &&
                 path.substr(path.size() - 4) == ".hpp";
   // The kernels bound by the double-accumulation determinism contract
@@ -337,6 +351,29 @@ inline std::vector<Violation> check_source(std::string_view path,
           "std::random_device breaks the determinism contract; seed an Rng "
           "stream explicitly");
       at += 1;
+    }
+    // Clock discipline: wall clocks (and the unspecified-alias
+    // high_resolution_clock) are banned in all library code; the monotonic
+    // steady_clock is confined to the timing layers (obs/runtime/serve/eval).
+    for (std::string_view clk : {"system_clock", "high_resolution_clock"}) {
+      at = 0;
+      while ((at = find_ident(code, clk, at)) != std::string_view::npos) {
+        add("entropy", at,
+            "std::chrono::" + std::string(clk) +
+                " in library code; wall-clock time is ambient state — use "
+                "steady_clock in a timing layer or pass timestamps in");
+        at += clk.size();
+      }
+    }
+    if (!scope.monotonic_ok) {
+      at = 0;
+      while ((at = find_ident(code, "steady_clock", at)) !=
+             std::string_view::npos) {
+        add("entropy", at,
+            "steady_clock outside the timing layers (src/obs/, src/runtime/, "
+            "src/serve/, src/eval/); model code must not read clocks");
+        at += 12;
+      }
     }
   }
 
