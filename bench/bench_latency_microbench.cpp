@@ -17,9 +17,11 @@
 #include "common.hpp"
 #include "eval/bench_json.hpp"
 #include "nn/layer.hpp"
+#include "runtime/kernel_stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd/simd.hpp"
 
 namespace {
 
@@ -274,9 +276,15 @@ void write_runtime_json() {
   eval::JsonObject json;
   json.set("bench", "runtime")
       .set("hardware_concurrency", hw)
-      .set("default_threads", runtime::thread_count());
+      .set("default_threads", runtime::thread_count())
+      .set("simd_dispatch", std::string(simd::active_path_name()))
+      .set("simd_avx2_compiled", simd::avx2_compiled())
+      .set("simd_avx2_cpu", simd::avx2_runtime_supported());
 
-  // Matmul GFLOP/s: a square GEMM large enough to dwarf dispatch overhead.
+  // Matmul GFLOP/s: a square GEMM large enough to dwarf dispatch overhead,
+  // measured per dispatch path so the microkernel win is a number in the
+  // JSON, not an anecdote. The active-path figures keep their historical
+  // `gflops_t<k>` keys; explicit paths get `gflops_<path>_t<k>`.
   {
     const std::size_t n = 384;
     Rng rng(5);
@@ -292,7 +300,65 @@ void write_runtime_json() {
       std::printf("[runtime] matmul %zux%zu t=%zu: %.2f GFLOP/s\n", n, n, t,
                   flops / s / 1e9);
     }
+    const simd::GemmPath active = simd::active_path();
+    for (const auto path : simd::available_paths()) {
+      simd::force_path(path);
+      for (std::size_t t : thread_counts) {
+        runtime::set_thread_count(t);
+        const double s = timed([&] { (void)ops::matmul(a, b); });
+        const std::string key = std::string("gflops_") +
+                                simd::path_name(path) + "_t" +
+                                std::to_string(t);
+        mm.set(key, flops / s / 1e9);
+        std::printf("[runtime] matmul %zux%zu path=%s t=%zu: %.2f GFLOP/s\n",
+                    n, n, simd::path_name(path), t, flops / s / 1e9);
+      }
+    }
+    simd::force_path(active);
     json.set("matmul", mm);
+  }
+
+  // Conv GFLOP/s per dispatch path: the batched convnet stem shape (a
+  // realistic patch GEMM, not a square one).
+  {
+    const conv::Conv2DSpec spec{.in_channels = 6,
+                                .in_height = 13,
+                                .in_width = 13,
+                                .kernel = 3,
+                                .stride = 1,
+                                .padding = 0};
+    const std::size_t images = 64;
+    const std::size_t out_c = 16;
+    const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+    Rng rng(6);
+    const Tensor batch = Tensor::uniform(
+        Shape{images, spec.in_channels, spec.in_height, spec.in_width}, rng);
+    const Tensor weights =
+        Tensor::uniform(Shape{out_c, patch}, rng, -0.5F, 0.5F);
+    const Tensor cbias = Tensor::uniform(Shape{out_c}, rng, -0.1F, 0.1F);
+    const double flops = 2.0 * static_cast<double>(images) *
+                         spec.out_height() * spec.out_width() * out_c * patch;
+    eval::JsonObject cv;
+    cv.set("images", images)
+        .set("out_channels", out_c)
+        .set("patch", patch);
+    const simd::GemmPath active = simd::active_path();
+    for (const auto path : simd::available_paths()) {
+      simd::force_path(path);
+      for (std::size_t t : thread_counts) {
+        runtime::set_thread_count(t);
+        const double s = timed(
+            [&] { (void)conv::conv2d_forward_batch(batch, weights, cbias,
+                                                   spec); });
+        cv.set(std::string("gflops_") + simd::path_name(path) + "_t" +
+                   std::to_string(t),
+               flops / s / 1e9);
+        std::printf("[runtime] conv batch=%zu path=%s t=%zu: %.2f GFLOP/s\n",
+                    images, simd::path_name(path), t, flops / s / 1e9);
+      }
+    }
+    simd::force_path(active);
+    json.set("conv", cv);
   }
 
   // Corrector: the seed's sequential loop (frozen seed kernels) vs the same
@@ -360,6 +426,9 @@ void write_runtime_json() {
   }
 
   runtime::set_thread_count(std::max<std::size_t>(1, hw));
+  // Kernel counters + dispatch decision for the measurements above (the
+  // simd_dispatch / *_simd_calls fields land inside runtime_attribution).
+  bench::attach_runtime_attribution(json);
   eval::write_json_file("BENCH_runtime.json", json);
   std::printf("[runtime] wrote BENCH_runtime.json\n\n");
 }

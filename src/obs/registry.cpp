@@ -7,6 +7,7 @@
 #include "obs/trace.hpp"
 #include "runtime/kernel_stats.hpp"
 #include "runtime/thread_pool.hpp"
+#include "tensor/simd/simd.hpp"
 
 namespace dcn::obs {
 
@@ -50,6 +51,17 @@ void kernel_source(std::vector<Metric>& out) {
       static_cast<double>(s.conv_flops));
   add("dcn_kernel_conv_seconds_total", "Wall time inside conv GEMM stage",
       static_cast<double>(s.conv_ns) * 1e-9);
+  add("dcn_kernel_gemm_simd_calls_total",
+      "GEMM invocations served by a SIMD microkernel",
+      static_cast<double>(s.gemm_simd_calls));
+  add("dcn_kernel_conv_simd_calls_total",
+      "Conv GEMM invocations served by a SIMD microkernel",
+      static_cast<double>(s.conv_simd_calls));
+  // The dispatch decision itself, as a labelled gauge so dashboards can
+  // tell at a glance which kernel path this process runs.
+  out.push_back({"dcn_kernel_simd_dispatch",
+                 "Active GEMM dispatch path (label: path)", MetricType::kGauge,
+                 "path", simd::active_path_name(), 1.0});
 }
 
 void pool_source(std::vector<Metric>& out) {
@@ -192,7 +204,10 @@ eval::JsonObject runtime_metrics_json() {
       .set("im2col_ms", static_cast<double>(k.im2col_ns) * 1e-6)
       .set("conv_calls", static_cast<std::size_t>(k.conv_calls))
       .set("conv_gflops", static_cast<double>(k.conv_flops) * 1e-9)
-      .set("conv_ms", static_cast<double>(k.conv_ns) * 1e-6);
+      .set("conv_ms", static_cast<double>(k.conv_ns) * 1e-6)
+      .set("gemm_simd_calls", static_cast<std::size_t>(k.gemm_simd_calls))
+      .set("conv_simd_calls", static_cast<std::size_t>(k.conv_simd_calls))
+      .set("simd_dispatch", std::string(simd::active_path_name()));
 
   const runtime::PoolStatsSnapshot p = runtime::pool_stats();
   double busy_ns = 0.0;

@@ -25,21 +25,25 @@ struct KernelStatsSnapshot {
   std::uint64_t gemm_flops = 0;     // 2*m*n*k per call
   std::uint64_t gemm_bytes = 0;     // A + B + C footprint per call
   std::uint64_t gemm_ns = 0;        // wall time inside the GEMM kernels
+  std::uint64_t gemm_simd_calls = 0;  // GEMM calls served by a SIMD microkernel
   std::uint64_t im2col_calls = 0;
   std::uint64_t im2col_bytes = 0;   // image read + patch matrix written
   std::uint64_t im2col_ns = 0;
   std::uint64_t conv_calls = 0;     // batched conv GEMM stage
   std::uint64_t conv_flops = 0;
   std::uint64_t conv_ns = 0;
+  std::uint64_t conv_simd_calls = 0;  // conv GEMMs served by a SIMD microkernel
 };
 
 class KernelStats {
  public:
-  void on_gemm(std::uint64_t flops, std::uint64_t bytes, std::uint64_t ns) {
+  void on_gemm(std::uint64_t flops, std::uint64_t bytes, std::uint64_t ns,
+               bool simd = false) {
     gemm_calls_.fetch_add(1, kRelaxed);
     gemm_flops_.fetch_add(flops, kRelaxed);
     gemm_bytes_.fetch_add(bytes, kRelaxed);
     gemm_ns_.fetch_add(ns, kRelaxed);
+    if (simd) gemm_simd_calls_.fetch_add(1, kRelaxed);
   }
 
   void on_im2col(std::uint64_t bytes, std::uint64_t ns) {
@@ -48,10 +52,11 @@ class KernelStats {
     im2col_ns_.fetch_add(ns, kRelaxed);
   }
 
-  void on_conv(std::uint64_t flops, std::uint64_t ns) {
+  void on_conv(std::uint64_t flops, std::uint64_t ns, bool simd = false) {
     conv_calls_.fetch_add(1, kRelaxed);
     conv_flops_.fetch_add(flops, kRelaxed);
     conv_ns_.fetch_add(ns, kRelaxed);
+    if (simd) conv_simd_calls_.fetch_add(1, kRelaxed);
   }
 
   [[nodiscard]] KernelStatsSnapshot snapshot() const {
@@ -60,20 +65,23 @@ class KernelStats {
     s.gemm_flops = gemm_flops_.load(kRelaxed);
     s.gemm_bytes = gemm_bytes_.load(kRelaxed);
     s.gemm_ns = gemm_ns_.load(kRelaxed);
+    s.gemm_simd_calls = gemm_simd_calls_.load(kRelaxed);
     s.im2col_calls = im2col_calls_.load(kRelaxed);
     s.im2col_bytes = im2col_bytes_.load(kRelaxed);
     s.im2col_ns = im2col_ns_.load(kRelaxed);
     s.conv_calls = conv_calls_.load(kRelaxed);
     s.conv_flops = conv_flops_.load(kRelaxed);
     s.conv_ns = conv_ns_.load(kRelaxed);
+    s.conv_simd_calls = conv_simd_calls_.load(kRelaxed);
     return s;
   }
 
   /// Zero every counter (scrape-delta semantics; benches reset between reps).
   void reset() {
     for (auto* c : {&gemm_calls_, &gemm_flops_, &gemm_bytes_, &gemm_ns_,
-                    &im2col_calls_, &im2col_bytes_, &im2col_ns_, &conv_calls_,
-                    &conv_flops_, &conv_ns_}) {
+                    &gemm_simd_calls_, &im2col_calls_, &im2col_bytes_,
+                    &im2col_ns_, &conv_calls_, &conv_flops_, &conv_ns_,
+                    &conv_simd_calls_}) {
       c->store(0, kRelaxed);
     }
   }
@@ -84,12 +92,14 @@ class KernelStats {
   std::atomic<std::uint64_t> gemm_flops_{0};
   std::atomic<std::uint64_t> gemm_bytes_{0};
   std::atomic<std::uint64_t> gemm_ns_{0};
+  std::atomic<std::uint64_t> gemm_simd_calls_{0};
   std::atomic<std::uint64_t> im2col_calls_{0};
   std::atomic<std::uint64_t> im2col_bytes_{0};
   std::atomic<std::uint64_t> im2col_ns_{0};
   std::atomic<std::uint64_t> conv_calls_{0};
   std::atomic<std::uint64_t> conv_flops_{0};
   std::atomic<std::uint64_t> conv_ns_{0};
+  std::atomic<std::uint64_t> conv_simd_calls_{0};
 };
 
 /// The process-wide kernel counter block.

@@ -8,6 +8,7 @@
 #include "runtime/kernel_stats.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd/simd.hpp"
 
 namespace dcn::conv {
 
@@ -226,55 +227,45 @@ Tensor conv2d_forward_batch(const Tensor& batch, const Tensor& weights,
           (batch.size() + cols_t.size()),
       lower_timer.ns());
 
-  // GEMM: out[b, oc] = W[oc] . patches + bias, computed per (channel,
-  // column-tile) task. The double scratch tile (16 KB) stays L1-resident
-  // while the p loop streams over it, and each output element accumulates
-  // over p in ascending order — the same operation sequence as
-  // matmul_a_bt's dot products, so the batched path is bit-identical to the
-  // per-example one. Tasks own disjoint output elements and each element is
-  // computed entirely inside one task, so neither the tiling nor the
-  // partitioning can change any accumulation order.
-  constexpr std::size_t kJt = 2048;
+  // GEMM: out[b, oc, :] = W[oc] . patches(b) + bias, dispatched through the
+  // simd kernel table per image. A = weights [out_c, patch], B = image b's
+  // column slice of cols_t (ldb = np keeps the full-batch stride), C = the
+  // image's [out_c, ohw] output block. Every kernel behind simd::kernels()
+  // accumulates each output element over p in ascending order in double —
+  // the same operation sequence as matmul_a_bt's dot products — so the
+  // batched path stays bit-identical to the per-example one on every
+  // dispatch path. Tasks own disjoint (image, channel) output rows and each
+  // element is computed entirely inside one task, so neither the
+  // partitioning nor the thread count can change any accumulation order.
   const runtime::KernelTimer gemm_timer;
   const float* w = weights.data().data();
   float* po = out.data().data();
   const std::size_t ohw = oh * ow;
-  const std::size_t ntiles = (np + kJt - 1) / kJt;
-  runtime::parallel_for(0, out_c * ntiles, 1, [&](std::size_t t0,
-                                                  std::size_t t1) {
-    std::vector<double> acc(std::min(np, kJt));
-    for (std::size_t t = t0; t < t1; ++t) {
-      const std::size_t oc = t / ntiles;
-      const std::size_t j0 = (t % ntiles) * kJt;
-      const std::size_t j1 = std::min(np, j0 + kJt);
-      const std::size_t len = j1 - j0;
-      std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(len),
-                0.0);
-      const float* wrow = w + oc * patch;
-      for (std::size_t p = 0; p < patch; ++p) {
-        const double wv = wrow[p];
-        const float* crow = dst + p * np + j0;
-        for (std::size_t jj = 0; jj < len; ++jj) {
-          acc[jj] += static_cast<double>(crow[jj]) * wv;
+  const simd::GemmKernels& kern = simd::kernels();
+  runtime::parallel_for(
+      0, n * out_c, 8, [&](std::size_t t0, std::size_t t1) {
+        // Chunks are contiguous (image, channel) row ranges; run the kernel
+        // once per image segment so it sees multi-row blocks.
+        std::size_t t = t0;
+        while (t < t1) {
+          const std::size_t b = t / out_c;
+          const std::size_t r0 = t % out_c;
+          const std::size_t r1 = std::min(t1 - b * out_c, out_c);
+          kern.gemm_f64acc(w, patch, dst + b * ohw, np,
+                           po + b * out_c * ohw, ohw, r0, r1, ohw, patch);
+          t = b * out_c + r1;
         }
-      }
-      // Columns j map to out[j / ohw, oc, j % ohw]; write back per image run.
-      const float bv = bias[oc];
-      std::size_t j = j0;
-      while (j < j1) {
-        const std::size_t b = j / ohw, q = j % ohw;
-        const std::size_t run = std::min(j1, (b + 1) * ohw) - j;
-        float* orow = po + (b * out_c + oc) * ohw + q;
-        const double* arow = acc.data() + (j - j0);
-        for (std::size_t r = 0; r < run; ++r) {
-          orow[r] = static_cast<float>(arow[r]) + bv;
+        // Bias after the narrowing store: float(acc) + bias in float, the
+        // same op sequence as the fused write-back this replaces.
+        for (std::size_t tt = t0; tt < t1; ++tt) {
+          const float bv = bias[tt % out_c];
+          float* orow = po + tt * ohw;
+          for (std::size_t q = 0; q < ohw; ++q) orow[q] += bv;
         }
-        j += run;
-      }
-    }
-  });
+      });
   runtime::kernel_stats().on_conv(
-      static_cast<std::uint64_t>(2) * np * out_c * patch, gemm_timer.ns());
+      static_cast<std::uint64_t>(2) * np * out_c * patch, gemm_timer.ns(),
+      simd::active_path() != simd::GemmPath::kGeneric);
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include "runtime/kernel_stats.hpp"
 #include "runtime/thread_pool.hpp"
+#include "tensor/simd/simd.hpp"
 
 namespace dcn::ops {
 
@@ -21,19 +22,20 @@ void require_rank2(const Tensor& t, const char* who) {
 
 // GEMM accounting for the dcn_kernel_* metric families: 2mnk flops and the
 // A+B+C float32 footprint. Observation only — never touches the data path.
-void count_gemm(std::size_t m, std::size_t n, std::size_t k,
-                std::uint64_t ns) {
+void count_gemm(std::size_t m, std::size_t n, std::size_t k, std::uint64_t ns,
+                bool simd) {
   const auto flops = static_cast<std::uint64_t>(2) * m * n * k;
   const auto bytes =
       static_cast<std::uint64_t>(sizeof(float)) * (m * k + k * n + m * n);
-  runtime::kernel_stats().on_gemm(flops, bytes, ns);
+  runtime::kernel_stats().on_gemm(flops, bytes, ns, simd);
 }
 
-// Cache-block sizes for the GEMM kernels. kKc panels of the shared dimension
-// stay resident in L1/L2 while a row block streams through; kJc keeps the C
-// row segment and B panel columns together. Fixed constants (never derived
-// from the thread count) so blocking does not perturb accumulation order
-// between runs at different DCN_THREADS values.
+// Cache-block sizes for the narrow matmul_a_bt path (the wide/dispatched
+// kernels carry their own blocking inside src/tensor/simd/). kKc panels of
+// the shared dimension stay resident in L1/L2 while a row block streams
+// through; kJc keeps the C row segment and B panel columns together. Fixed
+// constants (never derived from the thread count) so blocking does not
+// perturb accumulation order between runs at different DCN_THREADS values.
 constexpr std::size_t kKc = 256;
 constexpr std::size_t kJc = 1024;
 
@@ -61,30 +63,18 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  // Row-parallel blocked ikj kernel: each chunk owns a disjoint slice of C
-  // rows, so threads never share an output element and the per-element
-  // accumulation order (p ascending within each k-panel, panels ascending)
-  // is identical at any thread count.
-  runtime::parallel_for(0, m, row_grain(m), [&](std::size_t i0,
-                                                std::size_t i1) {
-    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
-      const std::size_t p1 = std::min(k, p0 + kKc);
-      for (std::size_t j0 = 0; j0 < n; j0 += kJc) {
-        const std::size_t j1 = std::min(n, j0 + kJc);
-        for (std::size_t i = i0; i < i1; ++i) {
-          const float* arow = pa + i * k;
-          float* crow = pc + i * n;
-          for (std::size_t p = p0; p < p1; ++p) {
-            const float av = arow[p];
-            if (av == 0.0F) continue;
-            const float* brow = pb + p * n;
-            for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
-          }
-        }
-      }
-    }
-  });
-  count_gemm(m, n, k, timer.ns());
+  // Row-parallel dispatch: each chunk owns a disjoint slice of C rows, so
+  // threads never share an output element, and every kernel behind
+  // simd::kernels() keeps the per-element accumulation order (p strictly
+  // ascending, float accumulate, zero A terms skipped) identical at any
+  // thread count and on every dispatch path.
+  const simd::GemmKernels& kern = simd::kernels();
+  runtime::parallel_for(0, m, row_grain(m),
+                        [&](std::size_t i0, std::size_t i1) {
+                          kern.gemm_f32(pa, k, pb, n, pc, n, i0, i1, n, k);
+                        });
+  count_gemm(m, n, k, timer.ns(),
+             simd::active_path() != simd::GemmPath::kGeneric);
   return c;
 }
 
@@ -120,7 +110,7 @@ Tensor matmul_at_b(const Tensor& a, const Tensor& b) {
       }
     }
   });
-  count_gemm(m, n, k, timer.ns());
+  count_gemm(m, n, k, timer.ns(), /*simd=*/false);
   return c;
 }
 
@@ -137,11 +127,11 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  // Wide row blocks amortize a one-off transpose of B; the dot products then
-  // become rank-1 updates on a double scratch row, streaming both operands
-  // contiguously with a vectorizable inner loop. Each output element still
-  // accumulates over p in ascending order in double, so the result is
-  // bit-identical to the narrow path below.
+  // Wide row blocks amortize a one-off transpose of B, after which the job
+  // is a plain GEMM and goes through the dispatched double-accumulation
+  // kernel. Each output element accumulates over p in ascending order in
+  // double on every path, so the result is bit-identical to the narrow path
+  // below.
   if (m >= 8 && n > 1) {
     std::vector<float> bt(k * n);
     runtime::parallel_for(0, k, 64, [&](std::size_t p0, std::size_t p1) {
@@ -149,26 +139,13 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
         for (std::size_t j = 0; j < n; ++j) bt[p * n + j] = pb[j * k + p];
       }
     });
-    runtime::parallel_for(0, m, row_grain(m), [&](std::size_t i0,
-                                                  std::size_t i1) {
-      std::vector<double> acc(n);
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float* arow = pa + i * k;
-        std::fill(acc.begin(), acc.end(), 0.0);
-        for (std::size_t p = 0; p < k; ++p) {
-          const double av = arow[p];
-          const float* brow = bt.data() + p * n;
-          for (std::size_t j = 0; j < n; ++j) {
-            acc[j] += av * static_cast<double>(brow[j]);
-          }
-        }
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          crow[j] = static_cast<float>(acc[j]);
-        }
-      }
-    });
-    count_gemm(m, n, k, timer.ns());
+    const simd::GemmKernels& kern = simd::kernels();
+    runtime::parallel_for(
+        0, m, row_grain(m), [&](std::size_t i0, std::size_t i1) {
+          kern.gemm_f64acc(pa, k, bt.data(), n, pc, n, i0, i1, n, k);
+        });
+    count_gemm(m, n, k, timer.ns(),
+               simd::active_path() != simd::GemmPath::kGeneric);
     return c;
   }
   // Both operands are traversed contiguously (dot of row i of A with row j of
@@ -188,7 +165,9 @@ Tensor matmul_a_bt(const Tensor& a, const Tensor& b) {
       }
     }
   });
-  count_gemm(m, n, k, timer.ns());
+  // Narrow shapes (skinny dots) stay on the scalar path on purpose: there is
+  // no 8-wide column tile to fill, so dispatch would only add overhead.
+  count_gemm(m, n, k, timer.ns(), /*simd=*/false);
   return c;
 }
 

@@ -1,0 +1,247 @@
+// Differential kernel-testing harness for the SIMD GEMM microkernels.
+//
+// The fence around src/tensor/simd/: naive scalar references (no blocking,
+// no skips beyond the documented contract), exhaustive tail/edge shape
+// sweeps, and a bitwise comparator that reports ulp distances loudly when a
+// kernel drifts. Every dispatch path must reproduce the reference BIT FOR
+// BIT — the contract is exactness, not tolerance, so DiffStats considers a
+// single mismatched bit a failure.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tensor/conv.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::testing {
+
+/// Bit pattern of a float, for exactness checks and fixture serialization.
+inline std::uint32_t float_bits(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline float float_from_bits(std::uint32_t bits) {
+  float v = 0.0F;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t double_bits(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double double_from_bits(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Distance in units-in-the-last-place between two floats, via the
+/// sign-magnitude -> offset-integer mapping (adjacent representable floats
+/// differ by 1; +0 and -0 differ by 1 so signed-zero drift is visible).
+/// NaNs compare at max distance unless bitwise identical.
+inline std::uint64_t ulp_distance(float a, float b) {
+  const std::uint32_t ba = float_bits(a), bb = float_bits(b);
+  if (ba == bb) return 0;
+  if (std::isnan(a) || std::isnan(b)) return UINT64_MAX;
+  const auto to_ordered = [](std::uint32_t bits) -> std::int64_t {
+    // Map sign-magnitude onto a monotone integer line.
+    return (bits & 0x80000000U) != 0
+               ? -static_cast<std::int64_t>(bits & 0x7FFFFFFFU) - 1
+               : static_cast<std::int64_t>(bits);
+  };
+  const std::int64_t oa = to_ordered(ba), ob = to_ordered(bb);
+  return static_cast<std::uint64_t>(oa > ob ? oa - ob : ob - oa);
+}
+
+/// ulp_distance for doubles (detector margins are double-valued).
+inline std::uint64_t ulp_distance_d(double a, double b) {
+  const std::uint64_t ba = double_bits(a), bb = double_bits(b);
+  if (ba == bb) return 0;
+  if (std::isnan(a) || std::isnan(b)) return UINT64_MAX;
+  const auto to_ordered = [](std::uint64_t bits) -> std::int64_t {
+    return (bits & 0x8000000000000000ULL) != 0
+               ? -static_cast<std::int64_t>(bits & 0x7FFFFFFFFFFFFFFFULL) - 1
+               : static_cast<std::int64_t>(bits);
+  };
+  const std::int64_t oa = to_ordered(ba), ob = to_ordered(bb);
+  return static_cast<std::uint64_t>(oa > ob ? oa - ob : ob - oa);
+}
+
+/// Element-wise bitwise comparison summary.
+struct DiffStats {
+  std::size_t mismatches = 0;   // elements whose bit patterns differ
+  std::uint64_t max_ulp = 0;    // worst ulp distance seen
+  std::size_t first_index = 0;  // flat index of the first mismatch
+  float first_expected = 0.0F;
+  float first_actual = 0.0F;
+
+  [[nodiscard]] bool bit_identical() const { return mismatches == 0; }
+};
+
+inline DiffStats diff(const float* expected, const float* actual,
+                      std::size_t count) {
+  DiffStats stats;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (float_bits(expected[i]) == float_bits(actual[i])) continue;
+    if (stats.mismatches == 0) {
+      stats.first_index = i;
+      stats.first_expected = expected[i];
+      stats.first_actual = actual[i];
+    }
+    ++stats.mismatches;
+    const std::uint64_t d = ulp_distance(expected[i], actual[i]);
+    if (d > stats.max_ulp) stats.max_ulp = d;
+  }
+  return stats;
+}
+
+inline DiffStats diff(const std::vector<float>& expected,
+                      const std::vector<float>& actual) {
+  if (expected.size() != actual.size()) {
+    DiffStats stats;
+    stats.mismatches = expected.size() + actual.size();
+    stats.max_ulp = UINT64_MAX;
+    return stats;
+  }
+  return diff(expected.data(), actual.data(), expected.size());
+}
+
+/// Loud human-readable report for a failed bitwise comparison.
+inline std::string describe(const DiffStats& stats, const std::string& what) {
+  std::ostringstream os;
+  os << what << ": " << stats.mismatches << " element(s) differ, max "
+     << stats.max_ulp << " ulp; first at [" << stats.first_index
+     << "] expected " << stats.first_expected << " (0x" << std::hex
+     << float_bits(stats.first_expected) << ") actual " << std::dec
+     << stats.first_actual << " (0x" << std::hex
+     << float_bits(stats.first_actual) << ")" << std::dec;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scalar references. Written as the contract reads — triple loops, no
+// blocking, no transposes — so a bug in the production blocking/tiling
+// cannot hide in a shared implementation.
+// ---------------------------------------------------------------------------
+
+/// matmul contract: C[i, j] += sum_p A[i, p] * B[p, j], float accumulation
+/// directly into the caller's C (one rounded multiply + one rounded add per
+/// term, p ascending), terms with A[i, p] == 0.0f skipped.
+inline void ref_matmul_into(std::vector<float>& c, const std::vector<float>& a,
+                            const std::vector<float>& b, std::size_t m,
+                            std::size_t n, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = c[i * n + j];
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = a[i * k + p];
+        if (av == 0.0F) continue;
+        acc += av * b[p * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+inline std::vector<float> ref_matmul(const std::vector<float>& a,
+                                     const std::vector<float>& b,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t k) {
+  std::vector<float> c(m * n, 0.0F);
+  ref_matmul_into(c, a, b, m, n, k);
+  return c;
+}
+
+/// matmul_a_bt contract: C[i, j] = (float) sum_p (double)A[i, p] *
+/// (double)B[j, p] — double accumulation, p ascending, single narrowing
+/// rounding. B is [n, k] row-major (transposed operand).
+inline std::vector<float> ref_matmul_a_bt(const std::vector<float>& a,
+                                          const std::vector<float>& b,
+                                          std::size_t m, std::size_t n,
+                                          std::size_t k) {
+  std::vector<float> c(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) *
+               static_cast<double>(b[j * k + p]);
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+/// conv2d_forward_batch contract, from the definition of a convolution:
+/// out[b, oc, oy, ox] = (float)(sum over (c, ky, kx) of (double)w * (double)
+/// patch) + bias. Padding positions contribute a real 0.0f * w term to the
+/// double sum — NOT a skip — because the production path materializes the
+/// zeros in the patch matrix and accumulates them (a signed-zero-visible
+/// difference the bitwise gate would catch).
+inline Tensor ref_conv2d_batch(const Tensor& batch, const Tensor& weights,
+                               const Tensor& bias,
+                               const conv::Conv2DSpec& spec) {
+  const std::size_t n = batch.dim(0);
+  const std::size_t oh = spec.out_height(), ow = spec.out_width();
+  const std::size_t out_c = weights.dim(0);
+  Tensor out(Shape{n, out_c, oh, ow});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          std::size_t widx = 0;
+          for (std::size_t c = 0; c < spec.in_channels; ++c) {
+            for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+              for (std::size_t kx = 0; kx < spec.kernel; ++kx, ++widx) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                    static_cast<std::ptrdiff_t>(spec.padding);
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * spec.stride + kx) -
+                    static_cast<std::ptrdiff_t>(spec.padding);
+                const bool pad =
+                    iy < 0 || ix < 0 ||
+                    iy >= static_cast<std::ptrdiff_t>(spec.in_height) ||
+                    ix >= static_cast<std::ptrdiff_t>(spec.in_width);
+                const float xv =
+                    pad ? 0.0F
+                        : batch[((b * spec.in_channels + c) * spec.in_height +
+                                 static_cast<std::size_t>(iy)) *
+                                    spec.in_width +
+                                static_cast<std::size_t>(ix)];
+                acc += static_cast<double>(weights(oc, widx)) *
+                       static_cast<double>(xv);
+              }
+            }
+          }
+          out[((b * out_c + oc) * oh + oy) * ow + ox] =
+              static_cast<float>(acc) + bias[oc];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// The exhaustive tail/edge sweep: every (m, n, k) from a dimension set
+/// chosen to hit each tail path of the 8x8 tiles — sub-tile sizes 1..9,
+/// the 63/64/65 straddle of eight full tiles, and both sides of the block
+/// boundaries.
+inline std::vector<std::size_t> tail_sweep_dims() {
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 63, 64, 65};
+}
+
+}  // namespace dcn::testing

@@ -324,6 +324,74 @@ TEST(LintTokenizer, EscapedQuotesInStringsDoNotDesync) {
   EXPECT_EQ(vs.front().line, 2u);
 }
 
+// ---- simd ------------------------------------------------------------------
+
+TEST(LintSimd, FiresOnIntrinsicsOutsideSimdDir) {
+  const char* bad =
+      "#include <immintrin.h>\n"
+      "void f(float* c, const float* a) {\n"
+      "  __m256 v = _mm256_loadu_ps(a);\n"
+      "  _mm256_storeu_ps(c, _mm256_add_ps(v, v));\n"
+      "}\n";
+  const auto vs = check_source("src/tensor/ops.cpp", bad);
+  // immintrin.h + 3 intrinsic identifiers (__m256 is a type, not _mm*).
+  EXPECT_EQ(count_rule(vs, "simd"), 4);
+}
+
+TEST(LintSimd, FiresOnNeonIntrinsics) {
+  const char* bad =
+      "#include <arm_neon.h>\n"
+      "void f(float* c, const float* a) {\n"
+      "  float32x4_t v = vld1q_f32(a);\n"
+      "  vst1q_f32(c, vaddq_f32(v, v));\n"
+      "}\n";
+  const auto vs = check_source("src/nn/dense.cpp", bad);
+  EXPECT_EQ(count_rule(vs, "simd"), 4);
+}
+
+TEST(LintSimd, QuietInsideSimdDirectory) {
+  const char* text =
+      "#include <immintrin.h>\n"
+      "void g(float* c) { _mm256_storeu_ps(c, _mm256_setzero_ps()); }\n";
+  EXPECT_FALSE(
+      fired(check_source("src/tensor/simd/gemm_avx2.cpp", text), "simd"));
+  EXPECT_TRUE(fired(check_source("src/tensor/conv.cpp", text), "simd"));
+  EXPECT_TRUE(fired(check_source("bench/bench_foo.cpp", text), "simd"));
+  EXPECT_TRUE(fired(check_source("tests/test_foo.cpp", text), "simd"));
+}
+
+TEST(LintSimd, IgnoresCommentsStringsAndLookalikes) {
+  const char* text =
+      "// _mm256_add_ps in a comment is fine\n"
+      "const char* s = \"vld1q_f32 in a string\";\n"
+      "int comm_mode = 0;    // '_mm' mid-identifier must not fire\n"
+      "int vst10 = 0;        // NEON prefix without _ or q suffix\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", text).empty());
+}
+
+TEST(LintSimd, SuppressibleLikeEveryOtherRule) {
+  const char* text =
+      "void f(float* c) {\n"
+      "  // dcn-lint: allow(simd)\n"
+      "  _mm256_storeu_ps(c, _mm256_setzero_ps());\n"
+      "}\n";
+  EXPECT_FALSE(fired(check_source("src/tensor/ops.cpp", text), "simd"));
+}
+
+TEST(LintSimd, GemmKernelContractCoversSimdFiles) {
+  // The microkernel TUs joined the float-accumulator file set: a scalar
+  // float accumulator inside them breaks the double-accumulation contract.
+  const char* bad =
+      "void f(const float* a, std::size_t k) {\n"
+      "  float acc = 0.0F;\n"
+      "  for (std::size_t p = 0; p < k; ++p) acc += a[p];\n"
+      "}\n";
+  EXPECT_TRUE(fired(check_source("src/tensor/simd/gemm_generic.cpp", bad),
+                    "float-accumulator"));
+  EXPECT_TRUE(fired(check_source("src/tensor/simd/gemm_avx2.cpp", bad),
+                    "float-accumulator"));
+}
+
 // The linted tree itself is the final fixture: the `dcn-lint` ctest entry
 // runs the real binary over the repo, so a regression anywhere in src/ fails
 // the suite even if these unit tests still pass.

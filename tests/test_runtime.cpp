@@ -18,6 +18,7 @@
 #include "runtime/thread_pool.hpp"
 #include "tensor/conv.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd/simd.hpp"
 
 namespace {
 
@@ -27,6 +28,12 @@ using namespace dcn;
 struct ThreadCountGuard {
   std::size_t saved = runtime::thread_count();
   ~ThreadCountGuard() { runtime::set_thread_count(saved); }
+};
+
+// Restore the GEMM dispatch path on scope exit (see simd::force_path).
+struct SimdPathGuard {
+  simd::GemmPath saved = simd::active_path();
+  ~SimdPathGuard() { simd::force_path(saved); }
 };
 
 TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
@@ -297,6 +304,80 @@ TEST(Determinism, LogitsBatchBitIdenticalAcrossThreadCounts) {
       ASSERT_EQ(single[j], four(r, j)) << "row " << r;
     }
   }
+}
+
+TEST(Determinism, DispatchPathByThreadCountSweepIsBitIdentical) {
+  // The full contract in one sweep: every available dispatch path at every
+  // DCN_THREADS value in {1, 4} must produce the same bits as the generic
+  // single-threaded baseline — for the dense model, a raw GEMM, and the
+  // batched conv.
+  ThreadCountGuard threads_guard;
+  SimdPathGuard path_guard;
+  nn::Sequential model = make_small_model();
+  const Tensor batch = make_batch(37, 6, 11);
+  Rng rng(1311);
+  const Tensor ga = Tensor::uniform(Shape{33, 65}, rng, -1.0F, 1.0F);
+  const Tensor gb = Tensor::uniform(Shape{65, 17}, rng, -1.0F, 1.0F);
+  const conv::Conv2DSpec spec{2, 9, 9, 3, 1, 1};
+  const Tensor images = Tensor::uniform(Shape{3, 2, 9, 9}, rng);
+  const Tensor weights = Tensor::uniform(Shape{5, 18}, rng, -0.5F, 0.5F);
+  const Tensor cbias = Tensor::uniform(Shape{5}, rng, -0.1F, 0.1F);
+
+  simd::force_path(simd::GemmPath::kGeneric);
+  runtime::set_thread_count(1);
+  const Tensor logits_ref = model.logits_batch(batch);
+  const Tensor gemm_ref = ops::matmul(ga, gb);
+  const Tensor conv_ref = conv::conv2d_forward_batch(images, weights, cbias,
+                                                     spec);
+
+  for (const auto path : simd::available_paths()) {
+    simd::force_path(path);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      runtime::set_thread_count(threads);
+      const std::string tag = std::string("path=") + simd::path_name(path) +
+                              " threads=" + std::to_string(threads);
+      const Tensor logits = model.logits_batch(batch);
+      ASSERT_EQ(logits.shape(), logits_ref.shape()) << tag;
+      for (std::size_t i = 0; i < logits.size(); ++i) {
+        ASSERT_EQ(logits[i], logits_ref[i]) << tag << " logit " << i;
+      }
+      const Tensor gemm = ops::matmul(ga, gb);
+      for (std::size_t i = 0; i < gemm.size(); ++i) {
+        ASSERT_EQ(gemm[i], gemm_ref[i]) << tag << " gemm elem " << i;
+      }
+      const Tensor convd = conv::conv2d_forward_batch(images, weights, cbias,
+                                                      spec);
+      for (std::size_t i = 0; i < convd.size(); ++i) {
+        ASSERT_EQ(convd[i], conv_ref[i]) << tag << " conv elem " << i;
+      }
+    }
+  }
+}
+
+TEST(Determinism, CorrectorVoteHistogramAcrossPathsAndThreadCounts) {
+  // The corrector's vote must survive the dispatch-path x thread-count grid
+  // too: its samples flow through logits_batch and therefore the dispatched
+  // GEMM kernels.
+  ThreadCountGuard threads_guard;
+  SimdPathGuard path_guard;
+  nn::Sequential model = make_small_model();
+  const Tensor x = make_batch(1, 6, 5).row(0);
+  std::vector<std::size_t> ref;
+  for (const auto path : simd::available_paths()) {
+    simd::force_path(path);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      runtime::set_thread_count(threads);
+      core::Corrector c(model, {.radius = 0.2F, .samples = 50, .seed = 4242});
+      const auto votes = c.vote_histogram(x);
+      if (ref.empty()) {
+        ref = votes;
+      } else {
+        ASSERT_EQ(votes, ref)
+            << "path=" << simd::path_name(path) << " threads=" << threads;
+      }
+    }
+  }
+  EXPECT_EQ(std::accumulate(ref.begin(), ref.end(), std::size_t{0}), 50U);
 }
 
 TEST(Determinism, CorrectorVoteHistogramAcrossThreadCounts) {

@@ -12,6 +12,11 @@
 #                      lint suite they share a binary with). TSan's 5-15x
 #                      slowdown buys nothing on the single-threaded training
 #                      fixtures — races only exist where threads do.
+#   asan-ubsan-simd-off  ASan+UBSan with -DDCN_SIMD=OFF: proves the generic
+#                      GEMM fallback path clean on its own. Runs the kernel
+#                      differential harness, the runtime determinism suite,
+#                      and dcn-lint — the suites whose behavior the dispatch
+#                      switch changes.
 #
 # Each leg configures its own build tree under <repo>/build-matrix/<leg> so
 # the developer build/ directory is never clobbered; legs run sequentially
@@ -33,18 +38,25 @@ matrix_root="$repo/build-matrix"
 
 # TSan runs only the suites that exercise concurrency (plus dcn-lint, which
 # is free). Everything else in the suite is single-threaded fixture work.
-tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn-lint'
+tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn_kernel_diff_tests|dcn-lint'
+
+# The SIMD=OFF leg re-runs only what the dispatch switch changes: the kernel
+# differential harness, the dispatch×threads determinism sweep, and lint.
+simd_off_filter='dcn_kernel_diff_tests|dcn_runtime_tests|dcn-lint'
 
 run_leg() {
     leg_name="$1"       # directory-safe label
     sanitize="$2"       # DCN_SANITIZE value ('' for plain)
     test_args="$3"      # extra ctest arguments
+    extra_cmake="${4:-}"  # extra cmake configure arguments (optional)
+
     bdir="$matrix_root/$leg_name"
 
     echo ""
-    echo "=== analysis-matrix: $leg_name (DCN_SANITIZE='$sanitize') ==="
+    echo "=== analysis-matrix: $leg_name (DCN_SANITIZE='$sanitize'${extra_cmake:+ $extra_cmake}) ==="
+    # shellcheck disable=SC2086 — extra_cmake is intentionally word-split.
     cmake -B "$bdir" -S "$repo" -DDCN_SANITIZE="$sanitize" \
-          -DCMAKE_BUILD_TYPE=Release >/dev/null || {
+          -DCMAKE_BUILD_TYPE=Release $extra_cmake >/dev/null || {
         echo "analysis-matrix: $leg_name: configure FAILED" >&2; exit 1; }
     cmake --build "$bdir" -j "$jobs" >/dev/null || {
         echo "analysis-matrix: $leg_name: build FAILED" >&2; exit 1; }
@@ -69,6 +81,8 @@ export TSAN_OPTIONS
 run_leg plain        ""                  ""
 run_leg asan-ubsan   "address,undefined" ""
 run_leg tsan         "thread"            "-R $tsan_filter"
+run_leg asan-ubsan-simd-off "address,undefined" "-R $simd_off_filter" \
+        "-DDCN_SIMD=OFF"
 
 echo ""
-echo "analysis-matrix: ALL LEGS CLEAN (plain, address+undefined, thread)"
+echo "analysis-matrix: ALL LEGS CLEAN (plain, address+undefined, thread, simd-off)"

@@ -38,6 +38,8 @@ constexpr const char* kRuleHelp =
     "pragma-once             every header carries #pragma once\n"
     "using-namespace-header  no `using namespace` at header scope\n"
     "mutex-in-parallel-for   no lock acquisition inside parallel_for spans\n"
+    "simd                    no raw SIMD intrinsics (_mm*/vld1q*, immintrin.h/\n"
+    "                        arm_neon.h) outside src/tensor/simd/\n"
     "\n"
     "Suppress with `// dcn-lint: allow(rule)` on or above the line, or\n"
     "`// dcn-lint: allow-file(rule)` for a whole file.\n";

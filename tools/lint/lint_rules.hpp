@@ -38,6 +38,14 @@
 //   mutex-in-parallel-for   Lock acquisition inside a parallel_for call span
 //                           serializes the pool; use per-chunk buffers and a
 //                           sequential merge instead.
+//   simd                    Everywhere except src/tensor/simd/. Raw SIMD
+//                           intrinsics (_mm*/vld1q*-style identifiers,
+//                           immintrin.h/arm_neon.h includes) are confined to
+//                           the dispatch-fenced microkernel directory, where
+//                           the differential harness (tests/kernel_diff.hpp)
+//                           holds them to the bit-exactness contract.
+//                           Intrinsics sprinkled anywhere else dodge that
+//                           fence.
 //
 // Suppressions: `// dcn-lint: allow(rule)` or `allow(rule1,rule2)` trailing
 // a statement silences those rules on that line; the same comment alone on
@@ -286,6 +294,7 @@ struct FileScope {
   bool monotonic_ok = false;  // layers allowed to read steady_clock
   bool is_header = false;     // *.hpp
   bool gemm_kernel = false;   // the fixed double-accumulation file set
+  bool in_simd = false;       // src/tensor/simd/** — intrinsics allowed
 };
 
 inline FileScope classify(std::string_view path) {
@@ -302,12 +311,15 @@ inline FileScope classify(std::string_view path) {
                    has_prefix("src/serve/") || has_prefix("src/eval/");
   s.is_header = path.size() >= 4 &&
                 path.substr(path.size() - 4) == ".hpp";
+  s.in_simd = has_prefix("src/tensor/simd/");
   // The kernels bound by the double-accumulation determinism contract
   // (ROADMAP "SIMD kernels"; DESIGN.md determinism notes).
   static constexpr std::string_view kGemmFiles[] = {
       "src/tensor/ops.cpp",  "src/tensor/conv.cpp",   "src/tensor/tensor.cpp",
       "src/nn/dense.cpp",    "src/nn/conv2d.cpp",     "src/nn/avgpool.cpp",
-      "src/nn/batchnorm.cpp"};
+      "src/nn/batchnorm.cpp",
+      "src/tensor/simd/gemm_generic.cpp",
+      "src/tensor/simd/gemm_avx2.cpp"};
   for (std::string_view f : kGemmFiles) {
     if (path == f) s.gemm_kernel = true;
   }
@@ -537,6 +549,50 @@ inline std::vector<Violation> check_source(std::string_view path,
         }
       }
       at = end;
+    }
+  }
+
+  // ---- simd (intrinsics confined to src/tensor/simd/) ---------------------
+  if (!scope.in_simd) {
+    // x86: every intrinsic identifier starts _mm (_mm_, _mm256_, _mm512_).
+    std::size_t at = 0;
+    while ((at = code.find("_mm", at)) != std::string_view::npos) {
+      const bool left_ok = at == 0 || !ident_char(code[at - 1]);
+      if (left_ok) {
+        std::size_t end = at + 3;
+        while (end < code.size() && ident_char(code[end])) ++end;
+        add("simd", at,
+            "raw SIMD intrinsic '" + std::string(code.substr(at, end - at)) +
+                "' outside src/tensor/simd/; microkernels live behind the "
+                "dispatch fence there");
+      }
+      at += 3;
+    }
+    // NEON: the common intrinsic families are prefix-recognizable.
+    for (std::string_view prefix :
+         {"vld1", "vst1", "vfmaq", "vmlaq", "vdupq", "vaddq", "vmulq"}) {
+      at = 0;
+      while ((at = code.find(prefix, at)) != std::string_view::npos) {
+        const bool left_ok = at == 0 || !ident_char(code[at - 1]);
+        const std::size_t end = at + prefix.size();
+        if (left_ok && end < code.size() &&
+            (code[end] == '_' || code[end] == 'q')) {
+          add("simd", at,
+              "raw NEON intrinsic outside src/tensor/simd/; microkernels "
+              "live behind the dispatch fence there");
+        }
+        at = end;
+      }
+    }
+    for (std::string_view header : {"immintrin.h", "arm_neon.h"}) {
+      at = 0;
+      while ((at = code.find(header, at)) != std::string_view::npos) {
+        add("simd", at,
+            "#include <" + std::string(header) +
+                "> outside src/tensor/simd/; intrinsics are confined to the "
+                "dispatch-fenced microkernel directory");
+        at += header.size();
+      }
     }
   }
 
