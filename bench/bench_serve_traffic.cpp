@@ -70,6 +70,9 @@ int main() {
   const bench::DomainParams params = bench::mnist_params();
   auto wb = bench::make_workbench(true, 1500, 300);
   core::Detector detector = bench::make_detector(wb, 14);
+  // The serving configuration runs the corrector fast path: Tier-0 logit
+  // correction, region votes in early-exit mode on disagreement.
+  core::LogitCorrector tier0 = bench::make_logit_corrector(wb, 14);
 
   // Adversarial pool, as in bench_table6_runtime.
   attacks::CwL2 cw(bench::light_cw_config());
@@ -96,11 +99,15 @@ int main() {
       .set("max_batch", config.max_batch)
       .set("max_delay_us", static_cast<std::size_t>(config.max_delay_us))
       .set("mix_percent", std::vector<double>(mixes.begin(), mixes.end()))
-      .set("arrival_rps", rates);
+      .set("arrival_rps", rates)
+      .set("corrector_mode",
+           std::string(core::corrector_mode_name(core::CorrectorMode::kEarlyExit)))
+      .set("tier0_gate_margin",
+           static_cast<double>(tier0.config().gate_margin));
 
   eval::Table table("Serving: end-to-end latency per request (ms)");
   table.set_header({"mix \\ rate", "burst p50/p95/p99", "1000rps p50/p95/p99",
-                    "250rps p50/p95/p99", "det+ rate"});
+                    "250rps p50/p95/p99", "det+ rate", "samples/flag"});
 
   for (int mix : mixes) {
     // Arrival order interleaves adversarial requests through the stream
@@ -126,16 +133,21 @@ int main() {
 
     std::vector<std::string> row{std::to_string(mix) + "%"};
     double det_rate = 0.0;
+    double samples_per_flag = 0.0;
     for (double rate : rates) {
       // Fresh corrector per cell: every cell starts at the same RNG stream
       // position, so a cell's responses do not depend on which cells ran
       // before it.
-      core::Corrector corrector(wb.model, {.radius = params.region_radius,
-                                           .samples = params.dcn_samples});
+      core::Corrector corrector(wb.model,
+                                {.radius = params.region_radius,
+                                 .samples = params.dcn_samples,
+                                 .mode = core::CorrectorMode::kEarlyExit});
       core::Dcn dcn(wb.model, detector, corrector);
+      dcn.set_logit_corrector(&tier0);
       CellResult cell = run_cell(dcn, requests, rate, config);
       const auto& m = cell.metrics;
       det_rate = m.detector_positive_rate;
+      samples_per_flag = m.samples_per_flagged;
       row.push_back(eval::fixed(m.end_to_end.p50_us / 1e3, 2) + "/" +
                     eval::fixed(m.end_to_end.p95_us / 1e3, 2) + "/" +
                     eval::fixed(m.end_to_end.p99_us / 1e3, 2));
@@ -147,18 +159,22 @@ int main() {
       json.set(key, cell.json);
       std::printf(
           "[mix %3d%% rate %6s] p50 %7.2fms p95 %7.2fms p99 %7.2fms | "
-          "det+ %4.1f%% corrector %2zu | batches %zu (full %zu, timer %zu) "
+          "det+ %4.1f%% corrector %2zu (tier0 %zu, votes %zu, %.1f "
+          "samples/flag) | batches %zu (full %zu, timer %zu) "
           "mean size %.1f | %.2fs wall\n",
           mix, rate == 0.0 ? "burst" : eval::fixed(rate, 0).c_str(),
           m.end_to_end.p50_us / 1e3, m.end_to_end.p95_us / 1e3,
           m.end_to_end.p99_us / 1e3, det_rate * 100.0,
           static_cast<std::size_t>(m.detector_positives),
+          static_cast<std::size_t>(m.tier0_hits),
+          static_cast<std::size_t>(m.tier1_votes), samples_per_flag,
           static_cast<std::size_t>(m.batches),
           static_cast<std::size_t>(m.flush_full),
           static_cast<std::size_t>(m.flush_timer), m.mean_batch_size,
           cell.wall_seconds);
     }
     row.push_back(eval::fixed(det_rate * 100.0, 1) + "%");
+    row.push_back(eval::fixed(samples_per_flag, 1));
     table.add_row(row);
   }
   std::printf("\n");

@@ -8,9 +8,11 @@
 
 #include "attacks/cw_l2.hpp"
 #include "core/corrector.hpp"
+#include "core/corrector_stats.hpp"
 #include "core/dcn.hpp"
 #include "core/detector.hpp"
 #include "core/detector_training.hpp"
+#include "core/logit_corrector.hpp"
 #include "data/transforms.hpp"
 #include "defenses/distillation.hpp"
 #include "defenses/region_classifier.hpp"
@@ -102,7 +104,33 @@ inline core::Detector make_detector(models::Workbench& wb,
 /// pair with runtime::kernel_stats().reset() at the start of the measured
 /// section when only that section should be attributed.
 inline void attach_runtime_attribution(eval::JsonObject& json) {
-  json.set("runtime_attribution", obs::runtime_metrics_json());
+  eval::JsonObject rt = obs::runtime_metrics_json();
+  rt.set("corrector", core::corrector_stats_json());
+  json.set("runtime_attribution", rt);
+}
+
+/// Train the Tier-0 logit-correction head on the same protocol the detector
+/// uses: `sources` correctly-classified test examples each spawn up to 9
+/// CW-L2 adversarial logit vectors labeled with the TRUE class, plus benign
+/// logits from a free pool of `extra_benign` training examples.
+inline core::LogitCorrector make_logit_corrector(
+    models::Workbench& wb, std::size_t sources, std::size_t extra_benign = 300,
+    core::LogitCorrectorConfig config = {}) {
+  eval::Timer t;
+  core::LogitCorrector tier0(10, config);
+  attacks::CwL2 cw(light_cw_config());
+  const data::Dataset pool = wb.train_set.take(extra_benign);
+  core::CorrectionDatasetStats stats;
+  const data::Dataset dataset = core::build_correction_dataset(
+      wb.model, cw, wb.test_set.take(sources), 10, &stats, &pool);
+  const double accuracy = tier0.train(dataset);
+  std::printf(
+      "[setup] tier0 logit corrector: %zu attack sources -> %zu adversarial "
+      "logits, %zu benign logits (incl. pool), train-accuracy=%.1f%% "
+      "(%.1fs)\n",
+      sources, stats.adversarial_count, stats.benign_count, accuracy * 100.0,
+      t.seconds());
+  return tier0;
 }
 
 /// Indices of the first `n` test examples the model classifies correctly,

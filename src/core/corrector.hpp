@@ -2,25 +2,86 @@
 // improved parameters — same hypercube radius r as RC but only m = 50
 // samples, which Fig. 4 shows loses no accuracy while cutting cost ~20x.
 //
-// Runtime: all m perturbed samples are generated into one [m, d...] batch
-// and classified through Sequential::classify_batch, which partitions the
-// batch across the runtime thread pool. Sampling draws from the corrector's
-// own sequential RNG stream (sample-major, element-minor — the exact draw
-// order of the original single-example loop, so votes reproduce it bit for
-// bit), and generation costs ~1% of the inference it feeds, so it stays
-// serial. The vote histogram is bit-identical at any DCN_THREADS value.
+// Runtime: perturbed samples are generated into [n, d...] batches and
+// classified through Sequential::classify_batch, which partitions the batch
+// across the runtime thread pool. Sampling draws from the corrector's own
+// sequential RNG stream (sample-major, element-minor — the exact draw order
+// of the original single-example loop, so votes reproduce it bit for bit),
+// and generation costs ~1% of the inference it feeds, so it stays serial.
+// The vote histogram is bit-identical at any DCN_THREADS value.
+//
+// Fast path (the corrector fast-path contract, DESIGN.md): every vote owns a
+// fixed m*d-draw segment of the corrector stream — sample s of a vote is
+// always built from draws [s*d, (s+1)*d) of its segment, and the stream
+// always advances by exactly m*d draws per vote, in every mode. In
+// CorrectorMode::kEarlyExit samples are generated lazily chunk by chunk and
+// the unconsumed tail of the segment is fast-forwarded with a precomputed
+// GF(2) jump (tensor/rng_skip.hpp) instead of generated, so the stream
+// layout — and with it the j-th-flagged-row batching invariance of
+// Dcn::predict — stays byte-for-byte identical to full voting while skipping
+// both the generation and the classification of undecided samples.
+//
+// Classification runs in fixed deterministic chunks
+// (CorrectorConfig::schedule). At each chunk boundary three stopping rules
+// run, in order:
+//   certain    lead > remaining samples: no continuation can change the
+//              winner, so the early answer equals the full vote exactly.
+//   hoeffding  lead >= sqrt(2 t ln(1/stop_delta)): the winner is decided
+//              with probability >= 1 - stop_delta under a Hoeffding bound
+//              on the remaining exchangeable votes. stop_delta = 0 disables
+//              this rule, leaving only exact certain exits.
+//   hint       the caller proposed a label (vote_one/vote_many hint >= 0,
+//              in practice the Tier-0 logit corrector's confirm policy) and
+//              the current leader equals it with lead >= hint_min_lead.
+//              The vote then confirms the proposal instead of re-deriving
+//              it from scratch.
+// All rules see only vote counts, so early exit is deterministic at any
+// thread count and on every SIMD dispatch path.
+//
+// Joint voting: vote_many() votes several inputs (the flagged rows of one
+// predict batch) in lockstep — one classify_batch per chunk over all
+// still-undecided rows, which amortizes per-chunk dispatch overhead that a
+// row-at-a-time loop pays per row. Each row still consumes its own fixed
+// segment (row j's generator is jump-positioned to segment j before any
+// generation), and the stopping rules see only that row's votes, so the
+// outcome of every row is bit-identical to voting it alone — joint voting
+// is batching-invariant by construction.
 #pragma once
 
 #include "nn/sequential.hpp"
 #include "tensor/random.hpp"
+#include "tensor/rng_skip.hpp"
 
 namespace dcn::core {
+
+/// Vote-loop strategy. kFull classifies all m samples (seed-exact, the
+/// golden-fixture default); kEarlyExit classifies in chunks with the
+/// stopping rules above.
+enum class CorrectorMode { kFull, kEarlyExit };
+
+constexpr const char* corrector_mode_name(CorrectorMode mode) {
+  return mode == CorrectorMode::kFull ? "full" : "early_exit";
+}
 
 struct CorrectorConfig {
   float radius = 0.3F;       // r: 0.3 for MNIST, 0.02 for CIFAR-10
   std::size_t samples = 50;  // m: the paper's improvement over RC's 1000
   std::uint64_t seed = 4242;
   bool clip_to_box = true;
+  CorrectorMode mode = CorrectorMode::kFull;
+  /// Chunk sizes for kEarlyExit, checked at boundaries only. Normalized
+  /// against `samples`: oversized chunks are clipped, a shortfall becomes a
+  /// final chunk, so any schedule covers exactly m samples. The default is
+  /// the microbench-tuned ladder for m = 50 (BENCH_runtime.json).
+  std::vector<std::size_t> schedule{6, 6, 12, 12, 14};
+  /// Per-vote miss probability of the Hoeffding stopping rule; 0 keeps only
+  /// the certain (lead > remaining) exits, which reproduce the full vote's
+  /// winner exactly.
+  double stop_delta = 0.05;
+  /// Minimum lead (leader votes minus runner-up votes) for the hint rule to
+  /// confirm a caller-proposed label at a chunk boundary. Only consulted
+  /// when a vote carries a hint >= 0.
+  std::size_t hint_min_lead = 1;
 };
 
 /// Fill a [m, d...] batch with hypercube samples around x, drawing serially
@@ -30,6 +91,38 @@ struct CorrectorConfig {
 Tensor sample_region_batch(const Tensor& x, std::size_t m, float radius,
                            Rng& rng, bool clip_to_box);
 
+/// Result of one chunked region vote: the histogram covers only the samples
+/// actually classified (it sums to samples_used).
+struct VoteOutcome {
+  std::vector<std::size_t> votes;
+  std::size_t samples_used = 0;
+  std::size_t chunks_used = 0;
+  bool exited_early = false;
+  /// True iff the vote exited early with the caller's hinted label as its
+  /// winner — the Tier-0 "proposal confirmed" signal. Always false for
+  /// un-hinted votes and in kFull mode.
+  bool hint_confirmed = false;
+
+  [[nodiscard]] std::size_t winner() const;
+};
+
+/// Normalize a chunk schedule against a sample budget m: clip chunks that
+/// overshoot, drop empties, append a final chunk for any shortfall. The
+/// result is non-empty (for m > 0) and sums to exactly m.
+std::vector<std::size_t> normalize_schedule(
+    const std::vector<std::size_t>& schedule, std::size_t m);
+
+/// The chunked vote engine shared by RC and the soft-vote corrector (and the
+/// corrector's full mode): classify `batch` ([m, d...]) chunk by chunk,
+/// accumulate argmax votes, and stop at a chunk boundary once a stopping
+/// rule fires. `chunks` must be normalized (sum to batch.dim(0)); pass a
+/// single chunk of m for a full vote. Deterministic at any thread count by
+/// construction: chunk boundaries and the rules depend only on vote counts.
+VoteOutcome chunked_vote(nn::Sequential& model, const Tensor& batch,
+                         std::size_t num_classes,
+                         const std::vector<std::size_t>& chunks,
+                         double stop_delta);
+
 class Corrector {
  public:
   Corrector(nn::Sequential& model, CorrectorConfig config = {});
@@ -37,16 +130,48 @@ class Corrector {
   /// Recover a label by majority vote over the hypercube around x.
   std::size_t correct(const Tensor& x);
 
-  /// Vote histogram for diagnostics (index = class, value = votes).
+  /// Vote one input, optionally carrying a Tier-0 hint (-1 = no hint; hints
+  /// are ignored in kFull mode, which always consumes all m samples).
+  /// Consumes exactly one m*d-draw segment of the corrector stream.
+  VoteOutcome vote_one(const Tensor& x, long hint = -1);
+
+  /// Vote a batch of inputs in lockstep (see "Joint voting" above). Row j
+  /// consumes the j-th m*d-draw segment after the current stream position;
+  /// every row's outcome is bit-identical to calling vote_one on it alone.
+  /// All inputs must share one shape; hints.size() must equal xs.size().
+  std::vector<VoteOutcome> vote_many(const std::vector<const Tensor*>& xs,
+                                     const std::vector<long>& hints);
+
+  /// Vote histogram for diagnostics (index = class, value = votes). In
+  /// kEarlyExit mode it sums to the samples actually consumed — see
+  /// last_outcome() for the consumption accounting.
   std::vector<std::size_t> vote_histogram(const Tensor& x);
+
+  /// Outcome of the most recent vote (the last row for vote_many): samples
+  /// and chunks consumed and whether a stopping rule fired. Zeroed until the
+  /// first vote.
+  [[nodiscard]] const VoteOutcome& last_outcome() const {
+    return last_outcome_;
+  }
 
   [[nodiscard]] const CorrectorConfig& config() const { return config_; }
 
  private:
+  void resolve_num_classes(const Tensor& x);
+  VoteOutcome full_vote(const Tensor& x);
+  std::vector<VoteOutcome> joint_early_exit_vote(
+      const std::vector<const Tensor*>& xs, const std::vector<long>& hints);
+
   nn::Sequential* model_;
   CorrectorConfig config_;
   Rng rng_;
   std::size_t num_classes_ = 0;  // resolved from layer metadata on first use
+  VoteOutcome last_outcome_;
+  // Segment jump tables for kEarlyExit: a borrowed pointer into the
+  // process-wide shared_rng_skip cache, resolved once the element count d
+  // is known (and re-resolved if it changes — e.g. one corrector reused
+  // across datasets).
+  const RngSkip* skip_ = nullptr;
 };
 
 }  // namespace dcn::core

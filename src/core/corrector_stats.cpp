@@ -1,0 +1,126 @@
+#include "core/corrector_stats.hpp"
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace dcn::core {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+void corrector_source(CorrectorStats& stats, std::vector<obs::Metric>& out) {
+  const CorrectorStatsSnapshot s = stats.snapshot();
+  auto counter = [&out](const char* name, const char* help, double value) {
+    out.push_back({name, help, obs::MetricType::kCounter, "", "", value});
+  };
+  counter("dcn_corrector_tier0_hits_total",
+          "Flagged inputs resolved by the Tier-0 logit corrector",
+          static_cast<double>(s.tier0_hits));
+  counter("dcn_corrector_tier0_misses_total",
+          "Tier-0 declines that fell through to the region vote",
+          static_cast<double>(s.tier0_misses));
+  counter("dcn_corrector_votes_total", "Tier-1 region votes run",
+          static_cast<double>(s.votes));
+  counter("dcn_corrector_early_exits_total",
+          "Region votes stopped by an early-exit rule",
+          static_cast<double>(s.early_exits));
+  counter("dcn_corrector_samples_budget_total",
+          "Samples a full vote would have classified (m per vote)",
+          static_cast<double>(s.samples_budget));
+  // The samples-used distribution in Prometheus histogram form: cumulative
+  // le buckets, then _sum and _count.
+  const char* hist_help = "Region samples classified per corrector vote";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < s.sample_hist.size(); ++i) {
+    cumulative += s.sample_hist[i];
+    out.push_back({"dcn_corrector_samples_used_bucket", hist_help,
+                   obs::MetricType::kHistogram, "le",
+                   std::to_string(CorrectorStatsSnapshot::kSampleBuckets[i]),
+                   static_cast<double>(cumulative)});
+  }
+  out.push_back({"dcn_corrector_samples_used_bucket", hist_help,
+                 obs::MetricType::kHistogram, "le", "+Inf",
+                 static_cast<double>(s.votes)});
+  out.push_back({"dcn_corrector_samples_used_sum", hist_help,
+                 obs::MetricType::kHistogram, "", "",
+                 static_cast<double>(s.samples_used)});
+  out.push_back({"dcn_corrector_samples_used_count", hist_help,
+                 obs::MetricType::kHistogram, "", "",
+                 static_cast<double>(s.votes)});
+}
+
+}  // namespace
+
+void CorrectorStats::record_vote(std::size_t used, std::size_t budget) {
+  votes_.fetch_add(1, kRelaxed);
+  samples_used_.fetch_add(used, kRelaxed);
+  samples_budget_.fetch_add(budget, kRelaxed);
+  if (used < budget) early_exits_.fetch_add(1, kRelaxed);
+  std::size_t slot = kBuckets - 1;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (used <= CorrectorStatsSnapshot::kSampleBuckets[i]) {
+      slot = i;
+      break;
+    }
+  }
+  sample_hist_[slot].fetch_add(1, kRelaxed);
+}
+
+void CorrectorStats::record_tier0_hit() { tier0_hits_.fetch_add(1, kRelaxed); }
+
+void CorrectorStats::record_tier0_miss() {
+  tier0_misses_.fetch_add(1, kRelaxed);
+}
+
+CorrectorStatsSnapshot CorrectorStats::snapshot() const {
+  CorrectorStatsSnapshot s;
+  s.votes = votes_.load(kRelaxed);
+  s.samples_used = samples_used_.load(kRelaxed);
+  s.samples_budget = samples_budget_.load(kRelaxed);
+  s.early_exits = early_exits_.load(kRelaxed);
+  s.tier0_hits = tier0_hits_.load(kRelaxed);
+  s.tier0_misses = tier0_misses_.load(kRelaxed);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.sample_hist[i] = sample_hist_[i].load(kRelaxed);
+  }
+  return s;
+}
+
+void CorrectorStats::reset() {
+  for (auto* c : {&votes_, &samples_used_, &samples_budget_, &early_exits_,
+                  &tier0_hits_, &tier0_misses_}) {
+    c->store(0, kRelaxed);
+  }
+  for (auto& slot : sample_hist_) slot.store(0, kRelaxed);
+}
+
+CorrectorStats& corrector_stats() {
+  static CorrectorStats* stats = [] {
+    auto* s = new CorrectorStats();
+    obs::registry().add_source(
+        [s](std::vector<obs::Metric>& out) { corrector_source(*s, out); });
+    return s;
+  }();
+  return *stats;
+}
+
+eval::JsonObject corrector_stats_json() {
+  const CorrectorStatsSnapshot s = corrector_stats().snapshot();
+  eval::JsonObject json;
+  json.set("votes", static_cast<std::size_t>(s.votes))
+      .set("samples_used", static_cast<std::size_t>(s.samples_used))
+      .set("samples_budget", static_cast<std::size_t>(s.samples_budget))
+      .set("samples_per_vote",
+           s.votes > 0 ? static_cast<double>(s.samples_used) /
+                             static_cast<double>(s.votes)
+                       : 0.0)
+      .set("early_exits", static_cast<std::size_t>(s.early_exits))
+      .set("tier0_hits", static_cast<std::size_t>(s.tier0_hits))
+      .set("tier0_misses", static_cast<std::size_t>(s.tier0_misses));
+  return json;
+}
+
+}  // namespace dcn::core

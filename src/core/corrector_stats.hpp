@@ -1,0 +1,80 @@
+// Process-wide corrector fast-path accounting, in the mold of
+// runtime::kernel_stats: every region vote and every tier decision lands in
+// one relaxed-atomic block, scraped by the unified metrics registry as the
+// dcn_corrector_* family and embedded in every BENCH_*.json
+// runtime_attribution.
+//
+// What it answers for an operator (docs/OPERATIONS.md "Corrector fast
+// path"): how many flagged inputs the Tier-0 logit corrector resolved
+// without region sampling, how many fell through to the Tier-1 vote, and —
+// via the samples-used histogram — how early the early-exit vote is
+// actually stopping. The histogram is exported in Prometheus histogram
+// form (cumulative le buckets + _sum + _count).
+//
+// Only the DCN corrector records here. RC's m=1000 baseline votes and the
+// ablation correctors stay out so the family measures the serving fast
+// path, not benchmark traffic.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "eval/bench_json.hpp"
+
+namespace dcn::core {
+
+struct CorrectorStatsSnapshot {
+  std::uint64_t votes = 0;          // Tier-1 region votes run
+  std::uint64_t samples_used = 0;   // region samples actually classified
+  std::uint64_t samples_budget = 0; // full-vote cost of the same votes (m each)
+  std::uint64_t early_exits = 0;    // votes that stopped before m
+  std::uint64_t tier0_hits = 0;     // flagged inputs resolved by Tier-0
+  std::uint64_t tier0_misses = 0;   // Tier-0 declined; fell through to voting
+  /// Non-cumulative histogram of samples used per vote; bucket i counts
+  /// votes with samples_used <= kSampleBuckets[i] (and above the previous
+  /// bound). The last bound is an overflow catch-all.
+  static constexpr std::array<std::uint64_t, 10> kSampleBuckets{
+      5, 10, 15, 20, 25, 30, 40, 50, 100, 1000};
+  std::array<std::uint64_t, kSampleBuckets.size()> sample_hist{};
+};
+
+class CorrectorStats {
+ public:
+  /// One Tier-1 region vote that classified `used` of `budget` samples.
+  void record_vote(std::size_t used, std::size_t budget);
+
+  /// Tier-0 resolved a flagged input (no region vote ran).
+  void record_tier0_hit();
+
+  /// Tier-0 declined (low confidence); the caller is about to vote.
+  void record_tier0_miss();
+
+  [[nodiscard]] CorrectorStatsSnapshot snapshot() const;
+
+  /// Zero everything (quiescent-point operation, e.g. between bench reps).
+  void reset();
+
+ private:
+  static constexpr std::size_t kBuckets =
+      CorrectorStatsSnapshot::kSampleBuckets.size();
+  std::atomic<std::uint64_t> votes_{0};
+  std::atomic<std::uint64_t> samples_used_{0};
+  std::atomic<std::uint64_t> samples_budget_{0};
+  std::atomic<std::uint64_t> early_exits_{0};
+  std::atomic<std::uint64_t> tier0_hits_{0};
+  std::atomic<std::uint64_t> tier0_misses_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> sample_hist_{};
+};
+
+/// The process-wide block. First use registers the dcn_corrector_* source
+/// with obs::registry() (corrector construction touches it, so the family
+/// is scrapeable before the first vote).
+CorrectorStats& corrector_stats();
+
+/// {votes, samples_used, samples_per_vote, tier0_hits, ...} — the corrector
+/// block bench::attach_runtime_attribution and DcnServer::metrics_json
+/// embed next to the kernel/pool/trace blocks.
+[[nodiscard]] eval::JsonObject corrector_stats_json();
+
+}  // namespace dcn::core

@@ -1,11 +1,57 @@
 #include "core/dcn.hpp"
 
+#include "core/corrector_stats.hpp"
 #include "obs/trace.hpp"
 
 namespace dcn::core {
 
 Dcn::Dcn(nn::Sequential& model, Detector& detector, Corrector& corrector)
     : model_(&model), detector_(&detector), corrector_(&corrector) {}
+
+bool Dcn::tier0_screen(const Tensor& logits, Decision& d, long& hint) {
+  ++corrector_activations_;
+  hint = -1;
+  if (tier0_ == nullptr) return false;
+  const LogitCorrector::Proposal p = tier0_->propose(logits);
+  if (tier0_policy_ == Tier0Policy::kResolve) {
+    if (p.confident && p.agrees_runner_up) {
+      d.label = p.label;
+      d.tier0_resolved = true;
+      ++tier0_hits_;
+      corrector_stats().record_tier0_hit();
+      return true;
+    }
+    corrector_stats().record_tier0_miss();
+    return false;
+  }
+  hint = p.hint();
+  return false;
+}
+
+void Dcn::finalize_vote(Decision& d, const VoteOutcome& outcome) {
+  d.label = outcome.winner();
+  d.corrector_samples = outcome.samples_used;
+  corrector_samples_used_ += outcome.samples_used;
+  if (outcome.hint_confirmed) {
+    // The vote confirmed the Tier-0 proposal at an early boundary: a Tier-0
+    // hit that paid only a prefix of the sample budget.
+    d.tier0_resolved = true;
+    ++tier0_hits_;
+    corrector_stats().record_tier0_hit();
+  } else {
+    ++tier1_votes_;
+    if (tier0_ != nullptr && tier0_policy_ == Tier0Policy::kConfirm) {
+      corrector_stats().record_tier0_miss();
+    }
+  }
+}
+
+void Dcn::resolve_flagged(const Tensor& x, const Tensor& logits, Decision& d) {
+  long hint = -1;
+  if (tier0_screen(logits, d, hint)) return;
+  DCN_TRACE_SPAN("dcn.corrector", "core");
+  finalize_vote(d, corrector_->vote_one(x, hint));
+}
 
 Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
   DCN_TRACE_SPAN("dcn.classify", "core");
@@ -17,9 +63,7 @@ Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
   d.dnn_label = logits.argmax();
   d.flagged_adversarial = detector_->is_adversarial(logits);
   if (d.flagged_adversarial) {
-    ++corrector_activations_;
-    DCN_TRACE_SPAN("dcn.corrector", "core");
-    d.label = corrector_->correct(x);
+    resolve_flagged(x, logits, d);
   } else {
     d.label = d.dnn_label;
   }
@@ -36,17 +80,42 @@ std::vector<Dcn::Decision> Dcn::predict_verbose(const Tensor& batch) {
   }();
   const std::size_t n = logits.dim(0);
   std::vector<Decision> decisions(n);
+
+  // Pass 1: screen every row in index order. Benign rows answer from the
+  // DNN; flagged rows run Tier-0 screening and queue up for the vote (with
+  // their hint) unless a kResolve hit answers them outright.
+  std::vector<std::size_t> voting_rows;
+  std::vector<Tensor> voting_inputs;
+  std::vector<long> hints;
   for (std::size_t i = 0; i < n; ++i) {
     const Tensor row = logits.row(i);
     Decision& d = decisions[i];
     d.dnn_label = row.argmax();
     d.flagged_adversarial = detector_->is_adversarial(row);
-    if (d.flagged_adversarial) {
-      ++corrector_activations_;
-      DCN_TRACE_SPAN_ARG("dcn.corrector", "core", "row", i);
-      d.label = corrector_->correct(batch.row(i));
-    } else {
+    if (!d.flagged_adversarial) {
       d.label = d.dnn_label;
+      continue;
+    }
+    long hint = -1;
+    if (tier0_screen(row, d, hint)) continue;
+    voting_rows.push_back(i);
+    voting_inputs.push_back(batch.row(i));
+    hints.push_back(hint);
+  }
+
+  // Pass 2: one joint vote over all queued rows. vote_many keeps the j-th
+  // voting row on the j-th RNG segment, so this is bit-identical to the
+  // row-at-a-time loop (and to any micro-batch split of the same sequence)
+  // while paying the per-chunk dispatch overhead once instead of per row.
+  if (!voting_rows.empty()) {
+    DCN_TRACE_SPAN_ARG("dcn.corrector", "core", "rows", voting_rows.size());
+    std::vector<const Tensor*> inputs;
+    inputs.reserve(voting_inputs.size());
+    for (const Tensor& x : voting_inputs) inputs.push_back(&x);
+    const std::vector<VoteOutcome> outcomes =
+        corrector_->vote_many(inputs, hints);
+    for (std::size_t j = 0; j < voting_rows.size(); ++j) {
+      finalize_vote(decisions[voting_rows[j]], outcomes[j]);
     }
   }
   return decisions;

@@ -8,14 +8,37 @@
 
 #include "core/corrector.hpp"
 #include "core/detector.hpp"
+#include "core/logit_corrector.hpp"
 #include "defenses/classifier.hpp"
 
 namespace dcn::core {
+
+/// How the Dcn uses a Tier-0 proposal for a flagged input (see
+/// logit_corrector.hpp "Serving contract").
+enum class Tier0Policy {
+  /// The proposal becomes a hint for the region vote, which exits at the
+  /// first chunk boundary where the sample evidence agrees. Every flagged
+  /// row still pays (a usually tiny prefix of) a vote, and the corrector
+  /// RNG-segment sequence is exactly the detector's flag sequence.
+  kConfirm,
+  /// A confident, runner-up-agreeing proposal answers directly — no vote,
+  /// no RNG consumption. Fastest, but the proposal is never cross-checked
+  /// against region samples.
+  kResolve,
+};
 
 class Dcn final : public defenses::Classifier {
  public:
   /// All three components are held by reference and must outlive the Dcn.
   Dcn(nn::Sequential& model, Detector& detector, Corrector& corrector);
+
+  /// Install (or clear) a trained Tier-0 logit corrector. Its proposals are
+  /// consumed per the Tier-0 policy (kConfirm by default). The head must
+  /// outlive the Dcn.
+  void set_logit_corrector(LogitCorrector* tier0) { tier0_ = tier0; }
+
+  void set_tier0_policy(Tier0Policy policy) { tier0_policy_ = policy; }
+  [[nodiscard]] Tier0Policy tier0_policy() const { return tier0_policy_; }
 
   /// The DCN decision procedure.
   std::size_t classify(const Tensor& x) override;
@@ -34,31 +57,66 @@ class Dcn final : public defenses::Classifier {
     std::size_t label = 0;
     bool flagged_adversarial = false;  // did the detector fire?
     std::size_t dnn_label = 0;         // the raw DNN opinion
+    /// Tier-0 answered: directly (kResolve, corrector_samples == 0) or via
+    /// an early vote-confirmed proposal (kConfirm, corrector_samples > 0).
+    bool tier0_resolved = false;
+    std::size_t corrector_samples = 0; // region samples this decision paid
   };
   Decision classify_verbose(const Tensor& x);
 
   /// predict() with per-example attribution: which rows the detector
   /// flagged (and therefore paid the corrector vote) and what the raw DNN
-  /// said. Rows are decided in index order, so the j-th flagged row always
-  /// consumes the j-th segment of the corrector's RNG stream — which is why
-  /// the serving layer can split a request sequence into arbitrary
-  /// micro-batches without changing any response (see src/serve/).
+  /// said. Rows are screened in index order and the votes of all flagged
+  /// rows run jointly through Corrector::vote_many, whose per-row segment
+  /// positioning keeps the j-th voting row on the j-th segment of the
+  /// corrector's RNG stream — which is why the serving layer can split a
+  /// request sequence into arbitrary micro-batches without changing any
+  /// response (see src/serve/).
   std::vector<Decision> predict_verbose(const Tensor& batch);
 
   /// Number of corrector activations since construction (efficiency
-  /// accounting for Table 6).
+  /// accounting for Table 6). Tier-0 hits count as activations (the input
+  /// took the corrector path); hits + votes == activations.
   [[nodiscard]] std::size_t corrector_activations() const {
     return corrector_activations_;
   }
 
+  /// Flagged inputs resolved by Tier-0 (directly or vote-confirmed) / by an
+  /// unconfirmed Tier-1 region vote.
+  [[nodiscard]] std::size_t tier0_hits() const { return tier0_hits_; }
+  [[nodiscard]] std::size_t tier1_votes() const { return tier1_votes_; }
+
+  /// Region samples classified across all votes (confirmed ones included).
+  [[nodiscard]] std::size_t corrector_samples_used() const {
+    return corrector_samples_used_;
+  }
+
   [[nodiscard]] Detector& detector() { return *detector_; }
   [[nodiscard]] Corrector& corrector() { return *corrector_; }
+  [[nodiscard]] LogitCorrector* logit_corrector() { return tier0_; }
 
  private:
+  /// Tier-0 screening for one flagged row. Returns true when the row is
+  /// fully resolved (kResolve direct hit); otherwise leaves the vote hint
+  /// (-1 when tiering is off or the proposal failed its gates) in `hint`.
+  bool tier0_screen(const Tensor& logits, Decision& d, long& hint);
+
+  /// Fold one vote outcome into a decision and the tier counters.
+  void finalize_vote(Decision& d, const VoteOutcome& outcome);
+
+  /// The flagged-input path of classify_verbose (single row; predict_verbose
+  /// batches the same steps through Corrector::vote_many).
+  void resolve_flagged(const Tensor& x, const Tensor& logits, Decision& d);
+
   nn::Sequential* model_;
   Detector* detector_;
   Corrector* corrector_;
+  LogitCorrector* tier0_ = nullptr;
+  Tier0Policy tier0_policy_ = Tier0Policy::kConfirm;
   std::size_t corrector_activations_ = 0;
+  std::size_t tier0_hits_ = 0;
+  std::size_t tier1_votes_ = 0;
+  std::size_t corrector_samples_used_ = 0;
 };
 
 }  // namespace dcn::core

@@ -1,0 +1,169 @@
+#include "core/logit_corrector.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "models/model_zoo.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace dcn::core {
+
+data::Dataset build_correction_dataset(nn::Sequential& model,
+                                       attacks::Attack& attack,
+                                       const data::Dataset& source,
+                                       std::size_t num_classes,
+                                       CorrectionDatasetStats* stats,
+                                       const data::Dataset* extra_benign) {
+  CorrectionDatasetStats local;
+  std::vector<Tensor> rows;
+  std::vector<std::size_t> labels;
+
+  auto add_benign = [&](const data::Dataset& src, std::size_t i) -> bool {
+    const Tensor logits = model.logits(src.example(i));
+    if (logits.argmax() != src.labels[i]) return false;  // correct only
+    rows.push_back(logits);
+    labels.push_back(src.labels[i]);
+    ++local.benign_count;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (!add_benign(source, i)) continue;
+    const Tensor x = source.example(i);
+    const std::size_t truth = source.labels[i];
+    for (std::size_t t = 0; t < num_classes; ++t) {
+      if (t == truth) continue;
+      const attacks::AttackResult r = attack.run_targeted(model, x, t);
+      if (!r.success) {
+        ++local.attack_failures;
+        continue;
+      }
+      // The recovery target is the TRUE class, not the attack target: the
+      // head learns to push the runner-up truth back over the planted max.
+      rows.push_back(model.logits(r.adversarial));
+      labels.push_back(truth);
+      ++local.adversarial_count;
+    }
+  }
+  if (extra_benign != nullptr) {
+    for (std::size_t i = 0; i < extra_benign->size(); ++i) {
+      add_benign(*extra_benign, i);
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  data::Dataset out;
+  out.images = Tensor::stack(rows);
+  out.labels = std::move(labels);
+  return out;
+}
+
+LogitCorrector::LogitCorrector(std::size_t num_classes,
+                               LogitCorrectorConfig config)
+    : num_classes_(num_classes), config_(config), net_([&] {
+        Rng rng(config.init_seed);
+        return models::mlp({num_classes, config.hidden, num_classes}, rng);
+      }()) {}
+
+double LogitCorrector::train(const data::Dataset& correction_dataset) {
+  if (correction_dataset.images.rank() != 2 ||
+      correction_dataset.images.dim(1) != num_classes_) {
+    throw std::invalid_argument(
+        "LogitCorrector::train: expected [N, k] logit vectors");
+  }
+  nn::Adam optimizer({.learning_rate = config_.learning_rate});
+  Rng shuffle_rng(config_.init_seed);
+  double final_accuracy = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const data::Dataset shuffled = correction_dataset.shuffled(shuffle_rng);
+    std::size_t correct = 0;
+    data::BatchIterator batches(shuffled, config_.batch_size);
+    data::Batch batch;
+    while (batches.next(batch)) {
+      net_.zero_grad();
+      const Tensor residual = net_.forward(batch.images, /*train=*/true);
+      const Tensor corrected = batch.images + residual;
+      const nn::LossResult loss =
+          nn::softmax_cross_entropy(corrected, batch.labels);
+      // d(corrected)/d(residual) is the identity, so the CE gradient
+      // backprops through the head unchanged; the skip path has no params.
+      net_.backward(loss.grad);
+      optimizer.step(net_.params());
+      const std::vector<std::size_t> preds = ops::argmax_rows(corrected);
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == batch.labels[i]) ++correct;
+      }
+    }
+    final_accuracy = correction_dataset.size() > 0
+                         ? static_cast<double>(correct) /
+                               static_cast<double>(correction_dataset.size())
+                         : 0.0;
+  }
+  return final_accuracy;
+}
+
+Tensor LogitCorrector::correct_logits(const Tensor& logits) {
+  if (logits.size() != num_classes_) {
+    throw std::invalid_argument("LogitCorrector: logit size mismatch");
+  }
+  return logits + net_.logits(logits);
+}
+
+LogitCorrector::Proposal LogitCorrector::propose(const Tensor& logits) {
+  const Tensor corrected = correct_logits(logits);
+  Proposal p;
+  p.label = corrected.argmax();
+  float top = corrected[p.label];
+  float second = -std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < corrected.size(); ++i) {
+    if (i != p.label && corrected[i] > second) second = corrected[i];
+  }
+  p.margin = static_cast<double>(top) - second;
+  p.confident = p.margin >= static_cast<double>(config_.gate_margin);
+  // Runner-up of the *original* logits: where an evasion attack leaves the
+  // displaced true class. A proposal that names any other class is not the
+  // pattern the head was trained to undo, so it never becomes a hint.
+  const std::size_t orig_top = logits.argmax();
+  std::size_t orig_second = orig_top == 0 ? 1 : 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (i != orig_top && logits[i] > logits[orig_second]) orig_second = i;
+  }
+  p.agrees_runner_up = p.label == orig_second;
+  return p;
+}
+
+namespace {
+constexpr const char* kLogitCorrectorMagic = "DCNLOGITCORRv1";
+}
+
+void LogitCorrector::save(std::ostream& out) {
+  out << kLogitCorrectorMagic << ' ' << num_classes_ << ' ' << config_.hidden
+      << ' ' << config_.gate_margin << '\n';
+  nn::save_weights(net_, out);
+}
+
+void LogitCorrector::load(std::istream& in) {
+  std::string magic;
+  std::size_t classes = 0, hidden = 0;
+  float gate = 0.0F;
+  in >> magic >> classes >> hidden >> gate;
+  if (magic != kLogitCorrectorMagic) {
+    throw std::runtime_error("LogitCorrector::load: bad magic '" + magic +
+                             "'");
+  }
+  if (classes != num_classes_ || hidden != config_.hidden) {
+    throw std::runtime_error(
+        "LogitCorrector::load: configuration mismatch (classes/hidden)");
+  }
+  config_.gate_margin = gate;
+  in.ignore(1);  // newline before the weight payload
+  nn::load_weights(net_, in);
+}
+
+}  // namespace dcn::core

@@ -1,0 +1,122 @@
+// Tier-0 of the tiered corrector fast path (DESIGN.md "Corrector fast
+// path"): a small residual MLP over the DNN's logits that tries to undo an
+// evasion perturbation's effect directly in logit space.
+//
+// The observation it trains on is the same one the detector exploits:
+// adversarial logits sit just across a decision boundary, with the true
+// class a close runner-up. Where the detector learns "this shape is
+// adversarial", the Tier-0 head learns "this shape's true class is the one
+// just behind the max" — corrected = logits + net(logits), trained with
+// softmax cross-entropy against the TRUE label on both adversarial and
+// benign logits (benign rows teach it to leave clean shapes alone; the
+// identity skip makes that the zero-residual fixed point).
+//
+// Serving contract: Tier-0 is a pure function of the logits — no RNG, no
+// sampling. How a proposal is used is the Dcn's Tier-0 policy:
+//   confirm (default)  the proposal rides into the region vote as a hint;
+//                      the vote exits at the first chunk boundary where the
+//                      sample evidence agrees (Corrector's hint rule). Every
+//                      flagged row still consumes its m*d RNG segment, so
+//                      the j-th-flagged-row batching invariance is exactly
+//                      the detector's flag sequence, tiering or not.
+//   resolve            a confident, runner-up-agreeing proposal answers
+//                      directly with no vote and no RNG consumption; the
+//                      invariance survives with "flagged" read as "flagged
+//                      and not Tier-0-resolved". Faster, but the proposal is
+//                      never cross-checked against region samples.
+// A proposal is gated twice: the corrected top1-top2 margin must clear
+// `gate_margin`, and the proposed label must be the *original* logits'
+// runner-up — the class an evasion attack displaced, which is where the
+// paper's detector observation says the truth sits. Everything else falls
+// through to an unhinted Tier-1 region vote.
+#pragma once
+
+#include <iosfwd>
+
+#include "attacks/attack.hpp"
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace dcn::core {
+
+struct LogitCorrectorConfig {
+  std::size_t hidden = 48;
+  std::size_t epochs = 120;
+  std::size_t batch_size = 32;
+  float learning_rate = 3e-3F;
+  std::uint64_t init_seed = 9191;
+  /// Confidence gate: accept the Tier-0 label only when the corrected
+  /// top1 - top2 margin is at least this. Raising it trades Tier-0 hit rate
+  /// for vote-grade confidence on the hits.
+  float gate_margin = 2.0F;
+};
+
+struct CorrectionDatasetStats {
+  std::size_t benign_count = 0;
+  std::size_t adversarial_count = 0;
+  std::size_t attack_failures = 0;  // targeted attempts that did not succeed
+};
+
+/// Build a correction dataset from `source`: logit vectors labeled with the
+/// TRUE class — benign logits of correctly-classified examples plus the
+/// logits of successful targeted attacks against them (detector_training's
+/// protocol, relabeled for recovery instead of detection). `extra_benign`
+/// contributes cheap benign rows only.
+data::Dataset build_correction_dataset(nn::Sequential& model,
+                                       attacks::Attack& attack,
+                                       const data::Dataset& source,
+                                       std::size_t num_classes,
+                                       CorrectionDatasetStats* stats = nullptr,
+                                       const data::Dataset* extra_benign =
+                                           nullptr);
+
+class LogitCorrector {
+ public:
+  /// Build an untrained head for `num_classes`-dimensional logits.
+  explicit LogitCorrector(std::size_t num_classes,
+                          LogitCorrectorConfig config = {});
+
+  /// Train on a correction dataset (images: [N, k] logit vectors; labels:
+  /// true classes). Returns final training accuracy of the corrected
+  /// argmax. The loss is softmax CE through the residual sum, so backward
+  /// of dL/d(corrected) directly accumulates the head's gradients (the
+  /// identity path has no parameters).
+  double train(const data::Dataset& correction_dataset);
+
+  /// corrected = logits + net(logits).
+  [[nodiscard]] Tensor correct_logits(const Tensor& logits);
+
+  /// What Tier-0 would answer for a flagged input's logits.
+  struct Proposal {
+    std::size_t label = 0;
+    double margin = 0.0;     // corrected top1 - top2
+    bool confident = false;  // margin >= gate_margin
+    /// Does the proposal name the runner-up of the *original* logits (the
+    /// class the attack displaced)? Required for the proposal to be used.
+    bool agrees_runner_up = false;
+
+    /// The vote hint this proposal amounts to: the proposed label when both
+    /// gates pass, -1 (no hint) otherwise.
+    [[nodiscard]] long hint() const {
+      return confident && agrees_runner_up ? static_cast<long>(label) : -1;
+    }
+  };
+  [[nodiscard]] Proposal propose(const Tensor& logits);
+
+  /// The residual head (for gradcheck and serialization tests).
+  [[nodiscard]] nn::Sequential& network() { return net_; }
+
+  /// Persist / restore a trained head (config header + net weights).
+  void save(std::ostream& out);
+  void load(std::istream& in);
+
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+  [[nodiscard]] const LogitCorrectorConfig& config() const { return config_; }
+
+ private:
+  std::size_t num_classes_;
+  LogitCorrectorConfig config_;
+  nn::Sequential net_;
+};
+
+}  // namespace dcn::core

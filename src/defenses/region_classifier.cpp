@@ -20,17 +20,14 @@ std::vector<std::size_t> RegionClassifier::vote_histogram(const Tensor& x) {
     }
     num_classes_ = out.dim(1);
   }
-  std::vector<std::size_t> votes(num_classes_, 0);
-  if (config_.samples == 0) return votes;
+  if (config_.samples == 0) return std::vector<std::size_t>(num_classes_, 0);
   const Tensor batch = core::sample_region_batch(
       x, config_.samples, config_.radius, rng_, config_.clip_to_box);
-  for (std::size_t label : model_->classify_batch(batch)) {
-    if (label >= votes.size()) {
-      throw std::logic_error("RegionClassifier: label out of range");
-    }
-    ++votes[label];
-  }
-  return votes;
+  // The shared chunked engine with a single full-size chunk and stopping
+  // disabled: RC is the paper's m=1000 baseline and always votes in full.
+  return core::chunked_vote(*model_, batch, num_classes_, {config_.samples},
+                            /*stop_delta=*/0.0)
+      .votes;
 }
 
 std::size_t RegionClassifier::classify(const Tensor& x) {

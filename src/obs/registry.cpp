@@ -102,6 +102,31 @@ void pool_source(std::vector<Metric>& out) {
                  denom > 0.0 ? busy_total_ns / denom : 0.0});
 }
 
+/// The name HELP/TYPE are keyed on: histogram samples collapse their
+/// _bucket/_sum/_count suffixes into the base family name.
+std::string family_name(const Metric& m) {
+  if (m.type != MetricType::kHistogram) return m.name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::size_t n = std::string(suffix).size();
+    if (m.name.size() > n && m.name.compare(m.name.size() - n, n, suffix) == 0) {
+      return m.name.substr(0, m.name.size() - n);
+    }
+  }
+  return m.name;
+}
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
 void trace_source(std::vector<Metric>& out) {
   const TraceStats s = trace_stats();
   out.push_back({"dcn_trace_enabled", "1 when span recording is on",
@@ -154,10 +179,11 @@ std::string MetricsRegistry::render_prometheus() const {
   out.reserve(metrics.size() * 96);
   std::unordered_set<std::string> seen;
   for (const Metric& m : metrics) {
-    if (seen.insert(m.name).second) {
-      out += "# HELP " + m.name + " " + m.help + "\n";
-      out += "# TYPE " + m.name + " ";
-      out += m.type == MetricType::kCounter ? "counter" : "gauge";
+    const std::string family = family_name(m);
+    if (seen.insert(family).second) {
+      out += "# HELP " + family + " " + m.help + "\n";
+      out += "# TYPE " + family + " ";
+      out += type_name(m.type);
       out += "\n";
     }
     out += m.name;

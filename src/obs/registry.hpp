@@ -28,11 +28,15 @@
 
 namespace dcn::obs {
 
-enum class MetricType { kCounter, kGauge };
+enum class MetricType { kCounter, kGauge, kHistogram };
 
 /// One sample: a fully qualified family name, optional single label pair,
 /// and a value. Families repeat across samples (one per label value); HELP
 /// and TYPE are emitted once per family in exposition order.
+///
+/// Histogram samples carry the conventional suffixed names (_bucket with an
+/// `le` label, _sum, _count) and MetricType::kHistogram; exposition strips
+/// the suffix so HELP/TYPE are emitted once for the base family name.
 struct Metric {
   std::string name;         // e.g. "dcn_kernel_gemm_flops_total"
   std::string help;

@@ -117,10 +117,19 @@ void ServerMetrics::on_flush(std::size_t batch_size, bool full, bool timer) {
   batch_sizes_[slot].fetch_add(1, kRelaxed);
 }
 
-void ServerMetrics::on_result(bool flagged_adversarial, double queue_us,
+void ServerMetrics::on_result(bool flagged_adversarial, bool tier0_resolved,
+                              std::size_t corrector_samples, double queue_us,
                               double total_us) {
   completed_.fetch_add(1, kRelaxed);
-  if (flagged_adversarial) detector_positives_.fetch_add(1, kRelaxed);
+  if (flagged_adversarial) {
+    detector_positives_.fetch_add(1, kRelaxed);
+    if (tier0_resolved) {
+      tier0_hits_.fetch_add(1, kRelaxed);
+    } else {
+      tier1_votes_.fetch_add(1, kRelaxed);
+      corrector_samples_.fetch_add(corrector_samples, kRelaxed);
+    }
+  }
   queue_wait_.record(queue_us);
   end_to_end_.record(total_us);
 }
@@ -135,6 +144,9 @@ ServerMetrics::Snapshot ServerMetrics::snapshot() const {
   s.flush_timer = flush_timer_.load(kRelaxed);
   s.flush_shutdown = flush_shutdown_.load(kRelaxed);
   s.detector_positives = detector_positives_.load(kRelaxed);
+  s.tier0_hits = tier0_hits_.load(kRelaxed);
+  s.tier1_votes = tier1_votes_.load(kRelaxed);
+  s.corrector_samples = corrector_samples_.load(kRelaxed);
   s.peak_queue_depth = peak_queue_depth_.load(kRelaxed);
   if (s.batches > 0) {
     s.mean_batch_size = static_cast<double>(batch_size_sum_.load(kRelaxed)) /
@@ -143,6 +155,12 @@ ServerMetrics::Snapshot ServerMetrics::snapshot() const {
   if (s.completed > 0) {
     s.detector_positive_rate = static_cast<double>(s.detector_positives) /
                                static_cast<double>(s.completed);
+  }
+  if (s.detector_positives > 0) {
+    s.samples_per_flagged = static_cast<double>(s.corrector_samples) /
+                            static_cast<double>(s.detector_positives);
+    s.tier0_hit_rate = static_cast<double>(s.tier0_hits) /
+                       static_cast<double>(s.detector_positives);
   }
   s.queue_wait = queue_wait_.summarize();
   s.end_to_end = end_to_end_.summarize();
@@ -165,7 +183,12 @@ eval::JsonObject ServerMetrics::to_json(std::size_t current_queue_depth) const {
       .set("detector_positives", static_cast<std::size_t>(s.detector_positives))
       .set("corrector_activations",
            static_cast<std::size_t>(s.detector_positives))
-      .set("detector_positive_rate", s.detector_positive_rate);
+      .set("detector_positive_rate", s.detector_positive_rate)
+      .set("corrector_tier0_hits", static_cast<std::size_t>(s.tier0_hits))
+      .set("corrector_tier1_votes", static_cast<std::size_t>(s.tier1_votes))
+      .set("corrector_samples", static_cast<std::size_t>(s.corrector_samples))
+      .set("corrector_samples_per_flagged", s.samples_per_flagged)
+      .set("corrector_tier0_hit_rate", s.tier0_hit_rate);
   // The non-empty head of the batch-size distribution (index = batch size;
   // the last slot aggregates anything larger).
   std::vector<double> sizes;
@@ -205,6 +228,18 @@ void ServerMetrics::collect(std::vector<obs::Metric>& out,
   counter("dcn_server_detector_positives_total",
           "Requests flagged adversarial (corrector activations)",
           static_cast<double>(s.detector_positives));
+  counter("dcn_server_corrector_tier0_hits_total",
+          "Flagged requests resolved by the Tier-0 logit corrector",
+          static_cast<double>(s.tier0_hits));
+  counter("dcn_server_corrector_tier1_votes_total",
+          "Flagged requests that paid a Tier-1 region vote",
+          static_cast<double>(s.tier1_votes));
+  counter("dcn_server_corrector_samples_total",
+          "Region samples classified across all Tier-1 votes",
+          static_cast<double>(s.corrector_samples));
+  gauge("dcn_server_corrector_samples_per_flagged",
+        "Mean region samples per flagged request",
+        s.samples_per_flagged);
   gauge("dcn_server_queue_depth", "Requests currently queued",
         static_cast<double>(current_queue_depth));
   gauge("dcn_server_peak_queue_depth", "High-water queue depth",
@@ -220,8 +255,9 @@ void ServerMetrics::collect(std::vector<obs::Metric>& out,
 void ServerMetrics::reset() {
   for (auto* c :
        {&submitted_, &completed_, &rejected_, &batches_, &flush_full_,
-        &flush_timer_, &flush_shutdown_, &detector_positives_,
-        &batch_size_sum_, &peak_queue_depth_}) {
+        &flush_timer_, &flush_shutdown_, &detector_positives_, &tier0_hits_,
+        &tier1_votes_, &corrector_samples_, &batch_size_sum_,
+        &peak_queue_depth_}) {
     c->store(0, kRelaxed);
   }
   for (auto& slot : batch_sizes_) slot.store(0, kRelaxed);
@@ -239,6 +275,10 @@ void ServerMetrics::merge(const ServerMetrics& other) {
   flush_shutdown_.fetch_add(other.flush_shutdown_.load(kRelaxed), kRelaxed);
   detector_positives_.fetch_add(other.detector_positives_.load(kRelaxed),
                                 kRelaxed);
+  tier0_hits_.fetch_add(other.tier0_hits_.load(kRelaxed), kRelaxed);
+  tier1_votes_.fetch_add(other.tier1_votes_.load(kRelaxed), kRelaxed);
+  corrector_samples_.fetch_add(other.corrector_samples_.load(kRelaxed),
+                               kRelaxed);
   batch_size_sum_.fetch_add(other.batch_size_sum_.load(kRelaxed), kRelaxed);
   fetch_max(peak_queue_depth_, other.peak_queue_depth_.load(kRelaxed));
   for (std::size_t i = 0; i < kBatchSizeSlots; ++i) {

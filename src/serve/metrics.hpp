@@ -69,7 +69,12 @@ class ServerMetrics {
   void on_submit(std::size_t queue_depth_after);
   void on_reject();
   void on_flush(std::size_t batch_size, bool full, bool timer);
-  void on_result(bool flagged_adversarial, double queue_us, double total_us);
+  /// `tier0_resolved` / `corrector_samples` attribute the corrector fast
+  /// path: a flagged request is either a Tier-0 hit (no samples) or a
+  /// Tier-1 vote that classified `corrector_samples` region samples.
+  void on_result(bool flagged_adversarial, bool tier0_resolved,
+                 std::size_t corrector_samples, double queue_us,
+                 double total_us);
 
   // -- Export ----------------------------------------------------------------
   struct Snapshot {
@@ -81,9 +86,14 @@ class ServerMetrics {
     std::uint64_t flush_timer = 0;
     std::uint64_t flush_shutdown = 0;
     std::uint64_t detector_positives = 0;  // == corrector activations
+    std::uint64_t tier0_hits = 0;          // flagged, resolved by Tier-0
+    std::uint64_t tier1_votes = 0;         // flagged, paid a region vote
+    std::uint64_t corrector_samples = 0;   // region samples across all votes
     std::uint64_t peak_queue_depth = 0;
     double mean_batch_size = 0.0;
     double detector_positive_rate = 0.0;  // positives / completed
+    double samples_per_flagged = 0.0;     // corrector_samples / positives
+    double tier0_hit_rate = 0.0;          // tier0_hits / positives
     LatencyHistogram::Summary queue_wait;
     LatencyHistogram::Summary end_to_end;
   };
@@ -116,6 +126,9 @@ class ServerMetrics {
   std::atomic<std::uint64_t> flush_timer_{0};
   std::atomic<std::uint64_t> flush_shutdown_{0};
   std::atomic<std::uint64_t> detector_positives_{0};
+  std::atomic<std::uint64_t> tier0_hits_{0};
+  std::atomic<std::uint64_t> tier1_votes_{0};
+  std::atomic<std::uint64_t> corrector_samples_{0};
   std::atomic<std::uint64_t> batch_size_sum_{0};
   std::atomic<std::uint64_t> peak_queue_depth_{0};
   // Batch sizes are small integers (<= max_batch); sizes past the last slot

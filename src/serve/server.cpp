@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/corrector_stats.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -94,11 +95,14 @@ void DcnServer::serve_flush(MicroBatcher::Flush flush) {
     result.label = decisions[i].label;
     result.flagged_adversarial = decisions[i].flagged_adversarial;
     result.dnn_label = decisions[i].dnn_label;
+    result.tier0_resolved = decisions[i].tier0_resolved;
+    result.corrector_samples = decisions[i].corrector_samples;
     result.batch_size = n;
     result.sequence = r.sequence;
     result.queue_us = microseconds_between(r.enqueued, dispatched);
     result.total_us = microseconds_between(r.enqueued, done);
-    metrics_.on_result(result.flagged_adversarial, result.queue_us,
+    metrics_.on_result(result.flagged_adversarial, result.tier0_resolved,
+                       result.corrector_samples, result.queue_us,
                        result.total_us);
     r.promise.set_value(result);
   }
@@ -107,6 +111,7 @@ void DcnServer::serve_flush(MicroBatcher::Flush flush) {
 eval::JsonObject DcnServer::metrics_json() const {
   eval::JsonObject json = metrics_.to_json(batcher_.depth());
   json.set("runtime", obs::runtime_metrics_json());
+  json.set("corrector", core::corrector_stats_json());
   return json;
 }
 

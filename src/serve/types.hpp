@@ -24,6 +24,8 @@ struct ServeResult {
   std::size_t label = 0;             // the DCN's answer
   bool flagged_adversarial = false;  // did the detector gate fire?
   std::size_t dnn_label = 0;         // the raw DNN opinion
+  bool tier0_resolved = false;       // Tier-0 logit corrector answered
+  std::size_t corrector_samples = 0; // region samples this request paid
   std::size_t batch_size = 0;        // size of the micro-batch that served it
   std::uint64_t sequence = 0;        // arrival order assigned by submit()
   double queue_us = 0.0;             // enqueue -> micro-batch dispatch

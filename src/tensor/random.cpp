@@ -39,6 +39,27 @@ std::uint64_t Rng::next_u64() {
   return result;
 }
 
+void Rng::discard(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+  }
+}
+
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  for (std::size_t i = 0; i < 4; ++i) state_[i] = s[i];
+  has_spare_ = false;
+}
+
 double Rng::uniform() {
   // 53 random mantissa bits -> [0, 1).
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;

@@ -5,6 +5,7 @@
 // experiment is reproducible from a single printed seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,15 @@ class Rng {
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();
+
+  /// Advance the stream by n draws, as if next_u64() were called n times.
+  /// O(n); for long strides prefer RngSkip (tensor/rng_skip.hpp).
+  void discard(std::uint64_t n);
+
+  /// The 256-bit generator state (does not include the Box-Muller spare).
+  /// Exposed for RngSkip's precomputed jumps and for differential tests.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& s);
 
   /// Uniform double in [0, 1).
   double uniform();

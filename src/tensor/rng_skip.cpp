@@ -1,0 +1,83 @@
+#include "tensor/rng_skip.hpp"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace dcn {
+
+RngSkip::RngSkip(std::uint64_t stride, std::uint64_t max_count)
+    : stride_(stride), max_count_(max_count) {
+  if (stride == 0) throw std::invalid_argument("RngSkip: stride must be > 0");
+  // Base level: the stride-step map, derived by advancing each of the 256
+  // basis states stride steps with the generator itself. This keeps RngSkip
+  // correct by construction against any future change to the transition.
+  Matrix base{};
+  Rng probe(0);
+  for (std::size_t i = 0; i < 256; ++i) {
+    std::array<std::uint64_t, 4> e{};
+    e[i / 64] = 1ULL << (i % 64);
+    probe.set_state(e);
+    probe.discard(stride_);
+    base[i] = probe.state();
+  }
+  levels_.push_back(base);
+  // Square up the ladder: level k jumps stride * 2^k steps.
+  const std::size_t needed =
+      max_count == 0 ? 1 : static_cast<std::size_t>(std::bit_width(max_count));
+  while (levels_.size() < needed) {
+    const Matrix& top = levels_.back();
+    Matrix next{};
+    for (std::size_t i = 0; i < 256; ++i) next[i] = apply(top, top[i]);
+    levels_.push_back(next);
+  }
+}
+
+std::array<std::uint64_t, 4> RngSkip::apply(
+    const Matrix& m, const std::array<std::uint64_t, 4>& state) {
+  std::array<std::uint64_t, 4> out{};
+  for (std::size_t w = 0; w < 4; ++w) {
+    std::uint64_t bits = state[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto& row = m[w * 64 + static_cast<std::size_t>(b)];
+      for (std::size_t k = 0; k < 4; ++k) out[k] ^= row[k];
+    }
+  }
+  return out;
+}
+
+void RngSkip::skip(Rng& rng, std::uint64_t count) const {
+  if (count == 0) return;
+  if (count > max_count_) {
+    throw std::invalid_argument("RngSkip::skip: count exceeds max_count");
+  }
+  std::array<std::uint64_t, 4> state = rng.state();
+  std::uint64_t bits = count;
+  std::size_t level = 0;
+  while (bits != 0) {
+    if ((bits & 1ULL) != 0) state = apply(levels_[level], state);
+    bits >>= 1;
+    ++level;
+  }
+  rng.set_state(state);
+}
+
+const RngSkip& shared_rng_skip(std::uint64_t stride) {
+  // std::map keeps iteration deterministic and, more importantly here, its
+  // nodes stable: a returned reference must survive later insertions.
+  static std::mutex mutex;
+  static std::map<std::uint64_t, std::unique_ptr<RngSkip>>* cache =
+      new std::map<std::uint64_t, std::unique_ptr<RngSkip>>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = (*cache)[stride];
+  if (!slot) {
+    slot = std::make_unique<RngSkip>(stride, std::uint64_t{1} << 20);
+  }
+  return *slot;
+}
+
+}  // namespace dcn

@@ -1,0 +1,68 @@
+// Precomputed O(1)-per-jump stream skipping for dcn::Rng.
+//
+// The xoshiro256** state transition is built from xor, shift, and rotate
+// only, so one step is a linear map over GF(2) on the 256-bit state. Any
+// fixed number of steps is therefore also a linear map, representable as a
+// 256x256 bit-matrix; advancing the generator by that many steps is a
+// matrix-vector product (XOR of the rows selected by the set state bits,
+// ~256 XORs) instead of replaying the steps one by one.
+//
+// RngSkip is built for a fixed stride s (e.g. the corrector's per-sample
+// draw count d). It holds matrices for s*2^k steps, k = 0, 1, ..., built by
+// repeated squaring, and skip(rng, count) composes them along the binary
+// expansion of count to advance the stream by exactly count*s draws. This
+// turns the corrector's "fast-forward to the next m*d-draw segment" from
+// O(m*d) replayed steps into a handful of microsecond matrix applies, while
+// remaining bit-exact with Rng::discard(count*s).
+//
+// Only the core 256-bit state is advanced; the Box-Muller spare is cleared
+// by Rng::set_state. Callers that interleave normal() draws with skipping
+// must not rely on a cached spare surviving a skip (the corrector uses
+// uniform() draws only).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.hpp"
+
+namespace dcn {
+
+/// Jump-ahead helper for Rng streams with a fixed stride. The matrix ladder
+/// is fully built at construction (up to max_count jumps) and immutable
+/// afterwards, so concurrent skip() calls on one instance are safe.
+/// Construction costs 256*stride generator steps plus one matrix square per
+/// ladder level; each skip() costs O(bits(count)) applies.
+class RngSkip {
+ public:
+  RngSkip(std::uint64_t stride, std::uint64_t max_count);
+
+  /// Advance rng by exactly count * stride draws, bit-identical to
+  /// rng.discard(count * stride). count must not exceed max_count.
+  void skip(Rng& rng, std::uint64_t count) const;
+
+  [[nodiscard]] std::uint64_t stride() const { return stride_; }
+  [[nodiscard]] std::uint64_t max_count() const { return max_count_; }
+
+ private:
+  // Row i is the image of basis state bit i (word i/64, bit i%64) under the
+  // linear map "advance stride * 2^level steps".
+  using Matrix = std::array<std::array<std::uint64_t, 4>, 256>;
+
+  static std::array<std::uint64_t, 4> apply(
+      const Matrix& m, const std::array<std::uint64_t, 4>& state);
+
+  std::uint64_t stride_;
+  std::uint64_t max_count_;
+  std::vector<Matrix> levels_;
+};
+
+/// Process-wide RngSkip cache keyed by stride (one ladder per input
+/// dimensionality, shared by every corrector instance — a fresh corrector
+/// per request or per bench rep must not pay the ladder construction
+/// again). Entries support jumps up to 2^20 counts and live for the process
+/// lifetime; creation is mutex-guarded, after which the entry is immutable.
+const RngSkip& shared_rng_skip(std::uint64_t stride);
+
+}  // namespace dcn

@@ -1,0 +1,673 @@
+// The corrector fast-path contract (DESIGN.md "Corrector fast path"):
+// deterministic chunked early-exit voting that preserves the full vote's
+// RNG stream layout bit for bit, and the Tier-0 logit-correction head that
+// resolves confident flags without region sampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "attacks/cw_l2.hpp"
+#include "core/corrector.hpp"
+#include "core/corrector_stats.hpp"
+#include "core/dcn.hpp"
+#include "core/detector.hpp"
+#include "core/detector_training.hpp"
+#include "core/logit_corrector.hpp"
+#include "fixtures.hpp"
+#include "nn/loss.hpp"
+#include "obs/registry.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/rng_skip.hpp"
+
+namespace dcn {
+namespace {
+
+using testing::MnistProblem;
+
+struct ThreadCountGuard {
+  std::size_t saved = runtime::thread_count();
+  ~ThreadCountGuard() { runtime::set_thread_count(saved); }
+};
+
+/// The early-exit schedules every grid test sweeps: the microbench-tuned
+/// default, the coarser original ladder, a fine-grained one, a coarse one,
+/// and the degenerate single-chunk schedule (which must behave exactly like
+/// a full vote).
+const std::vector<std::vector<std::size_t>>& schedule_grid() {
+  static const std::vector<std::vector<std::size_t>> grid{
+      {6, 6, 12, 12, 14},
+      {10, 10, 10, 20},
+      {5, 5, 5, 5, 5, 5, 5, 5, 5, 5},
+      {25, 25},
+      {50},
+  };
+  return grid;
+}
+
+/// Shared trained components plus a held-out adversarial pool. The CW
+/// generation is the expensive part, so it happens once per binary.
+struct FastPathFixture {
+  core::Detector detector{10};
+  core::LogitCorrector tier0{10};
+  std::vector<Tensor> adv;               // held-out CW adversarial examples
+  std::vector<std::size_t> adv_truth;    // their true labels
+  std::vector<std::size_t> benign_idx;   // correctly-classified test indices
+
+  static FastPathFixture& instance() {
+    static FastPathFixture* f = make();
+    return *f;
+  }
+
+ private:
+  static FastPathFixture* make() {
+    auto& mp = MnistProblem::instance();
+    auto* f = new FastPathFixture();
+    attacks::CwL2 cw({.kappa = 0.0F,
+                      .initial_c = 1e-1F,
+                      .binary_search_steps = 3,
+                      .max_iterations = 80,
+                      .learning_rate = 5e-2F,
+                      .abort_early = true});
+    const auto train_src = mp.wb.test_set.take(6);
+    const auto extra_benign = mp.wb.train_set.take(300);
+    f->detector.train(core::build_logit_dataset(mp.wb.model, cw, train_src,
+                                                10, nullptr, true,
+                                                &extra_benign));
+    f->tier0.train(core::build_correction_dataset(
+        mp.wb.model, cw, train_src, 10, nullptr, &extra_benign));
+    // Held-out adversarial pool: one targeted attack per source, sources
+    // disjoint from the training slice.
+    for (std::size_t i = 6; i < mp.wb.test_set.size() && f->adv.size() < 6;
+         ++i) {
+      const Tensor x = mp.wb.test_set.example(i);
+      const std::size_t truth = mp.wb.test_set.labels[i];
+      if (mp.wb.model.classify(x) != truth) continue;
+      if (f->benign_idx.size() < 6) f->benign_idx.push_back(i);
+      const auto r = cw.run_targeted(mp.wb.model, x, (truth + 1) % 10);
+      if (!r.success) continue;
+      f->adv.push_back(r.adversarial);
+      f->adv_truth.push_back(truth);
+    }
+    return f;
+  }
+};
+
+/// The vote inputs the grid tests replay: benign then adversarial, so both
+/// quick-consensus and contested votes appear in every sequence.
+std::vector<Tensor> vote_sequence() {
+  auto& mp = MnistProblem::instance();
+  auto& f = FastPathFixture::instance();
+  std::vector<Tensor> inputs;
+  inputs.push_back(mp.wb.test_set.example(f.benign_idx.at(0)));
+  for (std::size_t i = 0; i < std::min<std::size_t>(f.adv.size(), 2); ++i) {
+    inputs.push_back(f.adv[i]);
+  }
+  inputs.push_back(mp.wb.test_set.example(f.benign_idx.at(1)));
+  return inputs;
+}
+
+// ---- schedule normalization -------------------------------------------------
+
+TEST(NormalizeSchedule, CoversExactlyTheSampleBudget) {
+  using V = std::vector<std::size_t>;
+  EXPECT_EQ(core::normalize_schedule({10, 10, 10, 20}, 50),
+            (V{10, 10, 10, 20}));
+  // Shortfall becomes a final chunk.
+  EXPECT_EQ(core::normalize_schedule({10, 10}, 50), (V{10, 10, 30}));
+  // Oversized chunks are clipped; the rest of the schedule is dropped.
+  EXPECT_EQ(core::normalize_schedule({40, 40, 40}, 50), (V{40, 10}));
+  // Empty chunks vanish; an empty schedule degenerates to one full chunk.
+  EXPECT_EQ(core::normalize_schedule({0, 5, 0}, 8), (V{5, 3}));
+  EXPECT_EQ(core::normalize_schedule({}, 50), (V{50}));
+  // Every grid schedule is already normalized for m = 50.
+  for (const auto& schedule : schedule_grid()) {
+    std::size_t total = 0;
+    for (std::size_t c : core::normalize_schedule(schedule, 50)) total += c;
+    EXPECT_EQ(total, 50U);
+  }
+}
+
+// ---- early exit: exactness, determinism, stream layout ----------------------
+
+TEST(EarlyExit, CertainRuleMatchesFullWinnerExactly) {
+  // stop_delta = 0 leaves only the lead > remaining rule, whose early answer
+  // provably equals the full vote's winner — for every schedule and input.
+  auto& mp = MnistProblem::instance();
+  const std::vector<Tensor> inputs = vote_sequence();
+  for (const auto& schedule : schedule_grid()) {
+    core::Corrector full(mp.wb.model, {.radius = 0.3F, .samples = 50});
+    core::Corrector early(mp.wb.model, {.radius = 0.3F,
+                                        .samples = 50,
+                                        .mode = core::CorrectorMode::kEarlyExit,
+                                        .schedule = schedule,
+                                        .stop_delta = 0.0});
+    for (const Tensor& x : inputs) {
+      const std::size_t want = full.correct(x);
+      EXPECT_EQ(early.correct(x), want);
+      EXPECT_LE(early.last_outcome().samples_used, 50U);
+      if (early.last_outcome().exited_early) {
+        // At a certain exit the lead really is unbeatable.
+        const auto& o = early.last_outcome();
+        std::vector<std::size_t> sorted = o.votes;
+        std::sort(sorted.rbegin(), sorted.rend());
+        EXPECT_GT(sorted[0] - sorted[1], 50U - o.samples_used);
+      }
+    }
+  }
+}
+
+TEST(EarlyExit, DeterministicAcrossThreadCounts) {
+  // The stopping rules see only vote counts, so chunk boundaries — and with
+  // them samples_used and the histogram — cannot depend on DCN_THREADS.
+  ThreadCountGuard guard;
+  auto& mp = MnistProblem::instance();
+  const std::vector<Tensor> inputs = vote_sequence();
+  for (const auto& schedule : schedule_grid()) {
+    std::vector<std::vector<std::size_t>> votes_t1;
+    std::vector<std::size_t> samples_t1;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      runtime::set_thread_count(threads);
+      core::Corrector corrector(mp.wb.model,
+                                {.radius = 0.3F,
+                                 .samples = 50,
+                                 .mode = core::CorrectorMode::kEarlyExit,
+                                 .schedule = schedule,
+                                 .stop_delta = 0.05});
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const auto votes = corrector.vote_histogram(inputs[i]);
+        const std::size_t used = corrector.last_outcome().samples_used;
+        if (threads == 1) {
+          votes_t1.push_back(votes);
+          samples_t1.push_back(used);
+        } else {
+          EXPECT_EQ(votes, votes_t1[i]) << "schedule size " << schedule.size()
+                                        << " input " << i;
+          EXPECT_EQ(used, samples_t1[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(EarlyExit, RngStreamLayoutIsModeIndependent) {
+  // The contract that makes early exit deployable: a vote consumes exactly
+  // m * d RNG draws whether or not it exits early, so the next vote sees the
+  // same stream position as under full voting. Mirror the corrector's RNG
+  // with a second stream and check the later vote bit for bit.
+  auto& mp = MnistProblem::instance();
+  const std::vector<Tensor> inputs = vote_sequence();
+  const Tensor& x1 = inputs[0];  // benign: quick consensus, early exit
+  const Tensor& x2 = inputs[1];  // adversarial: the vote that must line up
+  core::CorrectorConfig cfg{.radius = 0.3F,
+                            .samples = 50,
+                            .mode = core::CorrectorMode::kEarlyExit,
+                            .stop_delta = 0.05};
+  core::Corrector corrector(mp.wb.model, cfg);
+  (void)corrector.vote_histogram(x1);
+  const bool first_exited = corrector.last_outcome().exited_early;
+  const auto votes2 = corrector.vote_histogram(x2);
+  const auto outcome2 = corrector.last_outcome();
+
+  // Mirror stream: generate both full batches exactly as the corrector must
+  // have, then replay the second vote through the shared engine.
+  Rng mirror(cfg.seed);
+  (void)core::sample_region_batch(x1, cfg.samples, cfg.radius, mirror, true);
+  const Tensor batch2 =
+      core::sample_region_batch(x2, cfg.samples, cfg.radius, mirror, true);
+  const auto replay = core::chunked_vote(
+      mp.wb.model, batch2, 10,
+      core::normalize_schedule(cfg.schedule, cfg.samples), cfg.stop_delta);
+  EXPECT_EQ(votes2, replay.votes);
+  EXPECT_EQ(outcome2.samples_used, replay.samples_used);
+  // The point of the test: the layout held even though the first vote
+  // (benign consensus) stopped early.
+  EXPECT_TRUE(first_exited);
+}
+
+// ---- RNG segment skipping ---------------------------------------------------
+
+TEST(RngSkip, MatchesDiscardBitForBit) {
+  // The GF(2) jump the lazy vote path uses to fast-forward unconsumed
+  // segment tails must be indistinguishable from replaying the draws.
+  for (const std::uint64_t stride : {std::uint64_t{1}, std::uint64_t{3},
+                                     std::uint64_t{784}}) {
+    RngSkip skip(stride, 200);
+    EXPECT_EQ(skip.stride(), stride);
+    for (const std::uint64_t count :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+          std::uint64_t{50}, std::uint64_t{63}, std::uint64_t{200}}) {
+      Rng jumped(4242 + stride);
+      Rng replayed(4242 + stride);
+      // Leave the fresh-seed state so the check covers a mid-stream jump.
+      (void)jumped.uniform();
+      (void)replayed.uniform();
+      skip.skip(jumped, count);
+      replayed.discard(count * stride);
+      EXPECT_EQ(jumped.state(), replayed.state())
+          << "stride " << stride << " count " << count;
+      EXPECT_EQ(jumped.next_u64(), replayed.next_u64());
+    }
+    // Jumps beyond the ladder are an error, not a silent wrong answer.
+    Rng rng(1);
+    EXPECT_THROW(skip.skip(rng, 201), std::invalid_argument);
+  }
+  // The process-wide cache hands out one immutable ladder per stride.
+  const RngSkip& a = shared_rng_skip(784);
+  const RngSkip& b = shared_rng_skip(784);
+  EXPECT_EQ(&a, &b);
+  Rng jumped(7);
+  Rng replayed(7);
+  a.skip(jumped, 50);
+  replayed.discard(50 * 784);
+  EXPECT_EQ(jumped.state(), replayed.state());
+}
+
+// ---- joint voting and the hint rule -----------------------------------------
+
+TEST(JointVote, VoteManyMatchesSequentialVoteOneBitForBit) {
+  // The joint engine positions each row on its own RNG segment and applies
+  // the stopping rules per row, so voting a batch together must reproduce
+  // the row-at-a-time loop exactly — histogram, consumption, and exits.
+  auto& mp = MnistProblem::instance();
+  const std::vector<Tensor> inputs = vote_sequence();
+  const core::CorrectorConfig cfg{.radius = 0.3F,
+                                  .samples = 50,
+                                  .mode = core::CorrectorMode::kEarlyExit,
+                                  .stop_delta = 0.05};
+
+  // Round 1: un-hinted. Round 2: every row hinted with its own full-vote
+  // winner (the strongest confirmation scenario).
+  std::vector<long> hints(inputs.size(), -1);
+  for (int round = 0; round < 2; ++round) {
+    core::Corrector seq(mp.wb.model, cfg);
+    core::Corrector joint(mp.wb.model, cfg);
+    std::vector<core::VoteOutcome> expected;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      expected.push_back(seq.vote_one(inputs[i], hints[i]));
+    }
+    std::vector<const Tensor*> ptrs;
+    for (const Tensor& x : inputs) ptrs.push_back(&x);
+    const auto got = joint.vote_many(ptrs, hints);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].votes, expected[i].votes) << "round " << round
+                                                 << " row " << i;
+      EXPECT_EQ(got[i].samples_used, expected[i].samples_used);
+      EXPECT_EQ(got[i].chunks_used, expected[i].chunks_used);
+      EXPECT_EQ(got[i].exited_early, expected[i].exited_early);
+      EXPECT_EQ(got[i].hint_confirmed, expected[i].hint_confirmed);
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      hints[i] = static_cast<long>(expected[i].winner());
+    }
+  }
+}
+
+TEST(JointVote, HintRuleConfirmsWithoutChangingTheAnswer) {
+  // Hinting a vote with the label it would have produced anyway can only
+  // move the exit earlier, never change the answer: the hinted run sees the
+  // same per-boundary vote counts, and an exit taken sooner via the hint
+  // rule requires the hinted label to already lead.
+  auto& mp = MnistProblem::instance();
+  const std::vector<Tensor> inputs = vote_sequence();
+  const core::CorrectorConfig cfg{.radius = 0.3F,
+                                  .samples = 50,
+                                  .mode = core::CorrectorMode::kEarlyExit,
+                                  .stop_delta = 0.05};
+  for (const Tensor& x : inputs) {
+    core::Corrector unhinted(mp.wb.model, cfg);
+    core::Corrector hinted(mp.wb.model, cfg);
+    const auto base = unhinted.vote_one(x, -1);
+    EXPECT_FALSE(base.hint_confirmed);  // never set without a hint
+    const auto confirmed =
+        hinted.vote_one(x, static_cast<long>(base.winner()));
+    EXPECT_EQ(confirmed.winner(), base.winner());
+    EXPECT_LE(confirmed.samples_used, base.samples_used);
+    if (confirmed.exited_early) {
+      EXPECT_TRUE(confirmed.hint_confirmed);
+    }
+  }
+  // A confirmed exit always names the hinted label.
+  for (const Tensor& x : inputs) {
+    core::Corrector hinted(mp.wb.model, cfg);
+    const auto o = hinted.vote_one(x, 3);
+    if (o.hint_confirmed) {
+      EXPECT_EQ(o.winner(), 3U);
+    }
+  }
+}
+
+TEST(EarlyExit, FullModeIgnoresScheduleAndConsumesBudget) {
+  // kFull is the golden-fixture mode: one chunk, no stopping rules, the
+  // histogram sums to m no matter what schedule the config carries.
+  auto& mp = MnistProblem::instance();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F,
+                                          .samples = 33,
+                                          .schedule = {1, 1, 1},
+                                          .stop_delta = 0.5});
+  const auto votes = corrector.vote_histogram(
+      MnistProblem::instance().wb.test_set.example(0));
+  std::size_t total = 0;
+  for (std::size_t v : votes) total += v;
+  EXPECT_EQ(total, 33U);
+  EXPECT_EQ(corrector.last_outcome().samples_used, 33U);
+  EXPECT_EQ(corrector.last_outcome().chunks_used, 1U);
+  EXPECT_FALSE(corrector.last_outcome().exited_early);
+  (void)mp;
+}
+
+// ---- smoke gate: the fast path must actually be fast ------------------------
+
+TEST(FastPathSmoke, EarlyExitBeatsFullVoteBudget) {
+  // CI runs this by name (ctest -R corrector-fastpath-smoke): under the
+  // default schedule, mean samples per vote across the mixed sequence must
+  // stay well under the m = 50 full-vote budget. A regression to full-vote
+  // consumption fails here.
+  auto& mp = MnistProblem::instance();
+  core::Corrector corrector(mp.wb.model,
+                            {.radius = 0.3F,
+                             .samples = 50,
+                             .mode = core::CorrectorMode::kEarlyExit});
+  std::size_t used = 0;
+  const std::vector<Tensor> inputs = vote_sequence();
+  for (const Tensor& x : inputs) {
+    (void)corrector.correct(x);
+    used += corrector.last_outcome().samples_used;
+  }
+  const double mean =
+      static_cast<double>(used) / static_cast<double>(inputs.size());
+  EXPECT_LT(mean, 0.7 * 50.0) << "early exit consumed " << mean
+                              << " samples/vote on average";
+}
+
+// ---- recovery equivalence ---------------------------------------------------
+
+TEST(Recovery, FastPathsMatchFullVoteWithinBound) {
+  // Full vs early-exit vs tiered on the held-out attack pool. The certain
+  // rule is exact (zero delta by construction); the Hoeffding rule and the
+  // Tier-0 gate may each flip at most a bounded sliver.
+  auto& mp = MnistProblem::instance();
+  auto& f = FastPathFixture::instance();
+  ASSERT_GE(f.adv.size(), 3U);
+
+  const auto recovered = [&](core::CorrectorMode mode, double stop_delta,
+                             bool tiered) {
+    core::Corrector corrector(mp.wb.model, {.radius = 0.3F,
+                                            .samples = 50,
+                                            .mode = mode,
+                                            .stop_delta = stop_delta});
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < f.adv.size(); ++i) {
+      std::size_t label = 0;
+      bool resolved = false;
+      if (tiered) {
+        const auto p = f.tier0.propose(mp.wb.model.logits(f.adv[i]));
+        if (p.confident) {
+          label = p.label;
+          resolved = true;
+        }
+      }
+      if (!resolved) label = corrector.correct(f.adv[i]);
+      if (label == f.adv_truth[i]) ++hits;
+    }
+    return hits;
+  };
+
+  const std::size_t full = recovered(core::CorrectorMode::kFull, 0.0, false);
+  const std::size_t certain =
+      recovered(core::CorrectorMode::kEarlyExit, 0.0, false);
+  const std::size_t hoeffding =
+      recovered(core::CorrectorMode::kEarlyExit, 0.05, false);
+  const std::size_t tiered =
+      recovered(core::CorrectorMode::kEarlyExit, 0.05, true);
+
+  EXPECT_EQ(certain, full);  // certain exits are exact, not approximate
+  // Bounded delta for the probabilistic paths: at most one example of the
+  // pool may flip either way.
+  EXPECT_NEAR(static_cast<double>(hoeffding), static_cast<double>(full), 1.0);
+  EXPECT_NEAR(static_cast<double>(tiered), static_cast<double>(full), 1.0);
+  // The corrector must still actually work on this pool.
+  EXPECT_GE(full * 2, f.adv.size());
+}
+
+// ---- Tier-0 logit corrector -------------------------------------------------
+
+TEST(LogitCorrector, ResidualTrainingGradcheck) {
+  // The training loss runs CE through corrected = z + net(z); because the
+  // skip path has no parameters, backward(dL/d corrected) must equal the
+  // parameter gradient of the composite loss. Central differences confirm.
+  core::LogitCorrector lc(4, {.hidden = 8, .init_seed = 11});
+  nn::Sequential& net = lc.network();
+  Rng rng(3);
+  const Tensor z = Tensor::uniform(Shape{5, 4}, rng, -1.0F, 1.0F);
+  const std::vector<std::size_t> labels{0, 1, 2, 3, 1};
+  const auto loss_value = [&] {
+    const Tensor corrected = z + net.forward(z, /*train=*/false);
+    return nn::softmax_cross_entropy(corrected, labels).value;
+  };
+  net.zero_grad();
+  const Tensor corrected = z + net.forward(z, /*train=*/true);
+  net.backward(nn::softmax_cross_entropy(corrected, labels).grad);
+  double worst = 0.0;
+  for (auto& p : net.params()) {
+    const std::size_t n = std::min<std::size_t>(16, p.value->size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const float keep = (*p.value)[i];
+      const float eps = 1e-3F;
+      (*p.value)[i] = keep + eps;
+      const double hi = loss_value();
+      (*p.value)[i] = keep - eps;
+      const double lo = loss_value();
+      (*p.value)[i] = keep;
+      const double numeric = (hi - lo) / (2.0 * static_cast<double>(eps));
+      const double analytic = (*p.grad)[i];
+      const double scale =
+          std::max({std::abs(numeric), std::abs(analytic), 1e-2});
+      worst = std::max(worst, std::abs(numeric - analytic) / scale);
+    }
+  }
+  EXPECT_LT(worst, 0.02);
+}
+
+TEST(LogitCorrector, LearnsToRecoverCwLogits) {
+  auto& mp = MnistProblem::instance();
+  auto& f = FastPathFixture::instance();
+  ASSERT_GE(f.adv.size(), 3U);
+  // Benign logits must pass through essentially unchanged (identity fixed
+  // point): the corrected label keeps the true label.
+  for (std::size_t idx : f.benign_idx) {
+    const Tensor z = mp.wb.model.logits(mp.wb.test_set.example(idx));
+    EXPECT_EQ(f.tier0.correct_logits(z).argmax(), mp.wb.test_set.labels[idx]);
+  }
+  // On held-out adversarial logits, confident proposals must be right more
+  // often than the fooled DNN (which is wrong by construction).
+  std::size_t confident = 0, confident_right = 0;
+  for (std::size_t i = 0; i < f.adv.size(); ++i) {
+    const auto p = f.tier0.propose(mp.wb.model.logits(f.adv[i]));
+    if (!p.confident) continue;
+    ++confident;
+    if (p.label == f.adv_truth[i]) ++confident_right;
+  }
+  if (confident > 0) {
+    EXPECT_GE(confident_right * 2, confident);
+  }
+}
+
+TEST(LogitCorrector, ProposalMarginMatchesCorrectedLogits) {
+  auto& mp = MnistProblem::instance();
+  auto& f = FastPathFixture::instance();
+  const Tensor z = mp.wb.model.logits(mp.wb.test_set.example(0));
+  const Tensor corrected = f.tier0.correct_logits(z);
+  const auto p = f.tier0.propose(z);
+  EXPECT_EQ(p.label, corrected.argmax());
+  float top = corrected[p.label], second = -1e30F;
+  for (std::size_t i = 0; i < corrected.size(); ++i) {
+    if (i != p.label) second = std::max(second, corrected[i]);
+  }
+  EXPECT_NEAR(p.margin, static_cast<double>(top) - second, 1e-6);
+  EXPECT_EQ(p.confident,
+            p.margin >= static_cast<double>(f.tier0.config().gate_margin));
+}
+
+TEST(LogitCorrector, SaveLoadRoundTrip) {
+  auto& mp = MnistProblem::instance();
+  auto& f = FastPathFixture::instance();
+  std::stringstream buffer;
+  f.tier0.save(buffer);
+  core::LogitCorrector loaded(10);
+  loaded.load(buffer);
+  for (std::size_t i = 0; i < 3 && i < f.benign_idx.size(); ++i) {
+    const Tensor z =
+        mp.wb.model.logits(mp.wb.test_set.example(f.benign_idx[i]));
+    const auto a = f.tier0.propose(z);
+    const auto b = loaded.propose(z);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_DOUBLE_EQ(a.margin, b.margin);
+    EXPECT_EQ(a.confident, b.confident);
+  }
+  std::stringstream bad("NOTAHEADER 10 48 2.0\n");
+  core::LogitCorrector reject(10);
+  EXPECT_THROW(reject.load(bad), std::runtime_error);
+}
+
+// ---- Dcn integration: tiering and batching invariance -----------------------
+
+TEST(DcnFastPath, BatchingInvarianceHoldsForEverySchedule) {
+  // The serving contract from PR 2, extended to the fast path: with a fresh
+  // same-seed corrector, any micro-batch split of the same request sequence
+  // yields identical decisions — labels, tier attribution, and per-request
+  // sample consumption.
+  auto& mp = MnistProblem::instance();
+  auto& f = FastPathFixture::instance();
+  ASSERT_GE(f.adv.size(), 2U);
+  std::vector<Tensor> rows;
+  rows.push_back(mp.wb.test_set.example(f.benign_idx.at(0)));
+  rows.push_back(f.adv[0]);
+  rows.push_back(mp.wb.test_set.example(f.benign_idx.at(1)));
+  rows.push_back(f.adv[1]);
+  rows.push_back(mp.wb.test_set.example(f.benign_idx.at(2)));
+  rows.push_back(f.adv[0]);
+
+  for (const auto& schedule : schedule_grid()) {
+    const auto run_split = [&](const std::vector<std::size_t>& sizes) {
+      core::Corrector corrector(mp.wb.model,
+                                {.radius = 0.3F,
+                                 .samples = 50,
+                                 .mode = core::CorrectorMode::kEarlyExit,
+                                 .schedule = schedule,
+                                 .stop_delta = 0.05});
+      core::Dcn dcn(mp.wb.model, f.detector, corrector);
+      dcn.set_logit_corrector(&f.tier0);
+      std::vector<core::Dcn::Decision> out;
+      std::size_t pos = 0;
+      for (std::size_t sz : sizes) {
+        std::vector<Tensor> chunk(rows.begin() + pos, rows.begin() + pos + sz);
+        const auto decisions = dcn.predict_verbose(Tensor::stack(chunk));
+        out.insert(out.end(), decisions.begin(), decisions.end());
+        pos += sz;
+      }
+      return out;
+    };
+    const auto whole = run_split({6});
+    for (const auto& sizes :
+         std::vector<std::vector<std::size_t>>{{3, 2, 1},
+                                               {1, 1, 1, 1, 1, 1},
+                                               {2, 4}}) {
+      const auto split = run_split(sizes);
+      ASSERT_EQ(split.size(), whole.size());
+      for (std::size_t i = 0; i < whole.size(); ++i) {
+        EXPECT_EQ(split[i].label, whole[i].label) << "row " << i;
+        EXPECT_EQ(split[i].flagged_adversarial, whole[i].flagged_adversarial);
+        EXPECT_EQ(split[i].tier0_resolved, whole[i].tier0_resolved);
+        EXPECT_EQ(split[i].corrector_samples, whole[i].corrector_samples);
+      }
+    }
+  }
+}
+
+TEST(DcnFastPath, TierCountersAddUp) {
+  auto& mp = MnistProblem::instance();
+  auto& f = FastPathFixture::instance();
+  const auto run = [&](core::Tier0Policy policy) {
+    core::Corrector corrector(mp.wb.model,
+                              {.radius = 0.3F,
+                               .samples = 50,
+                               .mode = core::CorrectorMode::kEarlyExit});
+    core::Dcn dcn(mp.wb.model, f.detector, corrector);
+    dcn.set_logit_corrector(&f.tier0);
+    dcn.set_tier0_policy(policy);
+    std::size_t samples_from_decisions = 0;
+    for (const Tensor& x : f.adv) {
+      const auto d = dcn.classify_verbose(x);
+      if (d.tier0_resolved) {
+        if (policy == core::Tier0Policy::kResolve) {
+          // Direct resolution: no vote, no samples.
+          EXPECT_EQ(d.corrector_samples, 0U);
+        } else {
+          // Vote-confirmed resolution: a nonzero strict prefix of the
+          // budget was classified before the hint rule fired.
+          EXPECT_GT(d.corrector_samples, 0U);
+          EXPECT_LT(d.corrector_samples, 50U);
+        }
+      }
+      samples_from_decisions += d.corrector_samples;
+    }
+    for (std::size_t idx : f.benign_idx) {
+      (void)dcn.classify(mp.wb.test_set.example(idx));
+    }
+    EXPECT_EQ(dcn.tier0_hits() + dcn.tier1_votes(),
+              dcn.corrector_activations());
+    EXPECT_EQ(dcn.corrector_samples_used(), samples_from_decisions);
+  };
+  run(core::Tier0Policy::kConfirm);
+  run(core::Tier0Policy::kResolve);
+}
+
+// ---- corrector stats + exposition -------------------------------------------
+
+TEST(CorrectorStats, RecordsVotesAndExposesHistogram) {
+  auto& mp = MnistProblem::instance();
+  core::corrector_stats().reset();
+  core::Corrector corrector(mp.wb.model, {.radius = 0.3F, .samples = 20});
+  (void)corrector.correct(mp.wb.test_set.example(0));
+  const core::CorrectorStatsSnapshot s = core::corrector_stats().snapshot();
+  EXPECT_EQ(s.votes, 1U);
+  EXPECT_EQ(s.samples_used, 20U);
+  EXPECT_EQ(s.samples_budget, 20U);
+  EXPECT_EQ(s.early_exits, 0U);  // full mode consumes the whole budget
+  // 20 lands in the le=20 bucket (bounds 5, 10, 15, 20, ...).
+  EXPECT_EQ(s.sample_hist[3], 1U);
+
+  const std::string text = obs::registry().render_prometheus();
+  EXPECT_NE(text.find("# TYPE dcn_corrector_samples_used histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcn_corrector_samples_used_bucket{le=\"20\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcn_corrector_samples_used_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcn_corrector_samples_used_sum 20"), std::string::npos);
+  EXPECT_NE(text.find("dcn_corrector_samples_used_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcn_corrector_votes_total 1"), std::string::npos);
+
+  // Early exits and tier decisions land in their counters.
+  core::corrector_stats().record_tier0_hit();
+  core::corrector_stats().record_tier0_miss();
+  core::corrector_stats().record_vote(10, 50);
+  const core::CorrectorStatsSnapshot s2 = core::corrector_stats().snapshot();
+  EXPECT_EQ(s2.tier0_hits, 1U);
+  EXPECT_EQ(s2.tier0_misses, 1U);
+  EXPECT_EQ(s2.early_exits, 1U);
+  EXPECT_EQ(s2.sample_hist[1], 1U);  // 10 -> le=10 bucket
+
+  const eval::JsonObject json = core::corrector_stats_json();
+  const std::string dumped = json.dump();
+  EXPECT_NE(dumped.find("\"samples_per_vote\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"tier0_hits\""), std::string::npos);
+  core::corrector_stats().reset();
+}
+
+}  // namespace
+}  // namespace dcn

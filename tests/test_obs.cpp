@@ -408,7 +408,7 @@ TEST(Registry, ServerMetricsSourceAddAndRemove) {
   serve::ServerMetrics metrics;
   metrics.on_submit(1);
   metrics.on_flush(1, false, true);
-  metrics.on_result(false, 10.0, 20.0);
+  metrics.on_result(false, false, 0, 10.0, 20.0);
   const std::size_t id = obs::registry().add_source(
       [&metrics](std::vector<obs::Metric>& out) { metrics.collect(out, 0); });
 
@@ -541,14 +541,14 @@ TEST(ServerMetrics, MergeAddsCountersAndMaxesPeaks) {
   a.on_submit(3);
   a.on_submit(1);
   a.on_flush(2, true, false);
-  a.on_result(true, 50.0, 500.0);
-  a.on_result(false, 10.0, 100.0);
+  a.on_result(true, false, 40, 50.0, 500.0);
+  a.on_result(false, false, 0, 10.0, 100.0);
 
   serve::ServerMetrics b;
   b.on_submit(7);
   b.on_reject();
   b.on_flush(1, false, true);
-  b.on_result(false, 20.0, 200.0);
+  b.on_result(true, true, 0, 20.0, 200.0);
 
   a.merge(b);
   const serve::ServerMetrics::Snapshot s = a.snapshot();
@@ -558,7 +558,12 @@ TEST(ServerMetrics, MergeAddsCountersAndMaxesPeaks) {
   EXPECT_EQ(s.batches, 2u);
   EXPECT_EQ(s.flush_full, 1u);
   EXPECT_EQ(s.flush_timer, 1u);
-  EXPECT_EQ(s.detector_positives, 1u);
+  EXPECT_EQ(s.detector_positives, 2u);
+  EXPECT_EQ(s.tier0_hits, 1u);
+  EXPECT_EQ(s.tier1_votes, 1u);
+  EXPECT_EQ(s.corrector_samples, 40u);
+  EXPECT_DOUBLE_EQ(s.samples_per_flagged, 20.0);
+  EXPECT_DOUBLE_EQ(s.tier0_hit_rate, 0.5);
   EXPECT_EQ(s.peak_queue_depth, 7u);  // max, not sum
   EXPECT_DOUBLE_EQ(s.mean_batch_size, 1.5);
   EXPECT_EQ(s.end_to_end.count, 3u);

@@ -38,11 +38,11 @@ matrix_root="$repo/build-matrix"
 
 # TSan runs only the suites that exercise concurrency (plus dcn-lint, which
 # is free). Everything else in the suite is single-threaded fixture work.
-tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn_kernel_diff_tests|dcn-lint'
+tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn_kernel_diff_tests|dcn_corrector_fastpath_tests|dcn-lint'
 
 # The SIMD=OFF leg re-runs only what the dispatch switch changes: the kernel
 # differential harness, the dispatch×threads determinism sweep, and lint.
-simd_off_filter='dcn_kernel_diff_tests|dcn_runtime_tests|dcn-lint'
+simd_off_filter='dcn_kernel_diff_tests|dcn_runtime_tests|dcn_corrector_fastpath_tests|dcn-lint'
 
 run_leg() {
     leg_name="$1"       # directory-safe label
