@@ -10,9 +10,16 @@
 //      registry and write the recorded span trace to serve_demo.trace.json
 //      (load it at https://ui.perfetto.dev or chrome://tracing).
 //
+// With --net, step 3 runs over the network serving tier instead: the same
+// DCN stack goes behind a ShardRouter + NetServer on an ephemeral loopback
+// port, the request mix replays through DcnClient frames (docs/PROTOCOL.md),
+// and the metrics come back as a Prometheus scrape over the Metrics frame —
+// the single-process version of what `dcn_serve` deploys.
+//
 // Build & run:  cmake -B build -G Ninja && cmake --build build &&
-//               ./build/examples/example_serve_demo
+//               ./build/examples/example_serve_demo [--net]
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
@@ -25,10 +32,13 @@
 #include "nn/trainer.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/net_server.hpp"
 #include "serve/server.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dcn;
+  const bool net_mode = argc > 1 && std::strcmp(argv[1], "--net") == 0;
 
   // --- 1. Model + DCN (compressed quickstart setup) -------------------------
   std::printf("1) training a small CNN + DCN detector on synthetic MNIST...\n");
@@ -64,55 +74,111 @@ int main() {
   }
 
   // --- 2. The server --------------------------------------------------------
-  std::printf("3) serving a mixed request stream through DcnServer "
-              "(max_batch=4, max_delay=1ms)...\n\n");
   // Trace only the serving phase: training/attack crafting above would bury
   // the request spans under millions of layer/GEMM events.
   obs::set_tracing_enabled(true);
-  serve::DcnServer server(dcn, {.max_batch = 4, .max_delay_us = 1000});
 
-  // Two clients submit concurrently: one benign stream, one that slips the
-  // adversarial images in between benign ones. The demo's point is exercising
-  // DcnServer under genuinely concurrent callers, so spawning client threads
-  // here is the exception the raw-thread rule exists to gate.
-  // dcn-lint: allow(raw-thread)
-  auto benign_client = std::async(std::launch::async, [&] {
-    std::vector<std::future<serve::ServeResult>> futures;
+  if (net_mode) {
+    // The whole request path on real sockets: DcnClient frames -> loopback
+    // TCP -> NetServer IO thread -> ShardRouter -> DcnServer replica. The
+    // concurrency lives server-side (the IO thread, the writer pool, the
+    // shard dispatcher), so the client replay stays single-threaded here.
+    std::printf("3) serving the same mix over the network tier "
+                "(DcnClient -> NetServer -> ShardRouter)...\n\n");
+    serve::net::RouterConfig router_config;
+    router_config.server = {.max_batch = 4, .max_delay_us = 1000};
+    serve::net::ShardRouter router({&dcn}, router_config);
+    serve::net::NetServer server(router, {.port = 0});
+    auto client = serve::net::DcnClient::connect(server.port());
+    std::printf("   listening on 127.0.0.1:%u, wire protocol v%u "
+                "(docs/PROTOCOL.md)\n",
+                static_cast<unsigned>(server.port()),
+                static_cast<unsigned>(serve::net::kProtocolVersion));
+
+    std::vector<Tensor> requests;
     for (std::size_t i = 20; i < 28; ++i) {
-      futures.push_back(server.submit(test_set.example(i)));
+      requests.push_back(test_set.example(i));
     }
-    return futures;
-  });
-  // dcn-lint: allow(raw-thread)
-  auto mixed_client = std::async(std::launch::async, [&] {
-    std::vector<std::future<serve::ServeResult>> futures;
     for (std::size_t i = 0; i < adversarial.size(); ++i) {
-      futures.push_back(server.submit(test_set.example(30 + i)));
-      futures.push_back(server.submit(adversarial[i]));
+      requests.push_back(test_set.example(30 + i));
+      requests.push_back(adversarial[i]);
     }
-    return futures;
-  });
-
-  for (auto* client : {&benign_client, &mixed_client}) {
-    for (auto& f : client->get()) {
-      const serve::ServeResult r = f.get();
-      std::printf("   req #%02llu -> label %zu  [%s]  batch=%zu  "
+    for (const Tensor& input : requests) {
+      const serve::net::ServeNetResult r = client.predict_verbose(input);
+      std::printf("   req #%02llu -> label %zu  [%s]  shard=%u  batch=%zu  "
                   "queue %6.0fus  e2e %7.0fus\n",
-                  static_cast<unsigned long long>(r.sequence), r.label,
-                  r.flagged_adversarial ? "ADV->corrected" : "benign       ",
-                  r.batch_size, r.queue_us, r.total_us);
+                  static_cast<unsigned long long>(r.result.sequence),
+                  r.result.label,
+                  r.result.flagged_adversarial ? "ADV->corrected"
+                                               : "benign       ",
+                  r.shard, r.result.batch_size, r.result.queue_us,
+                  r.result.total_us);
     }
+
+    const serve::net::HealthInfo health = client.health();
+    std::printf("\n   health: version=%u state=%s shards=%u queue_depth=%u\n",
+                static_cast<unsigned>(health.version),
+                health.state == 1 ? "serving" : "draining",
+                static_cast<unsigned>(health.shards), health.queue_depth);
+    std::printf("\n4) operator metrics (aggregated router JSON):\n%s\n",
+                router.metrics_json().dump().c_str());
+    obs::set_tracing_enabled(false);
+    std::printf("\n5) Prometheus scrape over the Metrics frame "
+                "(what a real agent would pull):\n%s",
+                client.metrics().c_str());
+    server.stop();
+  } else {
+    std::printf("3) serving a mixed request stream through DcnServer "
+                "(max_batch=4, max_delay=1ms)...\n\n");
+    serve::DcnServer server(dcn, {.max_batch = 4, .max_delay_us = 1000});
+
+    // Two clients submit concurrently: one benign stream, one that slips
+    // the adversarial images in between benign ones. This in-process mode
+    // exists to exercise DcnServer under genuinely concurrent callers (the
+    // --net mode above gets its concurrency from the server's own IO/writer
+    // threads instead), so spawning client threads here is the exception
+    // the raw-thread rule exists to gate.
+    // dcn-lint: allow(raw-thread)
+    auto benign_client = std::async(std::launch::async, [&] {
+      std::vector<std::future<serve::ServeResult>> futures;
+      for (std::size_t i = 20; i < 28; ++i) {
+        futures.push_back(server.submit(test_set.example(i)));
+      }
+      return futures;
+    });
+    // dcn-lint: allow(raw-thread)
+    auto mixed_client = std::async(std::launch::async, [&] {
+      std::vector<std::future<serve::ServeResult>> futures;
+      for (std::size_t i = 0; i < adversarial.size(); ++i) {
+        futures.push_back(server.submit(test_set.example(30 + i)));
+        futures.push_back(server.submit(adversarial[i]));
+      }
+      return futures;
+    });
+
+    for (auto* client : {&benign_client, &mixed_client}) {
+      for (auto& f : client->get()) {
+        const serve::ServeResult r = f.get();
+        std::printf("   req #%02llu -> label %zu  [%s]  batch=%zu  "
+                    "queue %6.0fus  e2e %7.0fus\n",
+                    static_cast<unsigned long long>(r.sequence), r.label,
+                    r.flagged_adversarial ? "ADV->corrected" : "benign       ",
+                    r.batch_size, r.queue_us, r.total_us);
+      }
+    }
+
+    server.shutdown();
+    std::printf("\n4) operator metrics (the JSON a monitoring agent "
+                "scrapes):\n%s\n",
+                server.metrics_json().dump().c_str());
+
+    obs::set_tracing_enabled(false);
+    std::printf("\n5) Prometheus exposition "
+                "(obs::registry().render_prometheus()):\n%s",
+                obs::registry().render_prometheus().c_str());
   }
 
-  server.shutdown();
-  std::printf("\n4) operator metrics (the JSON a monitoring agent scrapes):\n%s\n",
-              server.metrics_json().dump().c_str());
-
   // --- 3. Observability exports --------------------------------------------
-  obs::set_tracing_enabled(false);
-  std::printf("\n5) Prometheus exposition (obs::registry().render_prometheus()):"
-              "\n%s",
-              obs::registry().render_prometheus().c_str());
   const obs::TraceStats ts = obs::trace_stats();
   obs::write_trace_file("serve_demo.trace.json");
   std::printf("\n6) wrote serve_demo.trace.json (%llu spans, %llu dropped) — "

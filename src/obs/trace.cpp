@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace dcn::obs {
@@ -14,6 +15,13 @@ namespace dcn::obs {
 namespace detail {
 
 std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+std::atomic<bool> g_trace_ring{false};         // TraceBufferPolicy::kRing
+std::atomic<std::uint32_t> g_trace_sample{1};  // keep 1 span in N
+
+}  // namespace
 
 namespace {
 
@@ -30,20 +38,41 @@ struct Event {
   double dur_us;
 };
 
+static_assert(std::is_trivially_copyable<Event>::value,
+              "events move through the slot words with memcpy");
+static_assert(sizeof(Event) % sizeof(std::uint64_t) == 0,
+              "events must pack into whole seqlock words");
+
+/// One seqlock'd buffer slot. `version` is odd while the owning thread is
+/// mid-write and bumped to the next even value once the words are stored;
+/// the payload itself lives in relaxed atomic words so a concurrent export
+/// reading a slot that is being rewritten (the kRing wrap case) is a
+/// well-defined stale/torn read the version check detects — never a data
+/// race. The writer pays plain stores on x86; readers copy and re-check.
+struct Slot {
+  static constexpr std::size_t kWords = sizeof(Event) / sizeof(std::uint64_t);
+  std::atomic<std::uint64_t> version{0};
+  std::atomic<std::uint64_t> words[kWords];
+};
+
 /// Per-thread event buffer. The owning thread is the only writer; it
 /// publishes each entry with a release-store of `count`, so any reader that
-/// acquire-loads `count` sees fully written events below it. The buffer
-/// never wraps: when full, events are dropped and counted, which keeps
-/// concurrent export free of write-after-publish races.
+/// acquire-loads `count` sees fully written events below it. Under the
+/// default kDrop policy the buffer never wraps: when full, events are
+/// dropped and counted, so every slot below `count` is write-once and
+/// export is exactly consistent. Under kRing, `count` keeps growing and
+/// slot (count % kCapacity) is overwritten — the buffer always holds the
+/// newest kCapacity events, and a mid-traffic export detects slots that
+/// wrap while being read via the per-slot seqlock and skips them.
 struct ThreadBuffer {
-  explicit ThreadBuffer(int thread_id) : tid(thread_id) {
-    events.resize(kCapacity);
-  }
+  explicit ThreadBuffer(int thread_id) : slots(kCapacity), tid(thread_id) {}
 
   static constexpr std::size_t kCapacity = 1 << 14;  // 16384 events/thread
-  std::vector<Event> events;
+  std::vector<Slot> slots;  // fixed size for life; Slot is not movable
   std::atomic<std::size_t> count{0};
   std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> sampled_out{0};
+  std::uint32_t sample_tick = 0;  // owner-thread-only sampling counter
   int tid;
 };
 
@@ -104,12 +133,25 @@ void record_span(const char* name, const char* category,
                  Clock::time_point start, Clock::time_point end,
                  const char* arg_name, double arg_value) noexcept {
   ThreadBuffer& buffer = local_buffer();
-  const std::size_t n = buffer.count.load(std::memory_order_relaxed);
-  if (n >= ThreadBuffer::kCapacity) {
-    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
-    return;
+  const std::uint32_t keep_one_in =
+      g_trace_sample.load(std::memory_order_relaxed);
+  if (keep_one_in > 1) {
+    if (++buffer.sample_tick < keep_one_in) {
+      buffer.sampled_out.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buffer.sample_tick = 0;
   }
-  Event& ev = buffer.events[n];
+  const std::size_t n = buffer.count.load(std::memory_order_relaxed);
+  std::size_t slot = n;
+  if (n >= ThreadBuffer::kCapacity) {
+    if (!g_trace_ring.load(std::memory_order_relaxed)) {
+      buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slot = n % ThreadBuffer::kCapacity;
+  }
+  Event ev{};
   const std::size_t len = std::strlen(name);
   const std::size_t keep =
       len < sizeof(ev.name) - 1 ? len : sizeof(ev.name) - 1;
@@ -121,6 +163,21 @@ void record_span(const char* name, const char* category,
   ev.ts_us =
       std::chrono::duration<double, std::micro>(start - epoch()).count();
   ev.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+
+  // Seqlock write (single writer per slot: the owning thread). Mark the
+  // slot in-progress (odd), store the words, publish (next even). The
+  // fence orders the odd store before the word stores for concurrent
+  // readers; the final release pairs with the reader's acquire.
+  std::uint64_t raw[Slot::kWords];
+  std::memcpy(raw, &ev, sizeof(ev));
+  Slot& s = buffer.slots[slot];
+  const std::uint64_t v = s.version.load(std::memory_order_relaxed);
+  s.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  for (std::size_t i = 0; i < Slot::kWords; ++i) {
+    s.words[i].store(raw[i], std::memory_order_relaxed);
+  }
+  s.version.store(v + 2, std::memory_order_release);
   buffer.count.store(n + 1, std::memory_order_release);
 }
 
@@ -142,13 +199,37 @@ void trace_clear() {
   for (auto& buffer : r.buffers) {
     buffer->count.store(0, std::memory_order_release);
     buffer->dropped.store(0, std::memory_order_relaxed);
+    buffer->sampled_out.store(0, std::memory_order_relaxed);
   }
+}
+
+void set_trace_buffer_policy(TraceBufferPolicy policy) {
+  detail::g_trace_ring.store(policy == TraceBufferPolicy::kRing,
+                             std::memory_order_relaxed);
+}
+
+TraceBufferPolicy trace_buffer_policy() {
+  return detail::g_trace_ring.load(std::memory_order_relaxed)
+             ? TraceBufferPolicy::kRing
+             : TraceBufferPolicy::kDrop;
+}
+
+void set_trace_sampling(std::uint32_t keep_one_in) {
+  detail::g_trace_sample.store(keep_one_in == 0 ? 1 : keep_one_in,
+                               std::memory_order_relaxed);
+}
+
+std::uint32_t trace_sampling() {
+  return detail::g_trace_sample.load(std::memory_order_relaxed);
 }
 
 std::string trace_export() {
   // Snapshot the buffer list, then read each buffer up to its published
-  // count. Buffers are append-only and never shrink outside trace_clear(),
-  // so this is safe against concurrent recording.
+  // count. Slots below the count are write-once under kDrop; under kRing a
+  // wrapping writer may be rewriting a slot while we read it, so each slot
+  // is copied out through its seqlock and skipped when the version moved
+  // mid-copy (a handful of the oldest events during heavy wrap, never a
+  // malformed one).
   std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
   {
     detail::Registry& r = detail::registry();
@@ -160,9 +241,27 @@ std::string trace_export() {
   out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   for (const auto& buffer : buffers) {
+    // Under kRing `count` keeps growing past capacity; the buffer holds the
+    // newest kCapacity events starting at count % kCapacity. Walk them
+    // oldest-first so the exported stream stays chronological per thread.
     const std::size_t n = buffer->count.load(std::memory_order_acquire);
-    for (std::size_t i = 0; i < n; ++i) {
-      const detail::Event& ev = buffer->events[i];
+    const std::size_t cap = detail::ThreadBuffer::kCapacity;
+    const std::size_t held = n < cap ? n : cap;
+    const std::size_t start = n < cap ? 0 : n % cap;
+    for (std::size_t i = 0; i < held; ++i) {
+      const detail::Slot& slot = buffer->slots[(start + i) % cap];
+      const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+      std::uint64_t raw[detail::Slot::kWords];
+      for (std::size_t w = 0; w < detail::Slot::kWords; ++w) {
+        raw[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if ((v1 & 1) != 0 ||
+          slot.version.load(std::memory_order_relaxed) != v1) {
+        continue;  // writer wrapped onto this slot mid-read; skip it
+      }
+      detail::Event ev;
+      std::memcpy(&ev, raw, sizeof(ev));
       out += first ? "\n" : ",\n";
       first = false;
       out += "{\"name\": \"";
@@ -195,8 +294,12 @@ TraceStats trace_stats() {
   std::lock_guard<std::mutex> lock(r.mutex);
   stats.threads = r.buffers.size();
   for (const auto& buffer : r.buffers) {
-    stats.recorded += buffer->count.load(std::memory_order_acquire);
+    const std::size_t n = buffer->count.load(std::memory_order_acquire);
+    const std::size_t cap = detail::ThreadBuffer::kCapacity;
+    stats.recorded += n < cap ? n : cap;
+    stats.overwritten += n > cap ? n - cap : 0;
     stats.dropped += buffer->dropped.load(std::memory_order_relaxed);
+    stats.sampled_out += buffer->sampled_out.load(std::memory_order_relaxed);
   }
   return stats;
 }
@@ -205,6 +308,10 @@ TraceStats trace_stats() {
 
 bool tracing_enabled() { return false; }
 void set_tracing_enabled(bool) {}
+void set_trace_buffer_policy(TraceBufferPolicy) {}
+TraceBufferPolicy trace_buffer_policy() { return TraceBufferPolicy::kDrop; }
+void set_trace_sampling(std::uint32_t) {}
+std::uint32_t trace_sampling() { return 1; }
 void trace_clear() {}
 std::string trace_export() { return "{\"traceEvents\": []}\n"; }
 TraceStats trace_stats() { return {}; }

@@ -14,9 +14,11 @@
 //   4. Lock-cheap when enabled: each thread records into its own
 //      fixed-capacity event buffer; entries are published with a
 //      release-store of the count and readers use an acquire-load, so
-//      trace_export() is race-free even mid-traffic. A full buffer drops
-//      new events (counted, never overwritten) rather than wrapping, which
-//      is what keeps concurrent export well-defined.
+//      trace_export() is race-free even mid-traffic. Every slot is a
+//      per-slot seqlock (version counter around relaxed atomic words), so
+//      even when the kRing policy wraps onto a slot an export is reading,
+//      the reader detects the rewrite and skips the slot — stale data is
+//      dropped, never emitted torn, and there is no data race.
 //
 // Usage:
 //   obs::set_tracing_enabled(true);
@@ -48,6 +50,26 @@ inline constexpr bool kTraceCompiled = true;
 bool tracing_enabled();
 void set_tracing_enabled(bool on);
 
+/// What a full per-thread buffer does with the next event.
+///   kDrop  drop and count it (the default). Buffers never wrap, so
+///          concurrent export is exactly consistent even mid-traffic.
+///   kRing  overwrite the oldest event. Long-running servers keep the most
+///          recent window instead of the first 16k spans — the always-on
+///          serving mode. Export at a quiescent point is exact; export
+///          mid-traffic skips any event a wrapping writer touches while it
+///          is being read (detected by the per-slot seqlock), so the
+///          serving tier samples (set_trace_sampling) to keep wrap rare.
+enum class TraceBufferPolicy { kDrop, kRing };
+void set_trace_buffer_policy(TraceBufferPolicy policy);
+[[nodiscard]] TraceBufferPolicy trace_buffer_policy();
+
+/// Record one span in `keep_one_in` per thread (1 = every span, the
+/// default). Sampling is decided at record time with a per-thread counter,
+/// so always-on tracing at e.g. 1-in-16 costs one increment per skipped
+/// span and never perturbs model output.
+void set_trace_sampling(std::uint32_t keep_one_in);
+[[nodiscard]] std::uint32_t trace_sampling();
+
 /// Drop every recorded event and reset the dropped counters. Call at a
 /// quiescent point (no spans in flight) — benches use it between reps.
 void trace_clear();
@@ -61,9 +83,11 @@ void trace_clear();
 void write_trace_file(const std::string& path);
 
 struct TraceStats {
-  std::uint64_t recorded = 0;  // events currently buffered across threads
-  std::uint64_t dropped = 0;   // events lost to full per-thread buffers
-  std::size_t threads = 0;     // thread buffers ever registered
+  std::uint64_t recorded = 0;     // events currently buffered across threads
+  std::uint64_t dropped = 0;      // events lost to full buffers (kDrop)
+  std::uint64_t overwritten = 0;  // events displaced by the ring (kRing)
+  std::uint64_t sampled_out = 0;  // spans skipped by set_trace_sampling
+  std::size_t threads = 0;        // thread buffers ever registered
 };
 [[nodiscard]] TraceStats trace_stats();
 

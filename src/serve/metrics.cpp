@@ -98,6 +98,36 @@ eval::JsonObject LatencyHistogram::to_json() const {
   return json;
 }
 
+void LatencyHistogram::collect(const std::string& family, const char* help,
+                               std::vector<obs::Metric>& out) const {
+  // Snapshot the buckets once so the cumulative sums are internally
+  // consistent even while record() runs concurrently.
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::size_t highest = 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(kRelaxed);
+    if (counts[i] != 0) highest = i;
+    total += counts[i];
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= highest; ++i) {
+    cumulative += counts[i];
+    // Bucket i covers [2^(i-1), 2^i) microseconds (bucket 0 holds exact
+    // zeros), so its inclusive upper bound is 2^i - 1; Prometheus `le` wants
+    // the bound the cumulative count is valid at.
+    const std::uint64_t le = i == 0 ? 0 : (1ULL << i) - 1;
+    out.push_back({family + "_bucket", help, obs::MetricType::kHistogram, "le",
+                   std::to_string(le), static_cast<double>(cumulative)});
+  }
+  out.push_back({family + "_bucket", help, obs::MetricType::kHistogram, "le",
+                 "+Inf", static_cast<double>(total)});
+  out.push_back({family + "_sum", help, obs::MetricType::kHistogram, "", "",
+                 static_cast<double>(sum_us_.load(kRelaxed))});
+  out.push_back({family + "_count", help, obs::MetricType::kHistogram, "", "",
+                 static_cast<double>(total)});
+}
+
 // ---- ServerMetrics ---------------------------------------------------------
 
 void ServerMetrics::on_submit(std::size_t queue_depth_after) {
@@ -246,10 +276,13 @@ void ServerMetrics::collect(std::vector<obs::Metric>& out,
         static_cast<double>(s.peak_queue_depth));
   gauge("dcn_server_mean_batch_size", "Mean requests per micro-batch",
         s.mean_batch_size);
-  gauge("dcn_server_queue_wait_p99_us", "p99 queue wait, microseconds",
-        s.queue_wait.p99_us);
-  gauge("dcn_server_end_to_end_p99_us", "p99 end-to-end latency, microseconds",
-        s.end_to_end.p99_us);
+  // Latency families are real Prometheus histograms (log2 buckets in
+  // microseconds), so dashboards can compute any quantile server-side with
+  // histogram_quantile() instead of trusting a precomputed p99 gauge.
+  queue_wait_.collect("dcn_server_queue_wait_us",
+                      "Queue wait, microseconds (log2 buckets)", out);
+  end_to_end_.collect("dcn_server_end_to_end_us",
+                      "End-to-end latency, microseconds (log2 buckets)", out);
 }
 
 void ServerMetrics::reset() {

@@ -50,6 +50,14 @@ class LatencyHistogram {
   /// {count, mean_us, p50_us, p95_us, p99_us, max_us} for metrics export.
   [[nodiscard]] eval::JsonObject to_json() const;
 
+  /// Append this histogram as a Prometheus histogram family named `family`:
+  /// cumulative `_bucket` samples with `le` labels at the log2 bucket upper
+  /// bounds (in microseconds), a closing le="+Inf" bucket, then `_sum` and
+  /// `_count`. Empty trailing buckets past the highest observation are
+  /// elided to keep scrapes compact.
+  void collect(const std::string& family, const char* help,
+               std::vector<obs::Metric>& out) const;
+
  private:
   // Bucket 0 holds 0us; bucket i>=1 holds [2^(i-1), 2^i). 40 buckets cover
   // latencies past 6 days, beyond any plausible request lifetime.
@@ -111,6 +119,18 @@ class ServerMetrics {
 
   /// Zero every counter and histogram (quiescent-point operation).
   void reset();
+
+  // Cheap single-counter reads for the router's admission loop (two relaxed
+  // loads per shard per submit — snapshot() would walk both histograms).
+  [[nodiscard]] std::uint64_t submitted_count() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t completed_count() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t detector_positive_count() const {
+    return detector_positives_.load(std::memory_order_relaxed);
+  }
 
   /// Fold `other` into this block: counters add, peaks max, histograms
   /// merge. Relaxed-atomic on both sides, so concurrent recording on either

@@ -1,0 +1,106 @@
+#include "serve/net/client.hpp"
+
+namespace dcn::serve::net {
+
+DcnClient DcnClient::connect(std::uint16_t port,
+                             std::chrono::milliseconds timeout) {
+  return DcnClient(connect_loopback(port, timeout));
+}
+
+void DcnClient::send_predict(const Tensor& input, bool verbose) {
+  if (!send_frame(socket_.fd(), encode_predict_request(input, verbose))) {
+    throw std::runtime_error("DcnClient: connection closed while sending");
+  }
+}
+
+void DcnClient::send_metrics() {
+  if (!send_frame(socket_.fd(), encode_frame(MsgType::kMetricsRequest, {}))) {
+    throw std::runtime_error("DcnClient: connection closed while sending");
+  }
+}
+
+void DcnClient::send_health() {
+  if (!send_frame(socket_.fd(), encode_frame(MsgType::kHealthRequest, {}))) {
+    throw std::runtime_error("DcnClient: connection closed while sending");
+  }
+}
+
+void DcnClient::send_trace() {
+  if (!send_frame(socket_.fd(), encode_frame(MsgType::kTraceRequest, {}))) {
+    throw std::runtime_error("DcnClient: connection closed while sending");
+  }
+}
+
+DcnClient::Response DcnClient::recv() {
+  Frame frame;
+  if (!recv_frame(socket_.fd(), frame)) {
+    throw std::runtime_error("DcnClient: server closed the connection");
+  }
+  Response response;
+  response.type = frame.type;
+  switch (frame.type) {
+    case MsgType::kPredictResponse:
+      response.label = decode_predict_response(frame.payload);
+      break;
+    case MsgType::kPredictVerboseResponse:
+      response.verbose = decode_verbose_response(frame.payload);
+      break;
+    case MsgType::kErrorResponse:
+      response.error = decode_error(frame.payload);
+      break;
+    case MsgType::kHealthResponse:
+      response.health = decode_health(frame.payload);
+      break;
+    case MsgType::kMetricsResponse:
+    case MsgType::kTraceResponse:
+      response.text = decode_text(frame.payload);
+      break;
+    default:
+      throw ProtocolError(std::string("unexpected frame type ") +
+                          msg_type_name(frame.type));
+  }
+  return response;
+}
+
+DcnClient::Response DcnClient::expect(MsgType want) {
+  Response response = recv();
+  if (response.type == want) return response;
+  if (response.type == MsgType::kErrorResponse) {
+    const WireError& err = response.error;
+    const std::string what = std::string(error_code_name(err.code)) + ": " +
+                             err.message;
+    if (err.code == ErrorCode::kOverloaded) {
+      throw OverloadedError(err.retry_after_ms, what);
+    }
+    throw ServerError(err.code, what);
+  }
+  throw ProtocolError(std::string("expected ") + msg_type_name(want) +
+                      ", got " + msg_type_name(response.type));
+}
+
+std::size_t DcnClient::predict(const Tensor& input) {
+  send_predict(input, /*verbose=*/false);
+  return expect(MsgType::kPredictResponse).label;
+}
+
+ServeNetResult DcnClient::predict_verbose(const Tensor& input) {
+  send_predict(input, /*verbose=*/true);
+  return expect(MsgType::kPredictVerboseResponse).verbose;
+}
+
+std::string DcnClient::metrics() {
+  send_metrics();
+  return expect(MsgType::kMetricsResponse).text;
+}
+
+std::string DcnClient::trace() {
+  send_trace();
+  return expect(MsgType::kTraceResponse).text;
+}
+
+HealthInfo DcnClient::health() {
+  send_health();
+  return expect(MsgType::kHealthResponse).health;
+}
+
+}  // namespace dcn::serve::net

@@ -1,0 +1,87 @@
+// DcnClient — the blocking client side of the DCN wire protocol.
+//
+// Two layers:
+//   * Pipelined primitives: send_* enqueues one request frame on the
+//     socket, recv() blocks for the next response frame. The server
+//     answers each connection's requests in arrival order, so a caller
+//     may send a burst of requests and then collect the responses — the
+//     replay benches do exactly that.
+//   * Blocking conveniences (predict, predict_verbose, metrics, health,
+//     trace): one request, one response, typed errors raised as
+//     exceptions — OverloadedError for an admission shed (carrying the
+//     retry-after hint), ServerError for every other error frame.
+//
+// The client is single-connection and not thread-safe as a whole, but the
+// send_* and recv() halves may run on two different threads (one writer,
+// one reader), which is how an open-loop replay keeps the pipe full.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "serve/net/socket.hpp"
+
+namespace dcn::serve::net {
+
+/// The server shed this request (ErrorCode::kOverloaded); back off for
+/// retry_after_ms before trying again.
+struct OverloadedError : std::runtime_error {
+  OverloadedError(std::uint32_t retry_ms, const std::string& what)
+      : std::runtime_error(what), retry_after_ms(retry_ms) {}
+  std::uint32_t retry_after_ms;
+};
+
+/// Any non-Overloaded error frame surfaced by a blocking convenience call.
+struct ServerError : std::runtime_error {
+  ServerError(ErrorCode error_code, const std::string& what)
+      : std::runtime_error(what), code(error_code) {}
+  ErrorCode code;
+};
+
+class DcnClient {
+ public:
+  /// Connect to a NetServer on 127.0.0.1:`port`, retrying until `timeout`
+  /// (covers daemons that are still binding). Throws on timeout.
+  static DcnClient connect(std::uint16_t port,
+                           std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(5000));
+
+  /// One decoded response frame, discriminated by `type`.
+  struct Response {
+    MsgType type = MsgType::kErrorResponse;
+    std::size_t label = 0;        // kPredictResponse
+    ServeNetResult verbose;       // kPredictVerboseResponse
+    WireError error;              // kErrorResponse
+    HealthInfo health;            // kHealthResponse
+    std::string text;             // kMetricsResponse / kTraceResponse
+  };
+
+  // -- Pipelined primitives --------------------------------------------------
+  void send_predict(const Tensor& input, bool verbose = false);
+  void send_metrics();
+  void send_health();
+  void send_trace();
+  /// Block for the next response frame. Throws std::runtime_error if the
+  /// server hangs up first.
+  Response recv();
+
+  // -- Blocking conveniences -------------------------------------------------
+  std::size_t predict(const Tensor& input);
+  ServeNetResult predict_verbose(const Tensor& input);
+  std::string metrics();
+  std::string trace();
+  HealthInfo health();
+
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+  void close() { socket_.close_fd(); }
+
+ private:
+  explicit DcnClient(Socket socket) : socket_(std::move(socket)) {}
+  Response expect(MsgType want);
+
+  Socket socket_;
+};
+
+}  // namespace dcn::serve::net

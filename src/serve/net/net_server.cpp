@@ -1,0 +1,492 @@
+#include "serve/net/net_server.hpp"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace dcn::serve::net {
+
+// ---- Internal structures ---------------------------------------------------
+
+/// One accepted connection. The IO thread owns the read side (buffer,
+/// poller membership); the pinned writer owns the write side. The socket
+/// closes when the last shared_ptr drops, so queued responses keep a dying
+/// connection's fd alive exactly as long as they need it.
+struct NetServer::Connection {
+  Socket socket;
+  std::uint64_t id = 0;
+  std::size_t writer = 0;  // pinned writer index (id mod writers)
+  Bytes read_buffer;
+};
+
+/// One unit of write-side work, executed by the connection's pinned writer
+/// in FIFO order — which is frame-arrival order, so responses leave in
+/// request order per connection.
+struct NetServer::Job {
+  enum class Kind { kPredict, kMetrics, kHealth, kTrace, kError };
+  Kind kind = Kind::kError;
+  std::shared_ptr<Connection> conn;
+  bool verbose = false;
+  std::uint32_t shard = 0;
+  std::future<ServeResult> future;  // kPredict only
+  ErrorCode code = ErrorCode::kInternal;
+  std::uint32_t retry_after_ms = 0;
+  std::string message;
+  bool close_after = false;  // fatal errors: write, then hang up
+};
+
+struct NetServer::Writer {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Job> jobs;
+  bool stop = false;  // exit once (stop && jobs.empty())
+  std::thread thread;
+};
+
+/// Readiness notification over the listen/connection/wake fds. epoll where
+/// available (Linux), a plain poll() loop otherwise or when forced — the
+/// two paths expose identical semantics, so tests exercise both.
+class NetServer::Poller {
+ public:
+  explicit Poller(bool force_poll) {
+#if defined(__linux__)
+    if (!force_poll) {
+      epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+      use_epoll_ = epoll_fd_ >= 0;
+    }
+#else
+    (void)force_poll;
+#endif
+  }
+
+  ~Poller() {
+#if defined(__linux__)
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+  }
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd) {
+#if defined(__linux__)
+    if (use_epoll_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+      return;
+    }
+#endif
+    fds_.push_back(fd);
+  }
+
+  void remove(int fd) {
+#if defined(__linux__)
+    if (use_epoll_) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      return;
+    }
+#endif
+    for (std::size_t i = 0; i < fds_.size(); ++i) {
+      if (fds_[i] == fd) {
+        fds_.erase(fds_.begin() + static_cast<long>(i));
+        return;
+      }
+    }
+  }
+
+  /// Block until at least one registered fd is readable (or has hung up);
+  /// fill `ready` with those fds. Returns spuriously empty on EINTR.
+  void wait(std::vector<int>& ready) {
+    ready.clear();
+#if defined(__linux__)
+    if (use_epoll_) {
+      epoll_event events[64];
+      const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      for (int i = 0; i < n; ++i) ready.push_back(events[i].data.fd);
+      return;
+    }
+#endif
+    std::vector<pollfd> pfds;
+    pfds.reserve(fds_.size());
+    for (int fd : fds_) pfds.push_back({fd, POLLIN, 0});
+    const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    if (n <= 0) return;
+    for (const pollfd& p : pfds) {
+      if ((p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        ready.push_back(p.fd);
+      }
+    }
+  }
+
+ private:
+#if defined(__linux__)
+  int epoll_fd_ = -1;
+  bool use_epoll_ = false;
+#endif
+  std::vector<int> fds_;
+};
+
+// ---- Lifecycle -------------------------------------------------------------
+
+NetServer::NetServer(ShardRouter& router, NetServerConfig config)
+    : router_(&router), config_(config) {
+  if (config_.writers == 0) config_.writers = 1;
+  ListenResult listen = listen_loopback(config_.port);
+  listen_socket_ = std::move(listen.socket);
+  port_ = listen.port;
+  set_nonblocking(listen_socket_.fd(), true);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("NetServer: pipe failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_, true);
+  set_nonblocking(wake_write_fd_, true);
+
+  poller_ = std::make_unique<Poller>(config_.force_poll);
+  poller_->add(listen_socket_.fd());
+  poller_->add(wake_read_fd_);
+
+  writers_.reserve(config_.writers);
+  for (std::size_t i = 0; i < config_.writers; ++i) {
+    auto writer = std::make_unique<Writer>();
+    writer->thread = std::thread([this, w = writer.get()] { writer_loop(*w); });
+    writers_.push_back(std::move(writer));
+  }
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+NetServer::~NetServer() {
+  stop();
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void NetServer::stop() {
+  // stop() may race with itself (destructor vs. explicit call); the first
+  // caller does the work and later callers wait on the same mutex.
+  std::lock_guard<std::mutex> guard(stop_mutex_);
+  if (stop_done_) return;
+
+  const auto wake = [this] {
+    const char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    (void)!::write(wake_write_fd_, &byte, 1);
+  };
+
+  // 1. Refuse new predicts; the IO thread closes the listener on wakeup.
+  draining_.store(true, std::memory_order_release);
+  wake();
+  // 2. Drain the shards: every admitted future completes here.
+  router_->shutdown();
+  // 3. Stop the IO thread (no new frames from here on).
+  io_exit_.store(true, std::memory_order_release);
+  wake();
+  io_thread_.join();
+  // 4. Let the writers flush every queued response, then exit.
+  for (auto& writer : writers_) {
+    std::lock_guard<std::mutex> lock(writer->mutex);
+    writer->stop = true;
+    writer->cv.notify_all();
+  }
+  for (auto& writer : writers_) writer->thread.join();
+  // 5. Drop the remaining connections (sockets close with the last ref).
+  connections_.clear();
+  stopped_.store(true, std::memory_order_release);
+  stop_done_ = true;
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+HealthInfo NetServer::health_now() const {
+  HealthInfo info;
+  info.version = kProtocolVersion;
+  info.state = draining_.load(std::memory_order_acquire) ? 2 : 1;
+  info.shards = static_cast<std::uint16_t>(router_->shard_count());
+  info.queue_depth = static_cast<std::uint32_t>(router_->queue_depth_total());
+  return info;
+}
+
+// ---- IO thread -------------------------------------------------------------
+
+void NetServer::io_loop() {
+  std::vector<int> ready;
+  while (!io_exit_.load(std::memory_order_acquire)) {
+    poller_->wait(ready);
+    if (io_exit_.load(std::memory_order_acquire)) return;
+    if (draining_.load(std::memory_order_acquire) && listen_socket_.valid()) {
+      poller_->remove(listen_socket_.fd());
+      listen_socket_.close_fd();
+    }
+    for (int fd : ready) {
+      if (fd == wake_read_fd_) {
+        char sink[64];
+        while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (listen_socket_.valid() && fd == listen_socket_.fd()) {
+        accept_ready();
+        continue;
+      }
+      std::shared_ptr<Connection> conn;
+      for (const auto& c : connections_) {
+        if (c->socket.fd() == fd) {
+          conn = c;
+          break;
+        }
+      }
+      if (conn) handle_readable(conn);
+    }
+  }
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_socket_.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: accepted everything pending
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->socket = Socket(fd);
+    conn->id = next_conn_id_++;
+    conn->writer = conn->id % writers_.size();
+    poller_->add(fd);
+    connections_.push_back(conn);
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void NetServer::drop_connection(const std::shared_ptr<Connection>& conn) {
+  poller_->remove(conn->socket.fd());
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    if (connections_[i] == conn) {
+      connections_.erase(connections_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+void NetServer::handle_readable(const std::shared_ptr<Connection>& conn) {
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = ::recv(conn->socket.fd(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->read_buffer.insert(conn->read_buffer.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      // Clean EOF — also the mid-frame-disconnect case: whatever partial
+      // frame sits in read_buffer is discarded with the connection.
+      drop_connection(conn);
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    drop_connection(conn);  // ECONNRESET and friends
+    return;
+  }
+
+  for (;;) {
+    Frame frame;
+    try {
+      if (!try_extract_frame(conn->read_buffer, frame,
+                             config_.max_frame_bytes)) {
+        return;
+      }
+    } catch (const ProtocolError& e) {
+      // The stream is no longer delimited: answer BadFrame, stop reading,
+      // hang up after the error flushes.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      drop_connection(conn);
+      Job job;
+      job.kind = Job::Kind::kError;
+      job.code = ErrorCode::kBadFrame;
+      job.message = e.what();
+      job.close_after = true;
+      enqueue_job(conn, std::move(job));
+      return;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    handle_frame(conn, std::move(frame));
+  }
+}
+
+void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
+                             Frame frame) {
+  DCN_TRACE_SPAN("net.frame", "serve.net");
+  const auto send_error = [&](ErrorCode code, std::uint32_t retry_ms,
+                              std::string message) {
+    Job job;
+    job.kind = Job::Kind::kError;
+    job.code = code;
+    job.retry_after_ms = retry_ms;
+    job.message = std::move(message);
+    enqueue_job(conn, std::move(job));
+  };
+
+  switch (frame.type) {
+    case MsgType::kPredictRequest:
+    case MsgType::kPredictVerboseRequest: {
+      if (draining_.load(std::memory_order_acquire)) {
+        send_error(ErrorCode::kShuttingDown, 0, "server draining");
+        return;
+      }
+      Tensor input;
+      try {
+        input = decode_predict_payload(frame.payload);
+      } catch (const ProtocolError& e) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        send_error(ErrorCode::kBadPayload, 0, e.what());
+        return;
+      }
+      RouterTicket ticket;
+      try {
+        ticket = router_->submit(std::move(input));
+      } catch (const std::exception&) {
+        send_error(ErrorCode::kShuttingDown, 0, "server draining");
+        return;
+      }
+      if (!ticket.admitted) {
+        send_error(ErrorCode::kOverloaded, ticket.retry_after_ms,
+                   std::string("shed: ") + shed_reason_name(ticket.reason));
+        return;
+      }
+      Job job;
+      job.kind = Job::Kind::kPredict;
+      job.verbose = frame.type == MsgType::kPredictVerboseRequest;
+      job.shard = static_cast<std::uint32_t>(ticket.shard);
+      job.future = std::move(ticket.future);
+      enqueue_job(conn, std::move(job));
+      return;
+    }
+    case MsgType::kMetricsRequest: {
+      Job job;
+      job.kind = Job::Kind::kMetrics;
+      enqueue_job(conn, std::move(job));
+      return;
+    }
+    case MsgType::kHealthRequest: {
+      Job job;
+      job.kind = Job::Kind::kHealth;
+      enqueue_job(conn, std::move(job));
+      return;
+    }
+    case MsgType::kTraceRequest: {
+      Job job;
+      job.kind = Job::Kind::kTrace;
+      enqueue_job(conn, std::move(job));
+      return;
+    }
+    default: {
+      // Unknown type: typed error, connection stays usable (forward
+      // compatibility — see docs/PROTOCOL.md "Versioning").
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      send_error(ErrorCode::kBadType, 0,
+                 "unknown message type " +
+                     std::to_string(static_cast<unsigned>(frame.type)));
+      return;
+    }
+  }
+}
+
+// ---- Writers ---------------------------------------------------------------
+
+void NetServer::enqueue_job(const std::shared_ptr<Connection>& conn,
+                            Job job) {
+  job.conn = conn;
+  Writer& writer = *writers_[conn->writer];
+  std::lock_guard<std::mutex> lock(writer.mutex);
+  writer.jobs.push_back(std::move(job));
+  writer.cv.notify_one();
+}
+
+void NetServer::writer_loop(Writer& writer) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(writer.mutex);
+      writer.cv.wait(lock,
+                     [&writer] { return writer.stop || !writer.jobs.empty(); });
+      if (writer.jobs.empty()) return;  // stop requested and fully flushed
+      job = std::move(writer.jobs.front());
+      writer.jobs.pop_front();
+    }
+
+    Bytes frame;
+    switch (job.kind) {
+      case Job::Kind::kPredict: {
+        try {
+          const ServeResult result = job.future.get();
+          frame = job.verbose
+                      ? encode_frame(MsgType::kPredictVerboseResponse,
+                                     encode_verbose_response(result, job.shard))
+                      : encode_frame(MsgType::kPredictResponse,
+                                     encode_predict_response(result.label));
+        } catch (const std::exception& e) {
+          // The shard rejected the batch — in practice a tensor the model
+          // cannot take (everything else is caught before submit).
+          frame = encode_frame(MsgType::kErrorResponse,
+                               encode_error(ErrorCode::kBadShape, 0, e.what()));
+        }
+        break;
+      }
+      case Job::Kind::kMetrics:
+        frame = encode_frame(MsgType::kMetricsResponse,
+                             encode_text(obs::registry().render_prometheus()));
+        break;
+      case Job::Kind::kHealth:
+        frame = encode_frame(MsgType::kHealthResponse,
+                             encode_health(health_now()));
+        break;
+      case Job::Kind::kTrace:
+        frame = encode_frame(MsgType::kTraceResponse,
+                             encode_text(obs::trace_export()));
+        break;
+      case Job::Kind::kError:
+        frame = encode_frame(
+            MsgType::kErrorResponse,
+            encode_error(job.code, job.retry_after_ms, job.message));
+        break;
+    }
+
+    if (send_frame(job.conn->socket.fd(), frame)) {
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (job.close_after) {
+      ::shutdown(job.conn->socket.fd(), SHUT_RDWR);
+    }
+  }
+}
+
+}  // namespace dcn::serve::net

@@ -1,0 +1,125 @@
+// NetServer — the socket front end over ShardRouter.
+//
+// Threading model (DESIGN.md "Network serving tier"):
+//
+//   IO thread     one epoll (fallback: poll) loop owns the listen socket and
+//                 every connection's read side: accept, nonblocking reads,
+//                 frame reassembly, request dispatch into the router.
+//                 Decoding and router placement are cheap, so a single IO
+//                 thread keeps frame handling strictly ordered per
+//                 connection with no read-side locking at all.
+//   writer pool   each connection is pinned to one writer (conn_id mod
+//                 workers). Writers pop response jobs FIFO, block on the
+//                 shard future when the job carries one, encode, and write.
+//                 One writer per connection means one writer per socket —
+//                 responses can never interleave mid-frame — and FIFO order
+//                 means responses leave in request order, which the
+//                 pipelined client relies on.
+//   shard side    the router's DcnServers each run their own dispatcher
+//                 (PR 2); all heavy inference lands on runtime::pool().
+//
+// Shutdown drains: stop() refuses new predicts (typed ShuttingDown errors),
+// closes the listener, drains every shard (completing admitted futures),
+// lets the writers flush every queued response, then joins the IO thread.
+// Requests admitted before stop() always get their answer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/net/router.hpp"
+#include "serve/net/socket.hpp"
+
+namespace dcn::serve::net {
+
+struct NetServerConfig {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Response writer threads. Each connection is pinned to one writer, so
+  /// this bounds how many connections can block on shard futures at once.
+  std::size_t writers = 2;
+  /// Per-frame size cap; a length prefix above it is a fatal framing error.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Use the portable poll() loop even where epoll is available (the epoll
+  /// path is the default on Linux; tests cover both).
+  bool force_poll = false;
+};
+
+class NetServer {
+ public:
+  /// Binds, listens, and starts the IO + writer threads. The router must
+  /// outlive the server. Throws std::runtime_error on bind failure.
+  NetServer(ShardRouter& router, NetServerConfig config = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (resolves config.port == 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// True between construction and stop().
+  [[nodiscard]] bool serving() const {
+    return !stopped_.load(std::memory_order_acquire);
+  }
+
+  /// Drain and stop (see header comment). Idempotent; also called by the
+  /// destructor.
+  void stop();
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t protocol_errors = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Connection;
+  struct Job;
+  struct Writer;
+  class Poller;
+
+  void io_loop();
+  void handle_readable(const std::shared_ptr<Connection>& conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void accept_ready();
+  void enqueue_job(const std::shared_ptr<Connection>& conn, Job job);
+  void writer_loop(Writer& writer);
+  void drop_connection(const std::shared_ptr<Connection>& conn);
+  HealthInfo health_now() const;
+
+  ShardRouter* router_;
+  NetServerConfig config_;
+  Socket listen_socket_;
+  std::uint16_t port_ = 0;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> io_exit_{false};
+  std::mutex stop_mutex_;  // serializes stop() (destructor vs. explicit call)
+  bool stop_done_ = false;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+
+  std::unique_ptr<Poller> poller_;
+  // Connections the IO thread is reading; keyed by fd. Only the IO thread
+  // mutates it, but stop() reads it after the IO thread exits.
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 0;
+
+  std::vector<std::unique_ptr<Writer>> writers_;
+  std::thread io_thread_;
+};
+
+}  // namespace dcn::serve::net

@@ -1,0 +1,320 @@
+#include "serve/net/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dcn::serve::net {
+
+namespace {
+
+// ---- Little-endian writers -------------------------------------------------
+// The wire is little-endian regardless of host order; writers shift bytes out
+// explicitly so the codec is byte-order portable.
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFFU));
+  out.push_back(static_cast<std::uint8_t>((v >> 8U) & 0xFFU));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFU));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFFU));
+  }
+}
+
+void put_f32(Bytes& out, float v) { put_u32(out, std::bit_cast<std::uint32_t>(v)); }
+
+void put_f64(Bytes& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+// ---- Bounds-checked reader -------------------------------------------------
+
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t n;
+  std::size_t off = 0;
+
+  explicit Reader(const Bytes& bytes) : p(bytes.data()), n(bytes.size()) {}
+
+  void need(std::size_t k) const {
+    if (off + k > n) {
+      throw ProtocolError("payload truncated: need " + std::to_string(k) +
+                          " bytes at offset " + std::to_string(off) +
+                          " of " + std::to_string(n));
+    }
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return p[off++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(p[off]) |
+                      static_cast<std::uint16_t>(p[off + 1]) << 8U;
+    off += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off += 8;
+    return v;
+  }
+
+  float f32() { return std::bit_cast<float>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string bytes_as_string(std::size_t k) {
+    need(k);
+    std::string s(reinterpret_cast<const char*>(p + off), k);
+    off += k;
+    return s;
+  }
+
+  /// Decoders consume their whole payload; trailing bytes mean the peer and
+  /// we disagree about the encoding, which is worth failing loudly over.
+  void expect_end() const {
+    if (off != n) {
+      throw ProtocolError("payload has " + std::to_string(n - off) +
+                          " trailing bytes");
+    }
+  }
+};
+
+}  // namespace
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kPredictRequest: return "PredictRequest";
+    case MsgType::kPredictVerboseRequest: return "PredictVerboseRequest";
+    case MsgType::kMetricsRequest: return "MetricsRequest";
+    case MsgType::kHealthRequest: return "HealthRequest";
+    case MsgType::kTraceRequest: return "TraceRequest";
+    case MsgType::kPredictResponse: return "PredictResponse";
+    case MsgType::kPredictVerboseResponse: return "PredictVerboseResponse";
+    case MsgType::kMetricsResponse: return "MetricsResponse";
+    case MsgType::kHealthResponse: return "HealthResponse";
+    case MsgType::kTraceResponse: return "TraceResponse";
+    case MsgType::kErrorResponse: return "ErrorResponse";
+  }
+  return "Unknown";
+}
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadFrame: return "BadFrame";
+    case ErrorCode::kBadType: return "BadType";
+    case ErrorCode::kBadPayload: return "BadPayload";
+    case ErrorCode::kBadShape: return "BadShape";
+    case ErrorCode::kOverloaded: return "Overloaded";
+    case ErrorCode::kShuttingDown: return "ShuttingDown";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+bool is_request(MsgType type) {
+  return static_cast<std::uint8_t>(type) < 0x80U;
+}
+
+Bytes encode_frame(MsgType type, const Bytes& payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + 1 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(1 + payload.size()));
+  put_u8(out, static_cast<std::uint8_t>(type));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool try_extract_frame(Bytes& buffer, Frame& out, std::size_t max_frame_bytes) {
+  if (buffer.size() < kFrameHeaderBytes) return false;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(buffer[static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (length == 0) throw ProtocolError("zero-length frame");
+  if (length > max_frame_bytes) {
+    throw ProtocolError("frame of " + std::to_string(length) +
+                        " bytes exceeds cap of " +
+                        std::to_string(max_frame_bytes));
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) return false;
+  out.type = static_cast<MsgType>(buffer[kFrameHeaderBytes]);
+  out.payload.assign(buffer.begin() + static_cast<long>(kFrameHeaderBytes) + 1,
+                     buffer.begin() +
+                         static_cast<long>(kFrameHeaderBytes + length));
+  buffer.erase(buffer.begin(),
+               buffer.begin() + static_cast<long>(kFrameHeaderBytes + length));
+  return true;
+}
+
+Bytes encode_predict_request(const Tensor& input, bool verbose) {
+  if (input.rank() == 0 || input.rank() > kMaxTensorRank) {
+    throw ProtocolError("tensor rank " + std::to_string(input.rank()) +
+                        " outside [1, " + std::to_string(kMaxTensorRank) +
+                        "]");
+  }
+  Bytes payload;
+  payload.reserve(1 + 4 * input.rank() + 4 * input.size());
+  put_u8(payload, static_cast<std::uint8_t>(input.rank()));
+  for (std::size_t i = 0; i < input.rank(); ++i) {
+    put_u32(payload, static_cast<std::uint32_t>(input.dim(i)));
+  }
+  for (float v : input.data()) put_f32(payload, v);
+  return encode_frame(verbose ? MsgType::kPredictVerboseRequest
+                              : MsgType::kPredictRequest,
+                      payload);
+}
+
+Tensor decode_predict_payload(const Bytes& payload) {
+  Reader r(payload);
+  const std::uint8_t rank = r.u8();
+  if (rank == 0 || rank > kMaxTensorRank) {
+    throw ProtocolError("tensor rank " + std::to_string(rank) +
+                        " outside [1, " + std::to_string(kMaxTensorRank) +
+                        "]");
+  }
+  std::vector<std::size_t> dims(rank);
+  std::size_t numel = 1;
+  for (std::size_t i = 0; i < rank; ++i) {
+    dims[i] = r.u32();
+    if (dims[i] == 0) throw ProtocolError("zero-sized tensor dimension");
+    // The frame cap bounds payload size, so numel * 4 <= cap already; this
+    // check only guards the multiplication itself.
+    if (numel > (std::size_t{1} << 32U) / dims[i]) {
+      throw ProtocolError("tensor element count overflows");
+    }
+    numel *= dims[i];
+  }
+  r.need(4 * numel);
+  std::vector<float> values(numel);
+  for (std::size_t i = 0; i < numel; ++i) values[i] = r.f32();
+  r.expect_end();
+  return {Shape(std::move(dims)), std::move(values)};
+}
+
+Bytes encode_predict_response(std::size_t label) {
+  Bytes payload;
+  put_u32(payload, static_cast<std::uint32_t>(label));
+  return payload;
+}
+
+std::size_t decode_predict_response(const Bytes& payload) {
+  Reader r(payload);
+  const std::uint32_t label = r.u32();
+  r.expect_end();
+  return label;
+}
+
+Bytes encode_verbose_response(const ServeResult& result, std::uint32_t shard) {
+  Bytes payload;
+  put_u32(payload, static_cast<std::uint32_t>(result.label));
+  put_u32(payload, static_cast<std::uint32_t>(result.dnn_label));
+  std::uint8_t flags = 0;
+  if (result.flagged_adversarial) flags |= 1U;
+  if (result.tier0_resolved) flags |= 2U;
+  put_u8(payload, flags);
+  put_u32(payload, static_cast<std::uint32_t>(result.corrector_samples));
+  put_u32(payload, static_cast<std::uint32_t>(result.batch_size));
+  put_u32(payload, shard);
+  put_u64(payload, result.sequence);
+  put_f64(payload, result.queue_us);
+  put_f64(payload, result.total_us);
+  return payload;
+}
+
+ServeNetResult decode_verbose_response(const Bytes& payload) {
+  Reader r(payload);
+  ServeNetResult out;
+  out.result.label = r.u32();
+  out.result.dnn_label = r.u32();
+  const std::uint8_t flags = r.u8();
+  out.result.flagged_adversarial = (flags & 1U) != 0;
+  out.result.tier0_resolved = (flags & 2U) != 0;
+  out.result.corrector_samples = r.u32();
+  out.result.batch_size = r.u32();
+  out.shard = r.u32();
+  out.result.sequence = r.u64();
+  out.result.queue_us = r.f64();
+  out.result.total_us = r.f64();
+  r.expect_end();
+  return out;
+}
+
+Bytes encode_error(ErrorCode code, std::uint32_t retry_after_ms,
+                   std::string_view message) {
+  if (message.size() > 0xFFFFU) message = message.substr(0, 0xFFFFU);
+  Bytes payload;
+  put_u16(payload, static_cast<std::uint16_t>(code));
+  put_u32(payload, retry_after_ms);
+  put_u16(payload, static_cast<std::uint16_t>(message.size()));
+  payload.insert(payload.end(), message.begin(), message.end());
+  return payload;
+}
+
+WireError decode_error(const Bytes& payload) {
+  Reader r(payload);
+  WireError out;
+  out.code = static_cast<ErrorCode>(r.u16());
+  out.retry_after_ms = r.u32();
+  const std::uint16_t len = r.u16();
+  out.message = r.bytes_as_string(len);
+  r.expect_end();
+  return out;
+}
+
+Bytes encode_health(const HealthInfo& info) {
+  Bytes payload;
+  put_u8(payload, info.version);
+  put_u8(payload, info.state);
+  put_u16(payload, info.shards);
+  put_u32(payload, info.queue_depth);
+  return payload;
+}
+
+HealthInfo decode_health(const Bytes& payload) {
+  Reader r(payload);
+  HealthInfo out;
+  out.version = r.u8();
+  out.state = r.u8();
+  out.shards = r.u16();
+  out.queue_depth = r.u32();
+  r.expect_end();
+  return out;
+}
+
+Bytes encode_text(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+std::string decode_text(const Bytes& payload) {
+  return {payload.begin(), payload.end()};
+}
+
+}  // namespace dcn::serve::net

@@ -1,0 +1,163 @@
+// DCN wire protocol v1 — the length-prefixed binary framing every network
+// peer speaks (spec: docs/PROTOCOL.md; the docs-check lint cross-checks this
+// header against that spec, so every enum entry here must appear there).
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     frame_length  u32, bytes after this field (type + payload)
+//   4       1     msg_type      u8, MsgType below
+//   5       n-1   payload       per-type encoding, n = frame_length
+//
+// frame_length counts the type byte, so it is >= 1 for every valid frame;
+// a zero length or a length above the receiver's frame cap is a framing
+// error (ErrorCode::kBadFrame) and fatal to the connection. Unknown message
+// types are non-fatal: the server answers kBadType and keeps reading.
+//
+// Everything here is pure encode/decode over byte vectors — no sockets, no
+// threads — so the codec is unit-testable without a server and reusable by
+// both sides of the connection.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/types.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dcn::serve::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Protocol revision carried in Health responses. Peers with the same major
+/// version speak compatible framing; see docs/PROTOCOL.md "Versioning".
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/// Size of the frame_length prefix.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default per-frame cap (length field, i.e. type byte + payload). Large
+/// enough for a [3, 224, 224] float32 image with headroom; small enough
+/// that a hostile length prefix cannot balloon the read buffer.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16U << 20;
+
+/// Tensor payloads carry at most this many dimensions.
+inline constexpr std::size_t kMaxTensorRank = 8;
+
+/// Message types. Requests occupy 0x01..0x7F, responses 0x81..0xFE (request
+/// | 0x80), and 0xFF is the error frame any request can be answered with.
+enum class MsgType : std::uint8_t {
+  kPredictRequest = 0x01,         // tensor in, label out
+  kPredictVerboseRequest = 0x02,  // tensor in, full ServeResult out
+  kMetricsRequest = 0x03,         // empty, Prometheus text out
+  kHealthRequest = 0x04,          // empty, HealthInfo out
+  kTraceRequest = 0x05,           // empty, Chrome trace JSON out
+  kPredictResponse = 0x81,
+  kPredictVerboseResponse = 0x82,
+  kMetricsResponse = 0x83,
+  kHealthResponse = 0x84,
+  kTraceResponse = 0x85,
+  kErrorResponse = 0xFF,
+};
+
+/// Typed error codes carried by kErrorResponse. Fatal codes close the
+/// connection after the error frame is written; non-fatal codes leave it
+/// usable for further requests.
+enum class ErrorCode : std::uint16_t {
+  kBadFrame = 1,     // zero-length or oversized frame (fatal)
+  kBadType = 2,      // unknown message type (non-fatal)
+  kBadPayload = 3,   // payload failed to decode (non-fatal)
+  kBadShape = 4,     // tensor decoded but the model rejected it (non-fatal)
+  kOverloaded = 5,   // admission control shed the request; retry-after set
+  kShuttingDown = 6, // server draining; no new work accepted
+  kInternal = 7,     // unexpected server-side failure
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType type);
+[[nodiscard]] const char* error_code_name(ErrorCode code);
+[[nodiscard]] bool is_request(MsgType type);
+
+/// Thrown by every decoder on malformed bytes (truncation, trailing bytes,
+/// rank/size abuse). The server maps it to ErrorCode::kBadPayload.
+struct ProtocolError : std::runtime_error {
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One parsed frame: the type byte plus its raw payload.
+struct Frame {
+  MsgType type = MsgType::kErrorResponse;
+  Bytes payload;
+};
+
+/// Body of a kErrorResponse.
+struct WireError {
+  ErrorCode code = ErrorCode::kInternal;
+  std::uint32_t retry_after_ms = 0;  // only meaningful for kOverloaded
+  std::string message;
+};
+
+/// Body of a kHealthResponse.
+struct HealthInfo {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t state = 1;  // 1 = serving, 2 = draining
+  std::uint16_t shards = 0;
+  std::uint32_t queue_depth = 0;
+};
+
+/// A PredictVerbose response: the in-process ServeResult plus the shard that
+/// served it. `result.batch_size`/`sequence` are the shard-local values.
+struct ServeNetResult {
+  ServeResult result;
+  std::uint32_t shard = 0;
+};
+
+// ---- Frame assembly --------------------------------------------------------
+
+/// Wrap a payload into a complete frame (length prefix + type + payload).
+[[nodiscard]] Bytes encode_frame(MsgType type, const Bytes& payload);
+
+/// Incremental frame parser over a receive buffer. Returns true and fills
+/// `out` when `buffer` holds a complete frame (which is then consumed from
+/// the front); false when more bytes are needed. Throws ProtocolError for
+/// zero-length or over-cap length prefixes — the caller must treat that as
+/// fatal (the stream is no longer delimited).
+bool try_extract_frame(Bytes& buffer, Frame& out,
+                       std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+// ---- Payload codecs --------------------------------------------------------
+
+/// Encode a complete Predict / PredictVerbose request *frame* (the message
+/// type depends on `verbose`, so this returns length prefix + type +
+/// payload, ready to send). The payload is: u8 rank, rank x u32 dims,
+/// numel x f32 row-major values. One example, no batch axis.
+[[nodiscard]] Bytes encode_predict_request(const Tensor& input, bool verbose);
+[[nodiscard]] Tensor decode_predict_payload(const Bytes& payload);
+
+/// Predict response payload: u32 label.
+[[nodiscard]] Bytes encode_predict_response(std::size_t label);
+[[nodiscard]] std::size_t decode_predict_response(const Bytes& payload);
+
+/// PredictVerbose response payload: u32 label, u32 dnn_label, u8 flags
+/// (bit0 flagged_adversarial, bit1 tier0_resolved), u32 corrector_samples,
+/// u32 batch_size, u32 shard, u64 sequence, f64 queue_us, f64 total_us.
+[[nodiscard]] Bytes encode_verbose_response(const ServeResult& result,
+                                            std::uint32_t shard);
+[[nodiscard]] ServeNetResult decode_verbose_response(const Bytes& payload);
+
+/// Error payload: u16 code, u32 retry_after_ms, u16 message_len, message.
+[[nodiscard]] Bytes encode_error(ErrorCode code, std::uint32_t retry_after_ms,
+                                 std::string_view message);
+[[nodiscard]] WireError decode_error(const Bytes& payload);
+
+/// Health payload: u8 version, u8 state, u16 shards, u32 queue_depth.
+[[nodiscard]] Bytes encode_health(const HealthInfo& info);
+[[nodiscard]] HealthInfo decode_health(const Bytes& payload);
+
+/// Metrics / Trace responses carry raw UTF-8 text as the whole payload.
+[[nodiscard]] Bytes encode_text(std::string_view text);
+[[nodiscard]] std::string decode_text(const Bytes& payload);
+
+}  // namespace dcn::serve::net

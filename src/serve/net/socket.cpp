@@ -1,0 +1,173 @@
+#include "serve/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+namespace dcn::serve::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Block until fd is ready for `events` (POLLIN/POLLOUT), retrying EINTR.
+void poll_fd(int fd, short events) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  for (;;) {
+    const int rc = ::poll(&p, 1, -1);
+    if (rc > 0) return;
+    if (rc < 0 && errno != EINTR) throw_errno("poll");
+  }
+}
+
+}  // namespace
+
+void Socket::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenResult listen_loopback(std::uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) throw_errno("socket");
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(sock.fd(), backlog) != 0) throw_errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    throw_errno("getsockname");
+  }
+  return {std::move(sock), ntohs(bound.sin_port)};
+}
+
+Socket connect_loopback(std::uint16_t port, std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!sock.valid()) throw_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      // Best-effort: responses are single small writes, so Nagle only adds
+      // latency here.
+      ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return sock;
+    }
+    if (errno != ECONNREFUSED && errno != EINTR) throw_errno("connect");
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("connect_loopback: timed out reaching port " +
+                               std::to_string(port));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+bool write_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      poll_fd(fd, POLLOUT);
+      continue;
+    }
+    return false;  // EPIPE / ECONNRESET: the peer is gone
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF on a frame boundary
+      throw std::runtime_error("read_exact: peer closed mid-frame after " +
+                               std::to_string(got) + " of " +
+                               std::to_string(size) + " bytes");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poll_fd(fd, POLLIN);
+      continue;
+    }
+    throw_errno("recv");
+  }
+  return true;
+}
+
+bool send_frame(int fd, const Bytes& frame) {
+  return write_all(fd, frame.data(), frame.size());
+}
+
+bool recv_frame(int fd, Frame& out, std::size_t max_frame_bytes) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (length == 0) throw ProtocolError("zero-length frame");
+  if (length > max_frame_bytes) {
+    throw ProtocolError("frame of " + std::to_string(length) +
+                        " bytes exceeds cap of " +
+                        std::to_string(max_frame_bytes));
+  }
+  Bytes body(length);
+  if (!read_exact(fd, body.data(), body.size())) {
+    throw std::runtime_error("recv_frame: peer closed after the header");
+  }
+  out.type = static_cast<MsgType>(body[0]);
+  out.payload.assign(body.begin() + 1, body.end());
+  return true;
+}
+
+}  // namespace dcn::serve::net

@@ -25,10 +25,12 @@ DcnServer::DcnServer(core::Dcn& dcn, ServerConfig config)
     : dcn_(&dcn),
       config_(config),
       batcher_(config.max_batch, std::chrono::microseconds(config.max_delay_us)) {
-  metrics_source_id_ = obs::registry().add_source(
-      [this](std::vector<obs::Metric>& out) {
-        metrics_.collect(out, batcher_.depth());
-      });
+  if (config_.register_metrics) {
+    metrics_source_id_ = obs::registry().add_source(
+        [this](std::vector<obs::Metric>& out) {
+          metrics_.collect(out, batcher_.depth());
+        });
+  }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -36,7 +38,9 @@ DcnServer::~DcnServer() {
   shutdown();
   // Sources run under the registry lock, so after this no scrape can reach
   // the dying server.
-  obs::registry().remove_source(metrics_source_id_);
+  if (config_.register_metrics) {
+    obs::registry().remove_source(metrics_source_id_);
+  }
 }
 
 std::future<ServeResult> DcnServer::submit(Tensor input) {

@@ -61,6 +61,10 @@ class DcnServer {
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] const ServerMetrics& metrics() const { return metrics_; }
 
+  /// Requests currently waiting in the micro-batcher (excludes the batch
+  /// being served). The router's admission watermark reads this.
+  [[nodiscard]] std::size_t queue_depth() const { return batcher_.depth(); }
+
   /// Snapshot of the full metrics schema (docs/OPERATIONS.md), including
   /// the live queue depth and the library-level "runtime" block (kernel
   /// counters, pool gauges, tracer health).

@@ -16,6 +16,11 @@ struct ServerConfig {
   /// Flush when the oldest queued request has waited this long ("flush on
   /// timer") — the latency bound a lone request pays under idle traffic.
   std::uint64_t max_delay_us = 2000;
+  /// Register this server's dcn_server_* source in obs::registry(). The
+  /// shard router turns this off for its replicas and registers one
+  /// aggregated source instead, so a scrape sees one coherent family rather
+  /// than N interleaved copies.
+  bool register_metrics = true;
 };
 
 /// Per-request response: the DCN decision plus the attribution and timing

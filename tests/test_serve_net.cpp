@@ -1,0 +1,596 @@
+// Network serving tier tests: wire-protocol codecs (split buffers, malformed
+// payloads, fatal length prefixes), transport robustness over real loopback
+// sockets (partial writes, zero-length/oversized frames, unknown types,
+// mid-frame disconnects), the loopback-vs-in-process bit-identity guarantee,
+// shutdown drain over sockets, shard-routing determinism, admission control
+// (queue watermark + corrector-burst EWMA), and the serving observability
+// residuals (histogram exposition, ring-buffer tracing, span sampling).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/corrector.hpp"
+#include "core/dcn.hpp"
+#include "core/detector.hpp"
+#include "models/model_zoo.hpp"
+#include "obs/trace.hpp"
+#include "serve/metrics.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/net_server.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace dcn;
+using namespace dcn::serve::net;
+using namespace std::chrono_literals;
+
+// Same tiny stack as tests/test_serve.cpp: seed-deterministic construction
+// means every Stack instance is an exact replica (identical weights,
+// identical untrained-detector verdicts, corrector RNG stream at position
+// 0), which is precisely the replica contract ShardRouter requires.
+nn::Sequential make_small_model() {
+  Rng init(77);
+  return models::mlp({6, 24, 16, 4}, init);
+}
+
+Tensor make_input(std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::uniform(Shape{6}, rng, -0.5F, 0.5F);
+}
+
+struct Stack {
+  nn::Sequential model = make_small_model();
+  core::Detector detector{4};
+  core::Corrector corrector{model, {.radius = 0.2F, .samples = 32}};
+  core::Dcn dcn{model, detector, corrector};
+};
+
+/// N replica stacks behind a router behind a NetServer on an ephemeral port.
+struct NetFixture {
+  explicit NetFixture(std::size_t shards, RouterConfig router_config = {},
+                      NetServerConfig net_config = {}) {
+    std::vector<core::Dcn*> dcns;
+    for (std::size_t i = 0; i < shards; ++i) {
+      stacks.push_back(std::make_unique<Stack>());
+      dcns.push_back(&stacks.back()->dcn);
+    }
+    router = std::make_unique<ShardRouter>(dcns, router_config);
+    net_config.port = 0;
+    server = std::make_unique<NetServer>(*router, net_config);
+  }
+
+  std::vector<std::unique_ptr<Stack>> stacks;
+  std::unique_ptr<ShardRouter> router;
+  std::unique_ptr<NetServer> server;
+};
+
+Bytes length_prefix(std::uint32_t length) {
+  return Bytes{static_cast<std::uint8_t>(length & 0xFFU),
+               static_cast<std::uint8_t>((length >> 8) & 0xFFU),
+               static_cast<std::uint8_t>((length >> 16) & 0xFFU),
+               static_cast<std::uint8_t>((length >> 24) & 0xFFU)};
+}
+
+// ---- Protocol codecs (no sockets) ------------------------------------------
+
+TEST(NetProtocol, FrameExtractionHandlesSplitBuffers) {
+  const Bytes frame = encode_frame(MsgType::kHealthRequest, {});
+  Bytes buffer;
+  Frame out;
+  // Feed one byte at a time: no frame until the last byte lands.
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    buffer.push_back(frame[i]);
+    EXPECT_FALSE(try_extract_frame(buffer, out));
+  }
+  buffer.push_back(frame.back());
+  ASSERT_TRUE(try_extract_frame(buffer, out));
+  EXPECT_EQ(out.type, MsgType::kHealthRequest);
+  EXPECT_TRUE(out.payload.empty());
+  EXPECT_TRUE(buffer.empty());
+
+  // Two concatenated frames extract in order and drain the buffer.
+  const Bytes second =
+      encode_frame(MsgType::kMetricsRequest, encode_text("x"));
+  buffer.insert(buffer.end(), frame.begin(), frame.end());
+  buffer.insert(buffer.end(), second.begin(), second.end());
+  ASSERT_TRUE(try_extract_frame(buffer, out));
+  EXPECT_EQ(out.type, MsgType::kHealthRequest);
+  ASSERT_TRUE(try_extract_frame(buffer, out));
+  EXPECT_EQ(out.type, MsgType::kMetricsRequest);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(NetProtocol, PredictPayloadRoundTripIsBitExact) {
+  Rng rng(123);
+  const Tensor input = Tensor::uniform(Shape{2, 3, 4}, rng, -2.0F, 2.0F);
+  // encode_predict_request returns a complete frame; unwrap it first.
+  Bytes buffer = encode_predict_request(input, /*verbose=*/true);
+  Frame frame;
+  ASSERT_TRUE(try_extract_frame(buffer, frame));
+  EXPECT_EQ(frame.type, MsgType::kPredictVerboseRequest);
+  const Tensor back = decode_predict_payload(frame.payload);
+  ASSERT_EQ(back.shape(), input.shape());
+  ASSERT_EQ(back.data().size(), input.data().size());
+  // Bit-exact: floats travel as their exact bit patterns, not text.
+  EXPECT_EQ(std::memcmp(back.data().data(), input.data().data(),
+                        input.data().size() * sizeof(float)),
+            0);
+}
+
+TEST(NetProtocol, ResponseCodecsRoundTrip) {
+  serve::ServeResult result;
+  result.label = 3;
+  result.dnn_label = 1;
+  result.flagged_adversarial = true;
+  result.tier0_resolved = true;
+  result.corrector_samples = 17;
+  result.batch_size = 4;
+  result.sequence = 123456789ULL;
+  result.queue_us = 12.5;
+  result.total_us = 987.25;
+  const ServeNetResult verbose =
+      decode_verbose_response(encode_verbose_response(result, 2));
+  EXPECT_EQ(verbose.shard, 2U);
+  EXPECT_EQ(verbose.result.label, result.label);
+  EXPECT_EQ(verbose.result.dnn_label, result.dnn_label);
+  EXPECT_EQ(verbose.result.flagged_adversarial, result.flagged_adversarial);
+  EXPECT_EQ(verbose.result.tier0_resolved, result.tier0_resolved);
+  EXPECT_EQ(verbose.result.corrector_samples, result.corrector_samples);
+  EXPECT_EQ(verbose.result.batch_size, result.batch_size);
+  EXPECT_EQ(verbose.result.sequence, result.sequence);
+  EXPECT_EQ(verbose.result.queue_us, result.queue_us);
+  EXPECT_EQ(verbose.result.total_us, result.total_us);
+
+  EXPECT_EQ(decode_predict_response(encode_predict_response(9)), 9U);
+
+  const WireError err = decode_error(
+      encode_error(ErrorCode::kOverloaded, 150, "shed: queue_depth"));
+  EXPECT_EQ(err.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(err.retry_after_ms, 150U);
+  EXPECT_EQ(err.message, "shed: queue_depth");
+
+  HealthInfo health;
+  health.state = 2;
+  health.shards = 7;
+  health.queue_depth = 41;
+  const HealthInfo back = decode_health(encode_health(health));
+  EXPECT_EQ(back.version, kProtocolVersion);
+  EXPECT_EQ(back.state, 2);
+  EXPECT_EQ(back.shards, 7);
+  EXPECT_EQ(back.queue_depth, 41U);
+
+  EXPECT_EQ(decode_text(encode_text("prometheus\ntext")), "prometheus\ntext");
+}
+
+TEST(NetProtocol, MalformedPayloadsAreRejected) {
+  // Rank 0 and rank > kMaxTensorRank.
+  EXPECT_THROW(decode_predict_payload(Bytes{0x00}), ProtocolError);
+  EXPECT_THROW(decode_predict_payload(Bytes{0x09}), ProtocolError);
+  // Truncated: rank 1, dim 2, but only one float follows.
+  Bytes truncated{0x01, 0x02, 0x00, 0x00, 0x00};
+  truncated.resize(truncated.size() + sizeof(float), 0);
+  EXPECT_THROW(decode_predict_payload(truncated), ProtocolError);
+  // Trailing garbage after a well-formed tensor.
+  Bytes framed = encode_predict_request(make_input(1), false);
+  Frame frame;
+  ASSERT_TRUE(try_extract_frame(framed, frame));
+  frame.payload.push_back(0xAB);
+  EXPECT_THROW(decode_predict_payload(frame.payload), ProtocolError);
+  // Zero dimension.
+  EXPECT_THROW(decode_predict_payload(Bytes{0x01, 0x00, 0x00, 0x00, 0x00}),
+               ProtocolError);
+  // Truncated error / health / verbose payloads.
+  EXPECT_THROW((void)decode_error(Bytes{0x01}), ProtocolError);
+  EXPECT_THROW((void)decode_health(Bytes{0x01, 0x01}), ProtocolError);
+  EXPECT_THROW((void)decode_verbose_response(Bytes{0x00, 0x00}),
+               ProtocolError);
+}
+
+TEST(NetProtocol, BadLengthPrefixesAreFatal) {
+  // Zero-length frame: no type byte can follow, the stream is undelimited.
+  Bytes zero = length_prefix(0);
+  Frame out;
+  EXPECT_THROW(try_extract_frame(zero, out), ProtocolError);
+  // Over-cap length prefix is fatal before any payload arrives.
+  Bytes oversized = length_prefix(2048);
+  EXPECT_THROW(try_extract_frame(oversized, out, /*max_frame_bytes=*/1024),
+               ProtocolError);
+  // At the cap is fine (incomplete, so extraction just waits for bytes).
+  Bytes at_cap = length_prefix(1024);
+  EXPECT_FALSE(try_extract_frame(at_cap, out, /*max_frame_bytes=*/1024));
+}
+
+TEST(NetProtocol, NamesAndClassifiers) {
+  EXPECT_STREQ(msg_type_name(MsgType::kPredictRequest), "PredictRequest");
+  EXPECT_STREQ(error_code_name(ErrorCode::kOverloaded), "Overloaded");
+  EXPECT_TRUE(is_request(MsgType::kPredictRequest));
+  EXPECT_FALSE(is_request(MsgType::kPredictResponse));
+  EXPECT_FALSE(is_request(MsgType::kErrorResponse));
+}
+
+// ---- Observability residuals -----------------------------------------------
+
+TEST(ServeMetricsExport, HistogramExpositionIsCumulative) {
+  serve::LatencyHistogram hist;
+  hist.record(0.0);
+  hist.record(1.0);
+  hist.record(3.0);
+  hist.record(1000.0);
+  std::vector<obs::Metric> out;
+  hist.collect("test_family_us", "help text", out);
+
+  ASSERT_GE(out.size(), 4U);  // >= 2 buckets + +Inf + sum + count
+  double last_bucket = 0.0;
+  double inf_value = -1.0;
+  double sum = -1.0;
+  double count = -1.0;
+  for (const obs::Metric& m : out) {
+    EXPECT_EQ(m.type, obs::MetricType::kHistogram);
+    if (m.name == "test_family_us_bucket") {
+      EXPECT_EQ(m.label_key, "le");
+      // Cumulative counts never decrease in `le` order (collect() appends
+      // buckets in ascending bound order).
+      EXPECT_GE(m.value, last_bucket);
+      last_bucket = m.value;
+      if (m.label_value == "+Inf") inf_value = m.value;
+    } else if (m.name == "test_family_us_sum") {
+      sum = m.value;
+    } else if (m.name == "test_family_us_count") {
+      count = m.value;
+    }
+  }
+  EXPECT_EQ(inf_value, 4.0);
+  EXPECT_EQ(count, 4.0);
+  EXPECT_EQ(sum, 1004.0);  // 0 + 1 + 3 + 1000 microseconds
+}
+
+TEST(ServeTrace, RingPolicyKeepsTheNewestEvents) {
+  obs::trace_clear();
+  obs::set_trace_buffer_policy(obs::TraceBufferPolicy::kRing);
+  obs::set_tracing_enabled(true);
+  // Far more spans than one thread's buffer holds: the ring must overwrite
+  // (never drop) and keep only the newest window. Single-threaded, so the
+  // export is exact (no concurrent wrap for the slot seqlock to skip).
+  constexpr std::size_t kSpans = 40000;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    obs::Span span("serve.ring", "test");
+  }
+  obs::set_tracing_enabled(false);
+  const obs::TraceStats stats = obs::trace_stats();
+  EXPECT_EQ(stats.dropped, 0U);
+  EXPECT_LT(stats.recorded, kSpans);
+  EXPECT_GT(stats.overwritten, 0U);
+  EXPECT_EQ(stats.recorded + stats.overwritten, kSpans);
+  // Restore the global defaults for every other suite in this binary.
+  obs::set_trace_buffer_policy(obs::TraceBufferPolicy::kDrop);
+  obs::trace_clear();
+}
+
+TEST(ServeTrace, SamplingSkipsAndCountsSpans) {
+  obs::trace_clear();
+  obs::set_trace_sampling(4);
+  obs::set_tracing_enabled(true);
+  constexpr std::size_t kSpans = 64;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    obs::Span span("serve.sampled", "test");
+  }
+  obs::set_tracing_enabled(false);
+  const obs::TraceStats stats = obs::trace_stats();
+  // Every span is either recorded or counted as sampled out; at 1-in-4 the
+  // kept count is 16 up to one span of phase (the per-thread tick persists
+  // across tests).
+  EXPECT_EQ(stats.recorded + stats.sampled_out, kSpans);
+  EXPECT_GE(stats.recorded, 15U);
+  EXPECT_LE(stats.recorded, 17U);
+  obs::set_trace_sampling(1);
+  obs::trace_clear();
+}
+
+// ---- Loopback transport ----------------------------------------------------
+
+TEST(NetServe, LoopbackMatchesInProcessBitForBit) {
+  // The acceptance gate: the socket path must return exactly what
+  // DcnServer::submit() returns for the same request sequence. Two replica
+  // stacks (identical by seed-determinism), one driven in-process, one over
+  // loopback, both closed-loop so the corrector RNG streams stay aligned.
+  Stack in_process;
+  serve::DcnServer reference(in_process.dcn, {.register_metrics = false});
+  NetFixture net(1);
+  DcnClient client = DcnClient::connect(net.server->port());
+
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const Tensor input = make_input(100 + i);
+    const serve::ServeResult expected = reference.submit(input).get();
+    const ServeNetResult got = client.predict_verbose(input);
+    EXPECT_EQ(got.shard, 0U);
+    EXPECT_EQ(got.result.label, expected.label) << "request " << i;
+    EXPECT_EQ(got.result.dnn_label, expected.dnn_label) << "request " << i;
+    EXPECT_EQ(got.result.flagged_adversarial, expected.flagged_adversarial)
+        << "request " << i;
+    EXPECT_EQ(got.result.tier0_resolved, expected.tier0_resolved);
+    EXPECT_EQ(got.result.corrector_samples, expected.corrector_samples)
+        << "request " << i;
+    EXPECT_EQ(got.result.sequence, expected.sequence);
+    EXPECT_GE(got.result.total_us, got.result.queue_us);
+  }
+
+  // The terse Predict frame agrees with the verbose one's label.
+  const Tensor extra = make_input(999);
+  const std::size_t label_a = reference.submit(extra).get().label;
+  EXPECT_EQ(client.predict(extra), label_a);
+  reference.shutdown();
+}
+
+TEST(NetServe, SplitWritesReassembleIntoOneFrame) {
+  NetFixture net(1);
+  Socket raw = connect_loopback(net.server->port());
+  const Bytes frame = encode_predict_request(make_input(7), false);
+  // Trickle the frame a byte at a time across many TCP segments; the IO
+  // thread must reassemble it no matter how the reads split.
+  for (const std::uint8_t byte : frame) {
+    ASSERT_TRUE(write_all(raw.fd(), &byte, 1));
+    std::this_thread::sleep_for(200us);
+  }
+  Frame response;
+  ASSERT_TRUE(recv_frame(raw.fd(), response));
+  EXPECT_EQ(response.type, MsgType::kPredictResponse);
+  EXPECT_LT(decode_predict_response(response.payload), 4U);
+}
+
+TEST(NetServe, ZeroLengthFrameIsFatalToTheConnection) {
+  NetFixture net(1);
+  Socket raw = connect_loopback(net.server->port());
+  const Bytes zero = length_prefix(0);
+  ASSERT_TRUE(write_all(raw.fd(), zero.data(), zero.size()));
+  Frame response;
+  ASSERT_TRUE(recv_frame(raw.fd(), response));
+  ASSERT_EQ(response.type, MsgType::kErrorResponse);
+  EXPECT_EQ(decode_error(response.payload).code, ErrorCode::kBadFrame);
+  // Fatal: the server hangs up after the error frame.
+  EXPECT_FALSE(recv_frame(raw.fd(), response));
+  EXPECT_GE(net.server->stats().protocol_errors, 1U);
+}
+
+TEST(NetServe, OversizedFrameIsFatalToTheConnection) {
+  NetFixture net(1, {}, {.max_frame_bytes = 1024});
+  Socket raw = connect_loopback(net.server->port());
+  const Bytes huge = length_prefix(1U << 20);  // far over the 1 KiB cap
+  ASSERT_TRUE(write_all(raw.fd(), huge.data(), huge.size()));
+  Frame response;
+  ASSERT_TRUE(recv_frame(raw.fd(), response));
+  ASSERT_EQ(response.type, MsgType::kErrorResponse);
+  EXPECT_EQ(decode_error(response.payload).code, ErrorCode::kBadFrame);
+  EXPECT_FALSE(recv_frame(raw.fd(), response));
+}
+
+TEST(NetServe, UnknownMessageTypeIsNonFatal) {
+  NetFixture net(1);
+  Socket raw = connect_loopback(net.server->port());
+  const Bytes unknown = encode_frame(static_cast<MsgType>(0x60), {});
+  ASSERT_TRUE(write_all(raw.fd(), unknown.data(), unknown.size()));
+  Frame response;
+  ASSERT_TRUE(recv_frame(raw.fd(), response));
+  ASSERT_EQ(response.type, MsgType::kErrorResponse);
+  EXPECT_EQ(decode_error(response.payload).code, ErrorCode::kBadType);
+  // Forward compatibility: the same connection still serves real requests.
+  const Bytes predict = encode_predict_request(make_input(11), false);
+  ASSERT_TRUE(write_all(raw.fd(), predict.data(), predict.size()));
+  ASSERT_TRUE(recv_frame(raw.fd(), response));
+  EXPECT_EQ(response.type, MsgType::kPredictResponse);
+}
+
+TEST(NetServe, BadPayloadIsNonFatal) {
+  NetFixture net(1);
+  Socket raw = connect_loopback(net.server->port());
+  const Bytes garbage =
+      encode_frame(MsgType::kPredictRequest, Bytes{0xFF, 0x00, 0x01});
+  ASSERT_TRUE(write_all(raw.fd(), garbage.data(), garbage.size()));
+  Frame response;
+  ASSERT_TRUE(recv_frame(raw.fd(), response));
+  ASSERT_EQ(response.type, MsgType::kErrorResponse);
+  EXPECT_EQ(decode_error(response.payload).code, ErrorCode::kBadPayload);
+  const Bytes predict = encode_predict_request(make_input(12), false);
+  ASSERT_TRUE(write_all(raw.fd(), predict.data(), predict.size()));
+  ASSERT_TRUE(recv_frame(raw.fd(), response));
+  EXPECT_EQ(response.type, MsgType::kPredictResponse);
+}
+
+TEST(NetServe, MidFrameDisconnectLeavesTheServerServing) {
+  NetFixture net(1);
+  {
+    Socket raw = connect_loopback(net.server->port());
+    const Bytes frame = encode_predict_request(make_input(13), false);
+    // Half a frame, then hang up: the partial frame dies with the
+    // connection and must not poison the server.
+    ASSERT_TRUE(write_all(raw.fd(), frame.data(), frame.size() / 2));
+  }  // raw closes here
+  DcnClient client = DcnClient::connect(net.server->port());
+  EXPECT_LT(client.predict(make_input(14)), 4U);
+  const HealthInfo health = client.health();
+  EXPECT_EQ(health.state, 1);
+  EXPECT_EQ(health.shards, 1);
+}
+
+TEST(NetServe, ShutdownDrainsAdmittedRequestsOverTheSocket) {
+  auto net = std::make_unique<NetFixture>(1);
+  DcnClient client = DcnClient::connect(net->server->port());
+  client.send_predict(make_input(21), /*verbose=*/true);
+  // Wait until the router has admitted the frame so stop() races nothing.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (net->router->admission_stats().admitted == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "request was never admitted";
+    std::this_thread::sleep_for(1ms);
+  }
+  net->server->stop();
+  EXPECT_FALSE(net->server->serving());
+  // The admitted request's answer was flushed before the writers exited;
+  // it is sitting in the socket buffer even though the server is gone.
+  const DcnClient::Response response = client.recv();
+  EXPECT_EQ(response.type, MsgType::kPredictVerboseResponse);
+  EXPECT_LT(response.verbose.result.label, 4U);
+}
+
+TEST(NetServe, ShardPlacementIsDeterministic) {
+  // Closed-loop traffic over idle shards: least-loaded ties on every
+  // request, so the rotating tie-break must walk the shards round-robin —
+  // and a second identical run must reproduce both the placement and the
+  // decisions exactly (every shard is an identical replica at the same
+  // corrector stream position).
+  std::vector<std::size_t> labels[2];
+  std::vector<std::uint32_t> shards[2];
+  for (int run = 0; run < 2; ++run) {
+    NetFixture net(3);
+    DcnClient client = DcnClient::connect(net.server->port());
+    for (std::uint64_t i = 0; i < 9; ++i) {
+      const ServeNetResult r = client.predict_verbose(make_input(300 + i));
+      labels[run].push_back(r.result.label);
+      shards[run].push_back(r.shard);
+    }
+  }
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(shards[0], shards[1]);
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(shards[0][i], i % 3) << "request " << i;
+  }
+}
+
+TEST(NetServe, AdmissionShedsOnQueueWatermark) {
+  // Flushes disabled (huge batch, huge timer): admitted requests pile up in
+  // the shard queue, so the 4th..8th submits see depth >= 3 and shed. The
+  // shed error frames queue behind the blocked predict jobs on the same
+  // writer, so responses are collected only after stop() drains the shard.
+  RouterConfig config;
+  config.server.max_batch = 64;
+  config.server.max_delay_us = 60'000'000;
+  config.admission.queue_watermark = 3;
+  config.admission.retry_after_ms = 50;
+  auto net = std::make_unique<NetFixture>(1, config);
+  DcnClient client = DcnClient::connect(net->server->port());
+
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    client.send_predict(make_input(400 + i));
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (true) {
+    const auto stats = net->router->admission_stats();
+    if (stats.admitted + stats.shed_queue_depth == 8) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  const auto stats = net->router->admission_stats();
+  EXPECT_EQ(stats.admitted, 3U);
+  EXPECT_EQ(stats.shed_queue_depth, 5U);
+
+  net->server->stop();  // drains the shard; writers flush all 8 responses
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const DcnClient::Response r = client.recv();
+    if (i < 3) {
+      EXPECT_EQ(r.type, MsgType::kPredictResponse) << "response " << i;
+    } else {
+      ASSERT_EQ(r.type, MsgType::kErrorResponse) << "response " << i;
+      EXPECT_EQ(r.error.code, ErrorCode::kOverloaded);
+      EXPECT_GE(r.error.retry_after_ms, 50U);
+      EXPECT_NE(r.error.message.find("queue_depth"), std::string::npos);
+    }
+  }
+}
+
+TEST(NetServe, AdmissionShedsOnCorrectorBurst) {
+  // Find an input the (deterministic, untrained) detector flags; replica
+  // stacks share its verdicts, so the flag transfers to the burst fixture.
+  Tensor flagged_input = make_input(0);
+  {
+    Stack probe;
+    bool found = false;
+    for (std::uint64_t seed = 500; seed < 700; ++seed) {
+      const Tensor candidate = make_input(seed);
+      if (probe.dcn.classify_verbose(candidate).flagged_adversarial) {
+        flagged_input = candidate;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "no input flagged by the untrained detector";
+  }
+
+  RouterConfig config;
+  config.admission.corrector_ewma_threshold = 0.0;  // any positive rate sheds
+  config.admission.ewma_warmup = 4;
+  NetFixture net(1, config);
+  DcnClient client = DcnClient::connect(net.server->port());
+
+  // Closed loop: 4 flagged requests complete during warmup, so the EWMA is
+  // strictly positive and armed when the 5th submit arrives — that one must
+  // shed with the corrector-burst reason and the typed retry-after hint.
+  for (int i = 0; i < 4; ++i) {
+    const ServeNetResult r = client.predict_verbose(flagged_input);
+    EXPECT_TRUE(r.result.flagged_adversarial);
+  }
+  try {
+    (void)client.predict(flagged_input);
+    FAIL() << "5th request was not shed";
+  } catch (const OverloadedError& e) {
+    EXPECT_EQ(e.retry_after_ms, net.router->config().admission.retry_after_ms);
+    EXPECT_NE(std::string(e.what()).find("corrector_burst"),
+              std::string::npos);
+  }
+  const auto stats = net.router->admission_stats();
+  EXPECT_EQ(stats.shed_corrector_burst, 1U);
+  EXPECT_GT(stats.corrector_ewma, 0.0);
+}
+
+TEST(NetServe, MetricsScrapeExposesHistogramsAndRouterFamilies) {
+  NetFixture net(2);
+  DcnClient client = DcnClient::connect(net.server->port());
+  (void)client.predict(make_input(31));  // make the histograms non-empty
+  const std::string text = client.metrics();
+  EXPECT_NE(text.find("# TYPE dcn_server_end_to_end_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dcn_server_queue_wait_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcn_server_end_to_end_us_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcn_server_requests_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("dcn_router_shards 2"), std::string::npos);
+  EXPECT_NE(text.find("dcn_router_admitted_total"), std::string::npos);
+  EXPECT_NE(text.find("dcn_router_shed_total{reason=\"queue_depth\"}"),
+            std::string::npos);
+}
+
+TEST(NetServe, HealthAndTraceFramesRoundTrip) {
+  NetFixture net(2);
+  DcnClient client = DcnClient::connect(net.server->port());
+  const HealthInfo health = client.health();
+  EXPECT_EQ(health.version, kProtocolVersion);
+  EXPECT_EQ(health.state, 1);  // serving
+  EXPECT_EQ(health.shards, 2);
+
+  obs::trace_clear();
+  obs::set_tracing_enabled(true);
+  (void)client.predict(make_input(41));
+  const std::string trace = client.trace();
+  obs::set_tracing_enabled(false);
+  EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+  obs::trace_clear();
+}
+
+TEST(NetServe, PollFallbackServesIdentically) {
+  // The portable poll() loop must behave exactly like the epoll path.
+  NetFixture net(1, {}, {.force_poll = true});
+  DcnClient client = DcnClient::connect(net.server->port());
+  EXPECT_LT(client.predict(make_input(51)), 4U);
+  const HealthInfo health = client.health();
+  EXPECT_EQ(health.state, 1);
+  EXPECT_EQ(health.shards, 1);
+  EXPECT_GE(net.server->stats().frames_received, 2U);
+}
+
+}  // namespace

@@ -8,8 +8,9 @@
 #                      signed-overflow/misaligned-load UB in the tensor/attack
 #                      kernels fail the leg (-fno-sanitize-recover=all).
 #   thread             TSan build, concurrency suites only (dcn_runtime_tests,
-#                      dcn_serve_tests, the pinned determinism entry, and the
-#                      lint suite they share a binary with). TSan's 5-15x
+#                      dcn_serve_tests, dcn_serve_net_tests, the pinned
+#                      determinism entry, and the lint suite they share a
+#                      binary with). TSan's 5-15x
 #                      slowdown buys nothing on the single-threaded training
 #                      fixtures — races only exist where threads do.
 #   asan-ubsan-simd-off  ASan+UBSan with -DDCN_SIMD=OFF: proves the generic
@@ -38,7 +39,7 @@ matrix_root="$repo/build-matrix"
 
 # TSan runs only the suites that exercise concurrency (plus dcn-lint, which
 # is free). Everything else in the suite is single-threaded fixture work.
-tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn_kernel_diff_tests|dcn_corrector_fastpath_tests|dcn-lint'
+tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_serve_net_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn_kernel_diff_tests|dcn_corrector_fastpath_tests|dcn-lint'
 
 # The SIMD=OFF leg re-runs only what the dispatch switch changes: the kernel
 # differential harness, the dispatch×threads determinism sweep, and lint.

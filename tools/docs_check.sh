@@ -1,7 +1,7 @@
 #!/bin/sh
 # docs_check.sh — keep the documentation honest.
 #
-# Verifies three invariants, and fails (exit 1) listing every violation:
+# Verifies five invariants, and fails (exit 1) listing every violation:
 #   1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
 #      ROADMAP.md, and docs/*.md points at a file that exists.
 #   2. Every bench binary EXPERIMENTS.md cites (`bench_*`) has a source file
@@ -12,6 +12,12 @@
 #      trailing slash must name a directory, a path with an extension must
 #      name a file, and an extensionless `bench/foo` must have a foo.cpp
 #      source. Docs that drift from the tree fail the suite.
+#   4. Every BENCH_*.json artifact the docs cite is written by some bench
+#      source in bench/ (ROADMAP.md is exempt: it names future artifacts).
+#   5. Wire-protocol completeness: the numeric protocol constants declared
+#      in src/serve/net/protocol.hpp (message types, error codes, framing
+#      constants) and the backticked `kFoo` names in docs/PROTOCOL.md are
+#      exactly the same set — a constant added to either side alone fails.
 #
 # Usage: docs_check.sh <repo_root> [build_dir]
 # Wired up as the `docs-check` CMake target and the `dcn_docs_check` ctest
@@ -90,8 +96,50 @@ for doc in $docs; do
     done
 done
 
+# --- 4. BENCH_*.json artifacts cited by the docs ----------------------------
+# ROADMAP.md is exempt: it legitimately names artifacts of future work.
+for doc in $docs; do
+    case "$doc" in
+        */ROADMAP.md) continue ;;
+    esac
+    cited=$(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' "$doc" | sort -u)
+    for artifact in $cited; do
+        if ! grep -rlF "$artifact" "$repo/bench" >/dev/null 2>&1; then
+            fail "$(basename "$doc"): cites '$artifact' but no bench/ source writes it"
+        fi
+    done
+done
+
+# --- 5. Wire-protocol spec completeness --------------------------------------
+# Every numeric protocol constant in the header must be documented, and the
+# spec must not document constants the header does not declare. The name
+# extraction keys on '= <number>' initializers, which covers the MsgType and
+# ErrorCode enumerators plus the framing constants, and nothing else.
+proto_hdr="$repo/src/serve/net/protocol.hpp"
+proto_doc="$repo/docs/PROTOCOL.md"
+if [ -f "$proto_hdr" ]; then
+    if [ ! -f "$proto_doc" ]; then
+        fail "src/serve/net/protocol.hpp exists but docs/PROTOCOL.md is missing"
+    else
+        hdr_names=$(grep -oE 'k[A-Za-z0-9]+ *= *[0-9]' "$proto_hdr" \
+                        | sed 's/ *=.*//' | sort -u)
+        doc_names=$(grep -ohE '`k[A-Za-z0-9]+`' "$proto_doc" \
+                        | tr -d '\140' | sort -u)
+        for name in $hdr_names; do
+            if ! printf '%s\n' "$doc_names" | grep -qx "$name"; then
+                fail "PROTOCOL.md: protocol.hpp declares '$name' but the spec does not document it"
+            fi
+        done
+        for name in $doc_names; do
+            if ! printf '%s\n' "$hdr_names" | grep -qx "$name"; then
+                fail "PROTOCOL.md: documents '$name' which protocol.hpp does not declare"
+            fi
+        done
+    fi
+fi
+
 if [ "$failures" -gt 0 ]; then
     echo "docs-check: FAILED with $failures problem(s)" >&2
     exit 1
 fi
-echo "docs-check: OK (links, bench citations, and cited repo paths verified)"
+echo "docs-check: OK (links, bench + artifact citations, cited repo paths, and the protocol spec verified)"

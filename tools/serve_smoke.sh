@@ -1,0 +1,52 @@
+#!/bin/sh
+# Loopback serve smoke test (the serve-net-smoke ctest entry; CI runs it on
+# every push). Boots dcn_serve on an ephemeral port with a reduced training
+# protocol, probes it over the real socket path (health + Predict +
+# PredictVerbose + metrics scrape, via `dcn_serve --probe`), then checks the
+# SIGTERM drain is clean.
+#
+# usage: serve_smoke.sh <path-to-dcn_serve>
+set -u
+
+bin=${1:?usage: serve_smoke.sh <path-to-dcn_serve>}
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "---- daemon log ----" >&2
+    cat "$log" >&2
+    [ -n "${pid:-}" ] && kill -KILL "$pid" 2>/dev/null
+    exit 1
+}
+
+"$bin" --port 0 --shards 2 --train 300 --test 60 --detector-sources 5 \
+    >"$log" 2>&1 &
+pid=$!
+
+# Wait for the daemon to finish training and bind.
+i=0
+while ! grep -q "listening on port" "$log"; do
+    kill -0 "$pid" 2>/dev/null || fail "daemon exited before listening"
+    i=$((i + 1))
+    [ "$i" -gt 300 ] && fail "daemon did not start listening in 300s"
+    sleep 1
+done
+
+port=$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$log" | head -1)
+[ -n "$port" ] || fail "could not parse the bound port"
+
+"$bin" --probe "$port" || fail "client probe failed"
+
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 60 ] && fail "daemon did not exit within 60s of SIGTERM"
+    sleep 1
+done
+wait "$pid" 2>/dev/null
+grep -q "clean shutdown" "$log" || fail "daemon did not report a clean shutdown"
+
+echo "serve-smoke: OK (port $port)"
+exit 0
