@@ -7,6 +7,10 @@
 
 #include "core/corrector_stats.hpp"
 #include "data/transforms.hpp"
+// Span tracing is the sanctioned obs hook: compile-out-able
+// (DCN_TRACE=OFF) and write-only, it never feeds state back into the
+// numerics.
+// dcn-lint: allow(include-layering)
 #include "obs/trace.hpp"
 
 namespace dcn::core {

@@ -3,6 +3,10 @@
 #include <string>
 #include <vector>
 
+// This file exists to publish the corrector counters into the metrics
+// registry; it is the one-way bridge out of core, and nothing numeric
+// flows back.
+// dcn-lint: allow(include-layering)
 #include "obs/registry.hpp"
 
 namespace dcn::core {

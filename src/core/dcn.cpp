@@ -1,6 +1,9 @@
 #include "core/dcn.hpp"
 
 #include "core/corrector_stats.hpp"
+// Span tracing only (DCN_TRACE=OFF compiles it out); no observability
+// state reaches the prediction path.
+// dcn-lint: allow(include-layering)
 #include "obs/trace.hpp"
 
 namespace dcn::core {

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+// Per-layer span tracing only (DCN_TRACE=OFF compiles it out); forward
+// numerics never read obs state.
+// dcn-lint: allow(include-layering)
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"

@@ -188,7 +188,12 @@ void NetServer::stop() {
 
   const auto wake = [this] {
     const char byte = 1;
-    // Best effort: a full pipe already guarantees a pending wakeup.
+    // Best effort: a full pipe already guarantees a pending wakeup. The
+    // nonblocking pipe write happens under stop_mutex_, which is a
+    // once-guard on this cold shutdown path — no hot-path caller ever
+    // takes it. dcn-lint: allow(...) directives below carry the same
+    // rationale for the joins.
+    // dcn-lint: allow(mutex-hygiene)
     (void)!::write(wake_write_fd_, &byte, 1);
   };
 
@@ -200,6 +205,9 @@ void NetServer::stop() {
   // 3. Stop the IO thread (no new frames from here on).
   io_exit_.store(true, std::memory_order_release);
   wake();
+  // stop_mutex_ is the shutdown once-guard, not the writer-pool lock;
+  // joining here is the drain contract.
+  // dcn-lint: allow(mutex-hygiene)
   io_thread_.join();
   // 4. Let the writers flush every queued response, then exit.
   for (auto& writer : writers_) {
@@ -207,6 +215,9 @@ void NetServer::stop() {
     writer->stop = true;
     writer->cv.notify_all();
   }
+  // Same once-guard; the writers were told to stop above and flush their
+  // queues before exiting.
+  // dcn-lint: allow(mutex-hygiene)
   for (auto& writer : writers_) writer->thread.join();
   // 5. Drop the remaining connections (sockets close with the last ref).
   connections_.clear();

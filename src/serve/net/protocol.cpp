@@ -1,6 +1,7 @@
 #include "serve/net/protocol.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 namespace dcn::serve::net {
@@ -214,7 +215,17 @@ Tensor decode_predict_payload(const Bytes& payload) {
   }
   r.need(4 * numel);
   std::vector<float> values(numel);
-  for (std::size_t i = 0; i < numel; ++i) values[i] = r.f32();
+  for (std::size_t i = 0; i < numel; ++i) {
+    values[i] = r.f32();
+    // NaN/Inf pixels are not inputs the model defines outputs for; admitting
+    // them would let one crafted byte pattern poison a whole micro-batch
+    // (NaN propagates through every GEMM it touches). Reject at the byte
+    // layer with the typed kBadPayload path instead.
+    if (!std::isfinite(values[i])) {
+      throw ProtocolError("non-finite tensor value at index " +
+                          std::to_string(i));
+    }
+  }
   r.expect_end();
   return {Shape(std::move(dims)), std::move(values)};
 }
@@ -255,6 +266,13 @@ ServeNetResult decode_verbose_response(const Bytes& payload) {
   out.result.label = r.u32();
   out.result.dnn_label = r.u32();
   const std::uint8_t flags = r.u8();
+  // Only bits 0 (flagged_adversarial) and 1 (tier0_resolved) are defined in
+  // v1. A set unknown bit means the peer speaks a newer/other dialect;
+  // silently dropping it would mis-decode their result, so refuse instead.
+  if ((flags & ~0x03U) != 0) {
+    throw ProtocolError("unknown verbose-response flag bits 0x" +
+                        std::to_string(flags & ~0x03U));
+  }
   out.result.flagged_adversarial = (flags & 1U) != 0;
   out.result.tier0_resolved = (flags & 2U) != 0;
   out.result.corrector_samples = r.u32();
@@ -263,6 +281,12 @@ ServeNetResult decode_verbose_response(const Bytes& payload) {
   out.result.sequence = r.u64();
   out.result.queue_us = r.f64();
   out.result.total_us = r.f64();
+  // Latency fields are measured durations: finite and non-negative by
+  // construction on an honest peer, so anything else is a codec breach.
+  if (!std::isfinite(out.result.queue_us) || out.result.queue_us < 0.0 ||
+      !std::isfinite(out.result.total_us) || out.result.total_us < 0.0) {
+    throw ProtocolError("non-finite or negative latency in verbose response");
+  }
   r.expect_end();
   return out;
 }
@@ -281,7 +305,15 @@ Bytes encode_error(ErrorCode code, std::uint32_t retry_after_ms,
 WireError decode_error(const Bytes& payload) {
   Reader r(payload);
   WireError out;
-  out.code = static_cast<ErrorCode>(r.u16());
+  const std::uint16_t code = r.u16();
+  // ErrorCode is a closed set in v1 (1..7). Casting an arbitrary u16 into
+  // the enum would hand callers a value no switch arm handles; treat
+  // non-canonical codes as a malformed payload.
+  if (code < static_cast<std::uint16_t>(ErrorCode::kBadFrame) ||
+      code > static_cast<std::uint16_t>(ErrorCode::kInternal)) {
+    throw ProtocolError("unknown error code " + std::to_string(code));
+  }
+  out.code = static_cast<ErrorCode>(code);
   out.retry_after_ms = r.u32();
   const std::uint16_t len = r.u16();
   out.message = r.bytes_as_string(len);
@@ -303,6 +335,12 @@ HealthInfo decode_health(const Bytes& payload) {
   HealthInfo out;
   out.version = r.u8();
   out.state = r.u8();
+  // state is a closed set (1 = serving, 2 = draining); anything else is a
+  // peer we do not understand, not a value to pass through.
+  if (out.state != 1 && out.state != 2) {
+    throw ProtocolError("unknown health state " +
+                        std::to_string(out.state));
+  }
   out.shards = r.u16();
   out.queue_depth = r.u32();
   r.expect_end();

@@ -78,6 +78,8 @@ class DcnServer {
   ServerConfig config_;
   ServerMetrics metrics_;
   MicroBatcher batcher_;
+  // Monotonic FIFO admission ticket, not a seqlock version counter; there
+  // are no paired data words to tear.
   std::atomic<std::uint64_t> next_sequence_{0};
   std::size_t metrics_source_id_ = 0;  // handle in obs::registry()
   std::thread dispatcher_;

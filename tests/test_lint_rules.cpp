@@ -392,6 +392,277 @@ TEST(LintSimd, GemmKernelContractCoversSimdFiles) {
                     "float-accumulator"));
 }
 
+// ---- include-layering (cross-file) -----------------------------------------
+
+using dcn::lint::check_tree;
+using dcn::lint::SourceFile;
+
+TEST(LintIncludeLayering, ModelLayerMustNotIncludeServeOrObs) {
+  // Direct includes are caught even when the target file is not in the
+  // scanned set — the include string itself names the layer.
+  const auto vs = check_source("src/tensor/ops.cpp",
+                               "#include \"obs/trace.hpp\"\n"
+                               "#include \"serve/server.hpp\"\n");
+  EXPECT_EQ(count_rule(vs, "include-layering"), 2);
+  EXPECT_EQ(vs.front().line, 1u);
+  // The serve layer itself may include obs (metrics registration).
+  EXPECT_FALSE(fired(check_source("src/serve/server.cpp",
+                                  "#include \"obs/registry.hpp\"\n"),
+                     "include-layering"));
+}
+
+TEST(LintIncludeLayering, ServeNetHeadersAreServeInternal) {
+  const char* text = "#include \"serve/net/protocol.hpp\"\n";
+  EXPECT_TRUE(fired(check_source("src/runtime/pool.cpp", text),
+                    "include-layering"));
+  EXPECT_TRUE(fired(check_source("src/obs/exporter.cpp", text),
+                    "include-layering"));
+  EXPECT_FALSE(fired(check_source("src/serve/router.cpp", text),
+                     "include-layering"));
+  // bench/tests/examples are consumers of the wire tier, not part of the
+  // layering contract.
+  EXPECT_FALSE(fired(check_source("tests/test_serve_net.cpp", text),
+                     "include-layering"));
+  EXPECT_FALSE(fired(check_source("bench/bench_serve_net.cpp", text),
+                     "include-layering"));
+}
+
+TEST(LintIncludeLayering, TransitiveReachIntoServeIsCaught) {
+  // runtime/pool.hpp drags the serve tier in; eval/foo.cpp reaches serve
+  // only through it. Both edges are violations: the direct serve/net include
+  // in runtime, and the innocent-looking runtime include in eval.
+  std::vector<SourceFile> tree;
+  tree.push_back({"src/serve/net/socket.hpp",
+                  "#pragma once\nstruct Socket {};\n"});
+  tree.push_back({"src/runtime/pool.hpp",
+                  "#pragma once\n#include \"serve/net/socket.hpp\"\n"});
+  tree.push_back({"src/eval/foo.cpp", "#include \"runtime/pool.hpp\"\n"});
+  const auto vs = check_tree(tree);
+  EXPECT_EQ(count_rule(vs, "include-layering"), 2);
+  bool eval_flagged = false;
+  for (const auto& v : vs) {
+    if (v.path == "src/eval/foo.cpp") {
+      eval_flagged = true;
+      EXPECT_EQ(v.line, 1u);
+      EXPECT_NE(v.message.find("transitively"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(eval_flagged);
+}
+
+TEST(LintIncludeLayering, CleanLayeringStaysQuietAcrossFiles) {
+  std::vector<SourceFile> tree;
+  tree.push_back({"src/tensor/ops.hpp", "#pragma once\nvoid matmul();\n"});
+  tree.push_back({"src/core/dcn.cpp", "#include \"tensor/ops.hpp\"\n"});
+  tree.push_back({"src/serve/net/protocol.cpp",
+                  "#include \"tensor/ops.hpp\"\n"});
+  EXPECT_TRUE(check_tree(tree).empty());
+}
+
+TEST(LintIncludeLayering, RelativeIncludesAreNormalized) {
+  // "../serve/net/socket.hpp" from src/runtime/ resolves to the same serve
+  // header; dot-dot segments must not hide a layering breach.
+  std::vector<SourceFile> tree;
+  tree.push_back({"src/serve/net/socket.hpp",
+                  "#pragma once\nstruct Socket {};\n"});
+  tree.push_back({"src/runtime/pool.cpp",
+                  "#include \"../serve/net/socket.hpp\"\n"});
+  EXPECT_TRUE(fired(check_tree(tree), "include-layering"));
+}
+
+// ---- rng-contract ----------------------------------------------------------
+
+TEST(LintRngContract, MintingAStreamOutsideBlessedLayersFires) {
+  EXPECT_TRUE(fired(check_source("src/serve/server.cpp",
+                                 "tensor::Rng rng(42);\n"),
+                    "rng-contract"));
+  EXPECT_TRUE(fired(check_source("src/obs/trace.cpp",
+                                 "auto r = Rng(7);\n"),
+                    "rng-contract"));
+  EXPECT_TRUE(fired(check_source("src/runtime/pool.cpp",
+                                 "Rng local{seed};\n"),
+                    "rng-contract"));
+}
+
+TEST(LintRngContract, BlessedLayersAndNonConstructionsStayQuiet) {
+  const char* mint = "Rng rng(best_seed);\n";
+  EXPECT_FALSE(fired(check_source("src/models/zoo.cpp", mint),
+                     "rng-contract"));
+  EXPECT_FALSE(fired(check_source("src/attacks/pgd.cpp", mint),
+                     "rng-contract"));
+  EXPECT_FALSE(fired(check_source("src/core/corrector.cpp", mint),
+                     "rng-contract"));
+  // References, pointers, and bare member declarations consume streams
+  // rather than minting them — legal anywhere.
+  const char* uses =
+      "void vote(Rng& rng);\n"
+      "Rng* borrowed;\n"
+      "struct S { Rng rng_; };\n";
+  EXPECT_FALSE(fired(check_source("src/serve/server.hpp",
+                                  std::string("#pragma once\n") + uses),
+                     "rng-contract"));
+  // Outside src/ the contract does not apply (tests seed at will).
+  EXPECT_FALSE(fired(check_source("tests/test_foo.cpp", mint),
+                     "rng-contract"));
+}
+
+TEST(LintRngContract, RepositioningConfinedToSegmentMachinery) {
+  const char* reposition = "rng.discard(50);\nrng.set_state(saved);\n";
+  const auto vs = check_source("src/core/detector.cpp", reposition);
+  EXPECT_EQ(count_rule(vs, "rng-contract"), 2);
+  EXPECT_FALSE(fired(check_source("src/tensor/rng_skip.cpp", reposition),
+                     "rng-contract"));
+  EXPECT_FALSE(fired(check_source("src/core/corrector.cpp", reposition),
+                     "rng-contract"));
+  // A free function named discard is not a stream repositioning.
+  EXPECT_FALSE(fired(check_source("src/core/detector.cpp",
+                                  "discard(tokens);\n"),
+                     "rng-contract"));
+}
+
+// ---- mutex-hygiene ---------------------------------------------------------
+
+TEST(LintMutexHygiene, BlockingCallUnderLockOnNetHotPathFires) {
+  const char* bad =
+      "void flush() {\n"
+      "  std::lock_guard<std::mutex> lock(mutex_);\n"
+      "  send_frame(fd, frame);\n"
+      "}\n";
+  const auto vs = check_source("src/serve/net/writer.cpp", bad);
+  ASSERT_TRUE(fired(vs, "mutex-hygiene"));
+  EXPECT_EQ(vs.front().line, 3u);  // reported at the blocking call
+}
+
+TEST(LintMutexHygiene, LockScopeEndsAtTheClosingBrace) {
+  // The same blocking call after the guard's block is the correct shape.
+  const char* good =
+      "void flush() {\n"
+      "  Frame frame;\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> lock(mutex_);\n"
+      "    frame = pop();\n"
+      "  }\n"
+      "  send_frame(fd, frame);\n"
+      "}\n";
+  EXPECT_FALSE(fired(check_source("src/serve/net/writer.cpp", good),
+                     "mutex-hygiene"));
+}
+
+TEST(LintMutexHygiene, CondvarWaitAndOtherLayersAreExempt) {
+  // cv.wait releases the lock while blocked — the one sanctioned blocking
+  // call under a unique_lock.
+  const char* wait_idiom =
+      "std::unique_lock<std::mutex> lock(mutex_);\n"
+      "cv_.wait(lock, [&] { return !queue_.empty(); });\n";
+  EXPECT_FALSE(fired(check_source("src/serve/net/writer.cpp", wait_idiom),
+                     "mutex-hygiene"));
+  // Outside src/serve/net/ the blocking-under-lock rule does not apply.
+  const char* bad =
+      "std::lock_guard<std::mutex> lock(m);\nthread_.join();\n";
+  EXPECT_FALSE(fired(check_source("src/serve/server.cpp", bad),
+                     "mutex-hygiene"));
+}
+
+TEST(LintMutexHygiene, SeqlockVersionAtomicsMustBeAnnotated) {
+  const char* bare =
+      "#pragma once\n"
+      "struct Slot {\n"
+      "  std::atomic<std::uint64_t> version{0};\n"
+      "};\n";
+  EXPECT_TRUE(fired(check_source("src/obs/trace_buffer.hpp", bare),
+                    "mutex-hygiene"));
+  const char* annotated =
+      "#pragma once\n"
+      "struct Slot {\n"
+      "  // seqlock: odd while a writer owns the slot; readers retry.\n"
+      "  std::atomic<std::uint64_t> version{0};\n"
+      "};\n";
+  EXPECT_FALSE(fired(check_source("src/obs/trace_buffer.hpp", annotated),
+                     "mutex-hygiene"));
+  // Atomics that are not version counters need no annotation, and the audit
+  // is scoped to serve/obs.
+  EXPECT_FALSE(fired(check_source("src/obs/trace_buffer.hpp",
+                                  "#pragma once\n"
+                                  "std::atomic<bool> stop{false};\n"),
+                     "mutex-hygiene"));
+  EXPECT_FALSE(fired(check_source("src/runtime/pool.hpp",
+                                  "#pragma once\n"
+                                  "std::atomic<std::uint64_t> version{0};\n"),
+                     "mutex-hygiene"));
+}
+
+// ---- stale-suppression -----------------------------------------------------
+
+TEST(LintStaleSuppression, UnusedAllowFiresAtItsOwnLine) {
+  const char* text =
+      "int a = 1;\n"
+      "int b = 2;  // dcn-lint: allow(entropy)\n";
+  const auto vs = check_source("src/core/foo.cpp", text);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs.front().rule, "stale-suppression");
+  EXPECT_EQ(vs.front().line, 2u);
+}
+
+TEST(LintStaleSuppression, UsedAllowsAndAllowFilesStayQuiet) {
+  const char* used =
+      "int a = rand();  // dcn-lint: allow(entropy)\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", used).empty());
+  const char* stale_file =
+      "// dcn-lint: allow-file(no-cout)\n"
+      "int a = 1;\n";
+  EXPECT_TRUE(fired(check_source("src/core/foo.cpp", stale_file),
+                    "stale-suppression"));
+}
+
+TEST(LintStaleSuppression, ProseMentioningTheTagIsInert) {
+  // Docs and rule tables talk about the syntax; only a comment that opens
+  // with the tag is a directive, so prose neither suppresses nor goes stale.
+  const char* text =
+      "// Suppress with a `// dcn-lint: allow(entropy)` comment.\n"
+      "int a = 1;\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", text).empty());
+}
+
+TEST(LintStaleSuppression, AuditItselfIsSuppressible) {
+  // A deliberately-kept allow (e.g. platform-dependent rule) can carry an
+  // allow(stale-suppression) rationale and both count as used.
+  const char* text =
+      "// dcn-lint: allow(stale-suppression)\n"
+      "int x = 1;  // dcn-lint: allow(simd)\n";
+  EXPECT_TRUE(check_source("src/core/foo.cpp", text).empty());
+}
+
+// ---- engine API ------------------------------------------------------------
+
+TEST(LintEngine, CheckSourceIsCheckTreeOnOneFile) {
+  const char* text = "int a = rand();\nstd::thread t([] {});\n";
+  const auto single = check_source("src/core/foo.cpp", text);
+  std::vector<SourceFile> tree;
+  tree.push_back({"src/core/foo.cpp", text});
+  const auto multi = check_tree(tree);
+  ASSERT_EQ(single.size(), multi.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    EXPECT_EQ(single[i].rule, multi[i].rule);
+    EXPECT_EQ(single[i].line, multi[i].line);
+  }
+}
+
+TEST(LintEngine, RuleIdTableCoversEverythingTheEngineEmits) {
+  // kRuleIds is what docs_check.sh validates OPERATIONS.md against; a rule
+  // the engine can emit but the table omits would dodge the doc gate.
+  for (const char* rule :
+       {"entropy", "raw-thread", "float-accumulator", "no-cout",
+        "pragma-once", "using-namespace-header", "mutex-in-parallel-for",
+        "simd", "rng-contract", "mutex-hygiene", "include-layering",
+        "stale-suppression"}) {
+    bool found = false;
+    for (std::string_view id : dcn::lint::kRuleIds) {
+      if (id == rule) found = true;
+    }
+    EXPECT_TRUE(found) << rule << " missing from kRuleIds";
+  }
+}
+
 // The linted tree itself is the final fixture: the `dcn-lint` ctest entry
 // runs the real binary over the repo, so a regression anywhere in src/ fails
 // the suite even if these unit tests still pass.

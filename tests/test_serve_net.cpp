@@ -192,6 +192,112 @@ TEST(NetProtocol, MalformedPayloadsAreRejected) {
                ProtocolError);
 }
 
+TEST(NetProtocol, NonFiniteTensorValuesAreRejected) {
+  // NaN/Inf bit patterns in a tensor payload are crafted inputs, not data:
+  // one NaN poisons every GEMM in the micro-batch it rides in. Encode a good
+  // frame, then overwrite the first value's bytes.
+  auto payload_of = [](const Tensor& t) {
+    Bytes framed = encode_predict_request(t, false);
+    Frame frame;
+    EXPECT_TRUE(try_extract_frame(framed, frame));
+    return frame.payload;
+  };
+  const std::size_t first_value = 1 + 4;  // u8 rank + one u32 dim
+  for (std::uint32_t bits : {0x7FC00000U /*qNaN*/, 0x7F800000U /*+Inf*/,
+                             0xFF800000U /*-Inf*/}) {
+    Bytes payload = payload_of(make_input(1));
+    for (int i = 0; i < 4; ++i) {
+      payload[first_value + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFFU);
+    }
+    EXPECT_THROW((void)decode_predict_payload(payload), ProtocolError)
+        << "bits 0x" << std::hex << bits;
+  }
+  // Finite extremes stay legal — the guard is finiteness, not magnitude.
+  Bytes payload = payload_of(make_input(1));
+  const std::uint32_t max_bits = 0x7F7FFFFFU;  // FLT_MAX
+  for (int i = 0; i < 4; ++i) {
+    payload[first_value + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((max_bits >> (8 * i)) & 0xFFU);
+  }
+  EXPECT_NO_THROW((void)decode_predict_payload(payload));
+}
+
+TEST(NetProtocol, TensorElementCountOverflowIsRejected) {
+  // rank 2 with dims 0x10000 x 0x10000: numel would be 2^32 — past the
+  // multiplication guard well before any per-value read happens.
+  Bytes payload{0x02};
+  for (int d = 0; d < 2; ++d) {
+    payload.push_back(0x00);
+    payload.push_back(0x00);
+    payload.push_back(0x01);
+    payload.push_back(0x00);
+  }
+  EXPECT_THROW((void)decode_predict_payload(payload), ProtocolError);
+}
+
+TEST(NetProtocol, NonCanonicalEnumValuesAreRejected) {
+  // ErrorCode is a closed set (1..7): casting 0 or 8+ into the enum would
+  // hand callers a value no switch arm handles.
+  for (std::uint8_t bad_code : {0x00, 0x08, 0xFF}) {
+    Bytes payload = encode_error(ErrorCode::kInternal, 0, "x");
+    payload[0] = bad_code;
+    payload[1] = 0x00;
+    EXPECT_THROW((void)decode_error(payload), ProtocolError)
+        << "code " << int(bad_code);
+  }
+  // Every canonical code still decodes.
+  for (std::uint16_t code = 1; code <= 7; ++code) {
+    const Bytes payload =
+        encode_error(static_cast<ErrorCode>(code), 0, "ok");
+    EXPECT_EQ(decode_error(payload).code, static_cast<ErrorCode>(code));
+  }
+  // Health state is a closed set too (1 serving, 2 draining).
+  for (std::uint8_t bad_state : {0x00, 0x03, 0x7F}) {
+    Bytes payload = encode_health(HealthInfo{});
+    payload[1] = bad_state;
+    EXPECT_THROW((void)decode_health(payload), ProtocolError)
+        << "state " << int(bad_state);
+  }
+}
+
+TEST(NetProtocol, VerboseResponseRejectsUnknownFlagsAndBadLatencies) {
+  serve::ServeResult result;
+  result.label = 1;
+  result.queue_us = 5.0;
+  result.total_us = 9.0;
+  const Bytes good = encode_verbose_response(result, 0);
+  EXPECT_NO_THROW((void)decode_verbose_response(good));
+
+  // Layout: u32 label, u32 dnn_label, u8 flags, 3 x u32, u64, f64, f64.
+  const std::size_t flags_off = 8;
+  const std::size_t queue_off = 8 + 1 + 12 + 8;
+  const std::size_t total_off = queue_off + 8;
+
+  // An undefined flag bit means a dialect we do not speak.
+  Bytes flagged = good;
+  flagged[flags_off] |= 0x04;
+  EXPECT_THROW((void)decode_verbose_response(flagged), ProtocolError);
+  // Both defined bits together are fine.
+  Bytes both = good;
+  both[flags_off] = 0x03;
+  EXPECT_NO_THROW((void)decode_verbose_response(both));
+
+  // NaN queue time: overwrite the f64 with a quiet-NaN bit pattern.
+  Bytes nan_queue = good;
+  const std::uint64_t qnan = 0x7FF8000000000000ULL;
+  for (int i = 0; i < 8; ++i) {
+    nan_queue[queue_off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((qnan >> (8 * i)) & 0xFFU);
+  }
+  EXPECT_THROW((void)decode_verbose_response(nan_queue), ProtocolError);
+
+  // Negative total time: durations cannot run backwards.
+  Bytes negative = good;
+  negative[total_off + 7] |= 0x80;  // set the f64 sign bit
+  EXPECT_THROW((void)decode_verbose_response(negative), ProtocolError);
+}
+
 TEST(NetProtocol, BadLengthPrefixesAreFatal) {
   // Zero-length frame: no type byte can follow, the stream is undelimited.
   Bytes zero = length_prefix(0);

@@ -18,6 +18,11 @@
 #                      differential harness, the runtime determinism suite,
 #                      and dcn-lint — the suites whose behavior the dispatch
 #                      switch changes.
+#   coverage           gcov-instrumented build (-DDCN_COVERAGE=ON) running
+#                      the suites that exercise the adversarial surface
+#                      (wire codecs, fuzz corpus replay, the lint engine),
+#                      then tools/coverage_gate.sh enforcing the line-
+#                      coverage floors for src/serve/net/ and tools/lint/.
 #
 # Each leg configures its own build tree under <repo>/build-matrix/<leg> so
 # the developer build/ directory is never clobbered; legs run sequentially
@@ -44,6 +49,12 @@ tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_serve_net_tests|dcn_obs_tests
 # The SIMD=OFF leg re-runs only what the dispatch switch changes: the kernel
 # differential harness, the dispatch×threads determinism sweep, and lint.
 simd_off_filter='dcn_kernel_diff_tests|dcn_runtime_tests|dcn_corrector_fastpath_tests|dcn-lint'
+
+# The coverage leg runs what the coverage gate measures: the serve/net suite
+# and loopback smoke (codecs + IO loop + router), the fuzz corpus replays
+# (decoder rejection branches), dcn-lint over the repo, and the lint engine
+# unit tests (gtest-discovered as Lint*).
+coverage_filter='dcn_serve_net_tests|serve-net-smoke|fuzz_regression|dcn-lint|^Lint'
 
 run_leg() {
     leg_name="$1"       # directory-safe label
@@ -84,6 +95,11 @@ run_leg asan-ubsan   "address,undefined" ""
 run_leg tsan         "thread"            "-R $tsan_filter"
 run_leg asan-ubsan-simd-off "address,undefined" "-R $simd_off_filter" \
         "-DDCN_SIMD=OFF"
+run_leg coverage     ""                  "-R $coverage_filter" \
+        "-DDCN_COVERAGE=ON"
+# The leg's tests wrote the .gcda counters; now hold them to the floors.
+sh "$repo/tools/coverage_gate.sh" "$matrix_root/coverage" "$repo" || {
+    echo "analysis-matrix: coverage: gate FAILED" >&2; exit 1; }
 
 echo ""
-echo "analysis-matrix: ALL LEGS CLEAN (plain, address+undefined, thread, simd-off)"
+echo "analysis-matrix: ALL LEGS CLEAN (plain, address+undefined, thread, simd-off, coverage)"

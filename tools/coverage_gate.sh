@@ -1,0 +1,139 @@
+#!/bin/sh
+# coverage_gate.sh — enforce line-coverage floors on the adversarial surface.
+#
+# The two directories gated here parse attacker-controlled bytes or guard
+# project contracts, so "the tests pass" is not enough — the tests must
+# actually reach the code:
+#
+#   src/serve/net/   wire-protocol codecs, IO loop, router, client
+#   tools/lint/      the dcn-lint v2 engine + CLI
+#
+# Run against a build configured with -DDCN_COVERAGE=ON after ctest has
+# written the .gcda counters (the analysis-matrix `coverage` leg does both):
+#
+#   tools/coverage_gate.sh <build_dir> [repo_root]
+#
+# How it measures: every .gcda under the build tree belonging to a gated
+# translation unit is fed to `gcov -n`, and the per-file "Lines executed"
+# summaries are aggregated per source file. A header (lint_rules.hpp) is
+# compiled into several TUs; its counts are summed across them, so the
+# percentage is a TU-weighted average — deterministic, and conservative
+# enough for a floor. Exit 1 when any directory aggregate falls below its
+# floor; the per-file table and the delta against the floor print either
+# way.
+#
+# Floors are set a few points under the measured tier-1 coverage (see
+# docs/OPERATIONS.md "Analysis deep pass" for the measured numbers): they
+# are tripwires for "a decoder/rule stopped being tested", not targets to
+# inch toward.
+set -u
+
+build="${1:-}"
+repo="${2:-$(pwd)}"
+if [ -z "$build" ] || [ ! -d "$build" ]; then
+    echo "usage: tools/coverage_gate.sh <build_dir> [repo_root]" >&2
+    exit 2
+fi
+repo=$(cd "$repo" && pwd) || exit 2
+build=$(cd "$build" && pwd) || exit 2
+
+command -v gcov >/dev/null 2>&1 || {
+    echo "coverage-gate: gcov not found in PATH" >&2; exit 2; }
+
+# Line-coverage floors, percent. Measured on the coverage leg at the time
+# the gate landed: serve/net 86.7%, tools/lint 95.1%.
+floor_serve_net=82
+floor_lint=90
+
+# The gated TUs: the dcn library's serve/net objects, the lint CLI, and the
+# unit-test TU that exercises the lint engine header.
+gcda_list=$(find "$build" -name '*.gcda' 2>/dev/null | grep -E \
+    '/dcn\.dir/serve/net/|/dcn_lint\.dir/|/dcn_unit_tests\.dir/test_lint_rules' )
+if [ -z "$gcda_list" ]; then
+    echo "coverage-gate: no .gcda counters for the gated TUs under $build" >&2
+    echo "coverage-gate: configure with -DDCN_COVERAGE=ON and run ctest first" >&2
+    exit 2
+fi
+
+# gcov -n prints "File '<path>'" / "Lines executed:P% of N" pairs without
+# writing .gcov files. Aggregate executed/total per source file, then per
+# gated directory.
+# shellcheck disable=SC2086 — the gcda list is intentionally word-split.
+gcov -n $gcda_list 2>/dev/null | awk \
+    -v repo="$repo/" \
+    -v floor_net="$floor_serve_net" -v floor_lint="$floor_lint" '
+/^File / {
+    file = $0
+    sub(/^File ./, "", file)
+    sub(/.$/, "", file)
+    sub(repo, "", file)
+    next
+}
+/^Lines executed:/ {
+    if (file == "") next
+    line = $0
+    sub(/^Lines executed:/, "", line)
+    pct = line + 0              # leading float parses, "%..." ignored
+    n = split(line, parts, / of /)
+    total = (n == 2) ? parts[2] + 0 : 0
+    if (total > 0 && (index(file, "src/serve/net/") == 1 ||
+                      index(file, "tools/lint/") == 1)) {
+        executed[file] += pct / 100.0 * total
+        lines[file] += total
+    }
+    file = ""
+    next
+}
+END {
+    status = 0
+    printf "coverage-gate: per-file line coverage\n"
+    n_files = 0
+    for (f in lines) order[++n_files] = f
+    # insertion sort by path for stable output
+    for (i = 2; i <= n_files; ++i) {
+        v = order[i]
+        for (j = i - 1; j >= 1 && order[j] > v; --j) order[j + 1] = order[j]
+        order[j + 1] = v
+    }
+    net_exec = net_total = lint_exec = lint_total = 0
+    for (i = 1; i <= n_files; ++i) {
+        f = order[i]
+        pct = 100.0 * executed[f] / lines[f]
+        if (index(f, "src/serve/net/") == 1) {
+            floor = floor_net; net_exec += executed[f]; net_total += lines[f]
+        } else {
+            floor = floor_lint; lint_exec += executed[f]; lint_total += lines[f]
+        }
+        printf "  %-38s %6.2f%%  (%4d lines, %+.2f vs floor %d%%)\n",
+               f, pct, lines[f], pct - floor, floor
+    }
+    printf "coverage-gate: directory aggregates\n"
+    if (net_total > 0) {
+        net_pct = 100.0 * net_exec / net_total
+        ok = net_pct >= floor_net
+        printf "  %-38s %6.2f%%  (floor %d%%, delta %+.2f) %s\n",
+               "src/serve/net/", net_pct, floor_net, net_pct - floor_net,
+               ok ? "OK" : "BELOW FLOOR"
+        if (!ok) status = 1
+    } else {
+        printf "  src/serve/net/: no counters found\n"; status = 1
+    }
+    if (lint_total > 0) {
+        lint_pct = 100.0 * lint_exec / lint_total
+        ok = lint_pct >= floor_lint
+        printf "  %-38s %6.2f%%  (floor %d%%, delta %+.2f) %s\n",
+               "tools/lint/", lint_pct, floor_lint, lint_pct - floor_lint,
+               ok ? "OK" : "BELOW FLOOR"
+        if (!ok) status = 1
+    } else {
+        printf "  tools/lint/: no counters found\n"; status = 1
+    }
+    exit status
+}'
+rc=$?
+if [ "$rc" -eq 0 ]; then
+    echo "coverage-gate: OK"
+else
+    echo "coverage-gate: FAILED (see table above)" >&2
+fi
+exit "$rc"

@@ -1,7 +1,7 @@
 #!/bin/sh
 # docs_check.sh — keep the documentation honest.
 #
-# Verifies five invariants, and fails (exit 1) listing every violation:
+# Verifies six invariants, and fails (exit 1) listing every violation:
 #   1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
 #      ROADMAP.md, and docs/*.md points at a file that exists.
 #   2. Every bench binary EXPERIMENTS.md cites (`bench_*`) has a source file
@@ -18,6 +18,11 @@
 #      in src/serve/net/protocol.hpp (message types, error codes, framing
 #      constants) and the backticked `kFoo` names in docs/PROTOCOL.md are
 #      exactly the same set — a constant added to either side alone fails.
+#   6. Lint-rule completeness: the rule ids in tools/lint/lint_rules.hpp
+#      (the kRuleIds table) and the backticked rule names in the
+#      docs/OPERATIONS.md "Analysis deep pass" rule table are exactly the
+#      same set — a rule added to the engine without documentation, or
+#      documented without existing, fails.
 #
 # Usage: docs_check.sh <repo_root> [build_dir]
 # Wired up as the `docs-check` CMake target and the `dcn_docs_check` ctest
@@ -138,8 +143,43 @@ if [ -f "$proto_hdr" ]; then
     fi
 fi
 
+# --- 6. Lint-rule table completeness -----------------------------------------
+# kRuleIds in lint_rules.hpp is the engine's authoritative rule list; the
+# OPERATIONS.md "Analysis deep pass" section documents each rule in a table
+# whose first column is the backticked rule id. Both directions must match.
+lint_hdr="$repo/tools/lint/lint_rules.hpp"
+ops_doc="$repo/docs/OPERATIONS.md"
+if [ -f "$lint_hdr" ]; then
+    if [ ! -f "$ops_doc" ]; then
+        fail "tools/lint/lint_rules.hpp exists but docs/OPERATIONS.md is missing"
+    else
+        # Extract the quoted ids between 'kRuleIds[] = {' and the closing '};'.
+        engine_rules=$(sed -n '/kRuleIds\[\] *= *{/,/};/p' "$lint_hdr" \
+                           | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u)
+        # Documented rules: backticked ids in the first column of table rows
+        # inside the "Analysis deep pass" section (scoped so metric/knob
+        # tables elsewhere in the doc cannot shadow a rule name).
+        doc_rules=$(sed -n '/^## Analysis deep pass/,/^## /p' "$ops_doc" \
+                        | grep -E '^\|' | grep -oE '^\| *`[a-z-]+` *\|' \
+                        | grep -oE '`[a-z-]+`' | tr -d '\140' | sort -u)
+        if [ -z "$engine_rules" ]; then
+            fail "lint_rules.hpp: kRuleIds table not found or empty"
+        fi
+        for rule in $engine_rules; do
+            if ! printf '%s\n' "$doc_rules" | grep -qx "$rule"; then
+                fail "OPERATIONS.md: engine rule '$rule' missing from the lint rule table"
+            fi
+        done
+        for rule in $doc_rules; do
+            if ! printf '%s\n' "$engine_rules" | grep -qx "$rule"; then
+                fail "OPERATIONS.md: rule table lists '$rule' which kRuleIds does not declare"
+            fi
+        done
+    fi
+fi
+
 if [ "$failures" -gt 0 ]; then
     echo "docs-check: FAILED with $failures problem(s)" >&2
     exit 1
 fi
-echo "docs-check: OK (links, bench + artifact citations, cited repo paths, and the protocol spec verified)"
+echo "docs-check: OK (links, bench + artifact citations, cited repo paths, the protocol spec, and the lint rule table verified)"

@@ -1,0 +1,124 @@
+// Fuzz harness: the frame layer + per-type payload decoders, end to end.
+//
+// The input is treated as raw bytes arriving on a socket: it is appended to
+// a receive buffer and run through the exact code path NetServer uses —
+// try_extract_frame in a loop, then the per-type decoder for every complete
+// frame. The only acceptable outcomes are (a) a decoded value or (b) a
+// ProtocolError; anything else — crash, sanitizer report, hang — is a bug in
+// the codec, which is why CI runs this under ASan+UBSan.
+//
+// On top of "doesn't crash", the harness asserts the codec's round-trip
+// contract: any payload the decoder accepts must re-encode to the identical
+// bytes. That turns the fuzzer into a differential test between decoder and
+// encoder — a lenient decoder (accepting a non-canonical encoding) trips the
+// comparison even though nothing crashed.
+//
+// Entry point is the libFuzzer ABI (LLVMFuzzerTestOneInput), so the same TU
+// links against either -fsanitize=fuzzer (DCN_FUZZ=ON, clang) or the plain
+// replay driver in fuzz_replay.cpp (always built; the fuzz_regression ctest
+// replays tools/fuzz/corpus/protocol/ through it on every suite run).
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "serve/net/protocol.hpp"
+
+namespace {
+
+using namespace dcn::serve::net;
+
+// Bound the reassembly buffer: a hostile length prefix may not balloon the
+// harness any more than it may balloon the server.
+constexpr std::size_t kFuzzFrameCap = 1U << 20;
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_protocol: invariant violated: %s\n", what);
+    std::abort();
+  }
+}
+
+// Decoded-then-reencoded payloads must be byte-identical: the decoders
+// enforce expect_end(), so an accepted payload is exactly one canonical
+// encoding and nothing else.
+void check_roundtrip(const Bytes& original, const Bytes& reencoded,
+                     const char* what) {
+  require(original == reencoded, what);
+}
+
+void consume_frame(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kPredictRequest:
+    case MsgType::kPredictVerboseRequest: {
+      const dcn::Tensor t = decode_predict_payload(frame.payload);
+      const bool verbose = frame.type == MsgType::kPredictVerboseRequest;
+      Bytes reframed = encode_predict_request(t, verbose);
+      Frame back;
+      require(try_extract_frame(reframed, back, kFuzzFrameCap),
+              "re-encoded predict frame must extract");
+      require(back.type == frame.type, "predict round-trip type");
+      check_roundtrip(frame.payload, back.payload, "predict payload");
+      break;
+    }
+    case MsgType::kPredictResponse: {
+      const std::size_t label = decode_predict_response(frame.payload);
+      check_roundtrip(frame.payload, encode_predict_response(label),
+                      "predict response");
+      break;
+    }
+    case MsgType::kPredictVerboseResponse: {
+      const ServeNetResult r = decode_verbose_response(frame.payload);
+      check_roundtrip(frame.payload,
+                      encode_verbose_response(r.result, r.shard),
+                      "verbose response");
+      break;
+    }
+    case MsgType::kErrorResponse: {
+      const WireError err = decode_error(frame.payload);
+      check_roundtrip(frame.payload,
+                      encode_error(err.code, err.retry_after_ms, err.message),
+                      "error body");
+      break;
+    }
+    case MsgType::kHealthResponse: {
+      const HealthInfo info = decode_health(frame.payload);
+      check_roundtrip(frame.payload, encode_health(info), "health body");
+      break;
+    }
+    case MsgType::kMetricsResponse:
+    case MsgType::kTraceResponse: {
+      // Text payloads are opaque bytes; decoding cannot fail, and the
+      // round trip is the identity.
+      const std::string text = decode_text(frame.payload);
+      check_roundtrip(frame.payload, encode_text(text), "text body");
+      break;
+    }
+    default:
+      // Unknown / empty-payload request types: the server answers kBadType
+      // or handles them without a payload decoder. Nothing to decode.
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  Bytes buffer(data, data + size);
+  Frame frame;
+  try {
+    while (try_extract_frame(buffer, frame, kFuzzFrameCap)) {
+      try {
+        consume_frame(frame);
+      } catch (const ProtocolError&) {
+        // Typed rejection of one payload: the connection-level loop keeps
+        // reading (the server answers kBadPayload and does the same).
+      }
+    }
+  } catch (const ProtocolError&) {
+    // Framing error (zero-length / over-cap prefix): fatal to the
+    // connection, clean for the process. Expected.
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Corpus replay driver — main() for the fuzz harnesses in plain builds.
+//
+// The toolchain baked into the repo's minimal image is GCC, which has no
+// libFuzzer; this driver gives every harness a standalone entry point so the
+// checked-in corpus replays on every ctest run regardless of compiler
+// (`fuzz_regression_*` entries), and every crash the fuzzer ever finds
+// becomes a permanent unit test by dropping its input file into
+// tools/fuzz/corpus/. With clang and DCN_FUZZ=ON the same harness TU links
+// against -fsanitize=fuzzer instead and this file is left out.
+//
+// Usage: <harness>_replay <file-or-directory>...
+// Directories are walked recursively; files are fed to the harness in
+// sorted order so runs are deterministic. Exits 0 after replaying every
+// input (harness invariant violations abort), 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg = argv[i];
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) {
+          inputs.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(arg)) {
+      inputs.push_back(arg.string());
+    } else {
+      std::fprintf(stderr, "%s: no such file or directory: %s\n", argv[0],
+                   argv[i]);
+      return 2;
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  std::size_t replayed = 0;
+  for (const std::string& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot read %s\n", argv[0], path.c_str());
+      return 2;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "%s: replayed %zu corpus input(s) clean\n", argv[0],
+               replayed);
+  return 0;
+}

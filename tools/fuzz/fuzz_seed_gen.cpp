@@ -1,0 +1,183 @@
+// Seed-corpus generator for the fuzz harnesses.
+//
+// Writes the checked-in corpus under tools/fuzz/corpus/{protocol,codecs}/:
+// one file per canonical message produced by the real encoders, plus the
+// interesting near-misses (truncations, bad enum values, hostile length
+// prefixes, NaN tensor values) that sit one byte away from the rejection
+// branches. Regenerate after a protocol change with
+//
+//   ./build/tools/fuzz/fuzz_seed_gen tools/fuzz/corpus
+//
+// and commit the result — the corpus is input data for the fuzz_regression
+// ctests, so it must track the wire format in docs/PROTOCOL.md.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "serve/net/protocol.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace fs = std::filesystem;
+using namespace dcn;
+using namespace dcn::serve::net;
+
+namespace {
+
+int failures = 0;
+
+void write_file(const fs::path& path, const Bytes& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    std::fprintf(stderr, "fuzz_seed_gen: failed to write %s\n",
+                 path.string().c_str());
+    ++failures;
+    return;
+  }
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+}
+
+Bytes prefix(std::uint32_t length) {
+  Bytes out;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((length >> (8 * i)) & 0xFFU));
+  }
+  return out;
+}
+
+Bytes concat(const Bytes& a, const Bytes& b) {
+  Bytes out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bytes with_selector(std::uint8_t selector, const Bytes& payload) {
+  Bytes out{selector};
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Bytes payload_of_frame(Bytes framed) {
+  Frame frame;
+  if (!try_extract_frame(framed, frame)) {
+    std::fprintf(stderr, "fuzz_seed_gen: seed frame did not extract\n");
+    ++failures;
+  }
+  return frame.payload;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: fuzz_seed_gen <corpus-dir>\n");
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const fs::path proto_dir = root / "protocol";
+  const fs::path codec_dir = root / "codecs";
+  fs::create_directories(proto_dir);
+  fs::create_directories(codec_dir);
+
+  // ---- Canonical bodies, built by the real encoders ------------------------
+  Rng rng(2026);
+  const Tensor small = Tensor::uniform(Shape{2, 3}, rng, -1.0F, 1.0F);
+  const Bytes predict_frame = encode_predict_request(small, false);
+  const Bytes verbose_frame = encode_predict_request(small, true);
+  const Bytes tensor_payload = payload_of_frame(predict_frame);
+
+  serve::ServeResult result;
+  result.label = 3;
+  result.dnn_label = 1;
+  result.flagged_adversarial = true;
+  result.corrector_samples = 17;
+  result.batch_size = 4;
+  result.sequence = 99;
+  result.queue_us = 12.5;
+  result.total_us = 80.25;
+  const Bytes verbose_body = encode_verbose_response(result, 1);
+
+  const Bytes error_body =
+      encode_error(ErrorCode::kOverloaded, 150, "shed: queue depth");
+  HealthInfo health;
+  health.state = 2;
+  health.shards = 4;
+  health.queue_depth = 9;
+  const Bytes health_body = encode_health(health);
+  const Bytes label_body = encode_predict_response(7);
+  const Bytes text_body = encode_text("dcn_server_requests_total 3\n");
+
+  // ---- protocol/ : whole frames as they cross the socket -------------------
+  write_file(proto_dir / "health_request.bin",
+             encode_frame(MsgType::kHealthRequest, {}));
+  write_file(proto_dir / "metrics_request.bin",
+             encode_frame(MsgType::kMetricsRequest, {}));
+  write_file(proto_dir / "predict_request.bin", predict_frame);
+  write_file(proto_dir / "predict_verbose_request.bin", verbose_frame);
+  write_file(proto_dir / "predict_response.bin",
+             encode_frame(MsgType::kPredictResponse, label_body));
+  write_file(proto_dir / "verbose_response.bin",
+             encode_frame(MsgType::kPredictVerboseResponse, verbose_body));
+  write_file(proto_dir / "error_response.bin",
+             encode_frame(MsgType::kErrorResponse, error_body));
+  write_file(proto_dir / "health_response.bin",
+             encode_frame(MsgType::kHealthResponse, health_body));
+  write_file(proto_dir / "metrics_response.bin",
+             encode_frame(MsgType::kMetricsResponse, text_body));
+  write_file(proto_dir / "two_frames.bin",
+             concat(encode_frame(MsgType::kHealthRequest, {}),
+                    predict_frame));
+
+  // Near-misses: each sits one byte from a rejection branch.
+  Bytes truncated = predict_frame;
+  truncated.resize(truncated.size() - 3);
+  write_file(proto_dir / "truncated_predict.bin", truncated);
+  write_file(proto_dir / "zero_length_frame.bin",
+             concat(prefix(0), Bytes{0x01}));
+  write_file(proto_dir / "over_cap_length.bin",
+             concat(prefix(0xFFFFFFFFU), Bytes{0x01, 0x02, 0x03}));
+  write_file(proto_dir / "unknown_type.bin",
+             concat(concat(prefix(1), Bytes{0x42}), Bytes{}));
+  Bytes trailing = encode_frame(MsgType::kPredictResponse,
+                                concat(label_body, Bytes{0xAB}));
+  write_file(proto_dir / "trailing_byte_payload.bin", trailing);
+  Bytes bad_rank = encode_frame(MsgType::kPredictRequest, Bytes{0x09});
+  write_file(proto_dir / "bad_rank.bin", bad_rank);
+  // rank 2 with 0x10000 x 0x10000 dims: the numel-overflow branch.
+  Bytes overflow_dims{0x02, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00};
+  write_file(proto_dir / "overflow_dims.bin",
+             encode_frame(MsgType::kPredictRequest, overflow_dims));
+  // A single NaN value in an otherwise well-formed tensor.
+  Bytes nan_tensor{0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0xC0, 0x7F};
+  write_file(proto_dir / "nan_tensor.bin",
+             encode_frame(MsgType::kPredictRequest, nan_tensor));
+
+  // ---- codecs/ : selector byte + bare payload ------------------------------
+  write_file(codec_dir / "error_body.bin", with_selector(0, error_body));
+  Bytes bad_code = error_body;
+  bad_code[0] = 0x63;
+  write_file(codec_dir / "error_bad_code.bin", with_selector(0, bad_code));
+  write_file(codec_dir / "health_body.bin", with_selector(1, health_body));
+  Bytes bad_state = health_body;
+  bad_state[1] = 0x07;
+  write_file(codec_dir / "health_bad_state.bin", with_selector(1, bad_state));
+  write_file(codec_dir / "verbose_body.bin", with_selector(2, verbose_body));
+  Bytes bad_flags = verbose_body;
+  bad_flags[8] = 0xF0;
+  write_file(codec_dir / "verbose_bad_flags.bin", with_selector(2, bad_flags));
+  write_file(codec_dir / "predict_response_body.bin",
+             with_selector(3, label_body));
+  write_file(codec_dir / "tensor_payload.bin",
+             with_selector(4, tensor_payload));
+  write_file(codec_dir / "tensor_nan.bin", with_selector(4, nan_tensor));
+  write_file(codec_dir / "tensor_overflow_dims.bin",
+             with_selector(4, overflow_dims));
+  write_file(codec_dir / "tensor_zero_dim.bin",
+             with_selector(4, Bytes{0x01, 0x00, 0x00, 0x00, 0x00}));
+
+  return failures == 0 ? 0 : 1;
+}

@@ -1,16 +1,33 @@
 // dcn-lint — enforce the project contracts the compiler can't see.
 //
 // Usage:
-//   dcn_lint <repo_root> [--rules]
+//   dcn_lint <repo_root> [--format=text|json] [--github] [--rules]
 //
-// Walks src/, bench/, examples/, and tests/ under <repo_root>, runs every
-// .cpp/.hpp through the rule engine in lint_rules.hpp, and prints one line
-// per violation in compiler format (path:line: [rule] message) so editors
-// can jump to them. Exits 1 when anything fires, 0 on a clean tree.
+// Walks src/, bench/, examples/, and tests/ under <repo_root>, loads every
+// .cpp/.hpp, and runs the whole set through the v2 rule engine in
+// lint_rules.hpp in one pass — the cross-file rules (include-layering's
+// transitive serve-reach check) need the full tree, not one file at a time.
+//
+// Output:
+//   --format=text (default)  compiler format, path:line: [rule] message,
+//                            so editors can jump to violations
+//   --format=json            machine-readable: {"violations":[...],
+//                            "errors":[...], summary fields} on stdout —
+//                            what CI uploads as an artifact
+//   --github                 additionally emit ::error file=...,line=...
+//                            workflow commands so violations annotate the
+//                            PR diff in GitHub's UI (composes with either
+//                            format)
+//
+// Exit codes (CI keys off the distinction):
+//   0  clean tree
+//   1  violations found (the scan itself completed)
+//   2  usage error, or one or more files could not be read — every failed
+//      path is reported on stderr; a partial scan must never pass as clean
 //
 // Wired into the suite as the `dcn-lint` ctest entry and the `dcn-lint`
-// build target (see tools/lint/CMakeLists.txt); docs/OPERATIONS.md explains
-// the rules and the suppression syntax.
+// build target (see tools/lint/CMakeLists.txt); docs/OPERATIONS.md
+// ("Analysis deep pass") documents the rules and the suppression syntax.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -40,67 +57,192 @@ constexpr const char* kRuleHelp =
     "mutex-in-parallel-for   no lock acquisition inside parallel_for spans\n"
     "simd                    no raw SIMD intrinsics (_mm*/vld1q*, immintrin.h/\n"
     "                        arm_neon.h) outside src/tensor/simd/\n"
+    "rng-contract            Rng streams minted only in the model/data layers\n"
+    "                        and blessed core files; discard()/set_state()\n"
+    "                        only inside the segment machinery\n"
+    "                        (tensor/random, tensor/rng_skip, core/corrector)\n"
+    "mutex-hygiene           src/serve/net/: no blocking calls (IO, sleeps,\n"
+    "                        joins) inside a lock scope; seqlock version\n"
+    "                        atomics in serve/obs must carry a 'seqlock'\n"
+    "                        annotation comment\n"
+    "include-layering        model layers never include serve/ or obs/;\n"
+    "                        serve/net/ headers stay serve-internal; nothing\n"
+    "                        outside src/serve/ may transitively reach serve/\n"
+    "stale-suppression       every dcn-lint allow(...) directive must still\n"
+    "                        suppress something\n"
     "\n"
     "Suppress with `// dcn-lint: allow(rule)` on or above the line, or\n"
-    "`// dcn-lint: allow-file(rule)` for a whole file.\n";
+    "`// dcn-lint: allow-file(rule)` for a whole file. The tag must open\n"
+    "the comment; prose mentioning it is inert.\n";
 
 bool lintable(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp";
 }
 
+// Minimal JSON string escaping: quotes, backslashes, control chars.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::string(argv[1]) == "--rules") {
-    std::cout << kRuleHelp;
-    return 0;
+  std::string root_arg;
+  std::string format = "text";
+  bool github = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rules") {
+      std::cout << kRuleHelp;
+      return 0;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "dcn-lint: unknown format '" << format
+                  << "' (expected text or json)\n";
+        return 2;
+      }
+    } else if (arg == "--github") {
+      github = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dcn-lint: unknown option '" << arg << "'\n"
+                << "usage: dcn_lint <repo_root> [--format=text|json] "
+                   "[--github] [--rules]\n";
+      return 2;
+    } else if (root_arg.empty()) {
+      root_arg = arg;
+    } else {
+      std::cerr << "usage: dcn_lint <repo_root> [--format=text|json] "
+                   "[--github] [--rules]\n";
+      return 2;
+    }
   }
-  if (argc != 2) {
-    std::cerr << "usage: dcn_lint <repo_root> [--rules]\n";
+  if (root_arg.empty()) {
+    std::cerr << "usage: dcn_lint <repo_root> [--format=text|json] "
+                 "[--github] [--rules]\n";
     return 2;
   }
-  const fs::path root = argv[1];
+  const fs::path root = root_arg;
   if (!fs::is_directory(root)) {
     std::cerr << "dcn-lint: '" << root.string() << "' is not a directory\n";
     return 2;
   }
 
   // Deterministic order: collect, then sort by repo-relative path.
-  std::vector<std::string> files;
+  std::vector<std::string> paths;
   for (const char* dir : kScanDirs) {
     const fs::path base = root / dir;
     if (!fs::is_directory(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (entry.is_regular_file() && lintable(entry.path())) {
-        files.push_back(
-            fs::relative(entry.path(), root).generic_string());
+        paths.push_back(fs::relative(entry.path(), root).generic_string());
       }
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(paths.begin(), paths.end());
 
-  std::size_t total = 0;
-  std::size_t dirty_files = 0;
-  for (const std::string& rel : files) {
+  // Load the whole tree up front; the cross-file rules need every file at
+  // once. A file that fails to read is an error in its own right (exit 2) —
+  // a silently-partial scan could report "clean" on a dirty tree.
+  std::vector<dcn::lint::SourceFile> files;
+  std::vector<std::string> read_errors;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
     std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      read_errors.push_back(rel + ": cannot open for reading");
+      continue;
+    }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const auto violations = dcn::lint::check_source(rel, buf.str());
-    if (!violations.empty()) ++dirty_files;
+    if (in.bad()) {
+      read_errors.push_back(rel + ": read failed");
+      continue;
+    }
+    files.push_back(dcn::lint::SourceFile{rel, buf.str()});
+  }
+
+  const std::vector<dcn::lint::Violation> violations =
+      dcn::lint::check_tree(files);
+  std::size_t dirty_files = 0;
+  {
+    std::string last;
     for (const auto& v : violations) {
-      std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
-                << v.message << "\n";
-      ++total;
+      if (v.path != last) {
+        ++dirty_files;
+        last = v.path;
+      }
     }
   }
 
-  if (total != 0) {
-    std::cout << "dcn-lint: FAILED — " << total << " violation(s) in "
-              << dirty_files << " of " << files.size() << " files\n";
-    return 1;
+  for (const std::string& err : read_errors) {
+    std::cerr << "dcn-lint: error: " << err << "\n";
   }
-  std::cout << "dcn-lint: OK (" << files.size()
-            << " files clean across src/, bench/, examples/, tests/)\n";
-  return 0;
+
+  if (github) {
+    for (const auto& v : violations) {
+      // Workflow command format: newlines in the message would terminate
+      // the command, but rule messages are single-line by construction.
+      std::cout << "::error file=" << v.path << ",line=" << v.line
+                << ",title=dcn-lint " << v.rule << "::" << v.message << "\n";
+    }
+  }
+
+  if (format == "json") {
+    std::cout << "{\n  \"violations\": [";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+      const auto& v = violations[i];
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "    {\"rule\": \"" << json_escape(v.rule)
+                << "\", \"path\": \"" << json_escape(v.path)
+                << "\", \"line\": " << v.line << ", \"message\": \""
+                << json_escape(v.message) << "\"}";
+    }
+    std::cout << (violations.empty() ? "" : "\n  ") << "],\n  \"errors\": [";
+    for (std::size_t i = 0; i < read_errors.size(); ++i) {
+      std::cout << (i == 0 ? "\n" : ",\n") << "    \""
+                << json_escape(read_errors[i]) << "\"";
+    }
+    std::cout << (read_errors.empty() ? "" : "\n  ") << "],\n"
+              << "  \"files_scanned\": " << files.size() << ",\n"
+              << "  \"files_dirty\": " << dirty_files << ",\n"
+              << "  \"violation_count\": " << violations.size() << "\n}\n";
+  } else {
+    for (const auto& v : violations) {
+      std::cout << v.path << ":" << v.line << ": [" << v.rule << "] "
+                << v.message << "\n";
+    }
+    if (!violations.empty()) {
+      std::cout << "dcn-lint: FAILED — " << violations.size()
+                << " violation(s) in " << dirty_files << " of "
+                << files.size() << " files\n";
+    } else if (read_errors.empty()) {
+      std::cout << "dcn-lint: OK (" << files.size()
+                << " files clean across src/, bench/, examples/, tests/)\n";
+    }
+  }
+
+  // I/O failure dominates: a partial scan is not a verdict either way.
+  if (!read_errors.empty()) return 2;
+  return violations.empty() ? 0 : 1;
 }

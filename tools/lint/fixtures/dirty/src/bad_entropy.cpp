@@ -1,0 +1,14 @@
+// Known-dirty fixture for the dcn-lint CLI contract test
+// (tools/lint/lint_cli_test.sh). Never compiled; never scanned by the
+// repo-wide dcn-lint run (the CLI walks src/bench/examples/tests only).
+// Each construct below must keep firing its rule — the CLI test asserts
+// exit code 1 and the rule names in both output formats.
+#include <cstdlib>
+
+int ambient_entropy() {
+  return std::rand();  // fires: entropy
+}
+
+// A directive with nothing to suppress on the next line.
+// dcn-lint: allow(no-cout)
+int nothing_to_suppress() { return 0; }  // fires: stale-suppression

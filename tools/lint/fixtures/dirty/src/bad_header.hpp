@@ -1,0 +1,7 @@
+// Known-dirty fixture header: deliberately missing #pragma once and using
+// a namespace at header scope. See tools/lint/lint_cli_test.sh.
+#include <string>
+
+using namespace std;  // fires: using-namespace-header (+ pragma-once above)
+
+inline string fixture_name() { return "dirty"; }

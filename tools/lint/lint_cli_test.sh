@@ -1,0 +1,81 @@
+#!/bin/sh
+# lint_cli_test.sh — the dcn-lint CLI contract, end to end.
+#
+# The engine is unit-tested in tests/test_lint_rules.cpp; this script pins
+# the CLI wrapper around it: the exit-code split (0 clean / 1 violations /
+# 2 usage-or-I/O), both output formats, and the GitHub annotation mode,
+# driven against the known-dirty fixture tree in tools/lint/fixtures/dirty.
+# Wired up as the `dcn-lint-cli` ctest entry (tools/lint/CMakeLists.txt).
+#
+# Usage: lint_cli_test.sh <dcn_lint_binary> <fixture_root>
+set -u
+
+lint="${1:?usage: lint_cli_test.sh <dcn_lint_binary> <fixture_root>}"
+fixture="${2:?usage: lint_cli_test.sh <dcn_lint_binary> <fixture_root>}"
+failures=0
+
+fail() {
+    echo "lint-cli-test: $1" >&2
+    failures=$((failures + 1))
+}
+
+# --rules prints the rule table and exits 0 without scanning anything.
+out=$("$lint" --rules 2>&1)
+rc=$?
+[ "$rc" -eq 0 ] || fail "--rules exited $rc, want 0"
+case "$out" in
+    *stale-suppression*) : ;;
+    *) fail "--rules output does not list stale-suppression" ;;
+esac
+
+# A dirty tree: exit 1, compiler-format lines, and a FAILED summary.
+out=$("$lint" "$fixture" 2>&1)
+rc=$?
+[ "$rc" -eq 1 ] || fail "dirty tree exited $rc, want 1"
+case "$out" in
+    *"[entropy]"*) : ;;
+    *) fail "text output missing the [entropy] violation" ;;
+esac
+case "$out" in
+    *"[stale-suppression]"*) : ;;
+    *) fail "text output missing the [stale-suppression] violation" ;;
+esac
+case "$out" in
+    *"dcn-lint: FAILED"*) : ;;
+    *) fail "text output missing the FAILED summary" ;;
+esac
+
+# JSON + GitHub annotations compose; both render every violation.
+out=$("$lint" "$fixture" --format=json --github 2>&1)
+rc=$?
+[ "$rc" -eq 1 ] || fail "json+github on dirty tree exited $rc, want 1"
+case "$out" in
+    *'"violation_count"'*) : ;;
+    *) fail "json output missing violation_count" ;;
+esac
+case "$out" in
+    *'"rule": "pragma-once"'*) : ;;
+    *) fail "json output missing the pragma-once violation object" ;;
+esac
+case "$out" in
+    *"::error file="*) : ;;
+    *) fail "--github emitted no ::error workflow commands" ;;
+esac
+
+# Usage and I/O errors are exit 2, never 1 — CI keys off the distinction.
+"$lint" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "no arguments should exit 2"
+"$lint" "$fixture/does-not-exist" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "nonexistent root should exit 2"
+"$lint" "$fixture" --format=yaml >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown format should exit 2"
+"$lint" "$fixture" --frobnicate >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown option should exit 2"
+"$lint" "$fixture" "$fixture" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "two roots should exit 2"
+
+if [ "$failures" -gt 0 ]; then
+    echo "lint-cli-test: FAILED with $failures problem(s)" >&2
+    exit 1
+fi
+echo "lint-cli-test: OK"
