@@ -11,7 +11,12 @@
 //
 // Reps are INTERLEAVED (off, on, off, on, ...) so clock-frequency and cache
 // drift hits both phases equally instead of biasing whichever ran second;
-// per-call latency is the median across each phase's reps. The bench also
+// per-call latency is the MINIMUM across each phase's reps — on a shared
+// machine, contention is additive noise that only inflates a rep, so the
+// min is each phase's least-contaminated observation and the systematic
+// tracer cost survives the comparison while stochastic load does not
+// (median-of-reps was still swinging several percent under neighbor load,
+// more than the budget being measured). The bench also
 // pins the determinism contract: the label sequence with tracing on must
 // equal the sequence with tracing off (spans observe, never perturb the RNG
 // stream). With -DDCN_TRACE=OFF both phases compile to the same code and
@@ -36,8 +41,8 @@ using namespace dcn;
 
 constexpr std::size_t kInputDim = 64;
 constexpr std::size_t kSamples = 64;   // corrector region samples per call
-constexpr std::size_t kCalls = 200;    // corrector calls per rep
-constexpr std::size_t kReps = 7;       // per phase, interleaved
+constexpr std::size_t kCalls = 100;    // corrector calls per rep
+constexpr std::size_t kReps = 25;      // per phase, interleaved
 constexpr std::size_t kWarmup = 25;
 
 struct Phase {
@@ -67,10 +72,8 @@ struct Phase {
     obs::set_tracing_enabled(false);
   }
 
-  [[nodiscard]] double median_us() const {
-    std::vector<double> sorted = rep_us;
-    std::sort(sorted.begin(), sorted.end());
-    return sorted[sorted.size() / 2];
+  [[nodiscard]] double min_us() const {
+    return *std::min_element(rep_us.begin(), rep_us.end());
   }
 };
 
@@ -78,7 +81,7 @@ struct Phase {
 
 int main() {
   std::printf("[protocol] obs overhead: mlp(64-256-256-10), corrector m=%zu "
-              "radius=0.1 seed=2024; %zu calls/rep, median of %zu reps; "
+              "radius=0.1 seed=2024; %zu calls/rep, min of %zu reps; "
               "threads=%zu; tracer compiled %s\n",
               kSamples, kCalls, kReps, runtime::thread_count(),
               obs::kTraceCompiled ? "in" : "out");
@@ -111,8 +114,8 @@ int main() {
       static_cast<double>(kCalls);
 
   const bool determinism_ok = baseline.labels == traced.labels;
-  const double baseline_us = baseline.median_us();
-  const double traced_us = traced.median_us();
+  const double baseline_us = baseline.min_us();
+  const double traced_us = traced.min_us();
   const double overhead_pct =
       (traced_us - baseline_us) / baseline_us * 100.0;
 

@@ -7,8 +7,10 @@
 //      threads, then print the per-request responses and the operator
 //      metrics JSON (docs/OPERATIONS.md documents the schema).
 //   4. On shutdown, print the Prometheus exposition of the unified metrics
-//      registry and write the recorded span trace to serve_demo.trace.json
-//      (load it at https://ui.perfetto.dev or chrome://tracing).
+//      registry and write the recorded span trace to
+//      artifacts/serve_demo.trace.json (load it at https://ui.perfetto.dev
+//      or chrome://tracing). artifacts/ is gitignored — demo and bench
+//      outputs never land in the work tree.
 //
 // With --net, step 3 runs over the network serving tier instead: the same
 // DCN stack goes behind a ShardRouter + NetServer on an ephemeral loopback
@@ -20,6 +22,7 @@
 //               ./build/examples/example_serve_demo [--net]
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <thread>
 #include <vector>
@@ -115,6 +118,17 @@ int main(int argc, char** argv) {
                   r.result.total_us);
     }
 
+    // Every predict frame carried a minted trace context; query the last
+    // one's provenance back out of the daemon (docs/OPERATIONS.md "Tracing
+    // a request" does the same against a live deployment).
+    const obs::TraceContext last = client.last_trace();
+    const std::string provenance =
+        client.trace_query(last.trace_hi, last.trace_lo);
+    std::printf("\n   trace %s -> %zu bytes of spans + decision records "
+                "(TraceQuery frame)\n",
+                obs::trace_id_hex(last.trace_hi, last.trace_lo).c_str(),
+                provenance.size());
+
     const serve::net::HealthInfo health = client.health();
     std::printf("\n   health: version=%u state=%s shards=%u queue_depth=%u\n",
                 static_cast<unsigned>(health.version),
@@ -180,9 +194,10 @@ int main(int argc, char** argv) {
 
   // --- 3. Observability exports --------------------------------------------
   const obs::TraceStats ts = obs::trace_stats();
-  obs::write_trace_file("serve_demo.trace.json");
-  std::printf("\n6) wrote serve_demo.trace.json (%llu spans, %llu dropped) — "
-              "open it at https://ui.perfetto.dev\n",
+  std::filesystem::create_directories("artifacts");
+  obs::write_trace_file("artifacts/serve_demo.trace.json");
+  std::printf("\n6) wrote artifacts/serve_demo.trace.json (%llu spans, "
+              "%llu dropped) — open it at https://ui.perfetto.dev\n",
               static_cast<unsigned long long>(ts.recorded),
               static_cast<unsigned long long>(ts.dropped));
   return 0;

@@ -92,35 +92,39 @@ std::pair<std::size_t, std::size_t> top_two(
 
 /// A stopping rule fires at a chunk boundary iff the current leader cannot
 /// (certain) or will not, with probability >= 1 - delta (Hoeffding), lose
-/// its lead over the remaining samples.
-bool vote_decided(const std::vector<std::size_t>& votes, std::size_t t,
-                  std::size_t remaining, double delta) {
+/// its lead over the remaining samples. Returns which rule fired (kNone when
+/// the vote continues) — attribution only; the conditions and their order
+/// are unchanged.
+StopRule vote_decided(const std::vector<std::size_t>& votes, std::size_t t,
+                      std::size_t remaining, double delta) {
   const auto [first, second] = top_two(votes);
   const std::size_t lead = first - second;
-  if (lead > remaining) return true;  // certain: the winner is fixed
+  if (lead > remaining) return StopRule::kCertain;  // the winner is fixed
   if (delta > 0.0) {
     const double bound =
         std::sqrt(2.0 * static_cast<double>(t) * std::log(1.0 / delta));
-    if (static_cast<double>(lead) >= bound) return true;
+    if (static_cast<double>(lead) >= bound) return StopRule::kHoeffding;
   }
-  return false;
+  return StopRule::kNone;
 }
 
 /// The full rule chain for a hinted vote: certain, then Hoeffding, then the
 /// hint rule (leader equals the caller's proposal with a unique lead of at
 /// least hint_min_lead). All three exit with the current leader as the
 /// answer, so rule order never changes the outcome, only the attribution.
-bool vote_decided_hinted(const std::vector<std::size_t>& votes, std::size_t t,
-                         std::size_t remaining, double delta, long hint,
-                         std::size_t hint_min_lead) {
-  if (vote_decided(votes, t, remaining, delta)) return true;
-  if (hint < 0) return false;
+StopRule vote_decided_hinted(const std::vector<std::size_t>& votes,
+                             std::size_t t, std::size_t remaining, double delta,
+                             long hint, std::size_t hint_min_lead) {
+  const StopRule rule = vote_decided(votes, t, remaining, delta);
+  if (rule != StopRule::kNone) return rule;
+  if (hint < 0) return StopRule::kNone;
   const auto [first, second] = top_two(votes);
   const std::size_t lead = first - second;
-  if (lead < std::max<std::size_t>(1, hint_min_lead)) return false;
+  if (lead < std::max<std::size_t>(1, hint_min_lead)) return StopRule::kNone;
   const std::size_t leader = static_cast<std::size_t>(
       std::max_element(votes.begin(), votes.end()) - votes.begin());
-  return leader == static_cast<std::size_t>(hint);
+  return leader == static_cast<std::size_t>(hint) ? StopRule::kHint
+                                                  : StopRule::kNone;
 }
 
 /// Rows [lo, hi) of a [m, d...] batch as their own contiguous batch. A plain
@@ -159,11 +163,16 @@ VoteOutcome chunked_vote(nn::Sequential& model, const Tensor& batch,
     outcome.samples_used = hi;
     ++outcome.chunks_used;
     if (outcome.samples_used >= m) break;
-    if (vote_decided(outcome.votes, outcome.samples_used,
-                     m - outcome.samples_used, stop_delta)) {
+    const StopRule rule = vote_decided(outcome.votes, outcome.samples_used,
+                                       m - outcome.samples_used, stop_delta);
+    if (rule != StopRule::kNone) {
       outcome.exited_early = true;
+      outcome.stop_rule = rule;
       break;
     }
+  }
+  if (!outcome.exited_early && outcome.samples_used > 0) {
+    outcome.stop_rule = StopRule::kExhausted;
   }
   return outcome;
 }
@@ -280,9 +289,12 @@ std::vector<VoteOutcome> Corrector::joint_early_exit_vote(
       o.samples_used = used;
       ++o.chunks_used;
       if (used >= m) continue;
-      if (vote_decided_hinted(o.votes, used, m - used, config_.stop_delta,
-                              hints[j], config_.hint_min_lead)) {
+      const StopRule rule =
+          vote_decided_hinted(o.votes, used, m - used, config_.stop_delta,
+                              hints[j], config_.hint_min_lead);
+      if (rule != StopRule::kNone) {
         o.exited_early = true;
+        o.stop_rule = rule;
         o.hint_confirmed =
             hints[j] >= 0 &&
             o.winner() == static_cast<std::size_t>(hints[j]);
@@ -291,6 +303,9 @@ std::vector<VoteOutcome> Corrector::joint_early_exit_vote(
       }
     }
     active = std::move(still);
+  }
+  for (auto& o : out) {
+    if (!o.exited_early) o.stop_rule = StopRule::kExhausted;
   }
   return out;
 }
@@ -317,6 +332,14 @@ std::vector<VoteOutcome> Corrector::vote_many(
   }
   DCN_TRACE_SPAN("corrector.vote", "core");
   if (config_.samples > 0) {
+    // Segment accounting: row j of this call consumed the j-th segment after
+    // the stream position at entry, in every mode (full votes draw their
+    // whole segment; early exits jump over the tail). Pure bookkeeping — the
+    // stream itself already advanced during the vote.
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      out[j].segment_index = segments_consumed_ + j;
+    }
+    segments_consumed_ += out.size();
     for (const auto& o : out) {
       corrector_stats().record_vote(o.samples_used, config_.samples);
     }

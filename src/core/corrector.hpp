@@ -91,6 +91,30 @@ struct CorrectorConfig {
 Tensor sample_region_batch(const Tensor& x, std::size_t m, float radius,
                            Rng& rng, bool clip_to_box);
 
+/// Which stopping rule ended a vote. Pure attribution: the rules are
+/// evaluated in the same order with the same conditions as before this enum
+/// existed, so recording which one fired never changes an outcome. The
+/// values are wire-stable (serve::ServeResult::stop_rule carries them as a
+/// byte) — append, never renumber.
+enum class StopRule : std::uint8_t {
+  kNone = 0,       // no vote ran (zero sample budget)
+  kCertain = 1,    // lead > remaining samples
+  kHoeffding = 2,  // lead >= sqrt(2 t ln(1/stop_delta))
+  kHint = 3,       // leader matched the Tier-0 hint with enough lead
+  kExhausted = 4,  // all m samples classified, no early exit
+};
+
+constexpr const char* stop_rule_name(StopRule rule) {
+  switch (rule) {
+    case StopRule::kNone: return "none";
+    case StopRule::kCertain: return "certain";
+    case StopRule::kHoeffding: return "hoeffding";
+    case StopRule::kHint: return "hint";
+    case StopRule::kExhausted: return "exhausted";
+  }
+  return "unknown";
+}
+
 /// Result of one chunked region vote: the histogram covers only the samples
 /// actually classified (it sums to samples_used).
 struct VoteOutcome {
@@ -102,6 +126,13 @@ struct VoteOutcome {
   /// winner — the Tier-0 "proposal confirmed" signal. Always false for
   /// un-hinted votes and in kFull mode.
   bool hint_confirmed = false;
+  /// Which stopping rule ended this vote (decision provenance; never feeds
+  /// back into the vote itself).
+  StopRule stop_rule = StopRule::kNone;
+  /// Index of the m*d-draw corrector-stream segment this vote consumed,
+  /// counted from the owning Corrector's construction. Votes with a zero
+  /// sample budget consume no segment and report 0.
+  std::uint64_t segment_index = 0;
 
   [[nodiscard]] std::size_t winner() const;
 };
@@ -156,6 +187,12 @@ class Corrector {
 
   [[nodiscard]] const CorrectorConfig& config() const { return config_; }
 
+  /// Total m*d-draw segments consumed since construction — the RNG stream
+  /// position in segment units. The next vote's segment_index starts here.
+  [[nodiscard]] std::uint64_t segments_consumed() const {
+    return segments_consumed_;
+  }
+
  private:
   void resolve_num_classes(const Tensor& x);
   VoteOutcome full_vote(const Tensor& x);
@@ -166,6 +203,7 @@ class Corrector {
   CorrectorConfig config_;
   Rng rng_;
   std::size_t num_classes_ = 0;  // resolved from layer metadata on first use
+  std::uint64_t segments_consumed_ = 0;
   VoteOutcome last_outcome_;
   // Segment jump tables for kEarlyExit: a borrowed pointer into the
   // process-wide shared_rng_skip cache, resolved once the element count d

@@ -15,6 +15,7 @@ bool Dcn::tier0_screen(const Tensor& logits, Decision& d, long& hint) {
   ++corrector_activations_;
   hint = -1;
   if (tier0_ == nullptr) return false;
+  d.tier0_policy = tier0_policy_ == Tier0Policy::kConfirm ? 1 : 2;
   const LogitCorrector::Proposal p = tier0_->propose(logits);
   if (tier0_policy_ == Tier0Policy::kResolve) {
     if (p.confident && p.agrees_runner_up) {
@@ -34,6 +35,9 @@ bool Dcn::tier0_screen(const Tensor& logits, Decision& d, long& hint) {
 void Dcn::finalize_vote(Decision& d, const VoteOutcome& outcome) {
   d.label = outcome.winner();
   d.corrector_samples = outcome.samples_used;
+  d.chunks_used = outcome.chunks_used;
+  d.stop_rule = outcome.stop_rule;
+  d.rng_segment = outcome.segment_index;
   corrector_samples_used_ += outcome.samples_used;
   if (outcome.hint_confirmed) {
     // The vote confirmed the Tier-0 proposal at an early boundary: a Tier-0
@@ -64,7 +68,10 @@ Dcn::Decision Dcn::classify_verbose(const Tensor& x) {
     return model_->logits(x);
   }();
   d.dnn_label = logits.argmax();
-  d.flagged_adversarial = detector_->is_adversarial(logits);
+  // margin() is the exact computation is_adversarial() wraps, so recording
+  // it and comparing against zero here is the same verdict bit for bit.
+  d.detector_margin = detector_->margin(logits);
+  d.flagged_adversarial = d.detector_margin > 0.0;
   if (d.flagged_adversarial) {
     resolve_flagged(x, logits, d);
   } else {
@@ -94,7 +101,8 @@ std::vector<Dcn::Decision> Dcn::predict_verbose(const Tensor& batch) {
     const Tensor row = logits.row(i);
     Decision& d = decisions[i];
     d.dnn_label = row.argmax();
-    d.flagged_adversarial = detector_->is_adversarial(row);
+    d.detector_margin = detector_->margin(row);
+    d.flagged_adversarial = d.detector_margin > 0.0;
     if (!d.flagged_adversarial) {
       d.label = d.dnn_label;
       continue;

@@ -52,7 +52,11 @@ class Dcn final : public defenses::Classifier {
 
   [[nodiscard]] std::string name() const override { return "DCN"; }
 
-  /// Diagnostic variant that also reports which path the input took.
+  /// Diagnostic variant that also reports which path the input took. The
+  /// provenance block (detector_margin through rng_segment) records how the
+  /// decision was reached — it is filled from values the decision chain
+  /// already computes, never from extra model evaluations, so enabling it
+  /// cannot perturb any label.
   struct Decision {
     std::size_t label = 0;
     bool flagged_adversarial = false;  // did the detector fire?
@@ -61,6 +65,14 @@ class Dcn final : public defenses::Classifier {
     /// an early vote-confirmed proposal (kConfirm, corrector_samples > 0).
     bool tier0_resolved = false;
     std::size_t corrector_samples = 0; // region samples this decision paid
+    // ---- decision provenance --------------------------------------------
+    double detector_margin = 0.0;      // logit(adv) - logit(benign)
+    std::size_t chunks_used = 0;       // vote chunks consumed (0 = no vote)
+    StopRule stop_rule = StopRule::kNone;  // which stopping rule fired
+    /// Tier-0 policy applied to this input: 0 = tiering off or not flagged,
+    /// 1 = kConfirm, 2 = kResolve (wire-stable bytes, serve::ServeResult).
+    std::uint8_t tier0_policy = 0;
+    std::uint64_t rng_segment = 0;     // corrector-stream segment of the vote
   };
   Decision classify_verbose(const Tensor& x);
 

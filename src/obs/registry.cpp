@@ -190,7 +190,13 @@ std::string MetricsRegistry::render_prometheus() const {
     if (!m.label_key.empty()) {
       out += "{" + m.label_key + "=\"" + m.label_value + "\"}";
     }
-    out += " " + render_value(m.value) + "\n";
+    out += " " + render_value(m.value);
+    if (!m.exemplar_trace.empty()) {
+      // OpenMetrics exemplar: ` # {trace_id="<hex>"} <observed value>`.
+      out += " # {trace_id=\"" + m.exemplar_trace + "\"} " +
+             render_value(m.exemplar_value);
+    }
+    out += "\n";
   }
   return out;
 }

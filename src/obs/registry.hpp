@@ -37,6 +37,12 @@ enum class MetricType { kCounter, kGauge, kHistogram };
 /// Histogram samples carry the conventional suffixed names (_bucket with an
 /// `le` label, _sum, _count) and MetricType::kHistogram; exposition strips
 /// the suffix so HELP/TYPE are emitted once for the base family name.
+///
+/// A sample may carry an OpenMetrics exemplar — the hex trace id of a recent
+/// request that contributed to it plus that request's observed value —
+/// rendered as ` # {trace_id="<32 hex>"} <value>` after the sample value.
+/// Exemplars link a scrape anomaly (a slow bucket, a burst counter) straight
+/// to a fetchable trace (docs/OPERATIONS.md "Tracing a request").
 struct Metric {
   std::string name;         // e.g. "dcn_kernel_gemm_flops_total"
   std::string help;
@@ -44,6 +50,8 @@ struct Metric {
   std::string label_key;    // empty => unlabeled sample
   std::string label_value;
   double value = 0.0;
+  std::string exemplar_trace;  // 32-hex trace id; empty => no exemplar
+  double exemplar_value = 0.0;
 };
 
 /// A registered producer appends its current samples to the vector.

@@ -29,6 +29,8 @@ using Clock = std::chrono::steady_clock;
 
 /// One recorded span. `name` is a bounded copy so dynamic names (layer
 /// names) cannot dangle; `category`/`arg_name` are always string literals.
+/// The id quartet is all-zero for spans recorded outside any installed
+/// trace context (the unstitched case).
 struct Event {
   char name[48];
   const char* category;
@@ -36,7 +38,26 @@ struct Event {
   double arg_value;
   double ts_us;   // relative to the tracer epoch
   double dur_us;
+  std::uint64_t trace_hi;
+  std::uint64_t trace_lo;
+  std::uint64_t span_id;
+  std::uint64_t parent_span_id;
 };
+
+/// The calling thread's installed trace context (ScopedTraceContext) plus
+/// the innermost active span id. Plain fields: only the owning thread
+/// touches them.
+struct ThreadTraceState {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t current_span = 0;  // innermost active span (0 = the root)
+  bool sampled = false;
+};
+
+ThreadTraceState& thread_trace_state() {
+  thread_local ThreadTraceState state;
+  return state;
+}
 
 static_assert(std::is_trivially_copyable<Event>::value,
               "events move through the slot words with memcpy");
@@ -129,9 +150,28 @@ void append_number(std::string& out, double v) {
 
 }  // namespace
 
+SpanLink enter_span() noexcept {
+  ThreadTraceState& state = thread_trace_state();
+  SpanLink link;
+  if ((state.trace_hi | state.trace_lo) == 0) return link;
+  link.trace_hi = state.trace_hi;
+  link.trace_lo = state.trace_lo;
+  link.parent_span_id = state.current_span;
+  link.prev_span_id = state.current_span;
+  link.span_id = mint_span_id();
+  state.current_span = link.span_id;
+  return link;
+}
+
+void exit_span(const SpanLink& link) noexcept {
+  if (link.span_id == 0) return;
+  thread_trace_state().current_span = link.prev_span_id;
+}
+
 void record_span(const char* name, const char* category,
                  Clock::time_point start, Clock::time_point end,
-                 const char* arg_name, double arg_value) noexcept {
+                 const char* arg_name, double arg_value,
+                 const SpanLink& link) noexcept {
   ThreadBuffer& buffer = local_buffer();
   const std::uint32_t keep_one_in =
       g_trace_sample.load(std::memory_order_relaxed);
@@ -163,6 +203,10 @@ void record_span(const char* name, const char* category,
   ev.ts_us =
       std::chrono::duration<double, std::micro>(start - epoch()).count();
   ev.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  ev.trace_hi = link.trace_hi;
+  ev.trace_lo = link.trace_lo;
+  ev.span_id = link.span_id;
+  ev.parent_span_id = link.parent_span_id;
 
   // Seqlock write (single writer per slot: the owning thread). Mark the
   // slot in-progress (odd), store the words, publish (next even). The
@@ -182,6 +226,38 @@ void record_span(const char* name, const char* category,
 }
 
 }  // namespace detail
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) noexcept {
+  detail::ThreadTraceState& state = detail::thread_trace_state();
+  prev_hi_ = state.trace_hi;
+  prev_lo_ = state.trace_lo;
+  prev_span_ = state.current_span;
+  prev_sampled_ = state.sampled;
+  if (ctx.valid()) {
+    state.trace_hi = ctx.trace_hi;
+    state.trace_lo = ctx.trace_lo;
+    state.current_span = ctx.parent_span_id;
+    state.sampled = ctx.sampled;
+  }
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  detail::ThreadTraceState& state = detail::thread_trace_state();
+  state.trace_hi = prev_hi_;
+  state.trace_lo = prev_lo_;
+  state.current_span = prev_span_;
+  state.sampled = prev_sampled_;
+}
+
+TraceContext current_trace_context() noexcept {
+  const detail::ThreadTraceState& state = detail::thread_trace_state();
+  TraceContext ctx;
+  ctx.trace_hi = state.trace_hi;
+  ctx.trace_lo = state.trace_lo;
+  ctx.parent_span_id = state.current_span;
+  ctx.sampled = state.sampled;
+  return ctx;
+}
 
 bool tracing_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
@@ -223,22 +299,27 @@ std::uint32_t trace_sampling() {
   return detail::g_trace_sample.load(std::memory_order_relaxed);
 }
 
-std::string trace_export() {
-  // Snapshot the buffer list, then read each buffer up to its published
-  // count. Slots below the count are write-once under kDrop; under kRing a
-  // wrapping writer may be rewriting a slot while we read it, so each slot
-  // is copied out through its seqlock and skipped when the version moved
-  // mid-copy (a handful of the oldest events during heavy wrap, never a
-  // malformed one).
+namespace {
+
+/// Append the "[...]" trace-event array, keeping only spans whose trace id
+/// matches (trace_hi, trace_lo); an all-zero filter keeps everything.
+//
+// Snapshot the buffer list, then read each buffer up to its published
+// count. Slots below the count are write-once under kDrop; under kRing a
+// wrapping writer may be rewriting a slot while we read it, so each slot
+// is copied out through its seqlock and skipped when the version moved
+// mid-copy (a handful of the oldest events during heavy wrap, never a
+// malformed one).
+void append_event_array(std::string& out, std::uint64_t trace_hi,
+                        std::uint64_t trace_lo) {
+  const bool filtered = (trace_hi | trace_lo) != 0;
   std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
   {
     detail::Registry& r = detail::registry();
     std::lock_guard<std::mutex> lock(r.mutex);
     buffers = r.buffers;
   }
-  std::string out;
-  out.reserve(1 << 16);
-  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  out += "[";
   bool first = true;
   for (const auto& buffer : buffers) {
     // Under kRing `count` keeps growing past capacity; the buffer holds the
@@ -262,6 +343,10 @@ std::string trace_export() {
       }
       detail::Event ev;
       std::memcpy(&ev, raw, sizeof(ev));
+      if (filtered &&
+          (ev.trace_hi != trace_hi || ev.trace_lo != trace_lo)) {
+        continue;
+      }
       out += first ? "\n" : ",\n";
       first = false;
       out += "{\"name\": \"";
@@ -274,17 +359,54 @@ std::string trace_export() {
       detail::append_number(out, ev.dur_us);
       out += ", \"pid\": 1, \"tid\": ";
       out += std::to_string(buffer->tid);
-      if (ev.arg_name != nullptr) {
-        out += ", \"args\": {\"";
-        detail::append_escaped(out, ev.arg_name);
-        out += "\": ";
-        detail::append_number(out, ev.arg_value);
+      const bool has_ids = (ev.trace_hi | ev.trace_lo) != 0;
+      if (ev.arg_name != nullptr || has_ids) {
+        out += ", \"args\": {";
+        bool first_arg = true;
+        if (ev.arg_name != nullptr) {
+          out += "\"";
+          detail::append_escaped(out, ev.arg_name);
+          out += "\": ";
+          detail::append_number(out, ev.arg_value);
+          first_arg = false;
+        }
+        if (has_ids) {
+          if (!first_arg) out += ", ";
+          out += "\"trace_id\": \"";
+          out += trace_id_hex(ev.trace_hi, ev.trace_lo);
+          out += "\", \"span_id\": \"";
+          out += span_id_hex(ev.span_id);
+          out += "\"";
+          if (ev.parent_span_id != 0) {
+            out += ", \"parent_span_id\": \"";
+            out += span_id_hex(ev.parent_span_id);
+            out += "\"";
+          }
+        }
         out += "}";
       }
       out += "}";
     }
   }
-  out += "\n]}\n";
+  out += "\n]";
+}
+
+}  // namespace
+
+std::string trace_export() {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\": \"ms\", \"traceEvents\": ";
+  append_event_array(out, 0, 0);
+  out += "}\n";
+  return out;
+}
+
+std::string trace_events_json(std::uint64_t trace_hi,
+                              std::uint64_t trace_lo) {
+  std::string out;
+  out.reserve(1 << 12);
+  append_event_array(out, trace_hi, trace_lo);
   return out;
 }
 
@@ -314,6 +436,7 @@ void set_trace_sampling(std::uint32_t) {}
 std::uint32_t trace_sampling() { return 1; }
 void trace_clear() {}
 std::string trace_export() { return "{\"traceEvents\": []}\n"; }
+std::string trace_events_json(std::uint64_t, std::uint64_t) { return "[]"; }
 TraceStats trace_stats() { return {}; }
 
 #endif  // DCN_TRACE_DISABLED

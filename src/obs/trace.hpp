@@ -37,6 +37,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace_id.hpp"
+
 namespace dcn::obs {
 
 #if defined(DCN_TRACE_DISABLED)
@@ -77,7 +79,16 @@ void trace_clear();
 /// Render everything recorded so far as Chrome trace-event JSON:
 /// {"traceEvents": [{"name", "cat", "ph":"X", "ts", "dur", "pid", "tid",
 /// "args"}, ...]}. `ts`/`dur` are microseconds since the tracer epoch.
+/// Spans recorded under an installed trace context carry the hex
+/// "trace_id" / "span_id" / "parent_span_id" entries in their args block,
+/// which is how a cross-process trace stitches back together.
 [[nodiscard]] std::string trace_export();
+
+/// The bare trace-event array ("[...]") holding only the spans whose trace
+/// id equals (hi, lo). hi == lo == 0 returns every recorded span. This is
+/// the per-request view the wire TraceQuery frame serves.
+[[nodiscard]] std::string trace_events_json(std::uint64_t trace_hi,
+                                            std::uint64_t trace_lo);
 
 /// trace_export() to a file (overwrites). Throws on I/O failure.
 void write_trace_file(const std::string& path);
@@ -95,13 +106,60 @@ struct TraceStats {
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+
+/// The identity one active span carries: its trace id halves, its own span
+/// id, its parent, and the previous "current span" to restore on exit. All
+/// zeros when no trace context is installed on the thread — the common
+/// (unstitched) case, which costs one thread-local read per span.
+struct SpanLink {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t prev_span_id = 0;
+};
+
+/// Mint this span's identity from the thread's installed context (zeros
+/// when none) and make it the thread's current span.
+[[nodiscard]] SpanLink enter_span() noexcept;
+/// Restore the thread's current span to link.prev_span_id (no-op when the
+/// link is zero).
+void exit_span(const SpanLink& link) noexcept;
+
 /// Record one completed span (implemented in trace.cpp; called once per
 /// enabled span from ~Span).
 void record_span(const char* name, const char* category,
                  std::chrono::steady_clock::time_point start,
                  std::chrono::steady_clock::time_point end,
-                 const char* arg_name, double arg_value) noexcept;
+                 const char* arg_name, double arg_value,
+                 const SpanLink& link) noexcept;
 }  // namespace detail
+
+/// Install `ctx` as the calling thread's ambient trace context for the
+/// guard's lifetime: every Span opened on this thread while the guard lives
+/// mints a span id, parents under the innermost enclosing span (or
+/// ctx.parent_span_id at the root), and records the trace id with its
+/// event. Nests and restores the previous context on destruction. Safe (and
+/// nearly free) while tracing is disabled.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) noexcept;
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t prev_hi_;
+  std::uint64_t prev_lo_;
+  std::uint64_t prev_span_;
+  bool prev_sampled_;
+};
+
+/// The calling thread's ambient context with parent_span_id pointing at the
+/// innermost active span — i.e. the context to put on the wire so the
+/// remote side stitches under the caller's current span. Invalid (all-zero)
+/// when no context is installed.
+[[nodiscard]] TraceContext current_trace_context() noexcept;
 
 /// RAII span guard: measures construction -> destruction on the monotonic
 /// clock and records it into the calling thread's buffer.
@@ -111,7 +169,10 @@ class Span {
       : active_(detail::g_trace_enabled.load(std::memory_order_relaxed)),
         name_(name),
         category_(category) {
-    if (active_) start_ = std::chrono::steady_clock::now();
+    if (active_) {
+      link_ = detail::enter_span();
+      start_ = std::chrono::steady_clock::now();
+    }
   }
 
   Span(const char* name, const char* category, const char* arg_name,
@@ -125,7 +186,8 @@ class Span {
     if (!active_) return;
     detail::record_span(dynamic_[0] != '\0' ? dynamic_ : name_, category_,
                         start_, std::chrono::steady_clock::now(), arg_name_,
-                        arg_value_);
+                        arg_value_, link_);
+    detail::exit_span(link_);
   }
 
   Span(const Span&) = delete;
@@ -159,6 +221,7 @@ class Span {
   const char* arg_name_ = nullptr;
   double arg_value_ = 0.0;
   char dynamic_[48] = {0};  // rename() storage; empty => use name_
+  detail::SpanLink link_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -174,6 +237,15 @@ class Span {
   void rename(std::string_view) noexcept {}
   void arg(const char*, double) noexcept {}
 };
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext&) noexcept {}
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+};
+
+inline TraceContext current_trace_context() noexcept { return {}; }
 
 #endif  // DCN_TRACE_DISABLED
 

@@ -1,0 +1,107 @@
+#include "obs/trace_id.hpp"
+
+#include <atomic>
+
+#include "tensor/random.hpp"
+
+namespace dcn::obs {
+
+namespace {
+
+/// Global mint ticket: every per-thread id stream folds a unique ticket
+/// into its seed, so two threads (or two requests racing thread creation)
+/// can never clone a stream.
+std::atomic<std::uint64_t> g_mint_ticket{0};
+
+/// The per-thread id stream. Seeded once per thread from a fixed constant,
+/// the global ticket, and a process salt taken from the ASLR-randomized
+/// address of the sequence counter — deliberate, documented entropy that is
+/// neither a wall clock nor a model stream. The dcn-lint rng-contract rule
+/// blesses exactly this file for id minting; see tools/lint/lint_rules.hpp.
+Rng& id_stream() {
+  thread_local Rng stream(
+      0x5DCE9AD1C0FFEE00ULL ^
+      (g_mint_ticket.fetch_add(1, std::memory_order_relaxed) << 20) ^
+      reinterpret_cast<std::uintptr_t>(&g_mint_ticket));
+  return stream;
+}
+
+char hex_digit(std::uint64_t v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(hex_digit((v >> shift) & 0xFULL));
+  }
+}
+
+bool hex_value(char c, std::uint64_t& out) {
+  if (c >= '0' && c <= '9') {
+    out = static_cast<std::uint64_t>(c - '0');
+  } else if (c >= 'a' && c <= 'f') {
+    out = static_cast<std::uint64_t>(c - 'a') + 10;
+  } else if (c >= 'A' && c <= 'F') {
+    out = static_cast<std::uint64_t>(c - 'A') + 10;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceContext mint_trace_context() {
+  Rng& stream = id_stream();
+  TraceContext ctx;
+  do {
+    ctx.trace_hi = stream.next_u64();
+    ctx.trace_lo = stream.next_u64();
+  } while (!ctx.valid());
+  ctx.parent_span_id = 0;
+  ctx.sampled = true;
+  return ctx;
+}
+
+std::uint64_t mint_span_id() {
+  Rng& stream = id_stream();
+  std::uint64_t id = 0;
+  while (id == 0) id = stream.next_u64();
+  return id;
+}
+
+std::string trace_id_hex(std::uint64_t hi, std::uint64_t lo) {
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, hi);
+  append_hex64(out, lo);
+  return out;
+}
+
+std::string span_id_hex(std::uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  append_hex64(out, id);
+  return out;
+}
+
+bool parse_trace_id_hex(const std::string& text, std::uint64_t& hi,
+                        std::uint64_t& lo) {
+  if (text.size() != 32) return false;
+  std::uint64_t h = 0;
+  std::uint64_t l = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    std::uint64_t digit = 0;
+    if (!hex_value(text[i], digit)) return false;
+    if (i < 16) {
+      h = (h << 4) | digit;
+    } else {
+      l = (l << 4) | digit;
+    }
+  }
+  hi = h;
+  lo = l;
+  return true;
+}
+
+}  // namespace dcn::obs

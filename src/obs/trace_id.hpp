@@ -1,0 +1,58 @@
+// Trace/span identifier minting — the single blessed source of request ids.
+//
+// Distributed tracing needs ids that are unique across processes, yet the
+// library bans ambient entropy (wall clocks, random_device) everywhere in
+// src/ — determinism of *model output* is the contract, and ids must never
+// ride the model's seeded streams (a minted id must not advance any stream
+// a vote consumes). The resolution: this file owns a dedicated, per-thread
+// xoshiro stream seeded from a fixed constant mixed with a process salt
+// (the ASLR-randomized address of a local static) and a global mint
+// sequence. No wall clock is read, no model stream is touched, and the
+// dcn-lint rng-contract rule pins id minting to exactly this file — an
+// `Rng` constructed for ids anywhere else in src/obs/ or the serving tier
+// fails the lint suite.
+//
+// The wire format (docs/PROTOCOL.md, trace-context extension) carries the
+// 128-bit trace id as two u64 halves plus the minting side's span id as the
+// 64-bit parent for the receiving process's root span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dcn::obs {
+
+/// One request's trace identity as it travels the wire: a 128-bit trace id
+/// (zero means "no context"), the sender-side parent span id the receiver
+/// stitches under, and the sampling decision made at mint time.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent_span_id = 0;
+  bool sampled = false;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return (trace_hi | trace_lo) != 0;
+  }
+};
+
+/// Mint a fresh context: a non-zero 128-bit trace id, no parent span, and
+/// sampled = true. Never reads a wall clock and never touches a model
+/// stream.
+[[nodiscard]] TraceContext mint_trace_context();
+
+/// Mint a non-zero 64-bit span id from the same blessed stream.
+[[nodiscard]] std::uint64_t mint_span_id();
+
+/// 32 lowercase hex chars for the 128-bit trace id (W3C traceparent style).
+[[nodiscard]] std::string trace_id_hex(std::uint64_t hi, std::uint64_t lo);
+
+/// 16 lowercase hex chars for a 64-bit span id.
+[[nodiscard]] std::string span_id_hex(std::uint64_t id);
+
+/// Parse exactly 32 lowercase/uppercase hex chars into (hi, lo). Returns
+/// false (and leaves hi/lo untouched) on any other input.
+bool parse_trace_id_hex(const std::string& text, std::uint64_t& hi,
+                        std::uint64_t& lo);
+
+}  // namespace dcn::obs

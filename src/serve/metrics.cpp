@@ -18,11 +18,56 @@ void fetch_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
   }
 }
 
+/// Global recency stamps for ExemplarCell. One process-wide counter keeps
+/// "newest" well-defined across shards, so merge() picks the same winner no
+/// matter which histogram the observation originally landed in.
+std::uint64_t next_exemplar_stamp() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, kRelaxed) + 1;  // stamps start at 1; 0 = empty
+}
+
 }  // namespace
+
+// ---- ExemplarCell ----------------------------------------------------------
+
+void ExemplarCell::store(const obs::TraceContext& trace, double value) {
+  if (!trace.valid() || !trace.sampled) return;
+  stamp_.store(next_exemplar_stamp(), kRelaxed);
+  hi_.store(trace.trace_hi, kRelaxed);
+  lo_.store(trace.trace_lo, kRelaxed);
+  value_bits_.store(std::bit_cast<std::uint64_t>(value), kRelaxed);
+}
+
+ExemplarCell::Snapshot ExemplarCell::load() const {
+  Snapshot s;
+  s.stamp = stamp_.load(kRelaxed);
+  s.hi = hi_.load(kRelaxed);
+  s.lo = lo_.load(kRelaxed);
+  s.value = std::bit_cast<double>(value_bits_.load(kRelaxed));
+  return s;
+}
+
+void ExemplarCell::take_newer(const ExemplarCell& other) {
+  const Snapshot theirs = other.load();
+  if (theirs.stamp <= stamp_.load(kRelaxed)) return;
+  stamp_.store(theirs.stamp, kRelaxed);
+  hi_.store(theirs.hi, kRelaxed);
+  lo_.store(theirs.lo, kRelaxed);
+  value_bits_.store(std::bit_cast<std::uint64_t>(theirs.value), kRelaxed);
+}
+
+void ExemplarCell::clear() {
+  stamp_.store(0, kRelaxed);
+  hi_.store(0, kRelaxed);
+  lo_.store(0, kRelaxed);
+  value_bits_.store(0, kRelaxed);
+}
 
 // ---- LatencyHistogram ------------------------------------------------------
 
-void LatencyHistogram::record(double us) {
+void LatencyHistogram::record(double us) { record(us, obs::TraceContext{}); }
+
+void LatencyHistogram::record(double us, const obs::TraceContext& trace) {
   const auto v = static_cast<std::uint64_t>(std::llround(std::max(us, 0.0)));
   std::size_t bucket = std::bit_width(v);  // 0 -> 0, [2^(i-1), 2^i) -> i
   if (bucket >= kBuckets) bucket = kBuckets - 1;
@@ -30,6 +75,7 @@ void LatencyHistogram::record(double us) {
   count_.fetch_add(1, kRelaxed);
   sum_us_.fetch_add(v, kRelaxed);
   fetch_max(max_us_, v);
+  if (trace.valid() && trace.sampled) exemplars_[bucket].store(trace, us);
 }
 
 LatencyHistogram::Summary LatencyHistogram::summarize() const {
@@ -71,6 +117,7 @@ LatencyHistogram::Summary LatencyHistogram::summarize() const {
 
 void LatencyHistogram::reset() {
   for (auto& b : buckets_) b.store(0, kRelaxed);
+  for (auto& e : exemplars_) e.clear();
   count_.store(0, kRelaxed);
   sum_us_.store(0, kRelaxed);
   max_us_.store(0, kRelaxed);
@@ -80,10 +127,20 @@ void LatencyHistogram::merge(const LatencyHistogram& other) {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     const std::uint64_t n = other.buckets_[i].load(kRelaxed);
     if (n != 0) buckets_[i].fetch_add(n, kRelaxed);
+    exemplars_[i].take_newer(other.exemplars_[i]);
   }
   count_.fetch_add(other.count_.load(kRelaxed), kRelaxed);
   sum_us_.fetch_add(other.sum_us_.load(kRelaxed), kRelaxed);
   fetch_max(max_us_, other.max_us_.load(kRelaxed));
+}
+
+ExemplarCell::Snapshot LatencyHistogram::newest_exemplar() const {
+  ExemplarCell::Snapshot newest;
+  for (const ExemplarCell& cell : exemplars_) {
+    const ExemplarCell::Snapshot s = cell.load();
+    if (s.stamp > newest.stamp) newest = s;
+  }
+  return newest;
 }
 
 eval::JsonObject LatencyHistogram::to_json() const {
@@ -95,6 +152,11 @@ eval::JsonObject LatencyHistogram::to_json() const {
       .set("p95_us", s.p95_us)
       .set("p99_us", s.p99_us)
       .set("max_us", s.max_us);
+  const ExemplarCell::Snapshot ex = newest_exemplar();
+  if (ex.present()) {
+    json.set("exemplar_trace", obs::trace_id_hex(ex.hi, ex.lo))
+        .set("exemplar_us", ex.value);
+  }
   return json;
 }
 
@@ -117,8 +179,14 @@ void LatencyHistogram::collect(const std::string& family, const char* help,
     // zeros), so its inclusive upper bound is 2^i - 1; Prometheus `le` wants
     // the bound the cumulative count is valid at.
     const std::uint64_t le = i == 0 ? 0 : (1ULL << i) - 1;
-    out.push_back({family + "_bucket", help, obs::MetricType::kHistogram, "le",
-                   std::to_string(le), static_cast<double>(cumulative)});
+    obs::Metric m{family + "_bucket", help, obs::MetricType::kHistogram, "le",
+                  std::to_string(le), static_cast<double>(cumulative)};
+    const ExemplarCell::Snapshot ex = exemplars_[i].load();
+    if (ex.present()) {
+      m.exemplar_trace = obs::trace_id_hex(ex.hi, ex.lo);
+      m.exemplar_value = ex.value;
+    }
+    out.push_back(std::move(m));
   }
   out.push_back({family + "_bucket", help, obs::MetricType::kHistogram, "le",
                  "+Inf", static_cast<double>(total)});
@@ -149,19 +217,21 @@ void ServerMetrics::on_flush(std::size_t batch_size, bool full, bool timer) {
 
 void ServerMetrics::on_result(bool flagged_adversarial, bool tier0_resolved,
                               std::size_t corrector_samples, double queue_us,
-                              double total_us) {
+                              double total_us, const obs::TraceContext& trace) {
   completed_.fetch_add(1, kRelaxed);
   if (flagged_adversarial) {
     detector_positives_.fetch_add(1, kRelaxed);
     if (tier0_resolved) {
       tier0_hits_.fetch_add(1, kRelaxed);
+      tier0_exemplar_.store(trace, static_cast<double>(corrector_samples));
     } else {
       tier1_votes_.fetch_add(1, kRelaxed);
       corrector_samples_.fetch_add(corrector_samples, kRelaxed);
+      tier1_exemplar_.store(trace, static_cast<double>(corrector_samples));
     }
   }
-  queue_wait_.record(queue_us);
-  end_to_end_.record(total_us);
+  queue_wait_.record(queue_us, trace);
+  end_to_end_.record(total_us, trace);
 }
 
 ServerMetrics::Snapshot ServerMetrics::snapshot() const {
@@ -219,6 +289,19 @@ eval::JsonObject ServerMetrics::to_json(std::size_t current_queue_depth) const {
       .set("corrector_samples", static_cast<std::size_t>(s.corrector_samples))
       .set("corrector_samples_per_flagged", s.samples_per_flagged)
       .set("corrector_tier0_hit_rate", s.tier0_hit_rate);
+  // Exemplars: the latest sampled trace that took each corrector path, so
+  // the bench JSON links a counter movement to a fetchable trace id.
+  const ExemplarCell::Snapshot tier0_ex = tier0_exemplar_.load();
+  if (tier0_ex.present()) {
+    json.set("tier0_exemplar_trace",
+             obs::trace_id_hex(tier0_ex.hi, tier0_ex.lo));
+  }
+  const ExemplarCell::Snapshot tier1_ex = tier1_exemplar_.load();
+  if (tier1_ex.present()) {
+    json.set("tier1_exemplar_trace",
+             obs::trace_id_hex(tier1_ex.hi, tier1_ex.lo))
+        .set("tier1_exemplar_samples", tier1_ex.value);
+  }
   // The non-empty head of the batch-size distribution (index = batch size;
   // the last slot aggregates anything larger).
   std::vector<double> sizes;
@@ -258,15 +341,26 @@ void ServerMetrics::collect(std::vector<obs::Metric>& out,
   counter("dcn_server_detector_positives_total",
           "Requests flagged adversarial (corrector activations)",
           static_cast<double>(s.detector_positives));
+  // The tier counters carry exemplars: the latest sampled trace that took
+  // each path, so a counter burst links straight to a fetchable trace.
+  auto attach = [](obs::Metric& m, const ExemplarCell& cell) {
+    const ExemplarCell::Snapshot ex = cell.load();
+    if (!ex.present()) return;
+    m.exemplar_trace = obs::trace_id_hex(ex.hi, ex.lo);
+    m.exemplar_value = ex.value;
+  };
   counter("dcn_server_corrector_tier0_hits_total",
           "Flagged requests resolved by the Tier-0 logit corrector",
           static_cast<double>(s.tier0_hits));
+  attach(out.back(), tier0_exemplar_);
   counter("dcn_server_corrector_tier1_votes_total",
           "Flagged requests that paid a Tier-1 region vote",
           static_cast<double>(s.tier1_votes));
+  attach(out.back(), tier1_exemplar_);
   counter("dcn_server_corrector_samples_total",
           "Region samples classified across all Tier-1 votes",
           static_cast<double>(s.corrector_samples));
+  attach(out.back(), tier1_exemplar_);
   gauge("dcn_server_corrector_samples_per_flagged",
         "Mean region samples per flagged request",
         s.samples_per_flagged);
@@ -294,6 +388,8 @@ void ServerMetrics::reset() {
     c->store(0, kRelaxed);
   }
   for (auto& slot : batch_sizes_) slot.store(0, kRelaxed);
+  tier0_exemplar_.clear();
+  tier1_exemplar_.clear();
   queue_wait_.reset();
   end_to_end_.reset();
 }
@@ -318,6 +414,8 @@ void ServerMetrics::merge(const ServerMetrics& other) {
     const std::uint64_t n = other.batch_sizes_[i].load(kRelaxed);
     if (n != 0) batch_sizes_[i].fetch_add(n, kRelaxed);
   }
+  tier0_exemplar_.take_newer(other.tier0_exemplar_);
+  tier1_exemplar_.take_newer(other.tier1_exemplar_);
   queue_wait_.merge(other.queue_wait_);
   end_to_end_.merge(other.end_to_end_);
 }

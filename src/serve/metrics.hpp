@@ -18,13 +18,47 @@
 
 #include "eval/bench_json.hpp"
 #include "obs/registry.hpp"
+#include "obs/trace_id.hpp"
 
 namespace dcn::serve {
 
+/// Most-recent-exemplar slot: the trace id and observed value of the latest
+/// sampled request that touched the metric it decorates. The four words are
+/// independent relaxed atomics with a monotonic stamp deciding recency — a
+/// concurrently overwritten cell can momentarily pair one request's id with
+/// another's value, which is acceptable for an advisory debugging link
+/// (exemplars never feed decisions) and keeps record() lock-free.
+struct ExemplarCell {
+  std::atomic<std::uint64_t> stamp_{0};  // 0 = empty; global arrival order
+  std::atomic<std::uint64_t> hi_{0};
+  std::atomic<std::uint64_t> lo_{0};
+  std::atomic<std::uint64_t> value_bits_{0};  // bit-cast double
+
+  /// Overwrite with `trace`/`value`, taking a fresh recency stamp. Only
+  /// sampled, valid contexts are recorded.
+  void store(const obs::TraceContext& trace, double value);
+
+  struct Snapshot {
+    std::uint64_t stamp = 0;
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    double value = 0.0;
+    [[nodiscard]] bool present() const { return stamp != 0; }
+  };
+  [[nodiscard]] Snapshot load() const;
+
+  /// Keep whichever of {this, other} carries the newer stamp (merge).
+  void take_newer(const ExemplarCell& other);
+  void clear();
+};
+
 class LatencyHistogram {
  public:
-  /// Record one latency observation, in microseconds.
+  /// Record one latency observation, in microseconds. The overload with a
+  /// trace context additionally pins the observation as its bucket's
+  /// exemplar when the context is valid and sampled.
   void record(double us);
+  void record(double us, const obs::TraceContext& trace);
 
   struct Summary {
     std::uint64_t count = 0;
@@ -36,18 +70,25 @@ class LatencyHistogram {
   };
   [[nodiscard]] Summary summarize() const;
 
-  /// Zero every bucket and the aggregates. Quiescent-point operation: call
-  /// with no record() in flight (e.g. between bench reps).
+  /// Zero every bucket and the aggregates (exemplars included).
+  /// Quiescent-point operation: call with no record() in flight (e.g.
+  /// between bench reps).
   void reset();
 
   /// Fold `other`'s observations into this histogram. Safe against
   /// concurrent record() on either side — both read and write with relaxed
   /// atomics — so shards recorded on different threads merge losslessly
   /// (bucket counts and sums are exact; max is exact; quantiles are as exact
-  /// as a single histogram's).
+  /// as a single histogram's). Each bucket keeps whichever side's exemplar
+  /// is newer.
   void merge(const LatencyHistogram& other);
 
-  /// {count, mean_us, p50_us, p95_us, p99_us, max_us} for metrics export.
+  /// The most recently stamped exemplar across all buckets (stamp == 0 when
+  /// no sampled request has been recorded since the last reset).
+  [[nodiscard]] ExemplarCell::Snapshot newest_exemplar() const;
+
+  /// {count, mean_us, p50_us, p95_us, p99_us, max_us} for metrics export,
+  /// plus exemplar_trace/exemplar_us when a sampled request is linked.
   [[nodiscard]] eval::JsonObject to_json() const;
 
   /// Append this histogram as a Prometheus histogram family named `family`:
@@ -63,6 +104,7 @@ class LatencyHistogram {
   // latencies past 6 days, beyond any plausible request lifetime.
   static constexpr std::size_t kBuckets = 40;
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::array<ExemplarCell, kBuckets> exemplars_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_us_{0};
   std::atomic<std::uint64_t> max_us_{0};
@@ -79,10 +121,12 @@ class ServerMetrics {
   void on_flush(std::size_t batch_size, bool full, bool timer);
   /// `tier0_resolved` / `corrector_samples` attribute the corrector fast
   /// path: a flagged request is either a Tier-0 hit (no samples) or a
-  /// Tier-1 vote that classified `corrector_samples` region samples.
+  /// Tier-1 vote that classified `corrector_samples` region samples. A
+  /// valid, sampled `trace` becomes the exemplar of every latency bucket
+  /// and tier counter this result lands in.
   void on_result(bool flagged_adversarial, bool tier0_resolved,
                  std::size_t corrector_samples, double queue_us,
-                 double total_us);
+                 double total_us, const obs::TraceContext& trace = {});
 
   // -- Export ----------------------------------------------------------------
   struct Snapshot {
@@ -155,6 +199,10 @@ class ServerMetrics {
   // land in the overflow bucket so the distribution stays bounded.
   static constexpr std::size_t kBatchSizeSlots = 33;
   std::array<std::atomic<std::uint64_t>, kBatchSizeSlots> batch_sizes_{};
+  // Exemplars on the corrector attribution counters: the latest sampled
+  // trace that scored a Tier-0 hit / paid a Tier-1 vote (value = samples).
+  ExemplarCell tier0_exemplar_;
+  ExemplarCell tier1_exemplar_;
   LatencyHistogram queue_wait_;
   LatencyHistogram end_to_end_;
 };

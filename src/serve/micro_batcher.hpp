@@ -22,18 +22,23 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/trace_id.hpp"
 #include "serve/types.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dcn::serve {
 
 /// A queued request: the input, the promise its submitter holds the future
-/// of, and the bookkeeping the metrics layer needs.
+/// of, and the bookkeeping the metrics layer needs. `trace` is the wire
+/// trace context riding with the request (invalid when the caller sent
+/// none) — carried here so provenance works even when the span tracer is
+/// compiled out.
 struct PendingRequest {
   Tensor input;
   std::promise<ServeResult> promise;
   std::chrono::steady_clock::time_point enqueued;
   std::uint64_t sequence = 0;
+  obs::TraceContext trace;
 };
 
 class MicroBatcher {

@@ -1,5 +1,7 @@
 #include "serve/net/client.hpp"
 
+#include "obs/trace.hpp"
+
 namespace dcn::serve::net {
 
 DcnClient DcnClient::connect(std::uint16_t port,
@@ -8,7 +10,12 @@ DcnClient DcnClient::connect(std::uint16_t port,
 }
 
 void DcnClient::send_predict(const Tensor& input, bool verbose) {
-  if (!send_frame(socket_.fd(), encode_predict_request(input, verbose))) {
+  // Forward the caller's ambient trace context when one is installed;
+  // otherwise mint a fresh sampled root so every request is traceable.
+  const obs::TraceContext ambient = obs::current_trace_context();
+  last_trace_ = ambient.valid() ? ambient : obs::mint_trace_context();
+  if (!send_frame(socket_.fd(),
+                  encode_predict_request(input, verbose, last_trace_))) {
     throw std::runtime_error("DcnClient: connection closed while sending");
   }
 }
@@ -27,6 +34,15 @@ void DcnClient::send_health() {
 
 void DcnClient::send_trace() {
   if (!send_frame(socket_.fd(), encode_frame(MsgType::kTraceRequest, {}))) {
+    throw std::runtime_error("DcnClient: connection closed while sending");
+  }
+}
+
+void DcnClient::send_trace_query(std::uint64_t trace_hi,
+                                 std::uint64_t trace_lo) {
+  if (!send_frame(socket_.fd(),
+                  encode_frame(MsgType::kTraceQueryRequest,
+                               encode_trace_query(trace_hi, trace_lo)))) {
     throw std::runtime_error("DcnClient: connection closed while sending");
   }
 }
@@ -53,6 +69,7 @@ DcnClient::Response DcnClient::recv() {
       break;
     case MsgType::kMetricsResponse:
     case MsgType::kTraceResponse:
+    case MsgType::kTraceQueryResponse:
       response.text = decode_text(frame.payload);
       break;
     default:
@@ -96,6 +113,12 @@ std::string DcnClient::metrics() {
 std::string DcnClient::trace() {
   send_trace();
   return expect(MsgType::kTraceResponse).text;
+}
+
+std::string DcnClient::trace_query(std::uint64_t trace_hi,
+                                   std::uint64_t trace_lo) {
+  send_trace_query(trace_hi, trace_lo);
+  return expect(MsgType::kTraceQueryResponse).text;
 }
 
 HealthInfo DcnClient::health() {

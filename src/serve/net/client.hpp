@@ -55,14 +55,21 @@ class DcnClient {
     ServeNetResult verbose;       // kPredictVerboseResponse
     WireError error;              // kErrorResponse
     HealthInfo health;            // kHealthResponse
-    std::string text;             // kMetricsResponse / kTraceResponse
+    std::string text;             // kMetrics/kTrace/kTraceQueryResponse
   };
 
   // -- Pipelined primitives --------------------------------------------------
+  /// Every predict frame carries a trace context: the thread's ambient
+  /// context when one is installed (ScopedTraceContext — the request joins
+  /// the caller's trace, parented under its current span), a freshly minted
+  /// sampled root otherwise. last_trace() returns whichever went out, so a
+  /// caller can TraceQuery the id later. Minting is id arithmetic only
+  /// (src/obs/trace_id.cpp) — no wall clock, no global RNG.
   void send_predict(const Tensor& input, bool verbose = false);
   void send_metrics();
   void send_health();
   void send_trace();
+  void send_trace_query(std::uint64_t trace_hi, std::uint64_t trace_lo);
   /// Block for the next response frame. Throws std::runtime_error if the
   /// server hangs up first.
   Response recv();
@@ -72,7 +79,15 @@ class DcnClient {
   ServeNetResult predict_verbose(const Tensor& input);
   std::string metrics();
   std::string trace();
+  /// The per-request view: the server's span tree filtered to this trace id
+  /// plus the matching retained DecisionRecords, as one JSON object.
+  std::string trace_query(std::uint64_t trace_hi, std::uint64_t trace_lo);
   HealthInfo health();
+
+  /// The trace context sent with the most recent predict frame.
+  [[nodiscard]] const obs::TraceContext& last_trace() const {
+    return last_trace_;
+  }
 
   [[nodiscard]] int fd() const { return socket_.fd(); }
   void close() { socket_.close_fd(); }
@@ -82,6 +97,7 @@ class DcnClient {
   Response expect(MsgType want);
 
   Socket socket_;
+  obs::TraceContext last_trace_;
 };
 
 }  // namespace dcn::serve::net

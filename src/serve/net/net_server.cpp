@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -37,7 +38,7 @@ struct NetServer::Connection {
 /// in FIFO order — which is frame-arrival order, so responses leave in
 /// request order per connection.
 struct NetServer::Job {
-  enum class Kind { kPredict, kMetrics, kHealth, kTrace, kError };
+  enum class Kind { kPredict, kMetrics, kHealth, kTrace, kTraceQuery, kError };
   Kind kind = Kind::kError;
   std::shared_ptr<Connection> conn;
   bool verbose = false;
@@ -46,8 +47,66 @@ struct NetServer::Job {
   ErrorCode code = ErrorCode::kInternal;
   std::uint32_t retry_after_ms = 0;
   std::string message;
+  // The request's wire trace context (invalid when the client sent none).
+  // Echoed on the response — including error frames, so an Overloaded shed
+  // stays attributable to the trace that suffered it.
+  obs::TraceContext trace;
+  std::uint64_t query_hi = 0;  // kTraceQuery only
+  std::uint64_t query_lo = 0;
   bool close_after = false;  // fatal errors: write, then hang up
 };
+
+namespace {
+
+void append_json_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+/// The kTraceQueryResponse body: a Chrome-trace-compatible object carrying
+/// the filtered span tree plus every retained DecisionRecord of the queried
+/// id. Loadable directly in Perfetto (which ignores the extra key).
+std::string trace_query_json(std::uint64_t hi, std::uint64_t lo,
+                             const std::vector<DecisionRecord>& records) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":";
+  out += obs::trace_events_json(hi, lo);
+  out += ",\"decisionRecords\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const DecisionRecord& r = records[i];
+    if (i != 0) out += ',';
+    out += "{\"trace_id\":\"";
+    out += obs::trace_id_hex(r.trace_hi, r.trace_lo);
+    out += "\",\"shard\":" + std::to_string(r.shard);
+    out += ",\"label\":" + std::to_string(r.result.label);
+    out += ",\"dnn_label\":" + std::to_string(r.result.dnn_label);
+    out += ",\"flagged_adversarial\":";
+    out += r.result.flagged_adversarial ? "true" : "false";
+    out += ",\"tier0_resolved\":";
+    out += r.result.tier0_resolved ? "true" : "false";
+    out += ",\"tier0_policy\":" + std::to_string(r.result.tier0_policy);
+    out += ",\"corrector_samples\":" +
+           std::to_string(r.result.corrector_samples);
+    out += ",\"chunks_used\":" + std::to_string(r.result.chunks_used);
+    out += ",\"stop_rule\":\"";
+    out += core::stop_rule_name(
+        static_cast<core::StopRule>(r.result.stop_rule));
+    out += "\",\"rng_segment\":" + std::to_string(r.result.rng_segment);
+    out += ",\"detector_margin\":";
+    append_json_double(out, r.result.detector_margin);
+    out += ",\"queue_us\":";
+    append_json_double(out, r.result.queue_us);
+    out += ",\"compute_us\":";
+    append_json_double(out, r.result.compute_us);
+    out += ",\"total_us\":";
+    append_json_double(out, r.result.total_us);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
 
 struct NetServer::Writer {
   std::mutex mutex;
@@ -357,40 +416,49 @@ void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
                              Frame frame) {
   DCN_TRACE_SPAN("net.frame", "serve.net");
   const auto send_error = [&](ErrorCode code, std::uint32_t retry_ms,
-                              std::string message) {
+                              std::string message,
+                              const obs::TraceContext& trace = {}) {
     Job job;
     job.kind = Job::Kind::kError;
     job.code = code;
     job.retry_after_ms = retry_ms;
     job.message = std::move(message);
+    job.trace = trace;
     enqueue_job(conn, std::move(job));
   };
 
   switch (frame.type) {
     case MsgType::kPredictRequest:
     case MsgType::kPredictVerboseRequest: {
-      if (draining_.load(std::memory_order_acquire)) {
-        send_error(ErrorCode::kShuttingDown, 0, "server draining");
-        return;
-      }
-      Tensor input;
+      PredictRequest request;
       try {
-        input = decode_predict_payload(frame.payload);
+        request = decode_predict_request(frame.payload);
       } catch (const ProtocolError& e) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
         send_error(ErrorCode::kBadPayload, 0, e.what());
         return;
       }
+      if (draining_.load(std::memory_order_acquire)) {
+        send_error(ErrorCode::kShuttingDown, 0, "server draining",
+                   request.trace);
+        return;
+      }
+      // Dispatch under the request's context so the server-side placement
+      // span stitches into the client's trace.
+      obs::ScopedTraceContext trace_scope(request.trace);
+      DCN_TRACE_SPAN("net.dispatch", "serve.net");
       RouterTicket ticket;
       try {
-        ticket = router_->submit(std::move(input));
+        ticket = router_->submit(std::move(request.input), request.trace);
       } catch (const std::exception&) {
-        send_error(ErrorCode::kShuttingDown, 0, "server draining");
+        send_error(ErrorCode::kShuttingDown, 0, "server draining",
+                   request.trace);
         return;
       }
       if (!ticket.admitted) {
         send_error(ErrorCode::kOverloaded, ticket.retry_after_ms,
-                   std::string("shed: ") + shed_reason_name(ticket.reason));
+                   std::string("shed: ") + shed_reason_name(ticket.reason),
+                   request.trace);
         return;
       }
       Job job;
@@ -398,6 +466,7 @@ void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
       job.verbose = frame.type == MsgType::kPredictVerboseRequest;
       job.shard = static_cast<std::uint32_t>(ticket.shard);
       job.future = std::move(ticket.future);
+      job.trace = request.trace;
       enqueue_job(conn, std::move(job));
       return;
     }
@@ -416,6 +485,19 @@ void NetServer::handle_frame(const std::shared_ptr<Connection>& conn,
     case MsgType::kTraceRequest: {
       Job job;
       job.kind = Job::Kind::kTrace;
+      enqueue_job(conn, std::move(job));
+      return;
+    }
+    case MsgType::kTraceQueryRequest: {
+      Job job;
+      job.kind = Job::Kind::kTraceQuery;
+      try {
+        decode_trace_query(frame.payload, job.query_hi, job.query_lo);
+      } catch (const ProtocolError& e) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        send_error(ErrorCode::kBadPayload, 0, e.what());
+        return;
+      }
       enqueue_job(conn, std::move(job));
       return;
     }
@@ -461,14 +543,16 @@ void NetServer::writer_loop(Writer& writer) {
           const ServeResult result = job.future.get();
           frame = job.verbose
                       ? encode_frame(MsgType::kPredictVerboseResponse,
-                                     encode_verbose_response(result, job.shard))
+                                     encode_verbose_response(result, job.shard,
+                                                             job.trace))
                       : encode_frame(MsgType::kPredictResponse,
                                      encode_predict_response(result.label));
         } catch (const std::exception& e) {
           // The shard rejected the batch — in practice a tensor the model
           // cannot take (everything else is caught before submit).
-          frame = encode_frame(MsgType::kErrorResponse,
-                               encode_error(ErrorCode::kBadShape, 0, e.what()));
+          frame = encode_frame(
+              MsgType::kErrorResponse,
+              encode_error(ErrorCode::kBadShape, 0, e.what(), job.trace));
         }
         break;
       }
@@ -484,10 +568,18 @@ void NetServer::writer_loop(Writer& writer) {
         frame = encode_frame(MsgType::kTraceResponse,
                              encode_text(obs::trace_export()));
         break;
+      case Job::Kind::kTraceQuery:
+        frame = encode_frame(
+            MsgType::kTraceQueryResponse,
+            encode_text(trace_query_json(
+                job.query_hi, job.query_lo,
+                router_->decision_records(job.query_hi, job.query_lo))));
+        break;
       case Job::Kind::kError:
         frame = encode_frame(
             MsgType::kErrorResponse,
-            encode_error(job.code, job.retry_after_ms, job.message));
+            encode_error(job.code, job.retry_after_ms, job.message,
+                         job.trace));
         break;
     }
 

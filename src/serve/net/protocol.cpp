@@ -107,6 +107,126 @@ struct Reader {
   }
 };
 
+// ---- Extension fields ------------------------------------------------------
+// Extendable payloads may be followed by TLV fields (u8 tag, u8 length,
+// `length` value bytes) after their fixed base layout. The tag set is closed
+// per version: an unknown tag, a duplicate tag, a wrong length, or an
+// out-of-range value is a ProtocolError, so both sides always agree about
+// what rode along (docs/PROTOCOL.md "Extension fields").
+
+void put_trace_ext(Bytes& out, const obs::TraceContext& trace) {
+  if (!trace.valid()) return;
+  put_u8(out, kTraceContextTag);
+  put_u8(out, static_cast<std::uint8_t>(kTraceContextBytes));
+  put_u64(out, trace.trace_hi);
+  put_u64(out, trace.trace_lo);
+  put_u64(out, trace.parent_span_id);
+  put_u8(out, trace.sampled ? 1 : 0);
+}
+
+void put_decision_ext(Bytes& out, const ServeResult& result) {
+  put_u8(out, kDecisionRecordTag);
+  put_u8(out, static_cast<std::uint8_t>(kDecisionRecordBytes));
+  put_f64(out, result.detector_margin);
+  put_u8(out, result.tier0_policy);
+  put_u8(out, result.stop_rule);
+  put_u32(out, static_cast<std::uint32_t>(result.chunks_used));
+  put_u64(out, result.rng_segment);
+  put_f64(out, result.compute_us);
+}
+
+/// Decoded extension fields. `trace` stays invalid (zero id) when the peer
+/// sent none; `has_decision` gates the provenance block.
+struct Extensions {
+  obs::TraceContext trace;
+  bool has_decision = false;
+  double detector_margin = 0.0;
+  std::uint8_t tier0_policy = 0;
+  std::uint8_t stop_rule = 0;
+  std::uint32_t chunks_used = 0;
+  std::uint64_t rng_segment = 0;
+  double compute_us = 0.0;
+};
+
+Extensions read_extensions(Reader& r, bool allow_decision) {
+  Extensions out;
+  bool has_trace = false;
+  while (r.off < r.n) {
+    const std::uint8_t tag = r.u8();
+    const std::uint8_t len = r.u8();
+    switch (tag) {
+      case kTraceContextTag: {
+        if (has_trace) {
+          throw ProtocolError("duplicate trace-context extension");
+        }
+        if (len != kTraceContextBytes) {
+          throw ProtocolError("trace-context extension length " +
+                              std::to_string(len) + " != " +
+                              std::to_string(kTraceContextBytes));
+        }
+        out.trace.trace_hi = r.u64();
+        out.trace.trace_lo = r.u64();
+        out.trace.parent_span_id = r.u64();
+        const std::uint8_t sampled = r.u8();
+        // sampled is a boolean on the wire; other values mean a dialect we
+        // do not speak, not a flag to coerce.
+        if (sampled > 1) {
+          throw ProtocolError("trace-context sampled flag " +
+                              std::to_string(sampled) + " is not 0 or 1");
+        }
+        out.trace.sampled = sampled == 1;
+        // The all-zero id is the "no trace" sentinel; sending it inside the
+        // extension that exists to carry a trace is a contradiction.
+        if (!out.trace.valid()) {
+          throw ProtocolError("trace-context extension carries a zero trace id");
+        }
+        has_trace = true;
+        break;
+      }
+      case kDecisionRecordTag: {
+        if (!allow_decision) {
+          throw ProtocolError(
+              "decision-record extension on a payload that cannot carry one");
+        }
+        if (out.has_decision) {
+          throw ProtocolError("duplicate decision-record extension");
+        }
+        if (len != kDecisionRecordBytes) {
+          throw ProtocolError("decision-record extension length " +
+                              std::to_string(len) + " != " +
+                              std::to_string(kDecisionRecordBytes));
+        }
+        out.detector_margin = r.f64();
+        out.tier0_policy = r.u8();
+        out.stop_rule = r.u8();
+        out.chunks_used = r.u32();
+        out.rng_segment = r.u64();
+        out.compute_us = r.f64();
+        if (!std::isfinite(out.detector_margin)) {
+          throw ProtocolError("non-finite detector margin in decision record");
+        }
+        if (out.tier0_policy > 2) {
+          throw ProtocolError("unknown tier-0 policy " +
+                              std::to_string(out.tier0_policy));
+        }
+        if (out.stop_rule > 4) {
+          throw ProtocolError("unknown stop rule " +
+                              std::to_string(out.stop_rule));
+        }
+        if (!std::isfinite(out.compute_us) || out.compute_us < 0.0) {
+          throw ProtocolError(
+              "non-finite or negative compute time in decision record");
+        }
+        out.has_decision = true;
+        break;
+      }
+      default:
+        throw ProtocolError("unknown extension tag " + std::to_string(tag));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* msg_type_name(MsgType type) {
@@ -116,11 +236,13 @@ const char* msg_type_name(MsgType type) {
     case MsgType::kMetricsRequest: return "MetricsRequest";
     case MsgType::kHealthRequest: return "HealthRequest";
     case MsgType::kTraceRequest: return "TraceRequest";
+    case MsgType::kTraceQueryRequest: return "TraceQueryRequest";
     case MsgType::kPredictResponse: return "PredictResponse";
     case MsgType::kPredictVerboseResponse: return "PredictVerboseResponse";
     case MsgType::kMetricsResponse: return "MetricsResponse";
     case MsgType::kHealthResponse: return "HealthResponse";
     case MsgType::kTraceResponse: return "TraceResponse";
+    case MsgType::kTraceQueryResponse: return "TraceQueryResponse";
     case MsgType::kErrorResponse: return "ErrorResponse";
   }
   return "Unknown";
@@ -175,25 +297,28 @@ bool try_extract_frame(Bytes& buffer, Frame& out, std::size_t max_frame_bytes) {
   return true;
 }
 
-Bytes encode_predict_request(const Tensor& input, bool verbose) {
+Bytes encode_predict_request(const Tensor& input, bool verbose,
+                             const obs::TraceContext& trace) {
   if (input.rank() == 0 || input.rank() > kMaxTensorRank) {
     throw ProtocolError("tensor rank " + std::to_string(input.rank()) +
                         " outside [1, " + std::to_string(kMaxTensorRank) +
                         "]");
   }
   Bytes payload;
-  payload.reserve(1 + 4 * input.rank() + 4 * input.size());
+  payload.reserve(1 + 4 * input.rank() + 4 * input.size() +
+                  2 + kTraceContextBytes);
   put_u8(payload, static_cast<std::uint8_t>(input.rank()));
   for (std::size_t i = 0; i < input.rank(); ++i) {
     put_u32(payload, static_cast<std::uint32_t>(input.dim(i)));
   }
   for (float v : input.data()) put_f32(payload, v);
+  put_trace_ext(payload, trace);
   return encode_frame(verbose ? MsgType::kPredictVerboseRequest
                               : MsgType::kPredictRequest,
                       payload);
 }
 
-Tensor decode_predict_payload(const Bytes& payload) {
+PredictRequest decode_predict_request(const Bytes& payload) {
   Reader r(payload);
   const std::uint8_t rank = r.u8();
   if (rank == 0 || rank > kMaxTensorRank) {
@@ -226,8 +351,15 @@ Tensor decode_predict_payload(const Bytes& payload) {
                           std::to_string(i));
     }
   }
-  r.expect_end();
-  return {Shape(std::move(dims)), std::move(values)};
+  const Extensions ext = read_extensions(r, /*allow_decision=*/false);
+  PredictRequest out;
+  out.input = Tensor{Shape(std::move(dims)), std::move(values)};
+  out.trace = ext.trace;
+  return out;
+}
+
+Tensor decode_predict_payload(const Bytes& payload) {
+  return decode_predict_request(payload).input;
 }
 
 Bytes encode_predict_response(std::size_t label) {
@@ -243,7 +375,8 @@ std::size_t decode_predict_response(const Bytes& payload) {
   return label;
 }
 
-Bytes encode_verbose_response(const ServeResult& result, std::uint32_t shard) {
+Bytes encode_verbose_response(const ServeResult& result, std::uint32_t shard,
+                              const obs::TraceContext& trace) {
   Bytes payload;
   put_u32(payload, static_cast<std::uint32_t>(result.label));
   put_u32(payload, static_cast<std::uint32_t>(result.dnn_label));
@@ -257,6 +390,8 @@ Bytes encode_verbose_response(const ServeResult& result, std::uint32_t shard) {
   put_u64(payload, result.sequence);
   put_f64(payload, result.queue_us);
   put_f64(payload, result.total_us);
+  put_trace_ext(payload, trace);
+  put_decision_ext(payload, result);
   return payload;
 }
 
@@ -287,18 +422,28 @@ ServeNetResult decode_verbose_response(const Bytes& payload) {
       !std::isfinite(out.result.total_us) || out.result.total_us < 0.0) {
     throw ProtocolError("non-finite or negative latency in verbose response");
   }
-  r.expect_end();
+  const Extensions ext = read_extensions(r, /*allow_decision=*/true);
+  out.trace = ext.trace;
+  if (ext.has_decision) {
+    out.result.detector_margin = ext.detector_margin;
+    out.result.tier0_policy = ext.tier0_policy;
+    out.result.stop_rule = ext.stop_rule;
+    out.result.chunks_used = ext.chunks_used;
+    out.result.rng_segment = ext.rng_segment;
+    out.result.compute_us = ext.compute_us;
+  }
   return out;
 }
 
 Bytes encode_error(ErrorCode code, std::uint32_t retry_after_ms,
-                   std::string_view message) {
+                   std::string_view message, const obs::TraceContext& trace) {
   if (message.size() > 0xFFFFU) message = message.substr(0, 0xFFFFU);
   Bytes payload;
   put_u16(payload, static_cast<std::uint16_t>(code));
   put_u32(payload, retry_after_ms);
   put_u16(payload, static_cast<std::uint16_t>(message.size()));
   payload.insert(payload.end(), message.begin(), message.end());
+  put_trace_ext(payload, trace);
   return payload;
 }
 
@@ -317,8 +462,28 @@ WireError decode_error(const Bytes& payload) {
   out.retry_after_ms = r.u32();
   const std::uint16_t len = r.u16();
   out.message = r.bytes_as_string(len);
-  r.expect_end();
+  out.trace = read_extensions(r, /*allow_decision=*/false).trace;
   return out;
+}
+
+Bytes encode_trace_query(std::uint64_t trace_hi, std::uint64_t trace_lo) {
+  Bytes payload;
+  put_u64(payload, trace_hi);
+  put_u64(payload, trace_lo);
+  return payload;
+}
+
+void decode_trace_query(const Bytes& payload, std::uint64_t& trace_hi,
+                        std::uint64_t& trace_lo) {
+  Reader r(payload);
+  trace_hi = r.u64();
+  trace_lo = r.u64();
+  // The zero id is the "no trace" sentinel everywhere else; a query for it
+  // would silently match unattributed spans, so refuse it at the codec.
+  if ((trace_hi | trace_lo) == 0) {
+    throw ProtocolError("trace query for the zero trace id");
+  }
+  r.expect_end();
 }
 
 Bytes encode_health(const HealthInfo& info) {

@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace_id.hpp"
 #include "serve/types.hpp"
 #include "tensor/tensor.hpp"
 
@@ -47,6 +48,23 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = 16U << 20;
 /// Tensor payloads carry at most this many dimensions.
 inline constexpr std::size_t kMaxTensorRank = 8;
 
+/// Extension tags. Extendable payloads (Predict/PredictVerbose requests,
+/// PredictVerbose responses, Error responses) may be followed by TLV
+/// extension fields: u8 tag, u8 length, `length` bytes of value. Tags and
+/// value layouts are closed sets per version — an unknown tag, a duplicate
+/// tag, or a wrong length is a decode error (docs/PROTOCOL.md
+/// "Extension fields").
+/// Trace-context extension value: u64 trace_hi, u64 trace_lo (non-zero
+/// together), u64 parent_span_id, u8 sampled (0 or 1).
+inline constexpr std::uint8_t kTraceContextTag = 0x01;
+inline constexpr std::size_t kTraceContextBytes = 25;
+/// Decision-record extension value (PredictVerbose responses only):
+/// f64 detector_margin, u8 tier0_policy (0 none / 1 confirm / 2 resolve),
+/// u8 stop_rule (0..4, serve::ServeResult docs), u32 chunks_used,
+/// u64 rng_segment, f64 compute_us.
+inline constexpr std::uint8_t kDecisionRecordTag = 0x02;
+inline constexpr std::size_t kDecisionRecordBytes = 30;
+
 /// Message types. Requests occupy 0x01..0x7F, responses 0x81..0xFE (request
 /// | 0x80), and 0xFF is the error frame any request can be answered with.
 enum class MsgType : std::uint8_t {
@@ -55,11 +73,13 @@ enum class MsgType : std::uint8_t {
   kMetricsRequest = 0x03,         // empty, Prometheus text out
   kHealthRequest = 0x04,          // empty, HealthInfo out
   kTraceRequest = 0x05,           // empty, Chrome trace JSON out
+  kTraceQueryRequest = 0x06,      // u64 hi + u64 lo, per-request trace out
   kPredictResponse = 0x81,
   kPredictVerboseResponse = 0x82,
   kMetricsResponse = 0x83,
   kHealthResponse = 0x84,
   kTraceResponse = 0x85,
+  kTraceQueryResponse = 0x86,
   kErrorResponse = 0xFF,
 };
 
@@ -92,11 +112,14 @@ struct Frame {
   Bytes payload;
 };
 
-/// Body of a kErrorResponse.
+/// Body of a kErrorResponse. `trace` echoes the failing request's trace
+/// context when the server knew it (Overloaded sheds propagate it so a shed
+/// is still attributable to the trace that suffered it).
 struct WireError {
   ErrorCode code = ErrorCode::kInternal;
   std::uint32_t retry_after_ms = 0;  // only meaningful for kOverloaded
   std::string message;
+  obs::TraceContext trace;
 };
 
 /// Body of a kHealthResponse.
@@ -109,9 +132,20 @@ struct HealthInfo {
 
 /// A PredictVerbose response: the in-process ServeResult plus the shard that
 /// served it. `result.batch_size`/`sequence` are the shard-local values.
+/// `trace` echoes the request's trace context when one was sent (invalid —
+/// all-zero id — otherwise).
 struct ServeNetResult {
   ServeResult result;
   std::uint32_t shard = 0;
+  obs::TraceContext trace;
+};
+
+/// A decoded Predict / PredictVerbose request: the input tensor plus the
+/// optional trace-context extension (`trace.valid()` is false when the
+/// client sent none).
+struct PredictRequest {
+  Tensor input;
+  obs::TraceContext trace;
 };
 
 // ---- Frame assembly --------------------------------------------------------
@@ -132,8 +166,12 @@ bool try_extract_frame(Bytes& buffer, Frame& out,
 /// Encode a complete Predict / PredictVerbose request *frame* (the message
 /// type depends on `verbose`, so this returns length prefix + type +
 /// payload, ready to send). The payload is: u8 rank, rank x u32 dims,
-/// numel x f32 row-major values. One example, no batch axis.
-[[nodiscard]] Bytes encode_predict_request(const Tensor& input, bool verbose);
+/// numel x f32 row-major values. One example, no batch axis. A valid `trace`
+/// is appended as a trace-context extension field.
+[[nodiscard]] Bytes encode_predict_request(const Tensor& input, bool verbose,
+                                           const obs::TraceContext& trace = {});
+[[nodiscard]] PredictRequest decode_predict_request(const Bytes& payload);
+/// Compatibility wrapper over decode_predict_request: tensor only.
 [[nodiscard]] Tensor decode_predict_payload(const Bytes& payload);
 
 /// Predict response payload: u32 label.
@@ -143,14 +181,27 @@ bool try_extract_frame(Bytes& buffer, Frame& out,
 /// PredictVerbose response payload: u32 label, u32 dnn_label, u8 flags
 /// (bit0 flagged_adversarial, bit1 tier0_resolved), u32 corrector_samples,
 /// u32 batch_size, u32 shard, u64 sequence, f64 queue_us, f64 total_us.
+/// A valid `trace` is echoed as a trace-context extension; the provenance
+/// block of `result` rides as a decision-record extension.
 [[nodiscard]] Bytes encode_verbose_response(const ServeResult& result,
-                                            std::uint32_t shard);
+                                            std::uint32_t shard,
+                                            const obs::TraceContext& trace = {});
 [[nodiscard]] ServeNetResult decode_verbose_response(const Bytes& payload);
 
 /// Error payload: u16 code, u32 retry_after_ms, u16 message_len, message.
+/// A valid `trace` is appended as a trace-context extension field.
 [[nodiscard]] Bytes encode_error(ErrorCode code, std::uint32_t retry_after_ms,
-                                 std::string_view message);
+                                 std::string_view message,
+                                 const obs::TraceContext& trace = {});
 [[nodiscard]] WireError decode_error(const Bytes& payload);
+
+/// TraceQuery request payload: u64 trace_hi, u64 trace_lo. The response is
+/// a text frame (kTraceQueryResponse) carrying the filtered span tree plus
+/// matching DecisionRecords as JSON.
+[[nodiscard]] Bytes encode_trace_query(std::uint64_t trace_hi,
+                                       std::uint64_t trace_lo);
+void decode_trace_query(const Bytes& payload, std::uint64_t& trace_hi,
+                        std::uint64_t& trace_lo);
 
 /// Health payload: u8 version, u8 state, u16 shards, u32 queue_depth.
 [[nodiscard]] Bytes encode_health(const HealthInfo& info);

@@ -30,6 +30,10 @@ ShardRouter::ShardRouter(std::vector<core::Dcn*> shards, RouterConfig config)
   for (core::Dcn* dcn : shards) {
     servers_.push_back(std::make_unique<DcnServer>(*dcn, per_shard));
   }
+  shard_ewma_.assign(servers_.size(), 0.0);
+  shard_seen_completed_.assign(servers_.size(), 0);
+  shard_seen_positives_.assign(servers_.size(), 0);
+  shard_sheds_.assign(servers_.size(), 0);
   metrics_source_id_ = obs::registry().add_source(
       [this](std::vector<obs::Metric>& out) {
         // Aggregate the shard blocks into one dcn_server_* family set, then
@@ -57,6 +61,26 @@ ShardRouter::ShardRouter(std::vector<core::Dcn*> shards, RouterConfig config)
                        "EWMA of the detector-positive rate",
                        obs::MetricType::kGauge, "", "",
                        stats.corrector_ewma});
+        // The dcn_attack_ family: the defense-specific overload signals a
+        // detector-aware adversary produces (docs/OPERATIONS.md "Attack
+        // pressure").
+        const AttackStats attack = attack_stats();
+        for (std::size_t i = 0; i < attack.shard_positive_rate.size(); ++i) {
+          out.push_back({"dcn_attack_positive_rate",
+                         "Windowed detector-positive rate, per shard",
+                         obs::MetricType::kGauge, "shard", std::to_string(i),
+                         attack.shard_positive_rate[i]});
+        }
+        out.push_back({"dcn_attack_positive_rate_drift",
+                       "Admission EWMA minus the configured baseline rate",
+                       obs::MetricType::kGauge, "", "", attack.drift});
+        for (std::size_t i = 0; i < attack.shard_sheds.size(); ++i) {
+          out.push_back({"dcn_attack_sheds_total",
+                         "Requests shed, attributed to the shard that would "
+                         "have served them",
+                         obs::MetricType::kCounter, "shard", std::to_string(i),
+                         static_cast<double>(attack.shard_sheds[i])});
+        }
       });
 }
 
@@ -65,22 +89,32 @@ ShardRouter::~ShardRouter() {
   obs::registry().remove_source(metrics_source_id_);
 }
 
-RouterTicket ShardRouter::submit(Tensor input) {
+RouterTicket ShardRouter::submit(Tensor input, const obs::TraceContext& trace) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (shutdown_) {
     throw std::runtime_error("ShardRouter: submit after shutdown");
   }
-  return admit_locked(std::move(input));
+  return admit_locked(std::move(input), trace);
 }
 
-RouterTicket ShardRouter::admit_locked(Tensor input) {
+RouterTicket ShardRouter::admit_locked(Tensor input,
+                                       const obs::TraceContext& trace) {
   update_ewma_locked();
   const AdmissionConfig& adm = config_.admission;
   RouterTicket ticket;
 
+  // A shed still answers "which shard would this have hit" so
+  // dcn_attack_sheds_total localizes the pressure — without advancing the
+  // tie-break rotation, which only moves for placements that happened
+  // (admitted traffic must land on the same shards whether or not sheds
+  // interleave).
+  const std::size_t shard = pick_shard_locked();
+  ticket.shard = shard;
+
   const std::size_t queued = queue_depth_total();
   if (queued >= adm.queue_watermark) {
     ++shed_queue_depth_;
+    ++shard_sheds_[shard];
     ticket.reason = ShedReason::kQueueDepth;
     // Scale the hint by the overshoot (capped at 8x) so deeper overload
     // pushes retries further out.
@@ -95,16 +129,15 @@ RouterTicket ShardRouter::admit_locked(Tensor input) {
       ewma_seen_completed_ >= adm.ewma_warmup &&
       ewma_ > adm.corrector_ewma_threshold) {
     ++shed_corrector_burst_;
+    ++shard_sheds_[shard];
     ticket.reason = ShedReason::kCorrectorBurst;
     ticket.retry_after_ms = adm.retry_after_ms;
     return ticket;
   }
 
-  const std::size_t shard = pick_shard_locked();
   ++round_robin_;
-  ticket.future = servers_[shard]->submit(std::move(input));
+  ticket.future = servers_[shard]->submit(std::move(input), trace);
   ticket.admitted = true;
-  ticket.shard = shard;
   ++admitted_;
   return ticket;
 }
@@ -112,9 +145,25 @@ RouterTicket ShardRouter::admit_locked(Tensor input) {
 void ShardRouter::update_ewma_locked() {
   std::uint64_t completed = 0;
   std::uint64_t positives = 0;
-  for (const auto& server : servers_) {
-    completed += server->metrics().completed_count();
-    positives += server->metrics().detector_positive_count();
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const ServerMetrics& m = servers_[i]->metrics();
+    const std::uint64_t c = m.completed_count();
+    const std::uint64_t p = m.detector_positive_count();
+    completed += c;
+    positives += p;
+    // Per-shard dcn_attack_positive_rate: the same delta-folding as the
+    // admission EWMA below, applied to this shard's own counters.
+    const std::uint64_t dci = c - shard_seen_completed_[i];
+    if (dci != 0) {
+      const std::uint64_t dpi = p - shard_seen_positives_[i];
+      const double keep_i = std::pow(1.0 - config_.admission.ewma_alpha,
+                                     static_cast<double>(dci));
+      const double rate_i =
+          static_cast<double>(dpi) / static_cast<double>(dci);
+      shard_ewma_[i] = shard_ewma_[i] * keep_i + rate_i * (1.0 - keep_i);
+      shard_seen_completed_[i] = c;
+      shard_seen_positives_[i] = p;
+    }
   }
   const std::uint64_t dc = completed - ewma_seen_completed_;
   if (dc == 0) return;
@@ -176,12 +225,34 @@ ShardRouter::AdmissionStats ShardRouter::admission_stats() const {
   return stats;
 }
 
+ShardRouter::AttackStats ShardRouter::attack_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AttackStats stats;
+  stats.shard_positive_rate = shard_ewma_;
+  stats.shard_sheds = shard_sheds_;
+  stats.drift = ewma_ - config_.admission.baseline_positive_rate;
+  return stats;
+}
+
+std::vector<DecisionRecord> ShardRouter::decision_records(
+    std::uint64_t trace_hi, std::uint64_t trace_lo) const {
+  std::vector<DecisionRecord> out;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    for (DecisionRecord r : servers_[i]->decision_records(trace_hi, trace_lo)) {
+      r.shard = static_cast<std::uint32_t>(i);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
 eval::JsonObject ShardRouter::metrics_json() const {
   ServerMetrics aggregate;
   for (const auto& server : servers_) aggregate.merge(server->metrics());
   eval::JsonObject json = aggregate.to_json(queue_depth_total());
 
   const AdmissionStats stats = admission_stats();
+  const AttackStats attack = attack_stats();
   eval::JsonObject router;
   router.set("shards", servers_.size())
       .set("admitted", static_cast<std::size_t>(stats.admitted))
@@ -192,14 +263,19 @@ eval::JsonObject ShardRouter::metrics_json() const {
       .set("corrector_ewma", stats.corrector_ewma)
       .set("queue_watermark", config_.admission.queue_watermark)
       .set("corrector_ewma_threshold",
-           config_.admission.corrector_ewma_threshold);
+           config_.admission.corrector_ewma_threshold)
+      .set("baseline_positive_rate",
+           config_.admission.baseline_positive_rate)
+      .set("positive_rate_drift", attack.drift);
   eval::JsonObject per_shard;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     const ServerMetrics& m = servers_[i]->metrics();
     eval::JsonObject s;
     s.set("submitted", static_cast<std::size_t>(m.submitted_count()))
         .set("completed", static_cast<std::size_t>(m.completed_count()))
-        .set("queue_depth", servers_[i]->queue_depth());
+        .set("queue_depth", servers_[i]->queue_depth())
+        .set("positive_rate", attack.shard_positive_rate[i])
+        .set("sheds", static_cast<std::size_t>(attack.shard_sheds[i]));
     per_shard.set("shard_" + std::to_string(i), s);
   }
   router.set("per_shard", per_shard);

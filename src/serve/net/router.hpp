@@ -49,6 +49,12 @@ struct AdmissionConfig {
   /// Base retry-after hint returned with Overloaded. Queue-depth sheds scale
   /// it by the overshoot so deeper overload pushes clients back harder.
   std::uint32_t retry_after_ms = 50;
+  /// Expected steady-state detector-positive rate for this deployment. The
+  /// dcn_attack_positive_rate_drift gauge reports the admission EWMA minus
+  /// this baseline, so a detector-aware flood shows up as positive drift
+  /// even on deployments whose benign traffic already trips the detector
+  /// occasionally.
+  double baseline_positive_rate = 0.0;
 };
 
 struct RouterConfig {
@@ -84,8 +90,10 @@ class ShardRouter {
   ShardRouter& operator=(const ShardRouter&) = delete;
 
   /// Admit (placing on the least-loaded shard) or shed one request. Throws
-  /// std::runtime_error after shutdown().
-  RouterTicket submit(Tensor input);
+  /// std::runtime_error after shutdown(). A valid `trace` rides with the
+  /// request into the shard's DcnServer (spans, DecisionRecord, exemplars);
+  /// on a shed it attributes the dcn_attack_sheds_total sample instead.
+  RouterTicket submit(Tensor input, const obs::TraceContext& trace = {});
 
   /// Drain every shard. Idempotent; also called by the destructor. Pending
   /// admitted futures complete before this returns.
@@ -108,12 +116,27 @@ class ShardRouter {
   };
   [[nodiscard]] AdmissionStats admission_stats() const;
 
+  /// The dcn_attack_ observables: per-shard windowed detector-positive
+  /// rate, per-shard shed attribution, and the drift of the admission EWMA
+  /// over the configured baseline.
+  struct AttackStats {
+    std::vector<double> shard_positive_rate;  // per-shard EWMA
+    std::vector<std::uint64_t> shard_sheds;   // sheds attributed per shard
+    double drift = 0.0;  // admission EWMA - baseline_positive_rate
+  };
+  [[nodiscard]] AttackStats attack_stats() const;
+
+  /// DecisionRecords across all shards (shard field stamped), newest-last
+  /// within each shard. Zero (hi | lo) returns everything retained.
+  [[nodiscard]] std::vector<DecisionRecord> decision_records(
+      std::uint64_t trace_hi = 0, std::uint64_t trace_lo = 0) const;
+
   /// Aggregated metrics: the dcn_server_* schema merged across shards, plus
   /// a "router" block (placement + admission) and the runtime attribution.
   [[nodiscard]] eval::JsonObject metrics_json() const;
 
  private:
-  RouterTicket admit_locked(Tensor input);
+  RouterTicket admit_locked(Tensor input, const obs::TraceContext& trace);
   void update_ewma_locked();
   std::size_t pick_shard_locked() const;
 
@@ -129,6 +152,13 @@ class ShardRouter {
   std::uint64_t shed_queue_depth_ = 0;
   std::uint64_t shed_corrector_burst_ = 0;
   std::uint64_t round_robin_ = 0;  // tie-break rotation
+  // Per-shard dcn_attack_ state, folded alongside the admission EWMA with
+  // the same alpha so a single shard soaking adversarial traffic stands out
+  // even when the aggregate rate looks calm.
+  std::vector<double> shard_ewma_;
+  std::vector<std::uint64_t> shard_seen_completed_;
+  std::vector<std::uint64_t> shard_seen_positives_;
+  std::vector<std::uint64_t> shard_sheds_;
 
   std::size_t metrics_source_id_ = 0;
 };

@@ -44,11 +44,20 @@ DcnServer::~DcnServer() {
 }
 
 std::future<ServeResult> DcnServer::submit(Tensor input) {
+  return submit(std::move(input), obs::TraceContext{});
+}
+
+std::future<ServeResult> DcnServer::submit(Tensor input,
+                                           const obs::TraceContext& trace) {
+  // Install the request's trace context for the submit span, so the
+  // enqueue-side work stitches into the caller's cross-process trace.
+  obs::ScopedTraceContext trace_scope(trace);
   DCN_TRACE_SPAN("serve.submit", "serve");
   PendingRequest request;
   request.input = std::move(input);
   request.enqueued = Clock::now();
   request.sequence = next_sequence_.fetch_add(1, std::memory_order_relaxed);
+  request.trace = trace;
   std::future<ServeResult> future = request.promise.get_future();
   if (!batcher_.push(request)) {
     metrics_.on_reject();
@@ -74,6 +83,19 @@ void DcnServer::dispatch_loop() {
 void DcnServer::serve_flush(MicroBatcher::Flush flush) {
   const Clock::time_point dispatched = Clock::now();
   const std::size_t n = flush.requests.size();
+  // The flush (and the Dcn work under it) runs under the first traced
+  // request's context — a micro-batch computes one fused forward pass, so
+  // its spans genuinely belong to every member, and one adoptive parent
+  // beats unattributed spans. Per-request attribution lives in the
+  // DecisionRecords below.
+  obs::TraceContext batch_trace;
+  for (const PendingRequest& r : flush.requests) {
+    if (r.trace.valid()) {
+      batch_trace = r.trace;
+      break;
+    }
+  }
+  obs::ScopedTraceContext trace_scope(batch_trace);
   DCN_TRACE_SPAN_ARG("serve.flush", "serve", "batch", n);
   metrics_.on_flush(n, flush.reason == FlushReason::kFull,
                     flush.reason == FlushReason::kTimer);
@@ -93,6 +115,7 @@ void DcnServer::serve_flush(MicroBatcher::Flush flush) {
   }
 
   const Clock::time_point done = Clock::now();
+  const double compute_us = microseconds_between(dispatched, done);
   for (std::size_t i = 0; i < n; ++i) {
     PendingRequest& r = flush.requests[i];
     ServeResult result;
@@ -105,11 +128,40 @@ void DcnServer::serve_flush(MicroBatcher::Flush flush) {
     result.sequence = r.sequence;
     result.queue_us = microseconds_between(r.enqueued, dispatched);
     result.total_us = microseconds_between(r.enqueued, done);
+    result.detector_margin = decisions[i].detector_margin;
+    result.chunks_used = decisions[i].chunks_used;
+    result.stop_rule = static_cast<std::uint8_t>(decisions[i].stop_rule);
+    result.tier0_policy = decisions[i].tier0_policy;
+    result.rng_segment = decisions[i].rng_segment;
+    result.compute_us = compute_us;
     metrics_.on_result(result.flagged_adversarial, result.tier0_resolved,
                        result.corrector_samples, result.queue_us,
-                       result.total_us);
+                       result.total_us, r.trace);
+    if (config_.decision_ring > 0) {
+      DecisionRecord record;
+      record.trace_hi = r.trace.trace_hi;
+      record.trace_lo = r.trace.trace_lo;
+      record.result = result;
+      std::lock_guard<std::mutex> lock(records_mutex_);
+      records_.push_back(std::move(record));
+      while (records_.size() > config_.decision_ring) records_.pop_front();
+    }
     r.promise.set_value(result);
   }
+}
+
+std::vector<DecisionRecord> DcnServer::decision_records(
+    std::uint64_t trace_hi, std::uint64_t trace_lo) const {
+  std::lock_guard<std::mutex> lock(records_mutex_);
+  std::vector<DecisionRecord> out;
+  for (const DecisionRecord& r : records_) {
+    if ((trace_hi | trace_lo) != 0 &&
+        (r.trace_hi != trace_hi || r.trace_lo != trace_lo)) {
+      continue;
+    }
+    out.push_back(r);
+  }
+  return out;
 }
 
 eval::JsonObject DcnServer::metrics_json() const {

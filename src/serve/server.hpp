@@ -25,8 +25,11 @@
 // docs/OPERATIONS.md).
 #pragma once
 
+#include <deque>
 #include <future>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "core/dcn.hpp"
 #include "serve/metrics.hpp"
@@ -51,8 +54,11 @@ class DcnServer {
 
   /// Enqueue one input (shape = one example, no batch axis; all requests
   /// must share one shape). Returns the future of the response. Throws
-  /// std::runtime_error after shutdown().
+  /// std::runtime_error after shutdown(). The trace overload attaches a
+  /// wire trace context: its spans join that trace, its DecisionRecord is
+  /// queryable by that id, and it seeds metric exemplars when sampled.
   std::future<ServeResult> submit(Tensor input);
+  std::future<ServeResult> submit(Tensor input, const obs::TraceContext& trace);
 
   /// Stop accepting requests, serve everything still queued, and join the
   /// dispatcher. Idempotent; also called by the destructor.
@@ -70,6 +76,13 @@ class DcnServer {
   /// counters, pool gauges, tracer health).
   [[nodiscard]] eval::JsonObject metrics_json() const;
 
+  /// Retained DecisionRecords, newest last. A zero (hi | lo) returns the
+  /// whole ring; otherwise only records of that trace id. The ring is
+  /// bounded by ServerConfig::decision_ring, so this is a recent-history
+  /// query, not an archive.
+  [[nodiscard]] std::vector<DecisionRecord> decision_records(
+      std::uint64_t trace_hi = 0, std::uint64_t trace_lo = 0) const;
+
  private:
   void dispatch_loop();
   void serve_flush(MicroBatcher::Flush flush);
@@ -82,6 +95,11 @@ class DcnServer {
   // are no paired data words to tear.
   std::atomic<std::uint64_t> next_sequence_{0};
   std::size_t metrics_source_id_ = 0;  // handle in obs::registry()
+  // Bounded ring of recent DecisionRecords. Mutex-guarded: only the
+  // dispatcher writes (once per request, off the submit path) and only
+  // TraceQuery reads, so there is nothing worth a lock-free design here.
+  mutable std::mutex records_mutex_;
+  std::deque<DecisionRecord> records_;
   std::thread dispatcher_;
 };
 

@@ -21,10 +21,21 @@ struct ServerConfig {
   /// aggregated source instead, so a scrape sees one coherent family rather
   /// than N interleaved copies.
   bool register_metrics = true;
+  /// How many recent DecisionRecords the server retains for TraceQuery
+  /// (0 disables retention). Bounded so provenance can stay always-on.
+  std::size_t decision_ring = 256;
 };
 
+/// Why a micro-batch left the queue.
+enum class FlushReason { kFull, kTimer, kShutdown };
+
 /// Per-request response: the DCN decision plus the attribution and timing
-/// the monitoring layer aggregates.
+/// the monitoring layer aggregates. The provenance block (margin through
+/// compute_us) is filled by the dispatcher from core::Dcn's Decision — it
+/// observes the decision chain, never perturbs it. `stop_rule` mirrors
+/// core::StopRule (core/corrector.hpp) as a wire-stable byte: 0 = no vote
+/// ran, 1 = certain (lead > remaining), 2 = Hoeffding bound, 3 = tier-0
+/// hint confirmed, 4 = sample budget exhausted.
 struct ServeResult {
   std::size_t label = 0;             // the DCN's answer
   bool flagged_adversarial = false;  // did the detector gate fire?
@@ -35,9 +46,24 @@ struct ServeResult {
   std::uint64_t sequence = 0;        // arrival order assigned by submit()
   double queue_us = 0.0;             // enqueue -> micro-batch dispatch
   double total_us = 0.0;             // enqueue -> response ready (end-to-end)
+  // ---- decision provenance (docs/OPERATIONS.md "Tracing a request") ----
+  double detector_margin = 0.0;      // detector logit(adv) - logit(benign)
+  std::size_t chunks_used = 0;       // early-exit chunks consumed
+  std::uint8_t stop_rule = 0;        // which stopping rule fired (above)
+  std::uint8_t tier0_policy = 0;     // 0 = none, 1 = confirm, 2 = resolve
+  std::uint64_t rng_segment = 0;     // corrector stream segment this vote owned
+  double compute_us = 0.0;           // micro-batch dispatch -> decision ready
 };
 
-/// Why a micro-batch left the queue.
-enum class FlushReason { kFull, kTimer, kShutdown };
+/// One retained per-request provenance record: the request's wire trace id
+/// (zero when the client sent none), the shard that served it, and the full
+/// ServeResult. A bounded ring of these per shard is queryable through the
+/// daemon's TraceQuery frame.
+struct DecisionRecord {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint32_t shard = 0;
+  ServeResult result;
+};
 
 }  // namespace dcn::serve

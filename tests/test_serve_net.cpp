@@ -688,6 +688,392 @@ TEST(NetServe, HealthAndTraceFramesRoundTrip) {
   obs::trace_clear();
 }
 
+// ---- Trace-context and decision-record extensions ---------------------------
+
+TEST(NetProtocol, TraceContextExtensionRoundTrips) {
+  obs::TraceContext trace;
+  trace.trace_hi = 0x0123456789ABCDEFULL;
+  trace.trace_lo = 0xFEDCBA9876543210ULL;
+  trace.parent_span_id = 0x1111222233334444ULL;
+  trace.sampled = true;
+
+  // Request direction: the extension rides after the tensor payload.
+  Bytes framed = encode_predict_request(make_input(1), true, trace);
+  Frame frame;
+  ASSERT_TRUE(try_extract_frame(framed, frame));
+  const PredictRequest request = decode_predict_request(frame.payload);
+  EXPECT_EQ(request.trace.trace_hi, trace.trace_hi);
+  EXPECT_EQ(request.trace.trace_lo, trace.trace_lo);
+  EXPECT_EQ(request.trace.parent_span_id, trace.parent_span_id);
+  EXPECT_TRUE(request.trace.sampled);
+  // The tensor itself is unaffected by the trailing extension.
+  EXPECT_EQ(request.input.shape(), make_input(1).shape());
+
+  // No trace sent => invalid (all-zero) context on decode.
+  framed = encode_predict_request(make_input(1), false);
+  ASSERT_TRUE(try_extract_frame(framed, frame));
+  EXPECT_FALSE(decode_predict_request(frame.payload).trace.valid());
+
+  // Verbose response direction: trace echo plus the decision-record
+  // provenance block.
+  serve::ServeResult result;
+  result.label = 2;
+  result.detector_margin = -1.25;
+  result.tier0_policy = 2;
+  result.stop_rule = 3;
+  result.chunks_used = 5;
+  result.rng_segment = 41;
+  result.compute_us = 123.5;
+  const ServeNetResult back =
+      decode_verbose_response(encode_verbose_response(result, 1, trace));
+  EXPECT_EQ(back.trace.trace_hi, trace.trace_hi);
+  EXPECT_EQ(back.trace.trace_lo, trace.trace_lo);
+  EXPECT_EQ(back.trace.parent_span_id, trace.parent_span_id);
+  EXPECT_EQ(back.result.detector_margin, result.detector_margin);
+  EXPECT_EQ(back.result.tier0_policy, result.tier0_policy);
+  EXPECT_EQ(back.result.stop_rule, result.stop_rule);
+  EXPECT_EQ(back.result.chunks_used, result.chunks_used);
+  EXPECT_EQ(back.result.rng_segment, result.rng_segment);
+  EXPECT_EQ(back.result.compute_us, result.compute_us);
+
+  // Error direction: an Overloaded shed stays attributable to its trace.
+  const WireError err = decode_error(encode_error(
+      ErrorCode::kOverloaded, 75, "shed: corrector_burst", trace));
+  EXPECT_EQ(err.trace.trace_hi, trace.trace_hi);
+  EXPECT_EQ(err.trace.trace_lo, trace.trace_lo);
+  EXPECT_TRUE(err.trace.sampled);
+}
+
+TEST(NetProtocol, TraceContextExtensionRejectionPaths) {
+  obs::TraceContext trace;
+  trace.trace_hi = 7;
+  trace.trace_lo = 9;
+  trace.sampled = true;
+  Bytes framed = encode_predict_request(make_input(2), false, trace);
+  Frame frame;
+  ASSERT_TRUE(try_extract_frame(framed, frame));
+  const Bytes good = frame.payload;
+  const std::size_t ext_off = good.size() - (2 + kTraceContextBytes);
+  ASSERT_EQ(good[ext_off], kTraceContextTag);
+  EXPECT_NO_THROW((void)decode_predict_request(good));
+
+  // Truncated mid-extension: the header promises 25 value bytes, fewer land.
+  Bytes truncated = good;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_THROW((void)decode_predict_request(truncated), ProtocolError);
+  // Truncated to a bare tag byte (no length).
+  Bytes bare_tag = good;
+  bare_tag.resize(ext_off + 1);
+  EXPECT_THROW((void)decode_predict_request(bare_tag), ProtocolError);
+
+  // Duplicate trace-context extension.
+  Bytes duplicate = good;
+  duplicate.insert(duplicate.end(),
+                   good.begin() + static_cast<long>(ext_off), good.end());
+  EXPECT_THROW((void)decode_predict_request(duplicate), ProtocolError);
+
+  // Wrong declared length for a known tag.
+  Bytes bad_len = good;
+  bad_len[ext_off + 1] = static_cast<std::uint8_t>(kTraceContextBytes - 1);
+  EXPECT_THROW((void)decode_predict_request(bad_len), ProtocolError);
+
+  // sampled is a wire boolean; 2 is a dialect we do not speak.
+  Bytes bad_flag = good;
+  bad_flag.back() = 2;
+  EXPECT_THROW((void)decode_predict_request(bad_flag), ProtocolError);
+
+  // The all-zero id is the "no trace" sentinel — contradictory inside the
+  // extension whose purpose is to carry a trace.
+  Bytes zero_id = good;
+  for (std::size_t i = 0; i < 16; ++i) zero_id[ext_off + 2 + i] = 0;
+  EXPECT_THROW((void)decode_predict_request(zero_id), ProtocolError);
+
+  // Unknown extension tag: closed set per version.
+  Bytes unknown = good;
+  unknown[ext_off] = 0x7F;
+  EXPECT_THROW((void)decode_predict_request(unknown), ProtocolError);
+
+  // A decision record has no business on a request payload, even when its
+  // value bytes are individually valid.
+  Bytes with_decision(good.begin(), good.begin() + static_cast<long>(ext_off));
+  with_decision.push_back(kDecisionRecordTag);
+  with_decision.push_back(static_cast<std::uint8_t>(kDecisionRecordBytes));
+  with_decision.insert(with_decision.end(), kDecisionRecordBytes, 0);
+  EXPECT_THROW((void)decode_predict_request(with_decision), ProtocolError);
+}
+
+TEST(NetProtocol, DecisionRecordExtensionRejectionPaths) {
+  serve::ServeResult result;
+  result.queue_us = 1.0;
+  result.total_us = 2.0;
+  result.compute_us = 5.0;
+  const Bytes good = encode_verbose_response(result, 0);
+  // No trace passed, so the decision record is the only extension: tag at
+  // 2 + kDecisionRecordBytes from the end.
+  const std::size_t ext_off = good.size() - (2 + kDecisionRecordBytes);
+  ASSERT_EQ(good[ext_off], kDecisionRecordTag);
+  const std::size_t margin_off = ext_off + 2;
+  const std::size_t policy_off = margin_off + 8;
+  const std::size_t stop_off = policy_off + 1;
+  EXPECT_NO_THROW((void)decode_verbose_response(good));
+
+  // tier0_policy and stop_rule are closed sets (0..2 and 0..4).
+  Bytes bad_policy = good;
+  bad_policy[policy_off] = 3;
+  EXPECT_THROW((void)decode_verbose_response(bad_policy), ProtocolError);
+  Bytes bad_stop = good;
+  bad_stop[stop_off] = 5;
+  EXPECT_THROW((void)decode_verbose_response(bad_stop), ProtocolError);
+
+  // Non-finite detector margin.
+  Bytes nan_margin = good;
+  const std::uint64_t qnan = 0x7FF8000000000000ULL;
+  for (int i = 0; i < 8; ++i) {
+    nan_margin[margin_off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((qnan >> (8 * i)) & 0xFFU);
+  }
+  EXPECT_THROW((void)decode_verbose_response(nan_margin), ProtocolError);
+
+  // Negative compute time (the f64 at the end of the record).
+  Bytes negative = good;
+  negative.back() |= 0x80;  // sign bit of the little-endian f64
+  EXPECT_THROW((void)decode_verbose_response(negative), ProtocolError);
+
+  // Duplicate decision-record extension.
+  Bytes duplicate = good;
+  duplicate.insert(duplicate.end(),
+                   good.begin() + static_cast<long>(ext_off), good.end());
+  EXPECT_THROW((void)decode_verbose_response(duplicate), ProtocolError);
+}
+
+TEST(NetProtocol, TraceQueryCodecRoundTrips) {
+  const Bytes payload = encode_trace_query(0xAABB0000CCDD0001ULL, 0x42ULL);
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  decode_trace_query(payload, hi, lo);
+  EXPECT_EQ(hi, 0xAABB0000CCDD0001ULL);
+  EXPECT_EQ(lo, 0x42ULL);
+
+  // The zero id is the "no trace" sentinel; querying it is refused at the
+  // codec so it can never silently match unattributed records.
+  EXPECT_THROW(decode_trace_query(encode_trace_query(0, 0), hi, lo),
+               ProtocolError);
+  // Truncated and trailing-bytes payloads.
+  Bytes truncated(payload.begin(), payload.end() - 1);
+  EXPECT_THROW(decode_trace_query(truncated, hi, lo), ProtocolError);
+  Bytes trailing = payload;
+  trailing.push_back(0);
+  EXPECT_THROW(decode_trace_query(trailing, hi, lo), ProtocolError);
+}
+
+// ---- Exemplars ---------------------------------------------------------------
+
+TEST(ServeMetricsExport, ExemplarsFollowMergeAndReset) {
+  // Stamps are taken at record() time from a global monotonic counter, so
+  // recording order decides which exemplar is "newer" regardless of which
+  // histogram it landed in.
+  serve::LatencyHistogram a;
+  serve::LatencyHistogram b;
+  const obs::TraceContext first = obs::mint_trace_context();
+  const obs::TraceContext second = obs::mint_trace_context();
+  a.record(100.0, first);
+  b.record(100.0, second);  // same log2 bucket, newer stamp
+
+  // merge keeps whichever side's exemplar is newer per bucket.
+  a.merge(b);
+  serve::ExemplarCell::Snapshot ex = a.newest_exemplar();
+  ASSERT_TRUE(ex.present());
+  EXPECT_EQ(ex.hi, second.trace_hi);
+  EXPECT_EQ(ex.lo, second.trace_lo);
+  EXPECT_EQ(ex.value, 100.0);
+
+  // ...and never regresses: merging an older exemplar into a newer one is a
+  // no-op for the cell.
+  serve::LatencyHistogram c;
+  const obs::TraceContext third = obs::mint_trace_context();
+  c.record(100.0, third);
+  c.merge(a);  // a's bucket exemplar (second) is older than c's (third)
+  ex = c.newest_exemplar();
+  ASSERT_TRUE(ex.present());
+  EXPECT_EQ(ex.hi, third.trace_hi);
+  EXPECT_EQ(ex.lo, third.trace_lo);
+
+  // collect() decorates the bucket sample with the OpenMetrics exemplar.
+  std::vector<obs::Metric> out;
+  a.collect("fam_us", "help", out);
+  const std::string hex = obs::trace_id_hex(second.trace_hi, second.trace_lo);
+  bool found = false;
+  for (const obs::Metric& m : out) {
+    if (m.exemplar_trace == hex) {
+      found = true;
+      EXPECT_EQ(m.exemplar_value, 100.0);
+    }
+  }
+  EXPECT_TRUE(found) << "no bucket sample carried the exemplar " << hex;
+
+  // reset clears the exemplars along with the buckets.
+  a.reset();
+  EXPECT_FALSE(a.newest_exemplar().present());
+
+  // Unsampled (or invalid) contexts never become exemplars.
+  obs::TraceContext unsampled = obs::mint_trace_context();
+  unsampled.sampled = false;
+  a.record(10.0, unsampled);
+  a.record(10.0, obs::TraceContext{});
+  EXPECT_FALSE(a.newest_exemplar().present());
+}
+
+// ---- Request-scoped tracing over the wire -----------------------------------
+
+TEST(NetServe, OverloadedShedCarriesTraceId) {
+  // Same overload setup as AdmissionShedsOnQueueWatermark, but the client
+  // records the trace context each predict frame carried: the shed error
+  // frames must echo exactly the trace of the request they shed, and the
+  // dcn_attack_ shed attribution must land on the shard that refused them.
+  RouterConfig config;
+  config.server.max_batch = 64;
+  config.server.max_delay_us = 60'000'000;
+  config.admission.queue_watermark = 3;
+  auto net = std::make_unique<NetFixture>(1, config);
+  DcnClient client = DcnClient::connect(net->server->port());
+
+  std::vector<obs::TraceContext> sent;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    client.send_predict(make_input(600 + i));
+    sent.push_back(client.last_trace());
+    EXPECT_TRUE(sent.back().valid());
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (true) {
+    const auto stats = net->router->admission_stats();
+    if (stats.admitted + stats.shed_queue_depth == 8) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+  net->server->stop();  // drains the shard; writers flush all 8 responses
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const DcnClient::Response r = client.recv();
+    if (i < 3) {
+      EXPECT_EQ(r.type, MsgType::kPredictResponse) << "response " << i;
+      continue;
+    }
+    ASSERT_EQ(r.type, MsgType::kErrorResponse) << "response " << i;
+    EXPECT_EQ(r.error.code, ErrorCode::kOverloaded);
+    EXPECT_EQ(r.error.trace.trace_hi, sent[i].trace_hi) << "response " << i;
+    EXPECT_EQ(r.error.trace.trace_lo, sent[i].trace_lo) << "response " << i;
+  }
+  const auto attack = net->router->attack_stats();
+  ASSERT_EQ(attack.shard_sheds.size(), 1U);
+  EXPECT_EQ(attack.shard_sheds[0], 5U);
+}
+
+TEST(NetServe, TraceQueryStitchesTheCrossProcessSpanTree) {
+  // The PR's acceptance test: a probe-minted trace id sent over loopback
+  // comes back as one stitched span tree (client -> net server -> shard ->
+  // corrector) plus a DecisionRecord whose attribution matches the shard
+  // corrector's own counters.
+  if (!obs::kTraceCompiled) {
+    GTEST_SKIP() << "tracing compiled out (DCN_TRACE=OFF)";
+  }
+
+  // A flagged input makes the request pay a Tier-1 vote, so the corrector
+  // spans and the vote provenance exist (replica determinism transfers the
+  // probe's verdict to the fixture shard).
+  Tensor flagged_input = make_input(0);
+  {
+    Stack probe;
+    bool found = false;
+    for (std::uint64_t seed = 500; seed < 700; ++seed) {
+      const Tensor candidate = make_input(seed);
+      if (probe.dcn.classify_verbose(candidate).flagged_adversarial) {
+        flagged_input = candidate;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "no input flagged by the untrained detector";
+  }
+
+  obs::trace_clear();
+  obs::set_tracing_enabled(true);
+  NetFixture net(1);
+  DcnClient client = DcnClient::connect(net.server->port());
+
+  // Install a minted context around the call: send_predict forwards the
+  // ambient context (mint-or-forward), and the client-side span joins the
+  // same tree the server side stitches under.
+  const obs::TraceContext minted = obs::mint_trace_context();
+  ServeNetResult r;
+  {
+    obs::ScopedTraceContext scope(minted);
+    DCN_TRACE_SPAN("client.request", "test");
+    r = client.predict_verbose(flagged_input);
+  }
+  EXPECT_EQ(client.last_trace().trace_hi, minted.trace_hi);
+  EXPECT_EQ(client.last_trace().trace_lo, minted.trace_lo);
+  // The verbose response echoes the request's trace id.
+  EXPECT_EQ(r.trace.trace_hi, minted.trace_hi);
+  EXPECT_EQ(r.trace.trace_lo, minted.trace_lo);
+  ASSERT_TRUE(r.result.flagged_adversarial);
+
+  // DecisionRecord: pushed into the ring before the response was sent, so
+  // it is queryable immediately — and it must agree with both the wire
+  // result and the shard corrector's own accounting.
+  const std::vector<serve::DecisionRecord> records =
+      net.router->decision_records(minted.trace_hi, minted.trace_lo);
+  ASSERT_EQ(records.size(), 1U);
+  const serve::DecisionRecord& record = records[0];
+  EXPECT_EQ(record.shard, 0U);
+  EXPECT_EQ(record.result.label, r.result.label);
+  EXPECT_EQ(record.result.corrector_samples, r.result.corrector_samples);
+  EXPECT_EQ(record.result.stop_rule, r.result.stop_rule);
+  EXPECT_EQ(record.result.rng_segment, r.result.rng_segment);
+  EXPECT_GT(record.result.detector_margin, 0.0);  // flagged => margin > 0
+
+  const core::Corrector& corrector = net.stacks[0]->corrector;
+  const core::VoteOutcome& outcome = corrector.last_outcome();
+  EXPECT_EQ(record.result.corrector_samples, outcome.samples_used);
+  EXPECT_EQ(record.result.chunks_used, outcome.chunks_used);
+  EXPECT_EQ(record.result.stop_rule,
+            static_cast<std::uint8_t>(outcome.stop_rule));
+  EXPECT_EQ(record.result.rng_segment, outcome.segment_index);
+  // Exactly one vote ran, so the record's segment is the last one consumed.
+  EXPECT_EQ(corrector.segments_consumed(), record.result.rng_segment + 1);
+  EXPECT_STREQ(core::stop_rule_name(
+                   static_cast<core::StopRule>(record.result.stop_rule)),
+               "exhausted");  // kFull mode classifies all m samples
+
+  // The span tree: serve.flush records after the response promise resolves,
+  // so the client can hold its answer before the span lands — poll the
+  // TraceQuery frame until the tree is complete.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  std::string json;
+  while (true) {
+    json = client.trace_query(minted.trace_hi, minted.trace_lo);
+    if (json.find("serve.flush") != std::string::npos &&
+        json.find("corrector.vote") != std::string::npos) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "span tree never completed: " << json;
+    std::this_thread::sleep_for(1ms);
+  }
+  obs::set_tracing_enabled(false);
+
+  // One stitched tree: the client-side span, the server-side dispatch span,
+  // the shard's flush, and the corrector vote all carry the minted id; the
+  // DecisionRecord rides in the same response.
+  const std::string hex = obs::trace_id_hex(minted.trace_hi, minted.trace_lo);
+  for (const char* name : {"client.request", "net.dispatch", "serve.submit",
+                           "serve.flush", "dcn.predict", "corrector.vote"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << "missing span " << name;
+  }
+  EXPECT_NE(json.find(hex), std::string::npos);
+  EXPECT_NE(json.find("\"decisionRecords\""), std::string::npos);
+  EXPECT_NE(json.find("\"stop_rule\":\"exhausted\""), std::string::npos);
+  obs::trace_clear();
+}
+
 TEST(NetServe, PollFallbackServesIdentically) {
   // The portable poll() loop must behave exactly like the epoll path.
   NetFixture net(1, {}, {.force_poll = true});

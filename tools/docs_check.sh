@@ -1,7 +1,7 @@
 #!/bin/sh
 # docs_check.sh — keep the documentation honest.
 #
-# Verifies six invariants, and fails (exit 1) listing every violation:
+# Verifies seven invariants, and fails (exit 1) listing every violation:
 #   1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
 #      ROADMAP.md, and docs/*.md points at a file that exists.
 #   2. Every bench binary EXPERIMENTS.md cites (`bench_*`) has a source file
@@ -23,6 +23,12 @@
 #      docs/OPERATIONS.md "Analysis deep pass" rule table are exactly the
 #      same set — a rule added to the engine without documentation, or
 #      documented without existing, fails.
+#   7. Observability-family documentation: every dcn_attack_* metric family
+#      emitted by src/ and every family that carries OpenMetrics exemplars
+#      (the ExemplarCell attach sites and LatencyHistogram collect calls in
+#      src/serve/metrics.cpp) must appear in docs/OPERATIONS.md — an
+#      operator must be able to look up any attack-signal or
+#      exemplar-bearing series they see in a scrape.
 #
 # Usage: docs_check.sh <repo_root> [build_dir]
 # Wired up as the `docs-check` CMake target and the `dcn_docs_check` ctest
@@ -178,8 +184,44 @@ if [ -f "$lint_hdr" ]; then
     fi
 fi
 
+# --- 7. Observability-family documentation -----------------------------------
+# Families an operator is most likely to page on must be explained:
+# everything in the dcn_attack_ namespace (the defense-specific overload
+# signals), plus every family that carries OpenMetrics exemplars — the
+# counter families with an ExemplarCell attach site and the histogram
+# families rendered by LatencyHistogram::collect in src/serve/metrics.cpp.
+metrics_src="$repo/src/serve/metrics.cpp"
+if [ -f "$ops_doc" ] && [ -d "$repo/src" ]; then
+    attack_fams=$(grep -rhoE '"dcn_attack_[a-z0-9_]+"' "$repo/src" \
+                      | tr -d '"' | sort -u)
+    exemplar_fams=""
+    if [ -f "$metrics_src" ]; then
+        # A counter family is exemplar-carrying when an attach(out.back())
+        # call follows its counter("...") emission; histogram families name
+        # themselves in their .collect("...") call.
+        exemplar_fams=$(awk '
+            match($0, /counter\("[a-z0-9_]+"/) {
+                fam = substr($0, RSTART + 9, RLENGTH - 10)
+            }
+            /attach\(out\.back\(\)/ && fam != "" { print fam }
+            match($0, /\.collect\("[a-z0-9_]+"/) {
+                print substr($0, RSTART + 10, RLENGTH - 11)
+            }
+        ' "$metrics_src" | sort -u)
+    fi
+    if [ -z "$attack_fams" ]; then
+        fail "src/ emits no dcn_attack_ families (check 7 extraction broke?)"
+    fi
+    for fam in $(printf '%s\n%s\n' "$attack_fams" "$exemplar_fams" | sort -u); do
+        [ -n "$fam" ] || continue
+        if ! grep -qF "$fam" "$ops_doc"; then
+            fail "OPERATIONS.md: metric family '$fam' (attack signal or exemplar carrier) is undocumented"
+        fi
+    done
+fi
+
 if [ "$failures" -gt 0 ]; then
     echo "docs-check: FAILED with $failures problem(s)" >&2
     exit 1
 fi
-echo "docs-check: OK (links, bench + artifact citations, cited repo paths, the protocol spec, and the lint rule table verified)"
+echo "docs-check: OK (links, bench + artifact citations, cited repo paths, the protocol spec, the lint rule table, and the observability families verified)"

@@ -9,7 +9,7 @@
 //   1  decode_health            (u8 version, u8 state, u16 shards, u32 depth)
 //   2  decode_verbose_response  (label/flags/latency body)
 //   3  decode_predict_response  (u32 label)
-//   4  decode_predict_payload   (tensor: rank, dims, f32 values)
+//   4  decode_predict_request   (tensor: rank, dims, f32 values [+ trace])
 //
 // Accepted payloads must re-encode byte-identically (the canonical-encoding
 // contract); rejections must be ProtocolError and nothing else. Runs under
@@ -45,7 +45,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       case 0: {
         const WireError err = decode_error(payload);
         require(payload == encode_error(err.code, err.retry_after_ms,
-                                        err.message),
+                                        err.message, err.trace),
                 "error body round-trip");
         // The decoder guarantees a canonical code — the name lookup must
         // never fall through to "Unknown".
@@ -59,9 +59,19 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         break;
       }
       case 2: {
+        // Semantic fixpoint rather than byte identity: the decoder accepts
+        // a missing decision-record extension (zeroed provenance) while the
+        // encoder always emits one.
         const ServeNetResult r = decode_verbose_response(payload);
-        require(payload == encode_verbose_response(r.result, r.shard),
-                "verbose body round-trip");
+        const ServeNetResult again = decode_verbose_response(
+            encode_verbose_response(r.result, r.shard, r.trace));
+        require(again.result.label == r.result.label &&
+                    again.result.stop_rule == r.result.stop_rule &&
+                    again.result.rng_segment == r.result.rng_segment &&
+                    again.result.detector_margin == r.result.detector_margin &&
+                    again.trace.trace_hi == r.trace.trace_hi &&
+                    again.trace.trace_lo == r.trace.trace_lo,
+                "verbose body fixpoint");
         break;
       }
       case 3: {
@@ -71,10 +81,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         break;
       }
       case 4: {
-        const dcn::Tensor t = decode_predict_payload(payload);
-        // Re-wrap through the frame encoder and compare payloads: the
-        // tensor codec has no payload-only encoder by design.
-        Bytes reframed = encode_predict_request(t, false);
+        const PredictRequest req = decode_predict_request(payload);
+        // Re-wrap through the frame encoder (with the decoded trace
+        // extension passed back through) and compare payloads: the tensor
+        // codec has no payload-only encoder by design.
+        Bytes reframed = encode_predict_request(req.input, false, req.trace);
         Frame back;
         require(try_extract_frame(reframed, back), "re-encoded frame extracts");
         require(payload == back.payload, "tensor payload round-trip");

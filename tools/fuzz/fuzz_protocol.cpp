@@ -41,19 +41,27 @@ void require(bool ok, const char* what) {
 
 // Decoded-then-reencoded payloads must be byte-identical: the decoders
 // enforce expect_end(), so an accepted payload is exactly one canonical
-// encoding and nothing else.
+// encoding and nothing else. Extension-bearing payloads re-encode with the
+// decoded extensions passed back through, which reproduces the canonical
+// field order.
 void check_roundtrip(const Bytes& original, const Bytes& reencoded,
                      const char* what) {
   require(original == reencoded, what);
+}
+
+bool same_trace(const dcn::obs::TraceContext& a,
+                const dcn::obs::TraceContext& b) {
+  return a.trace_hi == b.trace_hi && a.trace_lo == b.trace_lo &&
+         a.parent_span_id == b.parent_span_id && a.sampled == b.sampled;
 }
 
 void consume_frame(const Frame& frame) {
   switch (frame.type) {
     case MsgType::kPredictRequest:
     case MsgType::kPredictVerboseRequest: {
-      const dcn::Tensor t = decode_predict_payload(frame.payload);
+      const PredictRequest req = decode_predict_request(frame.payload);
       const bool verbose = frame.type == MsgType::kPredictVerboseRequest;
-      Bytes reframed = encode_predict_request(t, verbose);
+      Bytes reframed = encode_predict_request(req.input, verbose, req.trace);
       Frame back;
       require(try_extract_frame(reframed, back, kFuzzFrameCap),
               "re-encoded predict frame must extract");
@@ -68,16 +76,40 @@ void consume_frame(const Frame& frame) {
       break;
     }
     case MsgType::kPredictVerboseResponse: {
+      // The decoder tolerates a missing decision record (zeroed provenance)
+      // while the encoder always emits one, so byte identity is too strict
+      // here. The contract is instead a semantic fixpoint: re-encoding the
+      // decoded result must decode back to the identical result.
       const ServeNetResult r = decode_verbose_response(frame.payload);
-      check_roundtrip(frame.payload,
-                      encode_verbose_response(r.result, r.shard),
-                      "verbose response");
+      const ServeNetResult again = decode_verbose_response(
+          encode_verbose_response(r.result, r.shard, r.trace));
+      require(again.result.label == r.result.label &&
+                  again.result.dnn_label == r.result.dnn_label &&
+                  again.result.flagged_adversarial ==
+                      r.result.flagged_adversarial &&
+                  again.result.tier0_resolved == r.result.tier0_resolved &&
+                  again.result.corrector_samples ==
+                      r.result.corrector_samples &&
+                  again.result.batch_size == r.result.batch_size &&
+                  again.shard == r.shard &&
+                  again.result.sequence == r.result.sequence &&
+                  again.result.queue_us == r.result.queue_us &&
+                  again.result.total_us == r.result.total_us &&
+                  again.result.detector_margin == r.result.detector_margin &&
+                  again.result.tier0_policy == r.result.tier0_policy &&
+                  again.result.stop_rule == r.result.stop_rule &&
+                  again.result.chunks_used == r.result.chunks_used &&
+                  again.result.rng_segment == r.result.rng_segment &&
+                  again.result.compute_us == r.result.compute_us &&
+                  same_trace(again.trace, r.trace),
+              "verbose response fixpoint");
       break;
     }
     case MsgType::kErrorResponse: {
       const WireError err = decode_error(frame.payload);
       check_roundtrip(frame.payload,
-                      encode_error(err.code, err.retry_after_ms, err.message),
+                      encode_error(err.code, err.retry_after_ms, err.message,
+                                   err.trace),
                       "error body");
       break;
     }
@@ -86,8 +118,17 @@ void consume_frame(const Frame& frame) {
       check_roundtrip(frame.payload, encode_health(info), "health body");
       break;
     }
+    case MsgType::kTraceQueryRequest: {
+      std::uint64_t hi = 0;
+      std::uint64_t lo = 0;
+      decode_trace_query(frame.payload, hi, lo);
+      check_roundtrip(frame.payload, encode_trace_query(hi, lo),
+                      "trace query");
+      break;
+    }
     case MsgType::kMetricsResponse:
-    case MsgType::kTraceResponse: {
+    case MsgType::kTraceResponse:
+    case MsgType::kTraceQueryResponse: {
       // Text payloads are opaque bytes; decoding cannot fail, and the
       // round trip is the identity.
       const std::string text = decode_text(frame.payload);

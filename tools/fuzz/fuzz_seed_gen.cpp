@@ -90,6 +90,17 @@ int main(int argc, char** argv) {
   const Bytes verbose_frame = encode_predict_request(small, true);
   const Bytes tensor_payload = payload_of_frame(predict_frame);
 
+  // A representative trace context for the extension-field seeds: fixed ids
+  // (not minted) so the corpus is byte-stable across regenerations.
+  obs::TraceContext trace;
+  trace.trace_hi = 0x0123456789ABCDEFULL;
+  trace.trace_lo = 0x1122334455667788ULL;
+  trace.parent_span_id = 0xA1B2C3D4E5F60718ULL;
+  trace.sampled = true;
+  const Bytes traced_predict_frame =
+      encode_predict_request(small, false, trace);
+  const Bytes traced_payload = payload_of_frame(traced_predict_frame);
+
   serve::ServeResult result;
   result.label = 3;
   result.dnn_label = 1;
@@ -99,7 +110,14 @@ int main(int argc, char** argv) {
   result.sequence = 99;
   result.queue_us = 12.5;
   result.total_us = 80.25;
+  result.detector_margin = 0.75;
+  result.chunks_used = 2;
+  result.stop_rule = 1;
+  result.tier0_policy = 2;
+  result.rng_segment = 6;
+  result.compute_us = 41.5;
   const Bytes verbose_body = encode_verbose_response(result, 1);
+  const Bytes traced_verbose_body = encode_verbose_response(result, 1, trace);
 
   const Bytes error_body =
       encode_error(ErrorCode::kOverloaded, 150, "shed: queue depth");
@@ -156,6 +174,45 @@ int main(int argc, char** argv) {
   write_file(proto_dir / "nan_tensor.bin",
              encode_frame(MsgType::kPredictRequest, nan_tensor));
 
+  // ---- Extension-field frames (trace context / decision record) -----------
+  write_file(proto_dir / "traced_predict_request.bin", traced_predict_frame);
+  write_file(proto_dir / "traced_verbose_response.bin",
+             encode_frame(MsgType::kPredictVerboseResponse,
+                          traced_verbose_body));
+  write_file(proto_dir / "traced_error_response.bin",
+             encode_frame(MsgType::kErrorResponse,
+                          encode_error(ErrorCode::kOverloaded, 150,
+                                       "shed: corrector_burst", trace)));
+  write_file(proto_dir / "trace_query_request.bin",
+             encode_frame(MsgType::kTraceQueryRequest,
+                          encode_trace_query(trace.trace_hi, trace.trace_lo)));
+  // Near-misses around the extension rejection branches.
+  Bytes bad_sampled = traced_payload;
+  bad_sampled.back() = 0x02;  // sampled flag outside {0, 1}
+  write_file(proto_dir / "trace_ext_bad_sampled.bin",
+             encode_frame(MsgType::kPredictRequest, bad_sampled));
+  const std::size_t ext_off = traced_payload.size() -
+                              (2 + kTraceContextBytes);
+  Bytes dup_ext = traced_payload;
+  dup_ext.insert(dup_ext.end(),
+                 traced_payload.begin() + static_cast<long>(ext_off),
+                 traced_payload.end());
+  write_file(proto_dir / "trace_ext_duplicate.bin",
+             encode_frame(MsgType::kPredictRequest, dup_ext));
+  Bytes unknown_ext = traced_payload;
+  unknown_ext[ext_off] = 0x7F;
+  write_file(proto_dir / "trace_ext_unknown_tag.bin",
+             encode_frame(MsgType::kPredictRequest, unknown_ext));
+  Bytes truncated_ext = traced_payload;
+  truncated_ext.resize(truncated_ext.size() - 3);
+  write_file(proto_dir / "trace_ext_truncated.bin",
+             encode_frame(MsgType::kPredictRequest, truncated_ext));
+  write_file(proto_dir / "trace_query_zero_id.bin",
+             concat(concat(prefix(17),
+                           Bytes{static_cast<std::uint8_t>(
+                               MsgType::kTraceQueryRequest)}),
+                    Bytes(16, 0x00)));
+
   // ---- codecs/ : selector byte + bare payload ------------------------------
   write_file(codec_dir / "error_body.bin", with_selector(0, error_body));
   Bytes bad_code = error_body;
@@ -178,6 +235,20 @@ int main(int argc, char** argv) {
              with_selector(4, overflow_dims));
   write_file(codec_dir / "tensor_zero_dim.bin",
              with_selector(4, Bytes{0x01, 0x00, 0x00, 0x00, 0x00}));
+  // Extension-bearing codec payloads (and their rejection-branch twins).
+  write_file(codec_dir / "verbose_traced_body.bin",
+             with_selector(2, traced_verbose_body));
+  Bytes bad_stop_rule = verbose_body;
+  // Decision record is the last extension: stop_rule sits 20 bytes from the
+  // end (u8 stop, u32 chunks, u64 segment, f64 compute follow it).
+  bad_stop_rule[bad_stop_rule.size() - 21] = 0x05;
+  write_file(codec_dir / "verbose_bad_stop_rule.bin",
+             with_selector(2, bad_stop_rule));
+  write_file(codec_dir / "error_traced_body.bin",
+             with_selector(0, encode_error(ErrorCode::kShuttingDown, 0,
+                                           "draining", trace)));
+  write_file(codec_dir / "tensor_traced_payload.bin",
+             with_selector(4, traced_payload));
 
   return failures == 0 ? 0 : 1;
 }

@@ -68,6 +68,12 @@
 //                           src/core/corrector.cpp: everything else must go
 //                           through the segment/skip APIs (tensor/rng_skip.hpp)
 //                           so the stream layout survives bit-for-bit.
+//                           Trace/span ids are the one sanctioned
+//                           infrastructure use of Rng, confined to the
+//                           blessed id generator src/obs/trace_id.cpp; and
+//                           calling the id-minting API (mint_trace_context /
+//                           mint_span_id) from src/ is confined to src/obs/
+//                           and src/serve/ — model code never mints ids.
 //   mutex-hygiene           src/serve/net/ and src/obs/ only. (a) Blocking
 //                           calls (socket IO, poll/epoll, sleeps, joins) are
 //                           banned inside a lock_guard/unique_lock/scoped_lock
@@ -419,6 +425,7 @@ struct FileScope {
   bool seqlock_scope = false; // src/serve/** or src/obs/** — seqlock audit
   bool rng_mint_ok = false;   // may construct Rng streams
   bool rng_reposition_ok = false;  // may call Rng::discard/set_state
+  bool id_mint_ok = false;    // may call mint_trace_context/mint_span_id
 };
 
 inline FileScope classify(std::string_view path) {
@@ -459,6 +466,13 @@ inline FileScope classify(std::string_view path) {
   for (std::string_view f : kRngCoreFiles) {
     if (path == f) s.rng_mint_ok = true;
   }
+  // The blessed trace/span id generator: the one infrastructure file that
+  // may own an Rng, because its stream is never consumed by any model path
+  // (docs/OPERATIONS.md "Tracing a request").
+  if (path == "src/obs/trace_id.cpp") s.rng_mint_ok = true;
+  // The id-minting API itself is request-plumbing: legal in the
+  // observability and serving tiers, never in model code.
+  s.id_mint_ok = has_prefix("src/obs/") || has_prefix("src/serve/");
   // Stream repositioning bypasses the segment contract unless it happens in
   // the segment machinery itself.
   static constexpr std::string_view kRngRepositionFiles[] = {
@@ -898,6 +912,21 @@ inline void check_file_rules(const FileModel& model,
               "segment APIs), never create them — see tensor/rng_skip.hpp");
         }
         at += 3;
+      }
+    }
+    if (!scope.id_mint_ok) {
+      for (std::string_view fn : {"mint_trace_context", "mint_span_id"}) {
+        std::size_t at = 0;
+        while ((at = find_ident(code, fn, at)) != std::string_view::npos) {
+          const std::size_t after = skip_ws(code, at + fn.size());
+          if (after != std::string_view::npos && code[after] == '(') {
+            add("rng-contract", at,
+                "'" + std::string(fn) +
+                    "' outside src/obs//src/serve/; trace ids are "
+                    "request-plumbing, and model code must not mint them");
+          }
+          at += fn.size();
+        }
       }
     }
     if (!scope.rng_reposition_ok) {

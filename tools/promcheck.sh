@@ -1,0 +1,156 @@
+#!/bin/sh
+# promcheck.sh — validate a Prometheus/OpenMetrics text exposition.
+#
+# Checks the invariants an ingesting agent relies on, against the exact
+# grammar src/obs/registry.cpp renders:
+#
+#   1. every non-comment line is a well-formed sample:
+#        name{key="value"} <number> [ # {trace_id="<32 hex>"} <number> ]
+#   2. every sampled family has # HELP and # TYPE lines, and they appear
+#      before the family's first sample;
+#   3. the TYPE value is one of counter | gauge | histogram;
+#   4. exemplars use the OpenMetrics form with a 32-lowercase-hex trace id,
+#      and only counter / histogram families carry them (never gauges);
+#   5. every histogram family emits an le="+Inf" _bucket plus _sum and
+#      _count samples, bucket counts are non-decreasing in le order, and
+#      the +Inf bucket equals _count.
+#
+# usage: promcheck.sh <exposition-file>      (or - / no arg for stdin)
+#
+# Exit 0 and a one-line summary when the exposition is clean; exit 1 with
+# one "promcheck: <line#>: <violation>" per defect otherwise. Runs inside
+# serve_smoke.sh against a live `dcn_serve --scrape` so the validated bytes
+# are the ones a real scraper would ingest.
+set -u
+
+src=${1:--}
+if [ "$src" != "-" ]; then
+    if [ ! -r "$src" ]; then
+        echo "promcheck: cannot read $src" >&2
+        exit 2
+    fi
+    exec <"$src"
+fi
+
+awk '
+function err(msg) { printf "promcheck: %d: %s\n", NR, msg; bad++ }
+
+# Strip histogram sample suffixes so _bucket/_sum/_count samples key the
+# HELP/TYPE bookkeeping on their base family name, mirroring family_name()
+# in src/obs/registry.cpp.
+function family_of(name) {
+    if (name in histfam) return name
+    if (name ~ /_bucket$/ && substr(name, 1, length(name) - 7) in histfam)
+        return substr(name, 1, length(name) - 7)
+    if (name ~ /_sum$/ && substr(name, 1, length(name) - 4) in histfam)
+        return substr(name, 1, length(name) - 4)
+    if (name ~ /_count$/ && substr(name, 1, length(name) - 6) in histfam)
+        return substr(name, 1, length(name) - 6)
+    return name
+}
+
+function is_number(s) {
+    return s ~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/
+}
+
+BEGIN { bad = 0; nsamples = 0 }
+
+/^$/ { next }
+
+/^# HELP / {
+    split($0, h, " ")
+    if (h[3] !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/ || NF < 4)
+        err("malformed HELP line: " $0)
+    help[h[3]] = 1
+    next
+}
+
+/^# TYPE / {
+    split($0, t, " ")
+    fam = t[3]; kind = t[4]
+    if (kind != "counter" && kind != "gauge" && kind != "histogram")
+        err("unknown TYPE \"" kind "\" for family " fam)
+    if (fam in type) err("duplicate TYPE line for family " fam)
+    type[fam] = kind
+    if (kind == "histogram") histfam[fam] = 1
+    next
+}
+
+/^#/ { err("unrecognized comment line: " $0); next }
+
+{
+    line = $0
+    # Split off an exemplar first: OpenMetrics renders it after the sample
+    # value as  # {trace_id="<hex>"} <value>.
+    exemplar = ""
+    pos = index(line, " # ")
+    if (pos > 0) {
+        exemplar = substr(line, pos + 3)
+        line = substr(line, 1, pos - 1)
+    }
+
+    if (line !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"\})? -?[0-9nife]/) {
+        err("malformed sample line: " $0)
+        next
+    }
+    name = line; sub(/[{ ].*$/, "", name)
+    value = line; sub(/^[^ ]* /, "", value)
+    labels = ""
+    if (line ~ /\{/) { labels = line; sub(/^[^{]*\{/, "", labels); sub(/\}.*$/, "", labels) }
+    if (!is_number(value)) { err(name ": sample value not a number: " value); next }
+
+    fam = family_of(name)
+    nsamples++
+    sampled[fam] = 1
+    if (!(fam in type)) err(name ": sample before (or without) its # TYPE line")
+    if (!(fam in help)) err(name ": sample before (or without) its # HELP line")
+
+    if (exemplar != "") {
+        if (type[fam] == "gauge")
+            err(name ": exemplar on a gauge (OpenMetrics allows counter/histogram only)")
+        # mawk lacks {n} interval syntax, so match the shape and then check
+        # the trace id length by hand (128-bit id = 32 lowercase hex chars).
+        if (exemplar !~ /^\{trace_id="[0-9a-f]+"\} -?[0-9]/) {
+            err(name ": malformed exemplar: " exemplar)
+        } else {
+            hex = exemplar
+            sub(/^\{trace_id="/, "", hex); sub(/".*$/, "", hex)
+            if (length(hex) != 32)
+                err(name ": exemplar trace id is not 32 hex chars: " hex)
+        }
+        exval = exemplar; sub(/^[^}]*\} /, "", exval)
+        if (!is_number(exval)) err(name ": exemplar value not a number: " exval)
+    }
+
+    if (type[fam] == "histogram" && name ~ /_bucket$/) {
+        if (labels !~ /^le="/) { err(name ": _bucket sample without an le label"); next }
+        le = labels; sub(/^le="/, "", le); sub(/"$/, "", le)
+        if (le == "+Inf") { inf_bucket[fam] = value + 0 }
+        else {
+            if (le !~ /^[0-9]+$/) err(name ": non-numeric le bound: " le)
+            if ((fam in last_cum) && value + 0 < last_cum[fam])
+                err(name ": bucket counts decrease at le=" le)
+            last_cum[fam] = value + 0
+        }
+    }
+    if (type[fam] == "histogram" && name ~ /_sum$/) has_sum[fam] = 1
+    if (type[fam] == "histogram" && name ~ /_count$/) hist_count[fam] = value + 0
+}
+
+END {
+    for (fam in histfam) {
+        if (!(fam in sampled)) continue
+        if (!(fam in inf_bucket)) err(fam ": histogram without an le=\"+Inf\" bucket")
+        if (!(fam in has_sum)) err(fam ": histogram without a _sum sample")
+        if (!(fam in hist_count)) err(fam ": histogram without a _count sample")
+        if ((fam in inf_bucket) && (fam in hist_count) && inf_bucket[fam] != hist_count[fam])
+            err(fam ": +Inf bucket (" inf_bucket[fam] ") != _count (" hist_count[fam] ")")
+        if ((fam in last_cum) && (fam in inf_bucket) && inf_bucket[fam] < last_cum[fam])
+            err(fam ": +Inf bucket below the last finite bucket")
+    }
+    if (nsamples == 0) { printf "promcheck: 0: exposition contains no samples\n"; bad++ }
+    if (bad > 0) exit 1
+    nfam = 0; for (fam in sampled) nfam++
+    printf "promcheck: OK (%d samples across %d families)\n", nsamples, nfam
+}
+'

@@ -8,9 +8,17 @@
 // key off that line) and a metrics summary on clean shutdown.
 //
 // Probe mode (--probe PORT): act as a client against a running daemon —
-// health check, one Predict, one PredictVerbose, one metrics scrape — and
-// exit 0 iff all four round-trips answer sanely. This is the loopback smoke
-// test's client half (tools/serve_smoke.sh).
+// health check, one Predict, one PredictVerbose (checking the echoed trace
+// context), one TraceQuery for that trace id (checking the DecisionRecord
+// came back), one metrics scrape — and exit 0 iff every round-trip answers
+// sanely. This is the loopback smoke test's client half
+// (tools/serve_smoke.sh) and the "Tracing a request" runbook's probe step
+// (docs/OPERATIONS.md).
+//
+// Scrape mode (--scrape PORT): fetch one raw Prometheus/OpenMetrics
+// exposition over the Metrics frame and print it verbatim to stdout, so
+// shell tooling (tools/promcheck.sh in the smoke test) can validate the
+// exposition a real agent would ingest.
 
 #include <atomic>
 #include <chrono>
@@ -51,11 +59,13 @@ struct Options {
   double ewma_alpha = 0.05;
   std::uint64_t ewma_warmup = 32;
   std::uint32_t retry_after_ms = 50;
+  double baseline_rate = 0.0;  // expected detector-positive rate (drift base)
   std::size_t train = 600;
   std::size_t test = 120;
   std::size_t detector_sources = 8;
   std::uint32_t trace_sample = 16;  // keep 1 span in N (0 disables tracing)
   long probe = -1;                  // >= 0: probe mode against this port
+  long scrape = -1;                 // >= 0: print one metrics scrape and exit
 };
 
 void usage() {
@@ -72,11 +82,16 @@ void usage() {
       "  --ewma-alpha X       EWMA decay per completed request (default 0.05)\n"
       "  --ewma-warmup N      completions before the EWMA trigger arms\n"
       "  --retry-after-ms N   base Overloaded retry hint (default 50)\n"
+      "  --baseline-rate X    expected detector-positive rate; the\n"
+      "                       dcn_attack_positive_rate_drift gauge reports\n"
+      "                       the admission EWMA minus this (default 0)\n"
       "  --train N / --test N workbench example counts (default 600/120)\n"
       "  --detector-sources N CW attack sources for detector+tier0 training\n"
       "  --trace-sample N     keep 1 span in N, ring buffered (default 16;\n"
       "                       0 disables tracing)\n"
-      "  --probe PORT         client probe against a running daemon\n");
+      "  --probe PORT         client probe against a running daemon\n"
+      "  --scrape PORT        print one raw metrics scrape to stdout and\n"
+      "                       exit (feed it to tools/promcheck.sh)\n");
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -123,6 +138,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--retry-after-ms") {
       if ((v = next("--retry-after-ms")) == nullptr) return false;
       opt.retry_after_ms = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (arg == "--baseline-rate") {
+      if ((v = next("--baseline-rate")) == nullptr) return false;
+      opt.baseline_rate = std::stod(v);
     } else if (arg == "--train") {
       if ((v = next("--train")) == nullptr) return false;
       opt.train = std::stoul(v);
@@ -138,6 +156,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--probe") {
       if ((v = next("--probe")) == nullptr) return false;
       opt.probe = std::stol(v);
+    } else if (arg == "--scrape") {
+      if ((v = next("--scrape")) == nullptr) return false;
+      opt.scrape = std::stol(v);
     } else {
       std::fprintf(stderr, "dcn_serve: unknown flag %s\n", arg.c_str());
       usage();
@@ -170,17 +191,41 @@ int run_probe(std::uint16_t port) {
                    verbose.result.label, label);
       return 1;
     }
+    const obs::TraceContext sent = client.last_trace();
+    if (verbose.trace.trace_hi != sent.trace_hi ||
+        verbose.trace.trace_lo != sent.trace_lo) {
+      std::fprintf(stderr,
+                   "probe: verbose response did not echo the sent trace id\n");
+      return 1;
+    }
     std::printf(
         "probe: predict ok (label=%zu flagged=%d shard=%u batch=%zu "
-        "total_us=%.0f)\n",
+        "total_us=%.0f trace=%s)\n",
         label, verbose.result.flagged_adversarial ? 1 : 0, verbose.shard,
-        verbose.result.batch_size, verbose.result.total_us);
+        verbose.result.batch_size, verbose.result.total_us,
+        obs::trace_id_hex(sent.trace_hi, sent.trace_lo).c_str());
+
+    // Ask the daemon for this request's provenance: the DecisionRecord must
+    // be retained and queryable by the trace id the probe minted.
+    const std::string provenance =
+        client.trace_query(sent.trace_hi, sent.trace_lo);
+    const std::string sent_hex = obs::trace_id_hex(sent.trace_hi,
+                                                   sent.trace_lo);
+    if (provenance.find("\"decisionRecords\"") == std::string::npos ||
+        provenance.find(sent_hex) == std::string::npos) {
+      std::fprintf(stderr,
+                   "probe: trace query missing the request's "
+                   "decision record\n");
+      return 1;
+    }
+    std::printf("probe: trace query ok (%zu bytes)\n", provenance.size());
 
     const std::string scrape = client.metrics();
     if (scrape.find("dcn_server_requests_submitted_total") ==
             std::string::npos ||
         scrape.find("# TYPE dcn_server_end_to_end_us histogram") ==
-            std::string::npos) {
+            std::string::npos ||
+        scrape.find("dcn_attack_positive_rate") == std::string::npos) {
       std::fprintf(stderr, "probe: metrics scrape missing expected families\n");
       return 1;
     }
@@ -189,6 +234,20 @@ int run_probe(std::uint16_t port) {
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "probe: FAILED: %s\n", e.what());
+    return 1;
+  }
+}
+
+int run_scrape(std::uint16_t port) {
+  using namespace dcn;
+  try {
+    auto client = serve::net::DcnClient::connect(
+        port, std::chrono::milliseconds(10000));
+    const std::string scrape = client.metrics();
+    std::fwrite(scrape.data(), 1, scrape.size(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scrape: FAILED: %s\n", e.what());
     return 1;
   }
 }
@@ -216,6 +275,9 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) return 2;
   if (opt.probe >= 0) {
     return run_probe(static_cast<std::uint16_t>(opt.probe));
+  }
+  if (opt.scrape >= 0) {
+    return run_scrape(static_cast<std::uint16_t>(opt.scrape));
   }
   if (opt.shards == 0) opt.shards = 1;
 
@@ -302,6 +364,7 @@ int main(int argc, char** argv) {
   router_cfg.admission.ewma_alpha = opt.ewma_alpha;
   router_cfg.admission.ewma_warmup = opt.ewma_warmup;
   router_cfg.admission.retry_after_ms = opt.retry_after_ms;
+  router_cfg.admission.baseline_positive_rate = opt.baseline_rate;
   serve::net::ShardRouter router(shard_ptrs, router_cfg);
 
   serve::net::NetServerConfig net_cfg;

@@ -2,15 +2,18 @@
 # Loopback serve smoke test (the serve-net-smoke ctest entry; CI runs it on
 # every push). Boots dcn_serve on an ephemeral port with a reduced training
 # protocol, probes it over the real socket path (health + Predict +
-# PredictVerbose + metrics scrape, via `dcn_serve --probe`), then checks the
-# SIGTERM drain is clean.
+# PredictVerbose + trace query + metrics scrape, via `dcn_serve --probe`),
+# validates a live metrics exposition with tools/promcheck.sh, then checks
+# the SIGTERM drain is clean.
 #
 # usage: serve_smoke.sh <path-to-dcn_serve>
 set -u
 
 bin=${1:?usage: serve_smoke.sh <path-to-dcn_serve>}
+promcheck=$(dirname "$0")/promcheck.sh
 log=$(mktemp)
-trap 'rm -f "$log"' EXIT
+scrape=$(mktemp)
+trap 'rm -f "$log" "$scrape"' EXIT
 
 fail() {
     echo "serve-smoke: FAIL: $1" >&2
@@ -37,6 +40,14 @@ port=$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' "$log" | head -1)
 [ -n "$port" ] || fail "could not parse the bound port"
 
 "$bin" --probe "$port" || fail "client probe failed"
+
+# Pull one live exposition over the wire (after the probe, so the scrape
+# carries real request samples) and hold it to the OpenMetrics invariants.
+"$bin" --scrape "$port" >"$scrape" || fail "metrics scrape failed"
+[ -s "$scrape" ] || fail "metrics scrape returned an empty exposition"
+sh "$promcheck" "$scrape" || fail "promcheck rejected the live exposition"
+grep -q '^dcn_attack_positive_rate' "$scrape" ||
+    fail "scrape is missing the dcn_attack_ family"
 
 kill -TERM "$pid"
 i=0
