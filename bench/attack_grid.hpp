@@ -22,6 +22,7 @@
 #include "attacks/untargeted.hpp"
 #include "common.hpp"
 #include "eval/bench_json.hpp"
+#include "eval/sweep_grid.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace dcn::bench {
@@ -41,12 +42,16 @@ struct MetricAttacks {
   std::function<std::unique_ptr<attacks::Attack>()> make;
 };
 
+// All three CW metrics run at the canonical table confidence
+// (eval::kTableCwKappa — the first point of eval::security_kappa_grid(), so
+// the Table 4/5 cells and the security curves' kappa = 0 points measure the
+// same attack).
 inline std::vector<MetricAttacks> make_metric_attacks() {
   return {
       {"L0", attacks::Norm::kL0,
        [] {
          return std::make_unique<attacks::CwL0>(attacks::CwL0Config{
-             .kappa = 0.0F,
+             .kappa = eval::kTableCwKappa,
              .initial_c = 1e-1F,
              .max_iterations = 60,
              .learning_rate = 5e-2F,
@@ -60,7 +65,7 @@ inline std::vector<MetricAttacks> make_metric_attacks() {
       {"Linf", attacks::Norm::kLinf,
        [] {
          return std::make_unique<attacks::CwLinf>(attacks::CwLinfConfig{
-             .kappa = 0.0F,
+             .kappa = eval::kTableCwKappa,
              .initial_c = 5.0F,
              .initial_tau = 0.4F,
              .tau_decay = 0.75F,

@@ -27,7 +27,10 @@ int main() {
   eval::Table kappa_table("CW-L2 kappa sweep vs DCN (MNIST)");
   kappa_table.set_header({"kappa", "crafted", "detected", "DCN success",
                           "mean L2"});
-  for (float kappa : {0.0F, 2.0F, 5.0F, 10.0F}) {
+  // The kappa operating points are the shared security grid
+  // (eval/sweep_grid.hpp) — the same points bench_security sweeps, so this
+  // table and the curves can never disagree.
+  for (float kappa : eval::security_kappa_grid()) {
     attacks::CwL2 cw({.kappa = kappa,
                       .initial_c = 1e-1F,
                       .binary_search_steps = 3,
@@ -70,6 +73,21 @@ int main() {
        .binary_search_steps = 4,
        .max_iterations = 150,
        .learning_rate = 5e-2F});
+  attacks::AdaptiveCw end_to_end(
+      [&](const Tensor& z, Tensor& g) {
+        return detector.margin_with_gradient(z, g);
+      },
+      {.kappa = 3.0F,
+       .kappa_det = 0.0F,
+       .lambda = 1.0F,
+       .initial_c = 1e-1F,
+       .binary_search_steps = 4,
+       .max_iterations = 150,
+       .learning_rate = 5e-2F,
+       // Corrector-aware: the expected-vote surrogate over the deployed
+       // voting radius (see attacks/adaptive_cw.hpp).
+       .vote_samples = 6,
+       .vote_radius = params.region_radius});
   attacks::CwL2 plain(bench::light_cw_config());
 
   eval::Table adaptive_table("Adaptive (detector-aware) CW vs plain CW");
@@ -99,6 +117,7 @@ int main() {
   };
   run_attack("plain CW-L2", plain);
   run_attack("adaptive CW-L2", adaptive);
+  run_attack("e2e CW-L2 (det+vote)", end_to_end);
   std::fputs(adaptive_table.render().c_str(), stdout);
   std::printf(
       "\nexpected shape: adaptive attack evades the detector (low detected "

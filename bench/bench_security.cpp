@@ -1,0 +1,102 @@
+// Security-evaluation curves (the adaptive red-team harness): every attack
+// family (FGSM/IGSM/PGD/DeepFool over the shared epsilon grid; CW-L2 and the
+// end-to-end detector+vote-aware AdaptiveCw over the shared kappa grid)
+// against every defense configuration (undefended, detector-only, full DCN
+// under kConfirm and kResolve). Writes BENCH_security.json — the artifact
+// EXPERIMENTS.md's "where DCN holds / where it falls" section cites, with
+// metric names verified by tools/docs_check.sh.
+//
+// The reduced, seconds-scale version of this sweep runs in CI as the
+// `security-curve-smoke` ctest (tests/test_security_curve.cpp), which pins
+// adaptive success and benign accuracy within tolerances.
+#include <cstdio>
+
+#include "common.hpp"
+#include "eval/security_curve.hpp"
+#include "eval/sweep_grid.hpp"
+#include "runtime/kernel_stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+int main() {
+  using namespace dcn;
+  std::printf("=== Security-evaluation curves (MNIST) ===\n");
+  std::printf("accuracy-vs-strength per attack family x defense; epsilon/"
+              "kappa grids from eval/sweep_grid.hpp\n\n");
+
+  const bench::DomainParams params = bench::mnist_params();
+  auto wb = bench::make_workbench(true, 1500, 300);
+  core::Detector detector = bench::make_detector(wb, 14);
+  core::LogitCorrector tier0 = bench::make_logit_corrector(wb, 14);
+
+  eval::SecuritySweepConfig cfg;
+  cfg.sources = bench::correct_indices(wb, 6, 14);
+  cfg.corrector = {.radius = params.region_radius,
+                   .samples = params.dcn_samples,
+                   .mode = core::CorrectorMode::kEarlyExit};
+  const auto families = eval::standard_families(
+      detector, cfg.corrector, eval::security_epsilon_grid(),
+      eval::security_kappa_grid());
+  eval::SweepContext ctx{.model = &wb.model,
+                         .detector = &detector,
+                         .tier0 = &tier0,
+                         .dataset = &wb.test_set};
+
+  runtime::kernel_stats().reset();
+  eval::Timer sweep_timer;
+  // One engine call per family for progress reporting; the benign anchor and
+  // every cell are bit-identical to a single all-family call (fresh
+  // per-cell correctors — see src/eval/security_curve.hpp).
+  eval::SecurityCurves curves;
+  for (const eval::FamilySpec& family : families) {
+    eval::Timer family_timer;
+    eval::SecuritySweepConfig one = cfg;
+    one.families.push_back(family);
+    eval::SecurityCurves result = eval::run_security_sweep(ctx, one);
+    if (curves.families.empty()) {
+      curves.source_count = result.source_count;
+      curves.defense_order = result.defense_order;
+      curves.benign_accuracy = result.benign_accuracy;
+      curves.benign_detection_rate = result.benign_detection_rate;
+    }
+    curves.families.push_back(std::move(result.families[0]));
+    std::printf("[sweep] %s: %zu points done (%.1fs)\n", family.name.c_str(),
+                family.grid.size(), family_timer.seconds());
+  }
+  const double sweep_s = sweep_timer.seconds();
+
+  // Console summary: the strongest point of every curve (the "falls" end)
+  // next to the benign anchor (the "holds" end).
+  eval::Table table("Security curves: weakest -> strongest operating point");
+  table.set_header({"family", "param", "strength", "undefended",
+                    "detector_only", "dcn_confirm", "dcn_resolve",
+                    "detected"});
+  for (const eval::FamilyCurves& fam : curves.families) {
+    const std::size_t last = fam.strengths.size() - 1;
+    table.add_row({fam.family, eval::sweep_param_name(fam.param),
+                   eval::fixed(fam.strengths[last], 2),
+                   eval::fixed(fam.defenses[0].accuracy[last] * 100.0, 1),
+                   eval::fixed(fam.defenses[1].accuracy[last] * 100.0, 1),
+                   eval::fixed(fam.defenses[2].accuracy[last] * 100.0, 1),
+                   eval::fixed(fam.defenses[3].accuracy[last] * 100.0, 1),
+                   eval::fixed(fam.detection_rate[last] * 100.0, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("benign accuracy: undefended=%.1f%% detector_only=%.1f%% "
+              "dcn_confirm=%.1f%% dcn_resolve=%.1f%% (detector FP %.1f%%)\n",
+              curves.benign_accuracy[0] * 100.0,
+              curves.benign_accuracy[1] * 100.0,
+              curves.benign_accuracy[2] * 100.0,
+              curves.benign_accuracy[3] * 100.0,
+              curves.benign_detection_rate * 100.0);
+
+  eval::JsonObject json;
+  json.set("bench", "bench_security")
+      .set("domain", params.name)
+      .set("threads", runtime::thread_count())
+      .set("sweep_wallclock_s", sweep_s);
+  json.set("curves", eval::security_curves_json(curves));
+  bench::attach_runtime_attribution(json);
+  eval::write_json_file("BENCH_security.json", json);
+  std::printf("wrote BENCH_security.json (%.1fs total sweep)\n", sweep_s);
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include "eval/bench_json.hpp"
 #include "eval/metrics.hpp"
 #include "eval/report.hpp"
+#include "eval/sweep_grid.hpp"
 #include "eval/timer.hpp"
 #include "models/model_zoo.hpp"
 #include "obs/registry.hpp"
@@ -44,8 +45,9 @@ inline DomainParams cifar_params() { return {"CIFAR-10", 0.10F, 1000, 50}; }
 
 /// A CW-L2 configuration light enough for bulk adversarial generation while
 /// keeping the attack's structure (tanh space, Adam, binary search on c).
+/// Runs at the canonical table confidence (eval/sweep_grid.hpp).
 inline attacks::CwL2Config light_cw_config() {
-  return {.kappa = 0.0F,
+  return {.kappa = eval::kTableCwKappa,
           .initial_c = 1e-1F,
           .binary_search_steps = 3,
           .max_iterations = 80,

@@ -1,10 +1,14 @@
 #include "attacks/adaptive_cw.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "attacks/cw_l2.hpp"
 #include "nn/optimizer.hpp"
+#include "tensor/random.hpp"
 
 namespace dcn::attacks {
 
@@ -16,13 +20,283 @@ float safe_atanh(float v) {
   return 0.5F * std::log((1.0F + v) / (1.0F - v));
 }
 
+Tensor batch_of_one(const Tensor& x) {
+  std::vector<std::size_t> dims{1};
+  for (std::size_t dd : x.shape().dims()) dims.push_back(dd);
+  return x.reshape(Shape(dims));
+}
+
+// softmax(z / T) in double precision (max-shifted for stability).
+std::vector<double> softened_probs(const Tensor& logits, float temperature) {
+  const double t = static_cast<double>(temperature);
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    hi = std::max(hi, static_cast<double>(logits[i]) / t);
+  }
+  std::vector<double> s(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    s[i] = std::exp(static_cast<double>(logits[i]) / t - hi);
+    sum += s[i];
+  }
+  for (double& v : s) v /= sum;
+  return s;
+}
+
 }  // namespace
+
+AdaptiveCw::AdaptiveCw(DetectorGradFn detector, AdaptiveCwConfig config)
+    : detector_(std::move(detector)), config_(config) {
+  if (!detector_) {
+    throw std::invalid_argument("AdaptiveCw: detector callback required");
+  }
+  validate_config(config_);
+}
+
+void AdaptiveCw::validate_config(const AdaptiveCwConfig& config) {
+  const auto bad = [](const char* what) {
+    throw std::invalid_argument(std::string("AdaptiveCw: ") + what);
+  };
+  if (!std::isfinite(config.kappa) || config.kappa < 0.0F) {
+    bad("kappa out of range (must be finite and >= 0)");
+  }
+  if (!std::isfinite(config.kappa_det)) bad("kappa_det must be finite");
+  if (!std::isfinite(config.lambda) || config.lambda < 0.0F) {
+    bad("lambda must be finite and >= 0");
+  }
+  if (!std::isfinite(config.initial_c) || config.initial_c <= 0.0F) {
+    bad("initial_c must be finite and > 0");
+  }
+  if (!std::isfinite(config.learning_rate) || config.learning_rate <= 0.0F) {
+    bad("learning_rate must be finite and > 0");
+  }
+  if (!std::isfinite(config.vote_radius) || config.vote_radius < 0.0F) {
+    bad("vote_radius must be finite and >= 0");
+  }
+  if (!std::isfinite(config.vote_temperature) ||
+      config.vote_temperature <= 0.0F) {
+    bad("vote_temperature must be finite and > 0");
+  }
+  if (!std::isfinite(config.vote_weight) || config.vote_weight < 0.0F) {
+    bad("vote_weight must be finite and >= 0");
+  }
+  if (!std::isfinite(config.kappa_vote) || config.kappa_vote < 0.0F ||
+      config.kappa_vote >= 1.0F) {
+    bad("kappa_vote out of range (expected-vote lead must be in [0, 1))");
+  }
+}
+
+std::vector<Tensor> AdaptiveCw::make_vote_offsets(const Shape& shape) const {
+  Rng rng(config_.vote_seed);
+  std::vector<Tensor> offsets;
+  offsets.reserve(config_.vote_samples);
+  const double r = static_cast<double>(config_.vote_radius);
+  for (std::size_t s = 0; s < config_.vote_samples; ++s) {
+    Tensor u(shape);
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      u[i] = static_cast<float>(rng.uniform(-r, r));
+    }
+    offsets.push_back(std::move(u));
+  }
+  return offsets;
+}
+
+double AdaptiveCw::vote_surrogate_margin(nn::Sequential& model,
+                                         const Tensor& x,
+                                         const std::vector<Tensor>& offsets,
+                                         std::size_t target, float temperature,
+                                         Tensor* grad_x) {
+  if (offsets.empty()) {
+    throw std::invalid_argument(
+        "AdaptiveCw: vote surrogate needs at least one region offset");
+  }
+  if (!std::isfinite(temperature) || temperature <= 0.0F) {
+    throw std::invalid_argument(
+        "AdaptiveCw: vote_temperature must be finite and > 0");
+  }
+  const std::size_t k = offsets.size();
+
+  // Pass 1: per-offset softened class distributions and their mean p. The
+  // softmaxes are kept for the gradient pass, which needs them as jacobian
+  // seeds after the winning class b is known.
+  std::vector<std::vector<double>> soft(k);
+  std::vector<double> p;
+  std::size_t nc = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    Tensor xj = x;
+    xj += offsets[j];
+    const Tensor logits =
+        model.forward(batch_of_one(xj), /*train=*/false).row(0);
+    if (nc == 0) {
+      nc = logits.size();
+      if (target >= nc) {
+        throw std::invalid_argument("AdaptiveCw: vote target out of range");
+      }
+      p.assign(nc, 0.0);
+    }
+    soft[j] = softened_probs(logits, temperature);
+    for (std::size_t i = 0; i < nc; ++i) p[i] += soft[j][i] / k;
+  }
+  std::size_t b = target == 0 ? 1 : 0;
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nc; ++i) {
+    if (i == target) continue;
+    if (p[i] > best) {
+      best = p[i];
+      b = i;
+    }
+  }
+  const double margin = best - p[target];
+
+  if (grad_x != nullptr) {
+    // Pass 2: d(margin)/dx = (1/(kT)) sum_j J_j^T [ s_b (e_b - s) -
+    // s_t (e_t - s) ], one model backward per offset. Each backward must
+    // immediately follow its own forward (the caches are per-pass), hence
+    // the re-forward with train=true.
+    std::vector<double> acc(x.size(), 0.0);
+    const double inv_kt =
+        1.0 / (static_cast<double>(k) * static_cast<double>(temperature));
+    for (std::size_t j = 0; j < k; ++j) {
+      Tensor xj = x;
+      xj += offsets[j];
+      Tensor logits_b = model.forward(batch_of_one(xj), /*train=*/true);
+      Tensor seed(logits_b.shape());
+      const std::vector<double>& s = soft[j];
+      for (std::size_t m = 0; m < nc; ++m) {
+        const double gb = s[b] * ((m == b ? 1.0 : 0.0) - s[m]);
+        const double gt = s[target] * ((m == target ? 1.0 : 0.0) - s[m]);
+        seed(0, m) = static_cast<float>(inv_kt * (gb - gt));
+      }
+      const Tensor g = model.backward(seed).reshape(x.shape());
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        acc[i] += static_cast<double>(g[i]);
+      }
+    }
+    *grad_x = Tensor(x.shape());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      (*grad_x)[i] = static_cast<float>(acc[i]);
+    }
+  }
+  return margin;
+}
+
+double AdaptiveCw::detector_margin_input_grad(nn::Sequential& model,
+                                              const DetectorGradFn& detector,
+                                              const Tensor& x,
+                                              Tensor* grad_x) {
+  if (!detector) {
+    throw std::invalid_argument("AdaptiveCw: detector callback required");
+  }
+  Tensor logits_b = model.forward(batch_of_one(x), /*train=*/true);
+  const Tensor logits = logits_b.row(0);
+  Tensor det_grad;
+  const double margin = detector(logits, det_grad);
+  if (grad_x != nullptr) {
+    Tensor seed(logits_b.shape());
+    for (std::size_t j = 0; j < logits.size(); ++j) seed(0, j) = det_grad[j];
+    *grad_x = model.backward(seed).reshape(x.shape());
+  }
+  return margin;
+}
+
+AdaptiveCw::LossTerms AdaptiveCw::loss_terms(nn::Sequential& model,
+                                             const Tensor& adv,
+                                             std::size_t target, float c,
+                                             const std::vector<Tensor>& offsets,
+                                             Tensor* grad_adv,
+                                             bool lazy_vote) {
+  LossTerms t;
+  Tensor logits_b = model.forward(batch_of_one(adv), /*train=*/true);
+  const Tensor logits = logits_b.row(0);
+  std::size_t best_other = 0;
+  t.cls_margin = CwL2::objective_margin(logits, target, &best_other);
+
+  // Detector margin and its gradient with respect to the logits. This must
+  // happen before the model's backward pass below, because a detector
+  // implemented on our nn stack runs its own forward/backward without
+  // touching the classifier's caches.
+  Tensor det_grad;
+  t.det_margin = detector_(logits, det_grad);
+
+  const bool misclassified = t.cls_margin < 1e-12;
+  t.cls_deep = t.cls_margin < -static_cast<double>(config_.kappa);
+  t.det_evaded =
+      t.det_margin < -static_cast<double>(config_.kappa_det) + 1e-12;
+  const bool vote_on = config_.vote_samples > 0 && !offsets.empty();
+
+  if (grad_adv != nullptr) *grad_adv = Tensor(adv.shape());
+
+  // Staged objective. Optimizing all hinges simultaneously stalls: the
+  // detector fires hardest on near-tied logits, i.e. exactly the region the
+  // classifier hinge must traverse, and the gradients cancel at the
+  // boundary. So: drive the classifier margin deep first (below -kappa,
+  // confidence the detector also likes), then engage the detector hinge,
+  // and only then the vote surrogate. Stages A/B backward through the
+  // forward pass above; the surrogate re-forwards the model per offset
+  // (clobbering those caches), so the main backward completes first.
+  if (!t.cls_deep) {
+    t.staged_loss = static_cast<double>(c) * t.cls_margin;
+    if (grad_adv != nullptr) {
+      Tensor seed(logits_b.shape());
+      seed(0, best_other) += c;
+      seed(0, target) -= c;
+      *grad_adv = model.backward(seed).reshape(adv.shape());
+    }
+  } else if (!t.det_evaded) {
+    t.staged_loss =
+        static_cast<double>(c) * static_cast<double>(config_.lambda) *
+        t.det_margin;
+    if (grad_adv != nullptr) {
+      Tensor seed(logits_b.shape());
+      for (std::size_t j = 0; j < logits.size(); ++j) {
+        seed(0, j) = c * config_.lambda * det_grad[j];
+      }
+      *grad_adv = model.backward(seed).reshape(adv.shape());
+    }
+  }
+
+  // The vote surrogate is consulted once the iterate misclassifies and
+  // evades the detector (the success verdict needs it there, and the
+  // stage-C gradient is only live then); lazy_vote skips it elsewhere.
+  const bool want_vote =
+      vote_on && (!lazy_vote || (misclassified && t.det_evaded));
+  if (want_vote) {
+    const bool stage_c = t.cls_deep && t.det_evaded;
+    Tensor vote_grad;
+    const bool want_grad = grad_adv != nullptr && stage_c;
+    t.vote_margin =
+        vote_surrogate_margin(model, adv, offsets, target,
+                              config_.vote_temperature,
+                              want_grad ? &vote_grad : nullptr);
+    t.vote_evaluated = true;
+    t.vote_evaded =
+        t.vote_margin < -static_cast<double>(config_.kappa_vote) + 1e-12;
+    if (stage_c && !t.vote_evaded) {
+      t.staged_loss = static_cast<double>(c) *
+                      static_cast<double>(config_.vote_weight) *
+                      t.vote_margin;
+      if (want_grad) {
+        for (std::size_t i = 0; i < vote_grad.size(); ++i) {
+          (*grad_adv)[i] = c * config_.vote_weight * vote_grad[i];
+        }
+      }
+    }
+  }
+
+  t.success = misclassified && t.det_evaded && (!vote_on || t.vote_evaded);
+  return t;
+}
 
 AttackResult AdaptiveCw::run_targeted(nn::Sequential& model, const Tensor& x,
                                       std::size_t target) {
   const std::size_t d = x.size();
   Tensor w0(x.shape());
   for (std::size_t i = 0; i < d; ++i) w0[i] = safe_atanh(2.0F * x[i]);
+
+  // The frozen region offsets of the vote surrogate (empty = vote term off).
+  const std::vector<Tensor> offsets = config_.vote_samples > 0
+                                          ? make_vote_offsets(x.shape())
+                                          : std::vector<Tensor>{};
 
   float c = config_.initial_c;
   float c_low = 0.0F;
@@ -43,28 +317,15 @@ AttackResult AdaptiveCw::run_targeted(nn::Sequential& model, const Tensor& x,
       Tensor adv(x.shape());
       for (std::size_t i = 0; i < d; ++i) adv[i] = 0.5F * std::tanh(w[i]);
 
-      std::vector<std::size_t> dims{1};
-      for (std::size_t dd : adv.shape().dims()) dims.push_back(dd);
-      Tensor logits_b =
-          model.forward(adv.reshape(Shape(dims)), /*train=*/true);
-      const Tensor logits = logits_b.row(0);
-      std::size_t best_other = 0;
-      const double margin =
-          CwL2::objective_margin(logits, target, &best_other);
+      Tensor grad_loss;
+      const LossTerms terms =
+          loss_terms(model, adv, target, c, offsets, &grad_loss,
+                     /*lazy_vote=*/true);
 
-      // Detector margin and its gradient with respect to the logits. This
-      // must happen before the model's backward pass below, because a
-      // detector implemented on our nn stack runs its own forward/backward
-      // without touching the classifier's caches.
-      Tensor det_grad;
-      const double det_margin = detector_(logits, det_grad);
-
-      // Success is judged at the deployment condition: misclassified at all
-      // (margin < 0) AND the detector evaded by kappa_det.
-      const bool misclassified = margin < 1e-12;
-      const bool det_ok =
-          det_margin < -static_cast<double>(config_.kappa_det) + 1e-12;
-      if (misclassified && det_ok) {
+      // Success is judged at the deployment condition: misclassified at all,
+      // detector evaded by kappa_det, and (when the surrogate is on) the
+      // target winning the expected region vote by kappa_vote.
+      if (terms.success) {
         success_this_c = true;
         const double l2 = (adv - x).l2_norm();
         if (l2 < best_l2) {
@@ -74,25 +335,8 @@ AttackResult AdaptiveCw::run_targeted(nn::Sequential& model, const Tensor& x,
         }
       }
 
-      // Staggered objective. Optimizing both hinges simultaneously stalls:
-      // the detector fires hardest on near-tied logits, i.e. exactly the
-      // region the classifier hinge must traverse, and the two gradients
-      // cancel at the boundary. So: first drive the classifier margin deep
-      // (below -kappa, confidence the detector also likes), and only then
-      // engage the detector hinge to finish the evasion.
-      const bool cls_deep = margin < -static_cast<double>(config_.kappa);
-      Tensor seed(logits_b.shape());
-      if (!cls_deep) {
-        seed(0, best_other) += c;
-        seed(0, target) -= c;
-      } else if (!det_ok) {
-        for (std::size_t j = 0; j < logits.size(); ++j) {
-          seed(0, j) += c * config_.lambda * det_grad[j];
-        }
-      }
-
       Tensor grad_adv = (adv - x) * 2.0F;
-      grad_adv += model.backward(seed).reshape(x.shape());
+      grad_adv += grad_loss;
       Tensor grad_w(x.shape());
       for (std::size_t i = 0; i < d; ++i) {
         grad_w[i] = grad_adv[i] * 0.5F * (1.0F - 4.0F * adv[i] * adv[i]);

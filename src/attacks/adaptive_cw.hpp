@@ -1,19 +1,44 @@
 // Adaptive CW-L2 attack against a detector-gated defense (paper Sec. 6,
-// "Adaptive CW attack against our DCN"): the loss combines the classifier
-// objective with a second term that pushes the *detector's* verdict toward
-// benign, differentiating through detector(logits(x')).
+// "Adaptive CW attack against our DCN"), extended into an end-to-end
+// white-box adversary against the full DCN pipeline: the loss combines the
+// classifier objective with a term pushing the *detector's* verdict toward
+// benign and a differentiable surrogate of the *corrector's* region vote.
 //
-//   minimize ||x'-x||^2 + c * [ f_cls(Z(x')) + lambda * f_det(Z(x')) ]
-//   f_det = max( detector_margin , -kappa_det )
+//   minimize ||x'-x||^2 + c * [ f_cls(Z(x'))
+//                               + lambda * f_det(Z(x'))
+//                               + vote_weight * f_vote(x') ]
+//   f_det  = max( detector_margin , -kappa_det )
+//   f_vote = max( vote_margin     , -kappa_vote )
 //
 // The detector enters through a callback returning its margin
 // (positive = adversarial) and the margin's gradient with respect to the
 // classifier logits — exactly what core::Detector::margin_with_gradient
 // provides. Keeping it a callback means the attack layer stays independent
 // of the defense layer.
+//
+// The corrector's majority vote is a discrete argmax over m hypercube
+// samples — no gradient. The surrogate is the expected-vote relaxation over
+// the sampling region: for k fixed offsets u_j ~ U[-r, r]^d,
+//
+//   p_i = (1/k) * sum_j softmax(Z(x' + u_j) / T)_i
+//   vote_margin = max_{i != t} p_i - p_t
+//
+// p is the expected (temperature-softened) vote distribution the corrector
+// draws from; driving vote_margin below -kappa_vote means the target class
+// wins the expected vote by that probability lead, so the hard majority vote
+// over the real sample set breaks the same way with high probability. The
+// offsets are frozen per attack instance (vote_seed) so the loss is a fixed
+// deterministic function the optimizer can descend — the relaxation is
+// differentiable everywhere and gradcheck-covered like LogitCorrector.
+//
+// Optimization is staged (see run_targeted): classifier hinge first, then
+// the detector hinge, then the vote surrogate. The three gradients fight
+// each other near the decision boundary; sequencing them avoids the Pareto
+// stand-off documented on AdaptiveCwConfig::kappa.
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "attacks/attack.hpp"
 
@@ -38,18 +63,96 @@ struct AdaptiveCwConfig {
   std::size_t binary_search_steps = 4;
   std::size_t max_iterations = 150;
   float learning_rate = 5e-2F;
+
+  // ---- corrector-vote surrogate (0 samples = detector-aware only) --------
+  /// Number of frozen region offsets k in the expected-vote relaxation.
+  std::size_t vote_samples = 0;
+  /// Sampling radius r of the vote surrogate; match the deployed
+  /// CorrectorConfig::radius to attack the actual voting region.
+  float vote_radius = 0.3F;
+  /// Softmax temperature T of the relaxation. T -> 0 approaches the hard
+  /// per-sample argmax vote (and its useless gradients); T = 1 keeps the
+  /// logit scale.
+  float vote_temperature = 1.0F;
+  /// Weight of the vote term once it is engaged.
+  float vote_weight = 1.0F;
+  /// Required expected-vote probability lead of the target class, in [0, 1):
+  /// success demands vote_margin < -kappa_vote.
+  float kappa_vote = 0.05F;
+  /// Seed for the frozen offsets (one fixed draw per attack instance).
+  std::uint64_t vote_seed = 20240606ULL;
 };
 
 class AdaptiveCw final : public Attack {
  public:
-  AdaptiveCw(DetectorGradFn detector, AdaptiveCwConfig config = {})
-      : detector_(std::move(detector)), config_(config) {}
+  /// Validates the configuration (see validate_config); throws
+  /// std::invalid_argument on out-of-range values.
+  AdaptiveCw(DetectorGradFn detector, AdaptiveCwConfig config = {});
 
   AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
                             std::size_t target) override;
 
   [[nodiscard]] std::string name() const override { return "Adaptive-CW"; }
   [[nodiscard]] const AdaptiveCwConfig& config() const { return config_; }
+
+  /// Throws std::invalid_argument when a field is outside its documented
+  /// range (negative/non-finite margins or weights, zero learning rate,
+  /// kappa_vote outside [0, 1), non-positive temperature, ...).
+  static void validate_config(const AdaptiveCwConfig& config);
+
+  /// The k frozen region offsets of the vote surrogate for inputs of this
+  /// shape, drawn from a fresh Rng(vote_seed): element-uniform in
+  /// [-vote_radius, vote_radius], sample-major element-minor like the
+  /// corrector's own stream. Deterministic per (config, shape).
+  [[nodiscard]] std::vector<Tensor> make_vote_offsets(
+      const Shape& shape) const;
+
+  /// Expected-vote margin of the relaxation at x (see file comment):
+  /// max_{i != target} p_i - p_target, p = mean_j softmax(Z(x+u_j)/T).
+  /// Negative = the target class wins the expected vote. When grad_x is
+  /// non-null it receives d(margin)/dx (the gradcheck-covered path).
+  /// Throws std::invalid_argument on an empty offset set or T <= 0.
+  static double vote_surrogate_margin(nn::Sequential& model, const Tensor& x,
+                                      const std::vector<Tensor>& offsets,
+                                      std::size_t target, float temperature,
+                                      Tensor* grad_x = nullptr);
+
+  /// Detector margin as a function of the *input*: chains the detector's
+  /// logit-space gradient through the classifier's backward pass. When
+  /// grad_x is non-null it receives d(margin)/dx (gradcheck-covered).
+  static double detector_margin_input_grad(nn::Sequential& model,
+                                           const DetectorGradFn& detector,
+                                           const Tensor& x,
+                                           Tensor* grad_x = nullptr);
+
+  /// One evaluation of the staged adaptive loss at `adv` (all margins, the
+  /// gate flags, and the value/gradient of the currently-active stage).
+  struct LossTerms {
+    double cls_margin = 0.0;   // CW objective margin (negative = target wins)
+    double det_margin = 0.0;   // detector margin (negative = looks benign)
+    double vote_margin = 0.0;  // expected-vote margin (negative = target wins)
+    bool vote_evaluated = false;  // vote_margin is meaningful
+    bool cls_deep = false;     // cls_margin < -kappa (stage 1 gate)
+    bool det_evaded = false;   // det_margin < -kappa_det (stage 2 gate)
+    bool vote_evaded = false;  // vote_margin < -kappa_vote (stage 3 gate)
+    bool success = false;      // misclassified + detector + vote all evaded
+    double staged_loss = 0.0;  // c-weighted value of the active stage's term
+  };
+
+  /// Evaluate the staged loss at `adv`. Exactly one stage is active:
+  ///   A  !cls_deep                       -> c * cls_margin
+  ///   B  cls_deep, !det_evaded           -> c * lambda * det_margin
+  ///   C  det_evaded, vote on, !vote_evaded -> c * vote_weight * vote_margin
+  ///   D  everything evaded               -> 0 (zero gradient)
+  /// When grad_adv is non-null it receives the active stage's gradient with
+  /// respect to `adv` (the ||adv-x||^2 distance term is NOT included — the
+  /// caller owns it). With lazy_vote the surrogate is only evaluated once
+  /// the iterate misclassifies and evades the detector (the attack loop's
+  /// fast path); without it the vote margin is always computed (gradcheck).
+  LossTerms loss_terms(nn::Sequential& model, const Tensor& adv,
+                       std::size_t target, float c,
+                       const std::vector<Tensor>& offsets,
+                       Tensor* grad_adv = nullptr, bool lazy_vote = true);
 
  private:
   DetectorGradFn detector_;

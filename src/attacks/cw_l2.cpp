@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 #include "attacks/gradient.hpp"
 #include "data/transforms.hpp"
@@ -18,6 +20,21 @@ float safe_atanh(float v) {
 }
 
 }  // namespace
+
+void CwL2::validate_config(const CwL2Config& config) {
+  const auto bad = [](const char* what) {
+    throw std::invalid_argument(std::string("CwL2: ") + what);
+  };
+  if (!std::isfinite(config.kappa) || config.kappa < 0.0F) {
+    bad("kappa out of range (must be finite and >= 0)");
+  }
+  if (!std::isfinite(config.initial_c) || config.initial_c <= 0.0F) {
+    bad("initial_c must be finite and > 0");
+  }
+  if (!std::isfinite(config.learning_rate) || config.learning_rate <= 0.0F) {
+    bad("learning_rate must be finite and > 0");
+  }
+}
 
 double CwL2::objective_margin(const Tensor& logits, std::size_t target,
                               std::size_t* best_other) {

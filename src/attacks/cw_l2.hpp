@@ -23,7 +23,13 @@ struct CwL2Config {
 
 class CwL2 final : public Attack {
  public:
-  explicit CwL2(CwL2Config config = {}) : config_(config) {}
+  /// Throws std::invalid_argument on an out-of-range configuration (negative
+  /// or non-finite kappa, non-positive initial_c or learning_rate).
+  explicit CwL2(CwL2Config config = {}) : config_(config) {
+    validate_config(config_);
+  }
+
+  static void validate_config(const CwL2Config& config);
 
   AttackResult run_targeted(nn::Sequential& model, const Tensor& x,
                             std::size_t target) override;

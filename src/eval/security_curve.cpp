@@ -1,0 +1,404 @@
+#include "eval/security_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "attacks/adaptive_cw.hpp"
+#include "attacks/cw_l2.hpp"
+#include "attacks/deepfool.hpp"
+#include "attacks/fgsm.hpp"
+#include "attacks/igsm.hpp"
+#include "attacks/pgd.hpp"
+#include "attacks/untargeted.hpp"
+#include "core/dcn.hpp"
+#include "data/transforms.hpp"
+
+namespace dcn::eval {
+
+namespace {
+
+std::size_t argmax(const Tensor& v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+void validate(const SweepContext& ctx, const SecuritySweepConfig& config) {
+  if (ctx.model == nullptr || ctx.detector == nullptr ||
+      ctx.dataset == nullptr) {
+    throw std::invalid_argument(
+        "run_security_sweep: model, detector, and dataset are required");
+  }
+  if (config.families.empty()) {
+    throw SweepGridError("security sweep: empty sweep grid (no families)");
+  }
+  if (config.sources.empty()) {
+    throw SweepGridError("security sweep: no source examples");
+  }
+  if (config.defenses.empty()) {
+    throw SweepGridError("security sweep: no defense configurations");
+  }
+  for (const FamilySpec& fam : config.families) {
+    if (fam.name.empty()) {
+      throw SweepGridError("security sweep: family with an empty name");
+    }
+    if (!fam.craft) {
+      throw SweepGridError("security sweep: family '" + fam.name +
+                           "' has no attack runner");
+    }
+    if (fam.grid.empty()) {
+      throw SweepGridError("security sweep: family '" + fam.name +
+                           "' has an empty strength grid");
+    }
+    float prev = -std::numeric_limits<float>::infinity();
+    for (float s : fam.grid) {
+      if (!std::isfinite(s) || s < 0.0F) {
+        throw SweepGridError("security sweep: family '" + fam.name +
+                             "' has a non-finite or negative strength");
+      }
+      if (s <= prev) {
+        throw SweepGridError("security sweep: family '" + fam.name +
+                             "' strength grid must be strictly increasing");
+      }
+      prev = s;
+    }
+    for (const FamilySpec& other : config.families) {
+      if (&other != &fam && other.name == fam.name) {
+        throw SweepGridError("security sweep: duplicate family name '" +
+                             fam.name + "'");
+      }
+    }
+  }
+  for (std::size_t idx : config.sources) {
+    if (idx >= ctx.dataset->size()) {
+      throw SweepGridError("security sweep: source index out of range");
+    }
+  }
+}
+
+/// Judge a batch under the full DCN with the given Tier-0 policy. A fresh
+/// Corrector per call keeps every cell's region vote on segment 0 of its own
+/// stream — the source of the sweep's run-to-run bit-identity.
+double dcn_accuracy(const SweepContext& ctx,
+                    const SecuritySweepConfig& config,
+                    core::Tier0Policy policy, const Tensor& batch,
+                    const std::vector<std::size_t>& truths,
+                    double* mean_samples) {
+  core::Corrector corrector(*ctx.model, config.corrector);
+  core::Dcn dcn(*ctx.model, *ctx.detector, corrector);
+  if (ctx.tier0 != nullptr) dcn.set_logit_corrector(ctx.tier0);
+  dcn.set_tier0_policy(policy);
+  const std::vector<std::size_t> labels = dcn.predict(batch);
+  std::size_t right = 0;
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    if (labels[i] == truths[i]) ++right;
+  }
+  if (mean_samples != nullptr) {
+    *mean_samples = static_cast<double>(dcn.corrector_samples_used()) /
+                    static_cast<double>(truths.size());
+  }
+  return static_cast<double>(right) / static_cast<double>(truths.size());
+}
+
+}  // namespace
+
+SecurityCurves run_security_sweep(const SweepContext& ctx,
+                                  const SecuritySweepConfig& config) {
+  validate(ctx, config);
+
+  SecurityCurves out;
+  const std::size_t n = config.sources.size();
+  out.source_count = n;
+  out.defense_order = config.defenses;
+
+  std::vector<Tensor> clean;
+  std::vector<std::size_t> truths;
+  clean.reserve(n);
+  truths.reserve(n);
+  for (std::size_t idx : config.sources) {
+    clean.push_back(ctx.dataset->example(idx));
+    truths.push_back(ctx.dataset->labels[idx]);
+  }
+  // ---- benign anchor -------------------------------------------------------
+  // Rates are integer counts divided once — never accumulated in floating
+  // point — so a curve's zero-strength point equals the benign anchor
+  // EXACTLY (1 - 0/n == n/n), a bit-identity the tests pin.
+  std::vector<bool> clean_right(n);
+  std::vector<bool> clean_flagged(n);
+  std::size_t clean_flag_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tensor logits = ctx.model->logits(clean[i]);
+    clean_right[i] = argmax(logits) == truths[i];
+    clean_flagged[i] = ctx.detector->is_adversarial(logits);
+    if (clean_flagged[i]) ++clean_flag_count;
+  }
+  out.benign_detection_rate =
+      static_cast<double>(clean_flag_count) / static_cast<double>(n);
+  const Tensor clean_batch = Tensor::stack(clean);
+  for (DefenseKind defense : config.defenses) {
+    double acc = 0.0;
+    std::size_t count = 0;
+    switch (defense) {
+      case DefenseKind::kUndefended:
+        for (std::size_t i = 0; i < n; ++i) count += clean_right[i] ? 1 : 0;
+        acc = static_cast<double>(count) / static_cast<double>(n);
+        break;
+      case DefenseKind::kDetectorOnly:
+        // On benign traffic a detector flag is a loss (the input is refused).
+        for (std::size_t i = 0; i < n; ++i) {
+          count += (clean_right[i] && !clean_flagged[i]) ? 1 : 0;
+        }
+        acc = static_cast<double>(count) / static_cast<double>(n);
+        break;
+      case DefenseKind::kDcnConfirm:
+        acc = dcn_accuracy(ctx, config, core::Tier0Policy::kConfirm,
+                           clean_batch, truths, nullptr);
+        break;
+      case DefenseKind::kDcnResolve:
+        acc = dcn_accuracy(ctx, config, core::Tier0Policy::kResolve,
+                           clean_batch, truths, nullptr);
+        break;
+    }
+    out.benign_accuracy.push_back(acc);
+  }
+
+  // ---- the sweep grid ------------------------------------------------------
+  for (const FamilySpec& fam : config.families) {
+    FamilyCurves fc;
+    fc.family = fam.name;
+    fc.param = fam.param;
+    fc.strengths = fam.grid;
+    fc.defenses.resize(config.defenses.size());
+    for (std::size_t j = 0; j < config.defenses.size(); ++j) {
+      fc.defenses[j].defense = config.defenses[j];
+    }
+
+    for (float strength : fam.grid) {
+      std::vector<Tensor> advs;
+      advs.reserve(n);
+      std::vector<bool> fooled(n);
+      std::vector<bool> flagged(n);
+      std::size_t crafted = 0;
+      std::size_t fooled_count = 0;
+      double l2_sum = 0.0;
+      std::size_t l2_count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        attacks::AttackResult r =
+            fam.craft(*ctx.model, clean[i], truths[i], strength);
+        if (r.success) ++crafted;
+        // Judge whatever the attack produced (== the original on failure).
+        const Tensor logits = ctx.model->logits(r.adversarial);
+        fooled[i] = argmax(logits) != truths[i];
+        flagged[i] = ctx.detector->is_adversarial(logits);
+        if (fooled[i]) {
+          ++fooled_count;
+          l2_sum += r.l2;
+          ++l2_count;
+        }
+        advs.push_back(std::move(r.adversarial));
+      }
+      fc.crafted.push_back(static_cast<double>(crafted));
+      fc.attack_success.push_back(static_cast<double>(fooled_count) /
+                                  static_cast<double>(n));
+      fc.mean_l2.push_back(
+          l2_count > 0 ? l2_sum / static_cast<double>(l2_count) : 0.0);
+      std::size_t flag_count = 0;
+      for (std::size_t i = 0; i < n; ++i) flag_count += flagged[i] ? 1 : 0;
+      fc.detection_rate.push_back(static_cast<double>(flag_count) /
+                                  static_cast<double>(n));
+
+      const Tensor adv_batch = Tensor::stack(advs);
+      for (std::size_t j = 0; j < config.defenses.size(); ++j) {
+        double acc = 0.0;
+        double samples = 0.0;
+        std::size_t safe = 0;
+        switch (config.defenses[j]) {
+          case DefenseKind::kUndefended:
+            acc = static_cast<double>(n - fooled_count) /
+                  static_cast<double>(n);
+            break;
+          case DefenseKind::kDetectorOnly:
+            // Under attack a flagged input is caught, not a win.
+            for (std::size_t i = 0; i < n; ++i) {
+              safe += (!fooled[i] || flagged[i]) ? 1 : 0;
+            }
+            acc = static_cast<double>(safe) / static_cast<double>(n);
+            break;
+          case DefenseKind::kDcnConfirm:
+            acc = dcn_accuracy(ctx, config, core::Tier0Policy::kConfirm,
+                               adv_batch, truths, &samples);
+            break;
+          case DefenseKind::kDcnResolve:
+            acc = dcn_accuracy(ctx, config, core::Tier0Policy::kResolve,
+                               adv_batch, truths, &samples);
+            break;
+        }
+        fc.defenses[j].accuracy.push_back(acc);
+        fc.defenses[j].corrector_samples.push_back(samples);
+      }
+    }
+    out.families.push_back(std::move(fc));
+  }
+  return out;
+}
+
+JsonObject security_curves_json(const SecurityCurves& curves) {
+  JsonObject root;
+  root.set("sources", curves.source_count);
+  for (std::size_t j = 0; j < curves.defense_order.size(); ++j) {
+    root.set(std::string("benign_accuracy_") +
+                 defense_name(curves.defense_order[j]),
+             curves.benign_accuracy[j]);
+  }
+  root.set("benign_detection_rate", curves.benign_detection_rate);
+
+  JsonObject families;
+  for (const FamilyCurves& fam : curves.families) {
+    JsonObject f;
+    f.set("param", sweep_param_name(fam.param));
+    f.set("strengths",
+          std::vector<double>(fam.strengths.begin(), fam.strengths.end()));
+    f.set("crafted", fam.crafted);
+    f.set("attack_success", fam.attack_success);
+    f.set("mean_l2", fam.mean_l2);
+    f.set("detection_rate", fam.detection_rate);
+    for (const DefenseCurve& dc : fam.defenses) {
+      f.set(std::string("accuracy_") + defense_name(dc.defense), dc.accuracy);
+      if (dc.defense == DefenseKind::kDcnConfirm ||
+          dc.defense == DefenseKind::kDcnResolve) {
+        f.set(std::string("corrector_samples_") + defense_name(dc.defense),
+              dc.corrector_samples);
+      }
+    }
+    families.set(fam.family, f);
+  }
+  root.set("families", families);
+  return root;
+}
+
+std::vector<FamilySpec> standard_families(
+    core::Detector& detector, const core::CorrectorConfig& corrector,
+    const std::vector<float>& epsilon_grid,
+    const std::vector<float>& kappa_grid,
+    std::size_t adaptive_vote_samples) {
+  std::vector<FamilySpec> fams;
+
+  fams.push_back(
+      {"fgsm", SweepParam::kEpsilon, epsilon_grid,
+       [](nn::Sequential& model, const Tensor& x, std::size_t truth,
+          float eps) {
+         attacks::Fgsm fgsm({.epsilon = eps});
+         return fgsm.run_untargeted(model, x, truth);
+       }});
+
+  fams.push_back(
+      {"igsm", SweepParam::kEpsilon, epsilon_grid,
+       [](nn::Sequential& model, const Tensor& x, std::size_t truth,
+          float eps) {
+         // Step at eps/10 over 40 iterations: at the Sec. 6 table's
+         // operating point (eps = kTableEpsilon = 0.2) this is exactly the
+         // bench_other_attacks configuration.
+         attacks::Igsm igsm({.epsilon = eps,
+                             .step_size = eps / 10.0F,
+                             .max_iterations = 40,
+                             .stop_at_success = true});
+         return igsm.run_untargeted(model, x, truth);
+       }});
+
+  fams.push_back(
+      {"pgd", SweepParam::kEpsilon, epsilon_grid,
+       [](nn::Sequential& model, const Tensor& x, std::size_t truth,
+          float eps) {
+         attacks::Pgd pgd({.epsilon = eps,
+                           .step_size = eps / 10.0F,
+                           .max_iterations = 40,
+                           .restarts = 3,
+                           .seed = 1717});
+         return pgd.run_untargeted(model, x, truth);
+       }});
+
+  fams.push_back(
+      {"deepfool", SweepParam::kEpsilon, epsilon_grid,
+       [](nn::Sequential& model, const Tensor& x, std::size_t truth,
+          float eps) {
+         // DeepFool has no budget knob: run it unbudgeted, then project the
+         // perturbation onto the eps ball (and the pixel box). eps = 0
+         // short-circuits to the clean input.
+         if (eps <= 0.0F) {
+           return attacks::finalize_result(model, x, x, truth,
+                                           /*targeted=*/false,
+                                           /*iterations=*/0);
+         }
+         attacks::DeepFool deepfool;
+         attacks::AttackResult r = deepfool.run_untargeted(model, x, truth);
+         Tensor adv = r.adversarial;
+         for (std::size_t i = 0; i < adv.size(); ++i) {
+           const float delta = std::clamp(adv[i] - x[i], -eps, eps);
+           adv[i] = std::clamp(x[i] + delta, data::kPixelMin, data::kPixelMax);
+         }
+         return attacks::finalize_result(model, x, std::move(adv), truth,
+                                         /*targeted=*/false, r.iterations);
+       }});
+
+  fams.push_back(
+      {"cw_l2", SweepParam::kKappa, kappa_grid,
+       [](nn::Sequential& model, const Tensor& x, std::size_t truth,
+          float kappa) {
+         // The bench light CW-L2 configuration (bench/common.hpp) with the
+         // swept confidence margin.
+         attacks::CwL2 cw({.kappa = kappa,
+                           .initial_c = 1e-1F,
+                           .binary_search_steps = 3,
+                           .max_iterations = 80,
+                           .learning_rate = 5e-2F,
+                           .abort_early = true});
+         const std::size_t nc = model.logits(x).size();
+         return attacks::untargeted_best_of(cw, model, x, truth, nc,
+                                            attacks::Norm::kL2);
+       }});
+
+  // The end-to-end adversary: detector-aware via the margin gradient,
+  // corrector-aware via the expected-vote surrogate over the deployed
+  // voting radius. `detector` is captured by reference and must outlive the
+  // returned specs (in a sweep it is the SweepContext detector).
+  const float vote_radius = corrector.radius;
+  fams.push_back(
+      {"adaptive_cw", SweepParam::kKappa, kappa_grid,
+       [&detector, vote_radius, adaptive_vote_samples](
+           nn::Sequential& model, const Tensor& x, std::size_t truth,
+           float kappa) {
+         attacks::AdaptiveCw adaptive(
+             [&detector](const Tensor& z, Tensor& g) {
+               return detector.margin_with_gradient(z, g);
+             },
+             {.kappa = kappa,
+              .kappa_det = 0.0F,
+              .lambda = 1.0F,
+              .initial_c = 1e-1F,
+              .binary_search_steps = 3,
+              .max_iterations = 120,
+              .learning_rate = 5e-2F,
+              .vote_samples = adaptive_vote_samples,
+              .vote_radius = vote_radius});
+         // Target the clean runner-up class: the cheapest misclassification
+         // direction, i.e. the strongest fixed-target attack per budget.
+         const Tensor logits = model.logits(x);
+         std::size_t target = truth == 0 ? 1 : 0;
+         float best = -std::numeric_limits<float>::infinity();
+         for (std::size_t i = 0; i < logits.size(); ++i) {
+           if (i == truth) continue;
+           if (logits[i] > best) {
+             best = logits[i];
+             target = i;
+           }
+         }
+         return adaptive.run_targeted(model, x, target);
+       }});
+
+  return fams;
+}
+
+}  // namespace dcn::eval

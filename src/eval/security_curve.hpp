@@ -1,0 +1,164 @@
+// Security-evaluation curves: accuracy-vs-attack-strength and
+// detection-rate-vs-strength sweeps of every attack family against every
+// defense configuration (the pipeline shape of the classic security
+// evaluation curve, run against the DCN stack).
+//
+// A sweep is a grid of cells (attack family x strength). Per cell the engine
+// crafts one adversarial example per source with the family's attack at that
+// strength, then judges the crafted set under each requested defense:
+//
+//   undefended     the raw DNN label — accuracy is 1 - attack success.
+//   detector_only  an input is safe when it is classified correctly OR the
+//                  detector flags it (a caught attack is not a win); on the
+//                  benign anchor the same rule is scored as classified
+//                  correctly AND NOT flagged (a false positive is a loss).
+//   dcn_confirm    the full DCN decision procedure, Tier0Policy::kConfirm.
+//   dcn_resolve    the full DCN decision procedure, Tier0Policy::kResolve.
+//
+// Determinism contract: every DCN cell is judged through a FRESH Corrector
+// (fixed seed from the sweep config) so each cell's region vote starts at
+// segment 0 of its own stream — the sweep output is bit-identical across
+// runs, cell orderings, and DCN_THREADS values (the batched forward and the
+// chunked vote are bit-identical at any thread count by the runtime
+// contract). Attack crafting is serial per cell and seed-frozen.
+//
+// Errors: malformed sweeps (no families, empty or unsorted strength grids,
+// non-finite strengths, no sources, nameless families) raise SweepGridError
+// — a typed error callers can distinguish from attack/model failures.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+#include "core/corrector.hpp"
+#include "core/detector.hpp"
+#include "core/logit_corrector.hpp"
+#include "data/dataset.hpp"
+#include "eval/bench_json.hpp"
+#include "nn/sequential.hpp"
+
+namespace dcn::eval {
+
+/// Typed error for malformed sweep configurations.
+class SweepGridError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Which knob a family sweeps: an L-inf budget or a CW confidence margin.
+enum class SweepParam { kEpsilon, kKappa };
+
+constexpr const char* sweep_param_name(SweepParam param) {
+  return param == SweepParam::kEpsilon ? "epsilon" : "kappa";
+}
+
+enum class DefenseKind {
+  kUndefended,
+  kDetectorOnly,
+  kDcnConfirm,
+  kDcnResolve,
+};
+
+constexpr const char* defense_name(DefenseKind kind) {
+  switch (kind) {
+    case DefenseKind::kUndefended: return "undefended";
+    case DefenseKind::kDetectorOnly: return "detector_only";
+    case DefenseKind::kDcnConfirm: return "dcn_confirm";
+    case DefenseKind::kDcnResolve: return "dcn_resolve";
+  }
+  return "unknown";
+}
+
+/// Craft one adversarial example for (source, truth) at the given strength.
+/// The runner owns the attack's untargeted strategy; the engine only judges
+/// the returned example.
+using AttackRunner = std::function<attacks::AttackResult(
+    nn::Sequential& model, const Tensor& x, std::size_t truth,
+    float strength)>;
+
+struct FamilySpec {
+  std::string name;            // JSON key, e.g. "fgsm", "adaptive_cw"
+  SweepParam param = SweepParam::kEpsilon;
+  std::vector<float> grid;     // strictly increasing, finite, >= 0
+  AttackRunner craft;
+};
+
+struct SecuritySweepConfig {
+  std::vector<FamilySpec> families;
+  /// Test-set indices to attack (the curve's source population).
+  std::vector<std::size_t> sources;
+  /// Corrector configuration for the DCN defenses; a fresh Corrector with
+  /// this config judges every cell (see the determinism contract above).
+  core::CorrectorConfig corrector;
+  std::vector<DefenseKind> defenses{
+      DefenseKind::kUndefended, DefenseKind::kDetectorOnly,
+      DefenseKind::kDcnConfirm, DefenseKind::kDcnResolve};
+};
+
+/// The components under evaluation. tier0 may be null (no Tier-0 head; the
+/// DCN defenses then vote every flagged input).
+struct SweepContext {
+  nn::Sequential* model = nullptr;
+  core::Detector* detector = nullptr;
+  core::LogitCorrector* tier0 = nullptr;
+  const data::Dataset* dataset = nullptr;
+};
+
+/// One defense's curve within a family: accuracy per strength, plus the mean
+/// region samples each judged source paid (0 for non-DCN defenses).
+struct DefenseCurve {
+  DefenseKind defense = DefenseKind::kUndefended;
+  std::vector<double> accuracy;
+  std::vector<double> corrector_samples;
+};
+
+/// All curves of one attack family.
+struct FamilyCurves {
+  std::string family;
+  SweepParam param = SweepParam::kEpsilon;
+  std::vector<float> strengths;
+  std::vector<double> crafted;         // attack-reported successes per point
+  std::vector<double> attack_success;  // fraction misclassified by the raw DNN
+  std::vector<double> mean_l2;         // mean L2 of DNN-fooling examples
+  std::vector<double> detection_rate;  // fraction of crafted inputs flagged
+  std::vector<DefenseCurve> defenses;
+};
+
+struct SecurityCurves {
+  std::size_t source_count = 0;
+  std::vector<DefenseKind> defense_order;
+  /// Clean-input accuracy per defense (same order as defense_order) — the
+  /// benign operating point every curve is traded against.
+  std::vector<double> benign_accuracy;
+  /// Detector false-positive rate on the clean sources.
+  double benign_detection_rate = 0.0;
+  std::vector<FamilyCurves> families;
+};
+
+/// Run the sweep. Throws SweepGridError on a malformed configuration and
+/// std::invalid_argument on null context components.
+SecurityCurves run_security_sweep(const SweepContext& ctx,
+                                  const SecuritySweepConfig& config);
+
+/// Render curves as an ordered JSON object (the BENCH_security.json payload
+/// minus the bench's own wrapper keys). Key names here are load-bearing:
+/// tools/docs_check.sh verifies every metric EXPERIMENTS.md cites against
+/// this emitter.
+JsonObject security_curves_json(const SecurityCurves& curves);
+
+/// The standard six attack families over the shared grids
+/// (eval/sweep_grid.hpp): fgsm, igsm, pgd, deepfool (ε; DeepFool runs
+/// unbudgeted and is then projected onto the ε ball), cw_l2 and adaptive_cw
+/// (κ). The adaptive family is the end-to-end adversary: detector-aware via
+/// `detector`, corrector-aware via the expected-vote surrogate matched to
+/// `corrector` (radius and sample count capped at `adaptive_vote_samples`).
+std::vector<FamilySpec> standard_families(
+    core::Detector& detector, const core::CorrectorConfig& corrector,
+    const std::vector<float>& epsilon_grid,
+    const std::vector<float>& kappa_grid,
+    std::size_t adaptive_vote_samples = 6);
+
+}  // namespace dcn::eval

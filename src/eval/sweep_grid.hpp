@@ -1,0 +1,43 @@
+// Canonical attack-strength grids for the security evaluation.
+//
+// One definition of every ε/κ sweep point: the Sec. 6 table benches
+// (bench_other_attacks, bench_adaptive_attack, the attack_grid driver), the
+// security-curve sweep (src/eval/security_curve.*, bench_security), and the
+// reduced CI smoke sweep all read these, so the EXPERIMENTS.md tables and the
+// security curves can never disagree on operating points.
+#pragma once
+
+#include <vector>
+
+namespace dcn::eval {
+
+/// L∞ budget grid for the ε-parameterized families (FGSM/IGSM/PGD and the
+/// ε-projected DeepFool). Starts at 0 — the benign anchor point every curve
+/// shares (accuracy at ε=0 must equal clean accuracy by construction).
+inline std::vector<float> security_epsilon_grid() {
+  return {0.0F, 0.05F, 0.1F, 0.2F, 0.3F};
+}
+
+/// Confidence-margin grid for the κ-parameterized CW families (plain CW-L2
+/// and the detector/corrector-aware AdaptiveCw).
+inline std::vector<float> security_kappa_grid() {
+  return {0.0F, 2.0F, 5.0F, 10.0F};
+}
+
+/// The single operating points the Sec. 6 tables cite. Kept next to (and
+/// inside) the grids above so a table cell and the matching curve point are
+/// the same measurement.
+inline constexpr float kTableEpsilon = 0.2F;
+inline constexpr float kTableCwKappa = 0.0F;
+
+/// Reduced grids for the CI smoke sweep (`security-curve-smoke` ctest),
+/// which runs on the small 2-D fixture (tests/fixtures.hpp) rather than
+/// images: the benign anchor, the detection knee, and the strong point.
+/// On that fixture's geometry (class spread 0.06, centers ~0.4 apart) an
+/// ε=0.3 perturbation moves a point deep into the neighboring class —
+/// unrecoverable by any vote — so the gate pins detect-and-refuse there,
+/// not label recovery.
+inline std::vector<float> smoke_epsilon_grid() { return {0.0F, 0.2F, 0.3F}; }
+inline std::vector<float> smoke_kappa_grid() { return {0.0F, 2.0F}; }
+
+}  // namespace dcn::eval

@@ -7,6 +7,7 @@
 #include "attacks/gradient.hpp"
 #include "attacks/igsm.hpp"
 #include "attacks/lbfgs_attack.hpp"
+#include "attacks/pgd.hpp"
 #include "attacks/untargeted.hpp"
 #include "data/transforms.hpp"
 #include "eval/metrics.hpp"
@@ -152,6 +153,32 @@ TEST(Igsm, MoreBudgetNeverHurtsSuccess) {
     sr_large.record(large.run_untargeted(p.model, x, truth).success);
   }
   EXPECT_GE(sr_large.successes(), sr_small.successes());
+}
+
+// epsilon = 0 is a degenerate but legal budget: the crafted input must be
+// the clean input bit-for-bit (zero step, clamp to [x, x]), with every
+// distance exactly zero. The security-curve sweeps rely on this to anchor
+// their epsilon grids at the benign operating point.
+TEST(EpsilonZero, GradientAttacksReturnCleanInputUnchanged) {
+  auto& p = SmallProblem::mutable_instance();
+  attacks::Fgsm fgsm({.epsilon = 0.0F});
+  attacks::Igsm igsm({.epsilon = 0.0F, .step_size = 0.0F,
+                      .max_iterations = 10, .stop_at_success = true});
+  attacks::Pgd pgd({.epsilon = 0.0F, .step_size = 0.0F,
+                    .max_iterations = 10, .restarts = 2, .seed = 99});
+  const Tensor x = p.test_set.example(5);
+  const std::size_t truth = p.test_set.labels[5];
+  for (const auto& r : {fgsm.run_untargeted(p.model, x, truth),
+                        igsm.run_untargeted(p.model, x, truth),
+                        pgd.run_untargeted(p.model, x, truth)}) {
+    ASSERT_EQ(r.adversarial.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(r.adversarial[i], x[i]);
+    }
+    EXPECT_EQ(r.l0, 0.0);
+    EXPECT_EQ(r.l2, 0.0);
+    EXPECT_EQ(r.linf, 0.0);
+  }
 }
 
 TEST(DeepFool, FlipsLabelWithSmallDistortion) {

@@ -8,7 +8,8 @@
 #                      signed-overflow/misaligned-load UB in the tensor/attack
 #                      kernels fail the leg (-fno-sanitize-recover=all).
 #   thread             TSan build, concurrency suites only (dcn_runtime_tests,
-#                      dcn_serve_tests, dcn_serve_net_tests, the pinned
+#                      dcn_serve_tests, dcn_serve_net_tests, the security
+#                      sweep's thread-determinism suite, the pinned
 #                      determinism entry, and the lint suite they share a
 #                      binary with). TSan's 5-15x
 #                      slowdown buys nothing on the single-threaded training
@@ -16,8 +17,9 @@
 #   asan-ubsan-simd-off  ASan+UBSan with -DDCN_SIMD=OFF: proves the generic
 #                      GEMM fallback path clean on its own. Runs the kernel
 #                      differential harness, the runtime determinism suite,
-#                      and dcn-lint — the suites whose behavior the dispatch
-#                      switch changes.
+#                      the security sweep's bit-identity suite, and dcn-lint
+#                      — the suites whose behavior the dispatch switch
+#                      changes.
 #   coverage           gcov-instrumented build (-DDCN_COVERAGE=ON) running
 #                      the suites that exercise the adversarial surface
 #                      (wire codecs, fuzz corpus replay, the lint engine),
@@ -44,11 +46,11 @@ matrix_root="$repo/build-matrix"
 
 # TSan runs only the suites that exercise concurrency (plus dcn-lint, which
 # is free). Everything else in the suite is single-threaded fixture work.
-tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_serve_net_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn_kernel_diff_tests|dcn_corrector_fastpath_tests|dcn-lint'
+tsan_filter='dcn_runtime_tests|dcn_serve_tests|dcn_serve_net_tests|dcn_obs_tests|dcn_runtime_determinism_sanitized|dcn_kernel_diff_tests|dcn_corrector_fastpath_tests|dcn_security_tests|dcn-lint'
 
 # The SIMD=OFF leg re-runs only what the dispatch switch changes: the kernel
 # differential harness, the dispatch×threads determinism sweep, and lint.
-simd_off_filter='dcn_kernel_diff_tests|dcn_runtime_tests|dcn_corrector_fastpath_tests|dcn-lint'
+simd_off_filter='dcn_kernel_diff_tests|dcn_runtime_tests|dcn_corrector_fastpath_tests|dcn_security_tests|dcn-lint'
 
 # The coverage leg runs what the coverage gate measures: the serve/net suite
 # and loopback smoke (codecs + IO loop + router), the fuzz corpus replays

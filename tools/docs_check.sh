@@ -1,7 +1,7 @@
 #!/bin/sh
 # docs_check.sh — keep the documentation honest.
 #
-# Verifies seven invariants, and fails (exit 1) listing every violation:
+# Verifies eight invariants, and fails (exit 1) listing every violation:
 #   1. Every relative markdown link in README.md, DESIGN.md, EXPERIMENTS.md,
 #      ROADMAP.md, and docs/*.md points at a file that exists.
 #   2. Every bench binary EXPERIMENTS.md cites (`bench_*`) has a source file
@@ -29,6 +29,14 @@
 #      src/serve/metrics.cpp) must appear in docs/OPERATIONS.md — an
 #      operator must be able to look up any attack-signal or
 #      exemplar-bearing series they see in a scrape.
+#   8. Security-curve metric names: every BENCH_security.json metric
+#      EXPERIMENTS.md cites (curve keys like `accuracy_dcn_confirm`,
+#      `detection_rate`, `benign_accuracy_undefended`) must be emitted by
+#      the curve serializer (src/eval/security_curve.cpp — including the
+#      per-defense composed keys) or the bench wrapper
+#      (bench/bench_security.cpp). BENCH_*.json is gitignored, so the
+#      emitter sources are the source of truth; when a build directory has
+#      the artifact, the cited names are checked against it too.
 #
 # Usage: docs_check.sh <repo_root> [build_dir]
 # Wired up as the `docs-check` CMake target and the `dcn_docs_check` ctest
@@ -220,8 +228,41 @@ if [ -f "$ops_doc" ] && [ -d "$repo/src" ]; then
     done
 fi
 
+# --- 8. Security-curve metric names ------------------------------------------
+# EXPERIMENTS.md's "where DCN holds / where it falls" section cites metric
+# keys from BENCH_security.json. The artifact is gitignored, so the names
+# are verified against the emitters: the literal keys both sources set(),
+# plus the per-defense composed keys (accuracy_<defense>, ...) expanded
+# from defense_name() in src/eval/security_curve.hpp.
+exp_doc="$repo/EXPERIMENTS.md"
+curve_src="$repo/src/eval/security_curve.cpp"
+curve_hdr="$repo/src/eval/security_curve.hpp"
+bench_src="$repo/bench/bench_security.cpp"
+if [ -f "$exp_doc" ] && [ -f "$curve_src" ] && [ -f "$curve_hdr" ]; then
+    emitted=$(grep -hoE '"[a-z][a-z0-9_]*"' "$curve_src" "$bench_src" \
+                  2>/dev/null | tr -d '"' | sort -u)
+    defenses=$(grep -oE 'return "[a-z_]+"' "$curve_hdr" \
+                   | sed 's/return "//; s/"//' | sort -u)
+    for d in $defenses; do
+        emitted=$(printf '%s\nbenign_accuracy_%s\naccuracy_%s\ncorrector_samples_%s\n' \
+                      "$emitted" "$d" "$d" "$d")
+    done
+    cited=$(grep -oE '`[a-z][a-z0-9_]*`' "$exp_doc" | tr -d '`' | sort -u \
+                | grep -E '^(benign_accuracy|accuracy|corrector_samples)_[a-z0-9_]+$|^(attack_success|detection_rate|mean_l2|benign_detection_rate|crafted|strengths|sweep_wallclock_s)$')
+    for name in $cited; do
+        if ! printf '%s\n' "$emitted" | grep -qx "$name"; then
+            fail "EXPERIMENTS.md cites security metric '$name' which no emitter (src/eval/security_curve.cpp, bench/bench_security.cpp) writes"
+        fi
+        if [ -n "$build" ] && [ -f "$build/bench/BENCH_security.json" ]; then
+            if ! grep -qF "\"$name\"" "$build/bench/BENCH_security.json"; then
+                fail "EXPERIMENTS.md cites security metric '$name' missing from $build/bench/BENCH_security.json"
+            fi
+        fi
+    done
+fi
+
 if [ "$failures" -gt 0 ]; then
     echo "docs-check: FAILED with $failures problem(s)" >&2
     exit 1
 fi
-echo "docs-check: OK (links, bench + artifact citations, cited repo paths, the protocol spec, the lint rule table, and the observability families verified)"
+echo "docs-check: OK (links, bench + artifact citations, cited repo paths, the protocol spec, the lint rule table, the observability families, and the security-curve metric names verified)"
